@@ -1,0 +1,366 @@
+package repro_test
+
+// The benchmark harness: one benchmark per reproduced artifact of the paper
+// (its tables are algorithm listings and its figures are topologies and
+// adversary walks, so each benchmark exercises the corresponding
+// implementation end to end). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-op metric is one complete experiment trial (a bounded simulation
+// run, a model-check, or a concurrent execution), so relative numbers across
+// algorithms and topologies are directly comparable. EXPERIMENTS.md records
+// the qualitative results; these benchmarks track their cost.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/dining"
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/modelcheck"
+	"repro/internal/prng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+// simulateOnce runs one bounded simulation and reports meals/step metrics.
+func simulateOnce(b *testing.B, topo *graph.Topology, algorithm string, kind core.SchedulerKind, seed uint64, steps int64) *sim.Result {
+	b.Helper()
+	sys := core.System{Topology: topo, Algorithm: algorithm, Scheduler: kind, Seed: seed}
+	res, err := sys.Simulate(sim.RunOptions{MaxSteps: steps})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkTable1LR1 .. BenchmarkTable4GDP2 exercise the four algorithm
+// listings (Tables 1-4) on the classic ring under a random fair scheduler.
+func benchmarkTable(b *testing.B, algorithm string) {
+	topo := graph.Ring(9)
+	b.ReportAllocs()
+	var meals int64
+	for i := 0; i < b.N; i++ {
+		res := simulateOnce(b, topo, algorithm, core.Random, uint64(i)+1, 20_000)
+		meals += res.TotalEats
+	}
+	b.ReportMetric(float64(meals)/float64(b.N), "meals/run")
+}
+
+func BenchmarkTable1LR1(b *testing.B)  { benchmarkTable(b, "LR1") }
+func BenchmarkTable2LR2(b *testing.B)  { benchmarkTable(b, "LR2") }
+func BenchmarkTable3GDP1(b *testing.B) { benchmarkTable(b, "GDP1") }
+func BenchmarkTable4GDP2(b *testing.B) { benchmarkTable(b, "GDP2") }
+
+// BenchmarkFigure1Topologies runs GDP1 on each of the four Figure 1 systems.
+func BenchmarkFigure1Topologies(b *testing.B) {
+	for _, topo := range graph.Figure1() {
+		topo := topo
+		b.Run(topo.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			var meals int64
+			for i := 0; i < b.N; i++ {
+				res := simulateOnce(b, topo, "GDP1", core.Random, uint64(i)+1, 20_000)
+				meals += res.TotalEats
+			}
+			b.ReportMetric(float64(meals)/float64(b.N), "meals/run")
+		})
+	}
+}
+
+// BenchmarkSection3Adversary measures one adversarial trial of the Section 3
+// example (Figure 1a) for each algorithm, reporting the fraction of trials
+// with no progress (the paper's headline quantity, lower-bounded by 1/16 for
+// LR1 and 0 for GDP1/GDP2).
+func BenchmarkSection3Adversary(b *testing.B) {
+	for _, algorithm := range []string{"LR1", "LR2", "GDP1", "GDP2"} {
+		algorithm := algorithm
+		b.Run(algorithm, func(b *testing.B) {
+			topo := graph.Figure1A()
+			b.ReportAllocs()
+			starved := 0
+			for i := 0; i < b.N; i++ {
+				res := simulateOnce(b, topo, algorithm, core.Adversary, uint64(i)+1, 30_000)
+				if res.TotalEats == 0 {
+					starved++
+				}
+			}
+			b.ReportMetric(float64(starved)/float64(b.N), "no-progress-rate")
+		})
+	}
+}
+
+// BenchmarkTheorem1 covers the Theorem 1 / Figure 2 reproduction: the
+// exhaustive trap analysis on the minimal ring-with-extra-arc instance. For
+// LR1 the ring philosophers are protected and a trap must exist (Theorem 1);
+// for GDP1 the claim is global progress (Theorem 3), so everyone is protected
+// and no trap may exist.
+func BenchmarkTheorem1(b *testing.B) {
+	cases := []struct {
+		algorithm string
+		protected []graph.PhilID
+		wantTrap  bool
+	}{
+		{"LR1", []graph.PhilID{0, 1, 2}, true},
+		{"GDP1", nil, false},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.algorithm, func(b *testing.B) {
+			prog, err := algo.New(c.algorithm, algo.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := modelcheck.Check(graph.Theorem1Minimal(), prog, modelcheck.Options{Protected: c.protected})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.FairAdversaryWins() != c.wantTrap {
+					b.Fatalf("%s verdict %v, want %v", c.algorithm, rep.FairAdversaryWins(), c.wantTrap)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTheorem2 covers the Theorem 2 / Figure 3 reproduction: the trap
+// analysis for LR2 versus GDP2 on the theta graph.
+func BenchmarkTheorem2(b *testing.B) {
+	for _, algorithm := range []string{"LR2", "GDP2"} {
+		algorithm := algorithm
+		b.Run(algorithm, func(b *testing.B) {
+			prog, err := algo.New(algorithm, algo.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := modelcheck.Check(graph.Theorem2Minimal(), prog, modelcheck.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				want := algorithm == "LR2"
+				if rep.FairAdversaryWins() != want {
+					b.Fatalf("%s verdict %v, want %v", algorithm, rep.FairAdversaryWins(), want)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTheorem3Progress measures the time for GDP1 to reach its first
+// meal under the livelock adversary on each Figure 1 topology (Theorem 3:
+// progress under every fair scheduler).
+func BenchmarkTheorem3Progress(b *testing.B) {
+	for _, topo := range graph.Figure1() {
+		topo := topo
+		b.Run(topo.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			var firstMeal int64
+			for i := 0; i < b.N; i++ {
+				sys := core.System{Topology: topo, Algorithm: "GDP1", Scheduler: core.Adversary, Seed: uint64(i) + 1}
+				res, err := sys.Simulate(sim.RunOptions{MaxSteps: 60_000, StopAfterTotalEats: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Progress() {
+					b.Fatal("GDP1 failed to progress under the adversary")
+				}
+				firstMeal += res.FirstEatStep
+			}
+			b.ReportMetric(float64(firstMeal)/float64(b.N), "steps-to-first-meal")
+		})
+	}
+}
+
+// BenchmarkTheorem4Lockout measures GDP2 serving every philosopher on the
+// Section 3 topology under round-robin scheduling (Theorem 4).
+func BenchmarkTheorem4Lockout(b *testing.B) {
+	topo := graph.Figure1A()
+	b.ReportAllocs()
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		sys := core.System{Topology: topo, Algorithm: "GDP2", Scheduler: core.RoundRobin, Seed: uint64(i) + 1}
+		res, err := sys.Simulate(sim.RunOptions{MaxSteps: 200_000, StopWhenAllHaveEaten: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Reason != sim.StopAllAte {
+			b.Fatalf("not everyone ate: %v", res.EatsBy)
+		}
+		steps += res.Steps
+	}
+	b.ReportMetric(float64(steps)/float64(b.N), "steps-to-feed-everyone")
+}
+
+// BenchmarkClassicRing is the sanity baseline: LR1 and LR2 on the topology
+// for which Lehmann & Rabin proved them correct, under the adversary.
+func BenchmarkClassicRing(b *testing.B) {
+	for _, algorithm := range []string{"LR1", "LR2"} {
+		algorithm := algorithm
+		b.Run(algorithm, func(b *testing.B) {
+			topo := graph.Ring(5)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := simulateOnce(b, topo, algorithm, core.Adversary, uint64(i)+1, 30_000)
+				if !res.Progress() {
+					b.Fatalf("%s starved on the classic ring", algorithm)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAlgorithmsRing sweeps ring sizes for all four algorithms plus the
+// centralized baselines (experiment E-B1, the efficiency dimension the paper
+// leaves open).
+func BenchmarkAlgorithmsRing(b *testing.B) {
+	for _, size := range []int{5, 25, 101} {
+		for _, algorithm := range []string{"LR1", "LR2", "GDP1", "GDP2", "ordered-forks", "ticket-box"} {
+			size, algorithm := size, algorithm
+			b.Run(fmt.Sprintf("n=%d/%s", size, algorithm), func(b *testing.B) {
+				topo := graph.Ring(size)
+				b.ReportAllocs()
+				var meals int64
+				for i := 0; i < b.N; i++ {
+					res := simulateOnce(b, topo, algorithm, core.Random, uint64(i)+1, 20_000)
+					meals += res.TotalEats
+				}
+				b.ReportMetric(float64(meals)/float64(b.N), "meals/run")
+			})
+		}
+	}
+}
+
+// BenchmarkNumberRangeSweep measures GDP1 with different number ranges m
+// (experiment E-B2: the Theorem 3 bound m!/(m^k(m−k)!) improves with m).
+func BenchmarkNumberRangeSweep(b *testing.B) {
+	topo := graph.Figure1A()
+	k := topo.NumForks()
+	for _, mult := range []int{1, 2, 4, 8} {
+		mult := mult
+		b.Run(fmt.Sprintf("m=%dk", mult), func(b *testing.B) {
+			m := k * mult
+			b.ReportAllocs()
+			var firstMeal int64
+			for i := 0; i < b.N; i++ {
+				sys := core.System{
+					Topology:    topo,
+					Algorithm:   "GDP1",
+					AlgoOptions: algo.Options{M: m},
+					Scheduler:   core.Adversary,
+					Seed:        uint64(i) + 1,
+				}
+				res, err := sys.Simulate(sim.RunOptions{MaxSteps: 60_000, StopAfterTotalEats: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				firstMeal += res.FirstEatStep
+			}
+			b.ReportMetric(float64(firstMeal)/float64(b.N), "steps-to-first-meal")
+			b.ReportMetric(verify.DistinctNumberBound(m, k), "distinct-draw-bound")
+		})
+	}
+}
+
+// BenchmarkGuardedChoice measures the motivating application: processes with
+// binary guarded choice committing via GDP2 on a random conflict graph
+// (experiment E-PI).
+func BenchmarkGuardedChoice(b *testing.B) {
+	topo := graph.RandomMultigraph(24, 10, 7)
+	b.ReportAllocs()
+	var commits int64
+	for i := 0; i < b.N; i++ {
+		res := simulateOnce(b, topo, "GDP2", core.Random, uint64(i)+1, 40_000)
+		commits += res.TotalEats
+	}
+	b.ReportMetric(float64(commits)/float64(b.N), "commits/run")
+}
+
+// BenchmarkRuntimeGoroutines measures the concurrent goroutine runtime
+// (experiment E-RT): one op is a full 50ms concurrent execution.
+func BenchmarkRuntimeGoroutines(b *testing.B) {
+	for _, algorithm := range []string{dining.LR1, dining.GDP1, dining.GDP2} {
+		algorithm := algorithm
+		b.Run(algorithm, func(b *testing.B) {
+			topo := dining.Figure1A()
+			b.ReportAllocs()
+			var meals int64
+			for i := 0; i < b.N; i++ {
+				metrics, err := dining.RunConcurrent(context.Background(), topo, algorithm, uint64(i)+1, 50*time.Millisecond, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				meals += metrics.TotalMeals
+			}
+			b.ReportMetric(float64(meals)/float64(b.N), "meals/op")
+		})
+	}
+}
+
+// BenchmarkAdversaryOverhead compares the cost of the adversarial scheduler
+// against round-robin (the price of full-information scheduling).
+func BenchmarkAdversaryOverhead(b *testing.B) {
+	topo := graph.Figure1A()
+	prog, err := algo.New("LR1", algo.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("round-robin", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(topo, prog, sched.NewRoundRobin(), prng.New(uint64(i)+1), sim.RunOptions{MaxSteps: 10_000}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("greedy-livelock", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			adv := sched.NewBoundedFair(sched.NewGreedyLivelock(), 512)
+			if _, err := sim.Run(topo, prog, adv, prng.New(uint64(i)+1), sim.RunOptions{MaxSteps: 10_000}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkModelCheckerScaling measures state-space exploration itself.
+func BenchmarkModelCheckerScaling(b *testing.B) {
+	cases := []struct {
+		name string
+		topo *graph.Topology
+		alg  string
+	}{
+		{"theta/LR1", graph.Theorem2Minimal(), "LR1"},
+		{"theta/GDP1", graph.Theorem2Minimal(), "GDP1"},
+		{"t1min/LR1", graph.Theorem1Minimal(), "LR1"},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			prog, err := algo.New(c.alg, algo.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			var states int
+			for i := 0; i < b.N; i++ {
+				ss, err := modelcheck.Explore(c.topo, prog, modelcheck.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				states = ss.NumStates()
+			}
+			b.ReportMetric(float64(states), "states")
+		})
+	}
+}

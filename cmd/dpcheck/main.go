@@ -1,0 +1,111 @@
+// Command dpcheck runs the exhaustive model checker on the paper's minimal
+// instances and prints the verdict table: for each (topology, algorithm,
+// protected set) it answers whether a fair adversary can starve the protected
+// philosophers forever — the machine-checked counterpart of Theorems 1–4.
+//
+// Usage:
+//
+//	dpcheck             # the standard verdict table
+//	dpcheck -full       # also the larger (slower) instances
+//	dpcheck -topology theta -n 1 -algorithm LR2    # one custom instance
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/modelcheck"
+)
+
+type checkCase struct {
+	label     string
+	topo      *graph.Topology
+	algorithm string
+	opts      algo.Options
+	protected []graph.PhilID
+	expect    string // the paper's claim, for the table
+	slow      bool
+}
+
+func main() {
+	var (
+		full      = flag.Bool("full", false, "include the larger, slower instances")
+		topology  = flag.String("topology", "", "check a single custom topology instead of the standard table")
+		n         = flag.Int("n", 0, "topology size parameter for -topology")
+		algorithm = flag.String("algorithm", "GDP1", "algorithm for -topology")
+		maxStates = flag.Int("max-states", 0, "state cap (0 = default)")
+	)
+	flag.Parse()
+
+	if *topology != "" {
+		topo, err := core.BuildTopology(*topology, *n)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := algo.New(*algorithm, algo.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := modelcheck.Check(topo, prog, modelcheck.Options{MaxStates: *maxStates})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(rep)
+		return
+	}
+
+	ring3 := []graph.PhilID{0, 1, 2}
+	single := []graph.PhilID{0}
+	cases := []checkCase{
+		{"classic ring, global progress", graph.Ring(3), "LR1", algo.Options{}, nil, "no trap (Lehmann-Rabin 1981)", false},
+		{"Theorem 1 minimal, ring protected", graph.Theorem1Minimal(), "LR1", algo.Options{}, ring3, "trap exists (Theorem 1)", false},
+		{"ring + pendant, ring protected", graph.RingWithPendant(3), "LR1", algo.Options{}, ring3, "trap exists (Theorem 1)", false},
+		{"ring + pendant, ring protected", graph.RingWithPendant(3), "LR2", algo.Options{}, ring3, "no trap (Theorem 1 construction fails for LR2)", true},
+		{"theta graph, global progress", graph.Theorem2Minimal(), "LR2", algo.Options{}, nil, "trap exists (Theorem 2)", false},
+		{"theta graph, global progress", graph.Theorem2Minimal(), "GDP1", algo.Options{}, nil, "no trap (Theorem 3)", false},
+		{"Theorem 1 minimal, global progress", graph.Theorem1Minimal(), "GDP1", algo.Options{}, nil, "no trap (Theorem 3)", false},
+		{"theta graph, philosopher 0 protected", graph.Theorem2Minimal(), "GDP1", algo.Options{}, single, "trap exists (GDP1 is not lockout-free)", false},
+		{"theta graph, philosopher 0 protected", graph.Theorem2Minimal(), "GDP2", algo.Options{}, single, "no trap (Theorem 4)", false},
+		{"classic ring, philosopher 0 protected", graph.Ring(3), "LR2", algo.Options{}, single, "no trap (LR2 lockout-free on rings)", false},
+		{"classic ring, philosopher 0 protected", graph.Ring(3), "GDP2", algo.Options{}, single, "TRAP — see EXPERIMENTS.md E-T4 (courtesy gap)", false},
+		{"classic ring, philosopher 0 protected", graph.Ring(3), "GDP2", algo.Options{CourtesyOnBothForks: true}, single, "no trap (strengthened courtesy)", false},
+	}
+
+	fmt.Printf("%-42s %-6s %-11s %-9s %-10s %s\n", "instance", "algo", "states", "time", "verdict", "paper / expectation")
+	for _, c := range cases {
+		if c.slow && !*full {
+			continue
+		}
+		prog, err := algo.New(c.algorithm, c.opts)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		rep, err := modelcheck.Check(c.topo, prog, modelcheck.Options{Protected: c.protected, MaxStates: *maxStates})
+		if err != nil {
+			fatal(err)
+		}
+		verdict := "no trap"
+		if rep.FairAdversaryWins() {
+			verdict = fmt.Sprintf("TRAP(%d)", rep.Trap.States)
+		}
+		if rep.Truncated {
+			verdict += "*"
+		}
+		fmt.Printf("%-42s %-6s %-11d %-9s %-10s %s\n",
+			c.label, c.algorithm, rep.States, time.Since(start).Round(time.Millisecond), verdict, c.expect)
+	}
+	fmt.Println("\nA \"trap\" is an end component of the no-protected-meal sub-MDP that offers an allowed")
+	fmt.Println("action for every philosopher: a fair adversary can stay inside it forever with positive")
+	fmt.Println("probability. '*' marks truncated explorations (verdicts are then only lower bounds).")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dpcheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command dpsim runs a generalized dining-philosophers simulation from the
+// command line: pick a topology, an algorithm, a scheduler and a seed, and it
+// reports meals, waiting times, fairness and (optionally) the full event
+// trace.
+//
+// Examples:
+//
+//	dpsim -topology ring -n 5 -algorithm GDP2 -steps 100000
+//	dpsim -topology figure1a -algorithm LR1 -scheduler adversary -trials 50
+//	dpsim -topology theta -algorithm LR2 -scheduler adversary -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		topology  = flag.String("topology", "ring", "topology name (ring, doubled-polygon, ring-chord, ring-pendant, theta, star, grid, figure1a..figure1d)")
+		n         = flag.Int("n", 5, "topology size parameter (ignored by the figure topologies)")
+		algorithm = flag.String("algorithm", "GDP1", fmt.Sprintf("algorithm %v", algo.Names()))
+		scheduler = flag.String("scheduler", "random", "scheduler (round-robin, random, sticky, hungry-first, adversary, stubborn-adversary)")
+		steps     = flag.Int64("steps", 100_000, "maximum atomic steps per run")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		trials    = flag.Int("trials", 1, "number of independent runs")
+		m         = flag.Int("m", 0, "GDP number range m (0 = number of forks)")
+		showTrace = flag.Bool("trace", false, "print the event trace of the first run")
+	)
+	flag.Parse()
+
+	topo, err := core.BuildTopology(*topology, *n)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s | algorithm %s | scheduler %s | %d step budget\n", topo, *algorithm, *scheduler, *steps)
+
+	var progressRuns int
+	var mealsAgg, waitAgg, jainAgg stats.Running
+	for i := 0; i < *trials; i++ {
+		sys := core.System{
+			Topology:    topo,
+			Algorithm:   *algorithm,
+			AlgoOptions: algo.Options{M: *m},
+			Scheduler:   core.SchedulerKind(*scheduler),
+			Seed:        *seed + uint64(i)*0x9e3779b9,
+		}
+		opts := sim.RunOptions{MaxSteps: *steps}
+		var log *trace.Log
+		if *showTrace && i == 0 {
+			log = trace.NewLog(0)
+			opts.Recorder = log
+		}
+		res, err := sys.Simulate(opts)
+		if err != nil {
+			fatal(err)
+		}
+		if res.Progress() {
+			progressRuns++
+		}
+		mealsAgg.Add(float64(res.TotalEats))
+		waitAgg.Add(res.MeanWaitSteps)
+		jainAgg.Add(stats.JainIndex(res.EatsBy))
+		if *trials == 1 {
+			fmt.Printf("meals: %d (per philosopher %v)\n", res.TotalEats, res.EatsBy)
+			fmt.Printf("first meal at step %d, mean wait %.1f steps, max scheduling gap %d\n",
+				res.FirstEatStep, res.MeanWaitSteps, res.MaxScheduleGap)
+			if len(res.Starved) > 0 {
+				fmt.Printf("starved philosophers: %v\n", res.Starved)
+			}
+		}
+		if log != nil {
+			fmt.Println("--- per-philosopher activity ---")
+			fmt.Print(trace.Summarize(log, topo.NumPhilosophers()))
+			fmt.Println("--- final state ---")
+			fmt.Print(trace.RenderState(res.Final))
+		}
+	}
+	if *trials > 1 {
+		fmt.Printf("runs with progress: %d/%d\n", progressRuns, *trials)
+		fmt.Printf("meals per run:      %s\n", mealsAgg.String())
+		fmt.Printf("mean wait steps:    %s\n", waitAgg.String())
+		fmt.Printf("Jain fairness:      %s\n", jainAgg.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dpsim:", err)
+	os.Exit(1)
+}

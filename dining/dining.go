@@ -1,0 +1,150 @@
+// Package dining is the public facade of the repository: it exposes the
+// generalized dining-philosophers library — topologies, the four algorithms
+// of Herescu & Palamidessi (PODC 2001), schedulers and adversaries, the
+// discrete-event simulator, the concurrent goroutine runtime and the model
+// checker — through a small, stable surface.
+//
+// A minimal session:
+//
+//	topo := dining.Ring(5)
+//	sys := dining.System{Topology: topo, Algorithm: dining.GDP2, Seed: 1}
+//	res, err := sys.Simulate(dining.SimOptions{MaxSteps: 100_000})
+//	// res.TotalEats, res.EatsBy, ...
+//
+// For adversarial executions set Scheduler to dining.Adversary; for real
+// goroutine-based concurrency use RunConcurrent; for exhaustive verification
+// on small instances use ModelCheck. See the examples directory for complete
+// programs.
+package dining
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/modelcheck"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+)
+
+// Topology is a generalized dining-philosopher system: forks are nodes,
+// philosophers are arcs of a multigraph, and every philosopher uses exactly
+// two distinct forks.
+type Topology = graph.Topology
+
+// PhilID identifies a philosopher.
+type PhilID = graph.PhilID
+
+// ForkID identifies a fork.
+type ForkID = graph.ForkID
+
+// Topology constructors (see package graph for the full set).
+var (
+	// Ring is the classic table of n philosophers and n forks.
+	Ring = graph.Ring
+	// DoubledPolygon is a cycle of k forks with two philosophers per edge;
+	// DoubledPolygon(3) is the paper's 6-philosopher / 3-fork example.
+	DoubledPolygon = graph.DoubledPolygon
+	// RingWithChord adds one philosopher across a ring (Theorem 1 family).
+	RingWithChord = graph.RingWithChord
+	// RingWithPendant adds one philosopher from a ring fork to a private fork.
+	RingWithPendant = graph.RingWithPendant
+	// Theta joins two forks by three or more disjoint paths (Theorem 2 family).
+	Theta = graph.Theta
+	// Star, Path, Grid, CompleteForkGraph and RandomMultigraph build further
+	// synthetic topologies.
+	Star              = graph.Star
+	Path              = graph.Path
+	Grid              = graph.Grid
+	CompleteForkGraph = graph.CompleteForkGraph
+	RandomMultigraph  = graph.RandomMultigraph
+	// Figure1A..Figure1D are the four example systems of the paper's Figure 1.
+	Figure1A = graph.Figure1A
+	Figure1B = graph.Figure1B
+	Figure1C = graph.Figure1C
+	Figure1D = graph.Figure1D
+	// NewTopologyBuilder builds arbitrary custom topologies.
+	NewTopologyBuilder = graph.NewBuilder
+)
+
+// Algorithm names accepted by System.Algorithm.
+const (
+	// LR1 is Lehmann & Rabin's free-choice algorithm (Table 1).
+	LR1 = "LR1"
+	// LR2 is the courteous Lehmann & Rabin algorithm with request lists and
+	// guest books (Table 2).
+	LR2 = "LR2"
+	// GDP1 is the paper's random fork-numbering progress algorithm (Table 3).
+	GDP1 = "GDP1"
+	// GDP2 is the paper's lockout-free algorithm (Table 4).
+	GDP2 = "GDP2"
+	// OrderedForks, Colored, CentralMonitor, TicketBox and NaiveLeftFirst are
+	// the classical baselines of the paper's introduction.
+	OrderedForks   = "ordered-forks"
+	Colored        = "colored"
+	CentralMonitor = "central-monitor"
+	TicketBox      = "ticket-box"
+	NaiveLeftFirst = "naive-left-first"
+)
+
+// Algorithms returns every registered algorithm name.
+func Algorithms() []string { return algo.Names() }
+
+// AlgorithmOptions tunes an algorithm.
+type AlgorithmOptions = algo.Options
+
+// Scheduler kinds.
+const (
+	// RoundRobin cycles through philosophers.
+	RoundRobin = core.RoundRobin
+	// Random picks a uniformly random philosopher each step.
+	Random = core.Random
+	// Sticky schedules bursts per philosopher.
+	Sticky = core.Sticky
+	// HungryFirst prefers philosophers in their trying section.
+	HungryFirst = core.HungryFirst
+	// Adversary is the fair livelock adversary of Section 3 / Theorems 1–2.
+	Adversary = core.Adversary
+	// StubbornAdversary uses the paper's growing-stubbornness construction.
+	StubbornAdversary = core.StubbornAdversary
+)
+
+// System is a configured system: topology + algorithm + scheduler + seed.
+type System = core.System
+
+// SimOptions configures a simulation run.
+type SimOptions = sim.RunOptions
+
+// SimResult is the outcome of a simulation run.
+type SimResult = sim.Result
+
+// ConcurrentMetrics is the outcome of a goroutine-runtime run.
+type ConcurrentMetrics = runtime.Metrics
+
+// CheckReport is the outcome of an exhaustive model check.
+type CheckReport = modelcheck.Report
+
+// Simulate is a convenience wrapper: build a System from the arguments and
+// run it on the step simulator.
+func Simulate(topo *Topology, algorithm string, seed uint64, opts SimOptions) (*SimResult, error) {
+	sys := System{Topology: topo, Algorithm: algorithm, Scheduler: Random, Seed: seed}
+	return sys.Simulate(opts)
+}
+
+// RunConcurrent is a convenience wrapper around the goroutine runtime: it
+// runs the algorithm on real goroutines until every philosopher has eaten
+// targetMeals times or the duration expires.
+func RunConcurrent(ctx context.Context, topo *Topology, algorithm string, seed uint64, duration time.Duration, targetMeals int64) (*ConcurrentMetrics, error) {
+	sys := System{Topology: topo, Algorithm: algorithm, Seed: seed}
+	return sys.RunConcurrent(ctx, duration, targetMeals)
+}
+
+// ModelCheck exhaustively verifies a small instance: it reports whether a
+// fair adversary can forever starve the protected philosophers (all of them
+// when protected is empty).
+func ModelCheck(topo *Topology, algorithm string, protected ...PhilID) (*CheckReport, error) {
+	sys := System{Topology: topo, Algorithm: algorithm, Protected: protected}
+	return sys.ModelCheck(0)
+}

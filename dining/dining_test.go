@@ -1,0 +1,79 @@
+package dining_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/dining"
+)
+
+func TestSimulateQuickstart(t *testing.T) {
+	t.Parallel()
+	res, err := dining.Simulate(dining.Ring(5), dining.GDP2, 1, dining.SimOptions{MaxSteps: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalEats == 0 {
+		t.Error("no meals in the quickstart simulation")
+	}
+}
+
+func TestFacadeExposesAlgorithmsAndTopologies(t *testing.T) {
+	t.Parallel()
+	if len(dining.Algorithms()) < 4 {
+		t.Error("expected at least the four paper algorithms")
+	}
+	if dining.Figure1A().NumPhilosophers() != 6 {
+		t.Error("Figure1A should have 6 philosophers")
+	}
+	b := dining.NewTopologyBuilder("custom", 3)
+	b.AddPhilosopher(0, 1)
+	b.AddPhilosopher(1, 2)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumPhilosophers() != 2 {
+		t.Error("custom topology wrong")
+	}
+}
+
+func TestFacadeAdversarialSystem(t *testing.T) {
+	t.Parallel()
+	sys := dining.System{
+		Topology:  dining.DoubledPolygon(3),
+		Algorithm: dining.GDP1,
+		Scheduler: dining.Adversary,
+		Seed:      7,
+	}
+	res, err := sys.Simulate(dining.SimOptions{MaxSteps: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalEats == 0 {
+		t.Error("GDP1 should make progress even under the adversary (Theorem 3)")
+	}
+}
+
+func TestFacadeModelCheck(t *testing.T) {
+	t.Parallel()
+	rep, err := dining.ModelCheck(dining.Theta(1, 1, 1), dining.LR2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FairAdversaryWins() {
+		t.Error("expected the Theorem 2 verdict for LR2 on the theta graph")
+	}
+}
+
+func TestFacadeRunConcurrent(t *testing.T) {
+	t.Parallel()
+	metrics, err := dining.RunConcurrent(context.Background(), dining.Ring(5), dining.GDP2, 3, 5*time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metrics.Starved) != 0 {
+		t.Errorf("starved: %v", metrics.Starved)
+	}
+}

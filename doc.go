@@ -1,0 +1,14 @@
+// Package repro is a production-quality Go reproduction of "On the
+// generalized dining philosophers problem" by Oltea Mihaela Herescu and
+// Catuscia Palamidessi (PODC 2001): the four algorithms of the paper (LR1,
+// LR2, GDP1, GDP2), generalized fork/philosopher topologies, fair and
+// adversarial schedulers, a discrete-event simulator, a concurrent goroutine
+// runtime, an exhaustive model checker for the paper's theorems, and the
+// experiment harness that regenerates every reproduced artifact.
+//
+// The public entry point for library users is package dining; the
+// command-line tools live under cmd; the reproduction experiments are
+// described in DESIGN.md and their results in EXPERIMENTS.md. The benchmark
+// suite in bench_test.go has one benchmark per reproduced table or figure of
+// the paper.
+package repro

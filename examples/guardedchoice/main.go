@@ -1,0 +1,81 @@
+// guardedchoice demonstrates the paper's motivating application (Section 1):
+// implementing the mixed guarded choice of the pi-calculus on a fully
+// distributed system. Each channel is a shared resource (a fork); a process
+// offering a choice between an action on channel a and an action on channel b
+// is a philosopher adjacent to the two channels; committing to a
+// communication requires exclusive access to both channels — exactly a meal
+// of the generalized dining philosophers. GDP2 resolves the conflicts
+// symmetrically, with no central broker, and serves every process.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/dining"
+)
+
+// choiceProcess describes one process offering a binary guarded choice.
+type choiceProcess struct {
+	name     string
+	channelA string
+	channelB string
+}
+
+func main() {
+	// A small "chat" system: channels are meeting points, processes offer to
+	// communicate on either of two channels. Several processes compete for
+	// the same channels (the hard case for guarded choice: conflicts must be
+	// resolved consistently and without global coordination).
+	processes := []choiceProcess{
+		{"alice", "room1", "room2"},
+		{"bob", "room2", "room3"},
+		{"carol", "room3", "room1"},
+		{"dave", "room1", "room2"},
+		{"erin", "room2", "room3"},
+		{"frank", "room3", "room1"},
+	}
+
+	// Map channels to forks and processes to philosophers.
+	channelIDs := map[string]dining.ForkID{}
+	var channels []string
+	for _, p := range processes {
+		for _, ch := range []string{p.channelA, p.channelB} {
+			if _, ok := channelIDs[ch]; !ok {
+				channelIDs[ch] = dining.ForkID(len(channels))
+				channels = append(channels, ch)
+			}
+		}
+	}
+	builder := dining.NewTopologyBuilder("guarded-choice", len(channels))
+	for _, p := range processes {
+		builder.AddPhilosopher(channelIDs[p.channelA], channelIDs[p.channelB])
+	}
+	topo, err := builder.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("channels: %v\n", channels)
+	fmt.Printf("processes: %d, conflict graph: %s\n\n", len(processes), topo)
+
+	// Run GDP2: every completed "meal" is one committed communication (the
+	// process held both of its channels exclusively).
+	sys := dining.System{Topology: topo, Algorithm: dining.GDP2, Scheduler: dining.Random, Seed: 7}
+	res, err := sys.Simulate(dining.SimOptions{MaxSteps: 200_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("committed guarded choices per process:")
+	for i, p := range processes {
+		fmt.Printf("  %-6s (%s|%s): %d commits\n", p.name, p.channelA, p.channelB, res.EatsBy[i])
+	}
+	fmt.Printf("\ntotal commits: %d, mean wait %.1f steps\n", res.TotalEats, res.MeanWaitSteps)
+	if len(res.Starved) == 0 {
+		fmt.Println("every process committed at least once: the symmetric, fully distributed")
+		fmt.Println("conflict resolution the paper needs for its pi-calculus implementation.")
+	} else {
+		fmt.Printf("starved processes: %v\n", res.Starved)
+	}
+}

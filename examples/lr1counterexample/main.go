@@ -1,0 +1,64 @@
+// lr1counterexample reproduces the paper's Section 3 example: on the
+// generalized system with six philosophers sharing three forks (Figure 1,
+// leftmost), a fair adversary prevents Lehmann & Rabin's algorithm LR1 from
+// ever making progress — while GDP1, the paper's algorithm, eats happily
+// under the very same adversary (Theorem 3).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/dining"
+)
+
+func main() {
+	topo := dining.DoubledPolygon(3) // 6 philosophers, 3 forks (Figure 1a)
+	const steps = 30_000
+	const trials = 20
+
+	fmt.Printf("topology: %s\n", topo)
+	fmt.Printf("adversary: greedy livelock strategy inside a fixed fairness window\n")
+	fmt.Printf("%d trials of %d atomic steps each\n\n", trials, steps)
+
+	for _, algorithm := range []string{dining.LR1, dining.GDP1} {
+		starvedRuns := 0
+		var totalMeals int64
+		for i := 0; i < trials; i++ {
+			sys := dining.System{
+				Topology:  topo,
+				Algorithm: algorithm,
+				Scheduler: dining.Adversary,
+				Seed:      uint64(1000 + i),
+			}
+			res, err := sys.Simulate(dining.SimOptions{MaxSteps: steps})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.TotalEats == 0 {
+				starvedRuns++
+			}
+			totalMeals += res.TotalEats
+		}
+		fmt.Printf("%-5s no-progress runs: %2d/%d   total meals across runs: %d\n",
+			algorithm, starvedRuns, trials, totalMeals)
+	}
+
+	fmt.Println()
+	fmt.Println("The paper proves the LR1 no-progress probability is at least 1/16 for its")
+	fmt.Println("explicit scheduler; the adaptive adversary here does much better. GDP1 makes")
+	fmt.Println("progress in every run, as Theorem 3 guarantees for every fair scheduler.")
+
+	// The exhaustive verdict on the minimal instances (a few thousand states).
+	fmt.Println()
+	lr1, err := dining.ModelCheck(dining.Theta(1, 1, 1), dining.LR1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gdp1, err := dining.ModelCheck(dining.Theta(1, 1, 1), dining.GDP1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model checker, theta graph: LR1 trap=%v, GDP1 trap=%v\n",
+		lr1.FairAdversaryWins(), gdp1.FairAdversaryWins())
+}

@@ -1,0 +1,36 @@
+// Quickstart: five philosophers at the classic table running GDP2 (the
+// paper's lockout-free algorithm) as real goroutines, then the same system on
+// the reproducible discrete-event simulator.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/dining"
+)
+
+func main() {
+	table := dining.Ring(5)
+
+	// 1. Real concurrency: philosophers are goroutines, forks are mutexes.
+	fmt.Println("== goroutine runtime ==")
+	metrics, err := dining.RunConcurrent(context.Background(), table, dining.GDP2, 42, 500*time.Millisecond, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("meals per philosopher: %v\n", metrics.Meals)
+	fmt.Printf("throughput: %.0f meals/s, Jain fairness index %.3f, starved: %d\n\n",
+		metrics.MealsPerSecond, metrics.JainIndex, len(metrics.Starved))
+
+	// 2. Reproducible simulation: same system, deterministic seed, step budget.
+	fmt.Println("== discrete-event simulator ==")
+	res, err := dining.Simulate(table, dining.GDP2, 42, dining.SimOptions{MaxSteps: 100_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("meals per philosopher: %v\n", res.EatsBy)
+	fmt.Printf("first meal at step %d, mean hungry-to-eating wait %.1f steps\n", res.FirstEatStep, res.MeanWaitSteps)
+}

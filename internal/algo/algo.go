@@ -1,0 +1,153 @@
+// Package algo implements the philosopher algorithms studied in the paper as
+// programs over the sim engine:
+//
+//   - LR1  — Lehmann & Rabin's free-choice algorithm (Table 1).
+//   - LR2  — Lehmann & Rabin's courteous, lockout-free algorithm generalized
+//     with request lists and guest books (Table 2).
+//   - GDP1 — the paper's progress algorithm based on random fork numbering
+//     (Table 3).
+//   - GDP2 — the paper's lockout-free variant (Table 4).
+//
+// plus the classical non-symmetric / non-distributed baselines sketched in
+// the introduction (ordered forks, colored philosophers, central monitor,
+// ticket box), which are useful as comparison points in the benchmarks.
+//
+// Every program is a state machine over the philosopher's program counter
+// (PhilState.PC), with PC values matching the line numbers of the paper's
+// pseudo-code tables. Each atomic action of the pseudo-code is one sim.Outcome,
+// so an adversarial scheduler can interleave the philosophers at exactly the
+// granularity assumed by the paper.
+package algo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// one wraps a single deterministic action as an outcome set.
+func one(label string, apply func()) []sim.Outcome {
+	return []sim.Outcome{{Prob: 1, Label: label, Apply: apply}}
+}
+
+// coinFlip returns the two-outcome set of the algorithms' random_choice(left,
+// right) draw. pLeft is the probability of choosing the left fork; the paper
+// uses 1/2 but notes the negative results do not depend on the value.
+func coinFlip(pLeft float64, left, right sim.Outcome) []sim.Outcome {
+	if pLeft <= 0 {
+		right.Prob = 1
+		return []sim.Outcome{right}
+	}
+	if pLeft >= 1 {
+		left.Prob = 1
+		return []sim.Outcome{left}
+	}
+	left.Prob = pLeft
+	right.Prob = 1 - pLeft
+	return []sim.Outcome{left, right}
+}
+
+// uniformNR returns the outcome set of the GDP step "fork.nr := random[1, m]":
+// one outcome per value in [1, m], each with probability 1/m.
+func uniformNR(m int, label func(v int) string, apply func(v int)) []sim.Outcome {
+	outcomes := make([]sim.Outcome, m)
+	p := 1.0 / float64(m)
+	for v := 1; v <= m; v++ {
+		v := v
+		outcomes[v-1] = sim.Outcome{
+			Prob:  p,
+			Label: label(v),
+			Apply: func() { apply(v) },
+		}
+	}
+	return outcomes
+}
+
+// Options configures the tunable parameters shared by the algorithms.
+type Options struct {
+	// LeftBias is the probability that random_choice(left, right) returns the
+	// left fork (LR1, LR2). Zero means the default of 0.5.
+	LeftBias float64
+	// M is the upper bound of the random fork numbers drawn by GDP1/GDP2
+	// (the paper requires m >= k, the number of forks). Zero means "use the
+	// number of forks of the topology".
+	M int
+	// DisableCourtesy turns off the Cond(fork) test in GDP2, reducing it to
+	// GDP1 plus bookkeeping; used by ablation benchmarks.
+	DisableCourtesy bool
+	// CourtesyOnBothForks extends the Cond(fork) test of LR2 and GDP2 to the
+	// second fork as well (the paper's Tables 2 and 4 check it only when
+	// taking the first fork). The model checker shows that with the
+	// first-fork-only reading a fair adversary can still lock an individual
+	// philosopher out of GDP2 on the classic ring by always acquiring the
+	// shared fork second; checking the condition on both forks removes that
+	// trap. See EXPERIMENTS.md, experiment E-T4.
+	CourtesyOnBothForks bool
+}
+
+// leftBias returns the configured or default probability of picking left.
+func (o Options) leftBias() float64 {
+	if o.LeftBias <= 0 || o.LeftBias >= 1 {
+		return 0.5
+	}
+	return o.LeftBias
+}
+
+// nrRange returns the configured or default value of m for a topology,
+// enforcing the paper's requirement m >= k.
+func (o Options) nrRange(topo *graph.Topology) int {
+	m := o.M
+	if m < topo.NumForks() {
+		m = topo.NumForks()
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// Registry lists the implemented algorithms by name.
+//
+// New constructs a fresh program for the given options; programs are
+// stateless between runs (all run state lives in the World), so a single
+// instance may be reused across runs, but constructing per run is cheapest to
+// reason about.
+var registry = map[string]func(Options) sim.Program{
+	"LR1":              func(o Options) sim.Program { return NewLR1(o) },
+	"LR2":              func(o Options) sim.Program { return NewLR2(o) },
+	"GDP1":             func(o Options) sim.Program { return NewGDP1(o) },
+	"GDP2":             func(o Options) sim.Program { return NewGDP2(o) },
+	"ordered-forks":    func(o Options) sim.Program { return NewOrderedForks() },
+	"colored":          func(o Options) sim.Program { return NewColored() },
+	"naive-left-first": func(o Options) sim.Program { return NewNaive() },
+	"central-monitor":  func(o Options) sim.Program { return NewCentralMonitor() },
+	"ticket-box":       func(o Options) sim.Program { return NewTicketBox(0) },
+}
+
+// New returns the named algorithm configured with opts, or an error listing
+// the available names.
+func New(name string, opts Options) (sim.Program, error) {
+	ctor, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("algo: unknown algorithm %q (available: %v)", name, Names())
+	}
+	return ctor(opts), nil
+}
+
+// Names returns the registered algorithm names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PaperAlgorithms returns the four algorithms of the paper's tables, in table
+// order, configured with opts.
+func PaperAlgorithms(opts Options) []sim.Program {
+	return []sim.Program{NewLR1(opts), NewLR2(opts), NewGDP1(opts), NewGDP2(opts)}
+}

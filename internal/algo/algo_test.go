@@ -1,0 +1,478 @@
+package algo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/prng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// runFor is a test helper running prog on topo under the given scheduler.
+func runFor(t *testing.T, topo *graph.Topology, prog sim.Program, scheduler sim.Scheduler, seed uint64, opts sim.RunOptions) *sim.Result {
+	t.Helper()
+	opts.CheckInvariants = true
+	opts.ValidateOutcomes = true
+	res, err := sim.Run(topo, prog, scheduler, prng.New(seed), opts)
+	if err != nil {
+		t.Fatalf("run of %s on %s under %s failed: %v", prog.Name(), topo.Name(), scheduler.Name(), err)
+	}
+	return res
+}
+
+func TestRegistry(t *testing.T) {
+	t.Parallel()
+	names := Names()
+	if len(names) != 9 {
+		t.Errorf("expected 9 registered algorithms, got %d: %v", len(names), names)
+	}
+	for _, name := range names {
+		prog, err := New(name, Options{})
+		if err != nil {
+			t.Errorf("New(%q) failed: %v", name, err)
+			continue
+		}
+		if prog.Name() == "" {
+			t.Errorf("algorithm %q has empty name", name)
+		}
+	}
+	if _, err := New("no-such-algorithm", Options{}); err == nil {
+		t.Error("New accepted an unknown algorithm name")
+	}
+}
+
+func TestPaperAlgorithmsAreSymmetric(t *testing.T) {
+	t.Parallel()
+	for _, prog := range PaperAlgorithms(Options{}) {
+		if !prog.Symmetric() {
+			t.Errorf("%s must be symmetric and fully distributed", prog.Name())
+		}
+	}
+	for _, name := range []string{"ordered-forks", "colored", "central-monitor", "ticket-box"} {
+		prog, err := New(name, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prog.Symmetric() {
+			t.Errorf("baseline %s should not claim to be symmetric/fully distributed", name)
+		}
+	}
+}
+
+func TestAllAlgorithmsProgressOnClassicRing(t *testing.T) {
+	t.Parallel()
+	// Every algorithm — including LR1 and LR2, whose guarantees hold on the
+	// classic ring — must make progress under benign fair schedulers. The
+	// naive left-first baseline is excluded: it exists precisely because it
+	// deadlocks (see TestNaiveLeftFirstDeadlocks).
+	for _, name := range Names() {
+		name := name
+		if name == "naive-left-first" {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := New(name, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			topo := graph.Ring(5)
+			for _, mk := range []func() sim.Scheduler{
+				func() sim.Scheduler { return sched.NewRoundRobin() },
+				func() sim.Scheduler { return sched.NewUniformRandom(prng.New(7)) },
+				func() sim.Scheduler { return sched.NewSticky(3) },
+			} {
+				scheduler := mk()
+				res := runFor(t, topo, prog, scheduler, 42, sim.RunOptions{MaxSteps: 30000})
+				if !res.Progress() {
+					t.Errorf("%s under %s made no progress on the classic ring", name, scheduler.Name())
+				}
+			}
+		})
+	}
+}
+
+func TestPaperAlgorithmsProgressOnFigure1Topologies(t *testing.T) {
+	t.Parallel()
+	for _, topo := range graph.Figure1() {
+		for _, prog := range PaperAlgorithms(Options{}) {
+			topo, prog := topo, prog
+			t.Run(topo.Name()+"/"+prog.Name(), func(t *testing.T) {
+				t.Parallel()
+				res := runFor(t, topo, prog, sched.NewUniformRandom(prng.New(3)), 11,
+					sim.RunOptions{MaxSteps: 60000})
+				if !res.Progress() {
+					t.Errorf("%s made no progress on %s under a uniform random scheduler", prog.Name(), topo.Name())
+				}
+			})
+		}
+	}
+}
+
+func TestGDPAlgorithmsLockoutFreeOnRingUnderRoundRobin(t *testing.T) {
+	t.Parallel()
+	for _, name := range []string{"GDP1", "GDP2", "LR2"} {
+		prog, err := New(name, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := runFor(t, graph.Ring(6), prog, sched.NewRoundRobin(), 5, sim.RunOptions{
+			MaxSteps:             100000,
+			StopWhenAllHaveEaten: true,
+		})
+		if res.Reason != sim.StopAllAte {
+			t.Errorf("%s on Ring(6) under round-robin: not everyone ate within the step budget (eats %v)", name, res.EatsBy)
+		}
+	}
+}
+
+func TestGDP2LockoutFreeOnFigure1AUnderRandomScheduler(t *testing.T) {
+	t.Parallel()
+	prog := NewGDP2(Options{})
+	res := runFor(t, graph.Figure1A(), prog, sched.NewUniformRandom(prng.New(9)), 13, sim.RunOptions{
+		MaxSteps:             200000,
+		StopWhenAllHaveEaten: true,
+	})
+	if res.Reason != sim.StopAllAte {
+		t.Errorf("GDP2 on Figure1A: not everyone ate within the budget; eats = %v, starved = %v", res.EatsBy, res.Starved)
+	}
+}
+
+func TestLR1ReleasesFirstForkWhenSecondTaken(t *testing.T) {
+	t.Parallel()
+	topo := graph.Ring(3)
+	prog := NewLR1(Options{LeftBias: 0.999999}) // force committing to the left fork
+	w := sim.NewWorld(topo)
+	prog.Init(w)
+	rng := prng.New(1)
+
+	// Make P1 hold P0's right fork (= fork 1): P1's left fork is 1.
+	stepPhil := func(p graph.PhilID, times int) {
+		for i := 0; i < times; i++ {
+			sim.SampleOutcome(prog.Outcomes(w, p), rng).Apply()
+			w.Step++
+		}
+	}
+	stepPhil(1, 3) // think->hungry, commit left (fork 1), take it
+	if w.HolderOf(1) != 1 {
+		t.Fatalf("setup failed: fork 1 held by %d", w.HolderOf(1))
+	}
+	// Now run P0: hungry, commit left (fork 0), take it, try fork 1 (held) ->
+	// must release fork 0 and go back to the choice step.
+	stepPhil(0, 4)
+	if !w.IsFree(0) {
+		t.Error("LR1 did not release its first fork after failing to take the second")
+	}
+	if w.Phils[0].PC != lr1Choose {
+		t.Errorf("LR1 pc after failed second take = %d, want %d (line 2)", w.Phils[0].PC, lr1Choose)
+	}
+	if got := w.EatsBy[0]; got != 0 {
+		t.Errorf("philosopher 0 should not have eaten, got %d meals", got)
+	}
+}
+
+func TestLR1BusyWaitsOnHeldFirstFork(t *testing.T) {
+	t.Parallel()
+	topo := graph.Ring(3)
+	prog := NewLR1(Options{LeftBias: 0.999999})
+	w := sim.NewWorld(topo)
+	rng := prng.New(1)
+	step := func(p graph.PhilID, times int) {
+		for i := 0; i < times; i++ {
+			sim.SampleOutcome(prog.Outcomes(w, p), rng).Apply()
+			w.Step++
+		}
+	}
+	step(1, 3) // P1 holds fork 1
+	step(0, 2) // P0 hungry, commits to fork 0... wait: P0's left is fork 0 (free)
+
+	// Make P0 commit to a held fork instead: P2's left fork is 2; P0's right is 1.
+	// Simpler: drive P2 to hold fork 2, then P0 with right bias.
+	prog2 := NewLR1(Options{LeftBias: 0.000001}) // commit right
+	w2 := sim.NewWorld(topo)
+	step2 := func(p graph.PhilID, times int) {
+		for i := 0; i < times; i++ {
+			sim.SampleOutcome(prog2.Outcomes(w2, p), rng).Apply()
+			w2.Step++
+		}
+	}
+	step2(1, 3) // P1 commits right (fork 2) and takes it
+	if w2.HolderOf(2) != 1 {
+		t.Fatalf("setup failed: fork 2 held by %d", w2.HolderOf(2))
+	}
+	step2(0, 2) // P0 hungry, commits right (fork 1) — free, fine
+	// P2 commits right = fork 0 (free)... instead check busy wait via P0 on a
+	// fork held by P1: P0's right fork is 1, which is free; so use P2 whose
+	// right fork is 0 (free) — build the busy wait directly instead:
+	w3 := sim.NewWorld(topo)
+	w3.BecomeHungry(2)
+	w3.Commit(2, 2)
+	w3.TryTake(2, 2)
+	w3.MarkHoldingFirst(2)
+	w3.Phils[2].PC = lr1TrySecond
+	w3.BecomeHungry(0)
+	w3.Commit(0, 2) // fork 2 is held by P2
+	w3.Phils[0].PC = lr1TakeFirst
+	for i := 0; i < 5; i++ {
+		sim.SampleOutcome(prog.Outcomes(w3, 0), rng).Apply()
+		if w3.Phils[0].PC != lr1TakeFirst {
+			t.Fatalf("LR1 left the busy-wait loop although the fork is held")
+		}
+	}
+}
+
+func TestGDP1SelectsHigherNumberedFork(t *testing.T) {
+	t.Parallel()
+	topo := graph.Ring(3)
+	prog := NewGDP1(Options{})
+	w := sim.NewWorld(topo)
+	rng := prng.New(1)
+	// P0: left fork 0, right fork 1. Give fork 0 a higher nr.
+	w.SetNR(0, 0, 5)
+	w.SetNR(0, 1, 2)
+	sim.SampleOutcome(prog.Outcomes(w, 0), rng).Apply() // think -> hungry
+	sim.SampleOutcome(prog.Outcomes(w, 0), rng).Apply() // select
+	if w.FirstForkOf(0) != 0 {
+		t.Errorf("GDP1 selected fork %d, want the higher-numbered fork 0", w.FirstForkOf(0))
+	}
+	// Ties select the right fork (the else branch of line 2).
+	w2 := sim.NewWorld(topo)
+	sim.SampleOutcome(prog.Outcomes(w2, 0), rng).Apply()
+	sim.SampleOutcome(prog.Outcomes(w2, 0), rng).Apply()
+	if w2.FirstForkOf(0) != 1 {
+		t.Errorf("GDP1 tie-break selected fork %d, want the right fork 1", w2.FirstForkOf(0))
+	}
+}
+
+func TestGDP1RenumbersOnTie(t *testing.T) {
+	t.Parallel()
+	topo := graph.Ring(4)
+	prog := NewGDP1(Options{})
+	w := sim.NewWorld(topo)
+	rng := prng.New(2)
+	step := func(p graph.PhilID, times int) {
+		for i := 0; i < times; i++ {
+			sim.SampleOutcome(prog.Outcomes(w, p), rng).Apply()
+			w.Step++
+		}
+	}
+	// P0 becomes hungry, selects (tie -> right fork 1), takes it, and at line
+	// 4 finds both nr equal (0 == 0) so it must renumber fork 1 into [1, m].
+	step(0, 4)
+	if got := w.NR(1); got < 1 || got > topo.NumForks() {
+		t.Errorf("after the tie, fork 1 nr = %d, want within [1, %d]", got, topo.NumForks())
+	}
+	if got := w.NR(0); got != 0 {
+		t.Errorf("the unheld fork's nr changed to %d; only the held fork should be renumbered", got)
+	}
+
+	// With distinct numbers the renumber step must not change anything.
+	outcomes := prog.Outcomes(w, 0)
+	if len(outcomes) != 1 {
+		t.Errorf("renumber step with distinct numbers should be deterministic, got %d outcomes", len(outcomes))
+	}
+}
+
+func TestGDP1RenumberOutcomeDistribution(t *testing.T) {
+	t.Parallel()
+	topo := graph.Ring(4)
+	prog := NewGDP1(Options{M: 7})
+	w := sim.NewWorld(topo)
+	rng := prng.New(3)
+	for i := 0; i < 3; i++ { // hungry, select, take
+		sim.SampleOutcome(prog.Outcomes(w, 0), rng).Apply()
+	}
+	outcomes := prog.Outcomes(w, 0) // renumber step, tie
+	if len(outcomes) != 7 {
+		t.Fatalf("renumber with m=7 should offer 7 outcomes, got %d", len(outcomes))
+	}
+	if err := sim.ValidateOutcomes(outcomes); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGDPOptionsEnforceMinimumM(t *testing.T) {
+	t.Parallel()
+	topo := graph.Ring(9)
+	opts := Options{M: 3} // below k = 9; must be raised to 9
+	if got := opts.nrRange(topo); got != 9 {
+		t.Errorf("nrRange = %d, want 9 (m >= k)", got)
+	}
+	opts2 := Options{M: 20}
+	if got := opts2.nrRange(topo); got != 20 {
+		t.Errorf("nrRange = %d, want 20", got)
+	}
+}
+
+func TestLR2InsertsAndClearsRequests(t *testing.T) {
+	t.Parallel()
+	topo := graph.Ring(3)
+	prog := NewLR2(Options{})
+	res := runFor(t, topo, prog, sched.NewRoundRobin(), 21, sim.RunOptions{
+		MaxSteps:           100000,
+		StopAfterTotalEats: 9,
+	})
+	if !res.Progress() {
+		t.Fatal("LR2 made no progress on the classic ring")
+	}
+	// After a full run, every philosopher that is currently thinking must have
+	// no outstanding requests (they are removed in line 7 before going back to
+	// think).
+	w := res.Final
+	for p := 0; p < topo.NumPhilosophers(); p++ {
+		pid := graph.PhilID(p)
+		if w.PhaseOf(pid) != sim.Thinking {
+			continue
+		}
+		for _, f := range []graph.ForkID{topo.Left(pid), topo.Right(pid)} {
+			if w.HasRequest(pid, f) {
+				t.Errorf("thinking philosopher %d still has a request on fork %d", p, f)
+			}
+		}
+	}
+}
+
+func TestLR2SignsGuestBookAfterEating(t *testing.T) {
+	t.Parallel()
+	topo := graph.Ring(3)
+	prog := NewLR2(Options{})
+	res := runFor(t, topo, prog, sched.NewRoundRobin(), 22, sim.RunOptions{
+		MaxSteps:           100000,
+		StopAfterTotalEats: 3,
+	})
+	w := res.Final
+	signedSomewhere := false
+	for f := 0; f < topo.NumForks(); f++ {
+		if !w.GuestBookEmpty(graph.ForkID(f)) {
+			signedSomewhere = true
+		}
+	}
+	if !signedSomewhere {
+		t.Error("after meals completed, no guest book was ever signed")
+	}
+}
+
+func TestGDP2CourtesyCanBeDisabled(t *testing.T) {
+	t.Parallel()
+	// Smoke test for the ablation flag: both variants progress on the ring.
+	for _, disable := range []bool{false, true} {
+		prog := NewGDP2(Options{DisableCourtesy: disable})
+		res := runFor(t, graph.Ring(4), prog, sched.NewRoundRobin(), 4, sim.RunOptions{MaxSteps: 30000})
+		if !res.Progress() {
+			t.Errorf("GDP2 (courtesy disabled=%t) made no progress", disable)
+		}
+	}
+}
+
+func TestNaiveLeftFirstDeadlocks(t *testing.T) {
+	t.Parallel()
+	// Under round-robin scheduling every philosopher grabs its left fork and
+	// the naive baseline wedges without a single meal — the behaviour that
+	// motivates the whole problem.
+	res := runFor(t, graph.Ring(5), NewNaive(), sched.NewRoundRobin(), 1, sim.RunOptions{MaxSteps: 5000})
+	if res.Progress() {
+		t.Errorf("naive left-first made %d meals on a ring under round-robin; expected a deadlock", res.TotalEats)
+	}
+}
+
+func TestColoredWorksOnEvenRing(t *testing.T) {
+	t.Parallel()
+	res := runFor(t, graph.Ring(6), NewColored(), sched.NewRoundRobin(), 8, sim.RunOptions{MaxSteps: 30000})
+	if !res.Progress() {
+		t.Error("colored philosophers made no progress on an even ring")
+	}
+}
+
+func TestColoredCanDeadlockOnOddRing(t *testing.T) {
+	t.Parallel()
+	// On an odd ring the parity coloring puts two "same color" philosophers
+	// next to each other; under round-robin all philosophers grab their
+	// preferred fork and the hold-and-wait cycle deadlocks. We only check that
+	// a deadlock is possible, i.e. that at some point no meals happen for a
+	// long stretch — which distinguishes this broken baseline from the paper's
+	// algorithms.
+	res := runFor(t, graph.Ring(5), NewColored(), sched.NewRoundRobin(), 8, sim.RunOptions{MaxSteps: 30000})
+	if res.TotalEats > 0 && res.Final.AnyEating() {
+		// Progress is possible depending on interleaving; nothing to assert.
+		return
+	}
+	// Either no meals at all or the system wedged eventually; both are
+	// acceptable demonstrations. The real assertion is that the run completed
+	// without invariant violations, which runFor already checked.
+}
+
+func TestTicketBoxPreventsDeadlockOnRing(t *testing.T) {
+	t.Parallel()
+	res := runFor(t, graph.Ring(5), NewTicketBox(0), sched.NewRoundRobin(), 9, sim.RunOptions{
+		MaxSteps:             200000,
+		StopWhenAllHaveEaten: true,
+	})
+	if res.Reason != sim.StopAllAte {
+		t.Errorf("ticket box on Ring(5): not everyone ate; eats = %v", res.EatsBy)
+	}
+}
+
+func TestCentralMonitorProgressAndMutualExclusion(t *testing.T) {
+	t.Parallel()
+	res := runFor(t, graph.Figure1A(), NewCentralMonitor(), sched.NewUniformRandom(prng.New(4)), 10,
+		sim.RunOptions{MaxSteps: 60000})
+	if !res.Progress() {
+		t.Error("central monitor made no progress on Figure1A")
+	}
+}
+
+func TestOrderedForksProgressEverywhere(t *testing.T) {
+	t.Parallel()
+	for _, topo := range []*graph.Topology{graph.Ring(5), graph.Figure1A(), graph.RingWithChord(6, 3), graph.Theta(1, 1, 1)} {
+		res := runFor(t, topo, NewOrderedForks(), sched.NewUniformRandom(prng.New(5)), 12,
+			sim.RunOptions{MaxSteps: 60000})
+		if !res.Progress() {
+			t.Errorf("ordered forks made no progress on %s", topo.Name())
+		}
+	}
+}
+
+func TestGDP1ProgressOnRandomTopologiesProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in -short mode")
+	}
+	t.Parallel()
+	f := func(seed uint64, pRaw, fRaw uint8) bool {
+		numForks := int(fRaw%6) + 2
+		numPhils := int(pRaw%12) + numForks
+		topo := graph.RandomMultigraph(numPhils, numForks, seed)
+		prog := NewGDP1(Options{})
+		res, err := sim.Run(topo, prog, sched.NewUniformRandom(prng.New(seed^0x5bd1e995)), prng.New(seed), sim.RunOptions{
+			MaxSteps: 80000,
+		})
+		if err != nil {
+			return false
+		}
+		return res.Progress()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEatsConservation(t *testing.T) {
+	t.Parallel()
+	// Meals counted per philosopher must sum to the total for every algorithm.
+	for _, name := range Names() {
+		prog, err := New(name, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := runFor(t, graph.Ring(5), prog, sched.NewUniformRandom(prng.New(14)), 15,
+			sim.RunOptions{MaxSteps: 20000})
+		var sum int64
+		for _, e := range res.EatsBy {
+			sum += e
+		}
+		if sum != res.TotalEats {
+			t.Errorf("%s: per-philosopher meals %d != total %d", name, sum, res.TotalEats)
+		}
+	}
+}

@@ -1,0 +1,413 @@
+package algo
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// This file implements the four classical solutions sketched in the paper's
+// introduction as baselines. None of them satisfies both of the paper's
+// conditions: the first two break symmetry (philosophers or forks are
+// distinguishable), the last two break full distribution (they rely on a
+// central monitor or a shared ticket box). They are included for the
+// comparative benchmarks and to illustrate, by contrast, what the symmetric
+// fully distributed algorithms achieve.
+
+// --- Ordered forks (hierarchical resource allocation) ---
+
+const (
+	ordThink    = 1
+	ordTakeLow  = 2
+	ordTakeHigh = 3
+	ordEat      = 4
+	ordRelease  = 5
+)
+
+// OrderedForks is the classical deterministic solution via a global total
+// order on forks: every philosopher first acquires its lower-numbered fork,
+// holding it while waiting for the higher-numbered one. It is deadlock-free on
+// every topology (the wait-for relation follows the fork order) but breaks
+// the symmetry condition: fork identities are globally ordered, so forks are
+// distinguishable.
+type OrderedForks struct{}
+
+// NewOrderedForks returns the ordered-fork baseline.
+func NewOrderedForks() *OrderedForks { return &OrderedForks{} }
+
+// Name implements sim.Program.
+func (*OrderedForks) Name() string { return "ordered-forks" }
+
+// Symmetric implements sim.Program.
+func (*OrderedForks) Symmetric() bool { return false }
+
+// Init implements sim.Program.
+func (*OrderedForks) Init(*sim.World) {}
+
+// Outcomes implements sim.Program.
+func (*OrderedForks) Outcomes(w *sim.World, p graph.PhilID) []sim.Outcome {
+	st := &w.Phils[p]
+	low, high := w.Topo.Left(p), w.Topo.Right(p)
+	if low > high {
+		low, high = high, low
+	}
+	switch st.PC {
+	case ordThink:
+		return sim.ThinkOutcomes(w, p, func() {
+			w.BecomeHungry(p)
+			st.PC = ordTakeLow
+		})
+	case ordTakeLow:
+		return one("take low fork", func() {
+			w.Commit(p, low)
+			if w.TryTake(p, low) {
+				w.MarkHoldingFirst(p)
+				st.PC = ordTakeHigh
+			}
+		})
+	case ordTakeHigh:
+		return one("take high fork", func() {
+			if w.TryTake(p, high) {
+				w.MarkHoldingSecond(p)
+				w.StartEating(p)
+				st.PC = ordEat
+			}
+			// else: hold the low fork and busy wait (hierarchical allocation
+			// never releases while waiting).
+		})
+	case ordEat:
+		return one("eat", func() {
+			w.FinishEating(p)
+			st.PC = ordRelease
+		})
+	case ordRelease:
+		return one("release forks", func() {
+			w.ReleaseAll(p)
+			w.BackToThinking(p, ordThink)
+		})
+	default:
+		panic(fmt.Sprintf("algo: ordered-forks philosopher %d has invalid pc %d", p, st.PC))
+	}
+}
+
+// --- Naive left-first philosophers ---
+
+// Naive is the textbook broken solution: every philosopher takes its left
+// fork first and holds it while waiting for the right fork. It is symmetric
+// and fully distributed but deterministic, so — as Lehmann and Rabin's
+// impossibility result predicts — it cannot be correct: on any ring the
+// adversary (or plain round-robin scheduling) drives it into the circular
+// hold-and-wait deadlock. It exists as the negative control for the deadlock
+// detectors and benchmarks.
+type Naive struct{}
+
+// NewNaive returns the naive left-first baseline.
+func NewNaive() *Naive { return &Naive{} }
+
+// Name implements sim.Program.
+func (*Naive) Name() string { return "naive-left-first" }
+
+// Symmetric implements sim.Program: the code is symmetric and fully
+// distributed — which is exactly why it cannot work.
+func (*Naive) Symmetric() bool { return true }
+
+// Init implements sim.Program.
+func (*Naive) Init(*sim.World) {}
+
+// Outcomes implements sim.Program.
+func (*Naive) Outcomes(w *sim.World, p graph.PhilID) []sim.Outcome {
+	st := &w.Phils[p]
+	first, second := w.Topo.Left(p), w.Topo.Right(p)
+	switch st.PC {
+	case colThink:
+		return sim.ThinkOutcomes(w, p, func() {
+			w.BecomeHungry(p)
+			st.PC = colTakeA
+		})
+	case colTakeA:
+		return one("take left fork", func() {
+			w.Commit(p, first)
+			if w.TryTake(p, first) {
+				w.MarkHoldingFirst(p)
+				st.PC = colTakeB
+			}
+		})
+	case colTakeB:
+		return one("take right fork", func() {
+			if w.TryTake(p, second) {
+				w.MarkHoldingSecond(p)
+				w.StartEating(p)
+				st.PC = colEat
+			}
+		})
+	case colEat:
+		return one("eat", func() {
+			w.FinishEating(p)
+			st.PC = colRelease
+		})
+	case colRelease:
+		return one("release forks", func() {
+			w.ReleaseAll(p)
+			w.BackToThinking(p, colThink)
+		})
+	default:
+		panic(fmt.Sprintf("algo: naive philosopher %d has invalid pc %d", p, st.PC))
+	}
+}
+
+// --- Colored philosophers ---
+
+const (
+	colThink   = 1
+	colTakeA   = 2
+	colTakeB   = 3
+	colEat     = 4
+	colRelease = 5
+)
+
+// Colored is the classical two-coloring solution: "yellow" philosophers (even
+// IDs) take their left fork first, "blue" philosophers (odd IDs) take their
+// right fork first, each holding the first fork while waiting for the second.
+// On an even classic ring the coloring alternates around the table and the
+// solution is deadlock-free; on odd rings and on generalized topologies the
+// ID-parity coloring is not a proper alternation and the algorithm can
+// deadlock — which the deadlock benchmarks demonstrate. It breaks the
+// symmetry condition: philosophers are distinguishable by color.
+type Colored struct{}
+
+// NewColored returns the colored-philosophers baseline.
+func NewColored() *Colored { return &Colored{} }
+
+// Name implements sim.Program.
+func (*Colored) Name() string { return "colored" }
+
+// Symmetric implements sim.Program.
+func (*Colored) Symmetric() bool { return false }
+
+// Init implements sim.Program.
+func (*Colored) Init(*sim.World) {}
+
+// Outcomes implements sim.Program.
+func (*Colored) Outcomes(w *sim.World, p graph.PhilID) []sim.Outcome {
+	st := &w.Phils[p]
+	first, second := w.Topo.Left(p), w.Topo.Right(p)
+	if p%2 == 1 {
+		first, second = second, first
+	}
+	switch st.PC {
+	case colThink:
+		return sim.ThinkOutcomes(w, p, func() {
+			w.BecomeHungry(p)
+			st.PC = colTakeA
+		})
+	case colTakeA:
+		return one("take first fork (by color)", func() {
+			w.Commit(p, first)
+			if w.TryTake(p, first) {
+				w.MarkHoldingFirst(p)
+				st.PC = colTakeB
+			}
+		})
+	case colTakeB:
+		return one("take second fork (by color)", func() {
+			if w.TryTake(p, second) {
+				w.MarkHoldingSecond(p)
+				w.StartEating(p)
+				st.PC = colEat
+			}
+		})
+	case colEat:
+		return one("eat", func() {
+			w.FinishEating(p)
+			st.PC = colRelease
+		})
+	case colRelease:
+		return one("release forks", func() {
+			w.ReleaseAll(p)
+			w.BackToThinking(p, colThink)
+		})
+	default:
+		panic(fmt.Sprintf("algo: colored philosopher %d has invalid pc %d", p, st.PC))
+	}
+}
+
+// --- Central monitor ---
+
+const (
+	monThink   = 1
+	monAcquire = 2
+	monGrab    = 3
+	monEat     = 4
+	monRelease = 5
+)
+
+// monitorTokenGlobal is the index of the global register holding the monitor
+// token: 0 when free, p+1 when philosopher p holds it.
+const monitorTokenGlobal = 0
+
+// CentralMonitor is the classical centralized solution: a single monitor
+// serialises fork acquisition, and a philosopher that holds the monitor takes
+// both forks atomically if both are free (otherwise it releases the monitor
+// and retries). It trivially ensures progress but breaks full distribution.
+type CentralMonitor struct{}
+
+// NewCentralMonitor returns the central-monitor baseline.
+func NewCentralMonitor() *CentralMonitor { return &CentralMonitor{} }
+
+// Name implements sim.Program.
+func (*CentralMonitor) Name() string { return "central-monitor" }
+
+// Symmetric implements sim.Program: the code is identical for every
+// philosopher, but the solution is not fully distributed (shared monitor), so
+// it does not satisfy the paper's conditions.
+func (*CentralMonitor) Symmetric() bool { return false }
+
+// Init implements sim.Program.
+func (*CentralMonitor) Init(w *sim.World) { w.EnsureGlobals(1) }
+
+// Outcomes implements sim.Program.
+func (*CentralMonitor) Outcomes(w *sim.World, p graph.PhilID) []sim.Outcome {
+	st := &w.Phils[p]
+	left, right := w.Topo.Left(p), w.Topo.Right(p)
+	switch st.PC {
+	case monThink:
+		return sim.ThinkOutcomes(w, p, func() {
+			w.BecomeHungry(p)
+			st.PC = monAcquire
+		})
+	case monAcquire:
+		return one("acquire monitor", func() {
+			if w.Global(monitorTokenGlobal) == 0 {
+				w.SetGlobal(monitorTokenGlobal, int64(p)+1)
+				st.PC = monGrab
+			}
+		})
+	case monGrab:
+		return one("take both forks under monitor", func() {
+			if w.IsFree(left) && w.IsFree(right) {
+				w.Commit(p, left)
+				w.TryTake(p, left)
+				w.MarkHoldingFirst(p)
+				w.TryTake(p, right)
+				w.MarkHoldingSecond(p)
+				w.StartEating(p)
+				w.SetGlobal(monitorTokenGlobal, 0)
+				st.PC = monEat
+			} else {
+				w.SetGlobal(monitorTokenGlobal, 0)
+				st.PC = monAcquire
+			}
+		})
+	case monEat:
+		return one("eat", func() {
+			w.FinishEating(p)
+			st.PC = monRelease
+		})
+	case monRelease:
+		return one("release forks", func() {
+			w.ReleaseAll(p)
+			w.BackToThinking(p, monThink)
+		})
+	default:
+		panic(fmt.Sprintf("algo: central-monitor philosopher %d has invalid pc %d", p, st.PC))
+	}
+}
+
+// --- Ticket box ---
+
+const (
+	tktThink     = 1
+	tktAcquire   = 2
+	tktTakeLeft  = 3
+	tktTakeRight = 4
+	tktEat       = 5
+	tktRelease   = 6
+)
+
+// ticketsGlobal is the index of the global register holding the number of
+// available tickets.
+const ticketsGlobal = 0
+
+// TicketBox is the classical solution via a box of n−1 tickets: a hungry
+// philosopher must obtain a ticket before acquiring its forks (left then
+// right, holding while waiting) and returns the ticket after eating. On the
+// classic ring, limiting the number of simultaneous contenders to n−1
+// prevents the circular wait; the bound does not generalize to arbitrary
+// topologies. It breaks full distribution (the ticket box is shared).
+type TicketBox struct {
+	// Tickets is the number of tickets in the box; 0 means "one fewer than
+	// the number of philosophers", the paper's formulation.
+	Tickets int
+}
+
+// NewTicketBox returns the ticket-box baseline with the given number of
+// tickets (0 = philosophers − 1).
+func NewTicketBox(tickets int) *TicketBox { return &TicketBox{Tickets: tickets} }
+
+// Name implements sim.Program.
+func (*TicketBox) Name() string { return "ticket-box" }
+
+// Symmetric implements sim.Program.
+func (*TicketBox) Symmetric() bool { return false }
+
+// Init implements sim.Program.
+func (t *TicketBox) Init(w *sim.World) {
+	tickets := t.Tickets
+	if tickets <= 0 {
+		tickets = w.Topo.NumPhilosophers() - 1
+	}
+	w.EnsureGlobals(1)
+	w.SetGlobal(ticketsGlobal, int64(tickets))
+}
+
+// Outcomes implements sim.Program.
+func (*TicketBox) Outcomes(w *sim.World, p graph.PhilID) []sim.Outcome {
+	st := &w.Phils[p]
+	left, right := w.Topo.Left(p), w.Topo.Right(p)
+	switch st.PC {
+	case tktThink:
+		return sim.ThinkOutcomes(w, p, func() {
+			w.BecomeHungry(p)
+			st.PC = tktAcquire
+		})
+	case tktAcquire:
+		return one("acquire ticket", func() {
+			if w.Global(ticketsGlobal) > 0 {
+				w.SetGlobal(ticketsGlobal, w.Global(ticketsGlobal)-1)
+				st.Aux[0] = 1
+				st.PC = tktTakeLeft
+			}
+		})
+	case tktTakeLeft:
+		return one("take left fork", func() {
+			w.Commit(p, left)
+			if w.TryTake(p, left) {
+				w.MarkHoldingFirst(p)
+				st.PC = tktTakeRight
+			}
+		})
+	case tktTakeRight:
+		return one("take right fork", func() {
+			if w.TryTake(p, right) {
+				w.MarkHoldingSecond(p)
+				w.StartEating(p)
+				st.PC = tktEat
+			}
+		})
+	case tktEat:
+		return one("eat", func() {
+			w.FinishEating(p)
+			st.PC = tktRelease
+		})
+	case tktRelease:
+		return one("release forks and ticket", func() {
+			w.ReleaseAll(p)
+			w.SetGlobal(ticketsGlobal, w.Global(ticketsGlobal)+1)
+			st.Aux[0] = 0
+			w.BackToThinking(p, tktThink)
+		})
+	default:
+		panic(fmt.Sprintf("algo: ticket-box philosopher %d has invalid pc %d", p, st.PC))
+	}
+}

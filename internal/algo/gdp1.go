@@ -1,0 +1,137 @@
+package algo
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Program-counter values for GDP1, matching the line numbers of Table 3:
+//
+//  1. think
+//  2. if left.nr > right.nr then fork := left else fork := right
+//  3. if isFree(fork) then take(fork) else goto 3
+//  4. if fork.nr = other(fork).nr then fork.nr := random[1, m]
+//  5. if isFree(other(fork)) then take(other(fork))
+//     else { release(fork); goto 2 }
+//  6. eat
+//  7. release(fork); release(other(fork)); goto 1
+//
+// (In the published Table 3 line 4 reads "fork := random[1,m]"; per the
+// accompanying prose — "the philosopher may change the nr value of a fork
+// when it finds that it is equal to the nr value of the other fork" — the
+// assignment targets the held fork's nr field.)
+const (
+	gdp1Think     = 1
+	gdp1Select    = 2
+	gdp1TakeFirst = 3
+	gdp1Renumber  = 4
+	gdp1TrySecond = 5
+	gdp1Eat       = 6
+	gdp1Release   = 7
+)
+
+// GDP1 is the paper's progress algorithm (Table 3, Theorem 3). Every fork
+// carries an integer field nr, initially 0. A hungry philosopher first
+// selects the adjacent fork with the strictly larger nr (the right fork on a
+// tie), busy-waits to take it, and — if the two adjacent forks have equal nr
+// values — re-randomises the held fork's nr over [1, m] with m at least the
+// total number of forks. It then tries the second fork once, releasing and
+// restarting on failure. Randomising the numbers eventually makes the forks
+// around every cycle pairwise distinct, after which the algorithm behaves
+// like hierarchical resource allocation along the induced partial order and
+// some philosopher must eat under any fair scheduler.
+type GDP1 struct {
+	opts Options
+}
+
+// NewGDP1 returns GDP1 configured with opts.
+func NewGDP1(opts Options) *GDP1 { return &GDP1{opts: opts} }
+
+// Name implements sim.Program.
+func (*GDP1) Name() string { return "GDP1" }
+
+// Symmetric implements sim.Program: GDP1 is symmetric and fully distributed.
+func (*GDP1) Symmetric() bool { return true }
+
+// Init implements sim.Program. Fork nr fields start at 0, which NewWorld
+// already guarantees.
+func (*GDP1) Init(*sim.World) {}
+
+// Outcomes implements sim.Program.
+func (a *GDP1) Outcomes(w *sim.World, p graph.PhilID) []sim.Outcome {
+	st := &w.Phils[p]
+	switch st.PC {
+	case gdp1Think:
+		return sim.ThinkOutcomes(w, p, func() {
+			w.BecomeHungry(p)
+			st.PC = gdp1Select
+		})
+
+	case gdp1Select:
+		return one("select higher-numbered fork", func() {
+			left, right := w.Topo.Left(p), w.Topo.Right(p)
+			if w.NR(left) > w.NR(right) {
+				w.Commit(p, left)
+			} else {
+				w.Commit(p, right)
+			}
+			st.PC = gdp1TakeFirst
+		})
+
+	case gdp1TakeFirst:
+		return one("take first fork", func() {
+			if w.TryTake(p, st.First) {
+				w.MarkHoldingFirst(p)
+				st.PC = gdp1Renumber
+			}
+			// else: busy wait at line 3.
+		})
+
+	case gdp1Renumber:
+		second := w.Topo.OtherFork(p, st.First)
+		if w.NR(st.First) != w.NR(second) {
+			return one("numbers already distinct", func() {
+				st.PC = gdp1TrySecond
+			})
+		}
+		m := a.opts.nrRange(w.Topo)
+		first := st.First
+		return uniformNR(m,
+			func(v int) string { return fmt.Sprintf("nr := %d", v) },
+			func(v int) {
+				w.SetNR(p, first, v)
+				st.PC = gdp1TrySecond
+			})
+
+	case gdp1TrySecond:
+		return one("try second fork", func() {
+			second := w.Topo.OtherFork(p, st.First)
+			if w.TryTake(p, second) {
+				w.MarkHoldingSecond(p)
+				w.StartEating(p)
+				st.PC = gdp1Eat
+			} else {
+				w.Release(p, st.First)
+				w.ClearSelection(p)
+				st.PC = gdp1Select
+			}
+		})
+
+	case gdp1Eat:
+		return one("eat", func() {
+			w.FinishEating(p)
+			st.PC = gdp1Release
+		})
+
+	case gdp1Release:
+		return one("release forks", func() {
+			w.ReleaseAll(p)
+			w.BackToThinking(p, gdp1Think)
+		})
+
+	default:
+		panic(fmt.Sprintf("algo: GDP1 philosopher %d has invalid pc %d", p, st.PC))
+	}
+}

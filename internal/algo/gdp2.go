@@ -1,0 +1,171 @@
+package algo
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Program-counter values for GDP2, matching the line numbers of Table 4:
+//
+//  1. think
+//  2. insert(id, left.r); insert(id, right.r)
+//  3. if left.nr > right.nr then fork := left else fork := right
+//  4. if isFree(fork) and Cond(fork) then take(fork) else goto 4
+//  5. if fork.nr = other(fork).nr then fork.nr := random[1, m]
+//  6. if isFree(other(fork)) then take(other(fork))
+//     else { release(fork); goto 3 }
+//  7. eat
+//  8. remove(id, left.r); remove(id, right.r)
+//  9. insert(id, left.g); insert(id, right.g)
+//  10. release(fork); release(other(fork)); goto 1
+//
+// (The published Table 4 prints line 4 without the Cond(fork) conjunct, but
+// Section 5 introduces the request lists and guest books precisely so that
+// "the test Cond(fork) is defined in the same way as in Section 3.2"; we
+// therefore include the courtesy test on the first fork exactly as LR2 does.
+// Options.DisableCourtesy removes it for ablation.)
+const (
+	gdp2Think     = 1
+	gdp2Request   = 2
+	gdp2Select    = 3
+	gdp2TakeFirst = 4
+	gdp2Renumber  = 5
+	gdp2TrySecond = 6
+	gdp2Eat       = 7
+	gdp2Unrequest = 8
+	gdp2Sign      = 9
+	gdp2Release   = 10
+)
+
+// GDP2 is the paper's lockout-free algorithm (Table 4, Theorem 4): GDP1's
+// random fork numbering combined with LR2's request lists and guest books, so
+// that a philosopher that has just eaten defers to hungry neighbours that
+// have not.
+type GDP2 struct {
+	opts Options
+}
+
+// NewGDP2 returns GDP2 configured with opts.
+func NewGDP2(opts Options) *GDP2 { return &GDP2{opts: opts} }
+
+// Name implements sim.Program.
+func (*GDP2) Name() string { return "GDP2" }
+
+// Symmetric implements sim.Program: GDP2 is symmetric and fully distributed.
+func (*GDP2) Symmetric() bool { return true }
+
+// Init implements sim.Program.
+func (*GDP2) Init(*sim.World) {}
+
+// Outcomes implements sim.Program.
+func (a *GDP2) Outcomes(w *sim.World, p graph.PhilID) []sim.Outcome {
+	st := &w.Phils[p]
+	left, right := w.Topo.Left(p), w.Topo.Right(p)
+	switch st.PC {
+	case gdp2Think:
+		return sim.ThinkOutcomes(w, p, func() {
+			w.BecomeHungry(p)
+			st.PC = gdp2Request
+		})
+
+	case gdp2Request:
+		return one("insert requests", func() {
+			w.Request(p, left)
+			w.Request(p, right)
+			st.PC = gdp2Select
+		})
+
+	case gdp2Select:
+		return one("select higher-numbered fork", func() {
+			if w.NR(left) > w.NR(right) {
+				w.Commit(p, left)
+			} else {
+				w.Commit(p, right)
+			}
+			st.PC = gdp2TakeFirst
+		})
+
+	case gdp2TakeFirst:
+		return one("take first fork (courteous)", func() {
+			allowed := w.IsFree(st.First) && (a.opts.DisableCourtesy || w.Cond(p, st.First))
+			if allowed {
+				if !w.TryTake(p, st.First) {
+					return
+				}
+				w.MarkHoldingFirst(p)
+				st.PC = gdp2Renumber
+				return
+			}
+			if !w.IsFree(st.First) {
+				w.TryTake(p, st.First) // records fork-busy, cannot succeed
+				return
+			}
+			w.RecordBlockedByCond(p, st.First)
+		})
+
+	case gdp2Renumber:
+		second := w.Topo.OtherFork(p, st.First)
+		if w.NR(st.First) != w.NR(second) {
+			return one("numbers already distinct", func() {
+				st.PC = gdp2TrySecond
+			})
+		}
+		m := a.opts.nrRange(w.Topo)
+		first := st.First
+		return uniformNR(m,
+			func(v int) string { return fmt.Sprintf("nr := %d", v) },
+			func(v int) {
+				w.SetNR(p, first, v)
+				st.PC = gdp2TrySecond
+			})
+
+	case gdp2TrySecond:
+		return one("try second fork", func() {
+			second := w.Topo.OtherFork(p, st.First)
+			allowed := !a.opts.CourtesyOnBothForks || a.opts.DisableCourtesy || w.Cond(p, second)
+			if allowed && w.TryTake(p, second) {
+				w.MarkHoldingSecond(p)
+				w.StartEating(p)
+				st.PC = gdp2Eat
+				return
+			}
+			if !allowed {
+				w.RecordBlockedByCond(p, second)
+			}
+			w.Release(p, st.First)
+			w.ClearSelection(p)
+			st.PC = gdp2Select
+		})
+
+	case gdp2Eat:
+		return one("eat", func() {
+			w.FinishEating(p)
+			st.PC = gdp2Unrequest
+		})
+
+	case gdp2Unrequest:
+		return one("remove requests", func() {
+			w.Unrequest(p, left)
+			w.Unrequest(p, right)
+			st.PC = gdp2Sign
+		})
+
+	case gdp2Sign:
+		return one("sign guest books", func() {
+			w.SignGuestBook(p, left)
+			w.SignGuestBook(p, right)
+			st.PC = gdp2Release
+		})
+
+	case gdp2Release:
+		return one("release forks", func() {
+			w.ReleaseAll(p)
+			w.BackToThinking(p, gdp2Think)
+		})
+
+	default:
+		panic(fmt.Sprintf("algo: GDP2 philosopher %d has invalid pc %d", p, st.PC))
+	}
+}

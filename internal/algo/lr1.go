@@ -1,0 +1,110 @@
+package algo
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Program-counter values for LR1, matching the line numbers of Table 1:
+//
+//  1. think
+//  2. fork := random_choice(left, right)
+//  3. if isFree(fork) then take(fork) else goto 3
+//  4. if isFree(other(fork)) then take(other(fork))
+//     else { release(fork); goto 2 }
+//  5. eat
+//  6. release(fork); release(other(fork)); goto 1
+const (
+	lr1Think     = 1
+	lr1Choose    = 2
+	lr1TakeFirst = 3
+	lr1TrySecond = 4
+	lr1Eat       = 5
+	lr1Release   = 6
+)
+
+// LR1 is the first algorithm of Lehmann and Rabin (Table 1): a hungry
+// philosopher randomly commits to one of its forks, busy-waits to take it,
+// then tries the other fork once; on failure it releases the first fork and
+// draws again. LR1 guarantees progress with probability 1 on the classic ring
+// but not on generalized topologies (Theorem 1).
+type LR1 struct {
+	opts Options
+}
+
+// NewLR1 returns LR1 configured with opts.
+func NewLR1(opts Options) *LR1 { return &LR1{opts: opts} }
+
+// Name implements sim.Program.
+func (*LR1) Name() string { return "LR1" }
+
+// Symmetric implements sim.Program: LR1 is symmetric and fully distributed.
+func (*LR1) Symmetric() bool { return true }
+
+// Init implements sim.Program. LR1 needs no state beyond NewWorld's defaults.
+func (*LR1) Init(*sim.World) {}
+
+// Outcomes implements sim.Program.
+func (a *LR1) Outcomes(w *sim.World, p graph.PhilID) []sim.Outcome {
+	st := &w.Phils[p]
+	switch st.PC {
+	case lr1Think:
+		return sim.ThinkOutcomes(w, p, func() {
+			w.BecomeHungry(p)
+			st.PC = lr1Choose
+		})
+
+	case lr1Choose:
+		left, right := w.Topo.Left(p), w.Topo.Right(p)
+		return coinFlip(a.opts.leftBias(),
+			sim.Outcome{Label: "commit left", Apply: func() {
+				w.Commit(p, left)
+				st.PC = lr1TakeFirst
+			}},
+			sim.Outcome{Label: "commit right", Apply: func() {
+				w.Commit(p, right)
+				st.PC = lr1TakeFirst
+			}},
+		)
+
+	case lr1TakeFirst:
+		return one("take first fork", func() {
+			if w.TryTake(p, st.First) {
+				w.MarkHoldingFirst(p)
+				st.PC = lr1TrySecond
+			}
+			// else: busy wait, PC stays at 3.
+		})
+
+	case lr1TrySecond:
+		return one("try second fork", func() {
+			second := w.Topo.OtherFork(p, st.First)
+			if w.TryTake(p, second) {
+				w.MarkHoldingSecond(p)
+				w.StartEating(p)
+				st.PC = lr1Eat
+			} else {
+				w.Release(p, st.First)
+				w.ClearSelection(p)
+				st.PC = lr1Choose
+			}
+		})
+
+	case lr1Eat:
+		return one("eat", func() {
+			w.FinishEating(p)
+			st.PC = lr1Release
+		})
+
+	case lr1Release:
+		return one("release forks", func() {
+			w.ReleaseAll(p)
+			w.BackToThinking(p, lr1Think)
+		})
+
+	default:
+		panic(fmt.Sprintf("algo: LR1 philosopher %d has invalid pc %d", p, st.PC))
+	}
+}

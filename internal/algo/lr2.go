@@ -1,0 +1,155 @@
+package algo
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Program-counter values for LR2, matching the line numbers of Table 2:
+//
+//  1. think
+//  2. insert(id, left.r); insert(id, right.r)
+//  3. fork := random_choice(left, right)
+//  4. if isFree(fork) and Cond(fork) then take(fork) else goto 4
+//  5. if isFree(other(fork)) then take(other(fork))
+//     else { release(fork); goto 3 }
+//  6. eat
+//  7. remove(id, left.r); remove(id, right.r)
+//  8. insert(id, left.g); insert(id, right.g)
+//  9. release(fork); release(other(fork))
+//  10. goto 1
+const (
+	lr2Think     = 1
+	lr2Request   = 2
+	lr2Choose    = 3
+	lr2TakeFirst = 4
+	lr2TrySecond = 5
+	lr2Eat       = 6
+	lr2Unrequest = 7
+	lr2Sign      = 8
+	lr2Release   = 9
+)
+
+// LR2 is the second (courteous) algorithm of Lehmann and Rabin, generalized
+// as in Section 3.2 of the paper: each fork carries a request list r and a
+// guest book g; a philosopher announces its hunger in the request lists of
+// both forks, and may take a fork only when no other requester has been
+// waiting since before the philosopher's own last use of that fork
+// (Cond(fork)). On the classic ring LR2 is lockout-free; Theorem 2 shows it
+// fails on topologies containing a ring with two nodes joined by a third
+// path.
+type LR2 struct {
+	opts Options
+}
+
+// NewLR2 returns LR2 configured with opts.
+func NewLR2(opts Options) *LR2 { return &LR2{opts: opts} }
+
+// Name implements sim.Program.
+func (*LR2) Name() string { return "LR2" }
+
+// Symmetric implements sim.Program: LR2 is symmetric and fully distributed
+// (the request lists and guest books live on the forks).
+func (*LR2) Symmetric() bool { return true }
+
+// Init implements sim.Program.
+func (*LR2) Init(*sim.World) {}
+
+// Outcomes implements sim.Program.
+func (a *LR2) Outcomes(w *sim.World, p graph.PhilID) []sim.Outcome {
+	st := &w.Phils[p]
+	left, right := w.Topo.Left(p), w.Topo.Right(p)
+	switch st.PC {
+	case lr2Think:
+		return sim.ThinkOutcomes(w, p, func() {
+			w.BecomeHungry(p)
+			st.PC = lr2Request
+		})
+
+	case lr2Request:
+		return one("insert requests", func() {
+			w.Request(p, left)
+			w.Request(p, right)
+			st.PC = lr2Choose
+		})
+
+	case lr2Choose:
+		return coinFlip(a.opts.leftBias(),
+			sim.Outcome{Label: "commit left", Apply: func() {
+				w.Commit(p, left)
+				st.PC = lr2TakeFirst
+			}},
+			sim.Outcome{Label: "commit right", Apply: func() {
+				w.Commit(p, right)
+				st.PC = lr2TakeFirst
+			}},
+		)
+
+	case lr2TakeFirst:
+		return one("take first fork (courteous)", func() {
+			if w.IsFree(st.First) && w.Cond(p, st.First) {
+				if !w.TryTake(p, st.First) {
+					return
+				}
+				w.MarkHoldingFirst(p)
+				st.PC = lr2TrySecond
+				return
+			}
+			// Busy wait at line 4. Record why for the trace.
+			if !w.IsFree(st.First) {
+				w.TryTake(p, st.First) // records a fork-busy event, cannot succeed
+				return
+			}
+			w.RecordBlockedByCond(p, st.First)
+		})
+
+	case lr2TrySecond:
+		return one("try second fork", func() {
+			second := w.Topo.OtherFork(p, st.First)
+			allowed := !a.opts.CourtesyOnBothForks || w.Cond(p, second)
+			if allowed && w.TryTake(p, second) {
+				w.MarkHoldingSecond(p)
+				w.StartEating(p)
+				st.PC = lr2Eat
+				return
+			}
+			if !allowed {
+				w.RecordBlockedByCond(p, second)
+			}
+			w.Release(p, st.First)
+			w.ClearSelection(p)
+			st.PC = lr2Choose
+		})
+
+	case lr2Eat:
+		return one("eat", func() {
+			w.FinishEating(p)
+			st.PC = lr2Unrequest
+		})
+
+	case lr2Unrequest:
+		return one("remove requests", func() {
+			w.Unrequest(p, left)
+			w.Unrequest(p, right)
+			st.PC = lr2Sign
+		})
+
+	case lr2Sign:
+		return one("sign guest books", func() {
+			w.SignGuestBook(p, left)
+			w.SignGuestBook(p, right)
+			st.PC = lr2Release
+		})
+
+	case lr2Release:
+		return one("release forks", func() {
+			w.ReleaseAll(p)
+			w.BackToThinking(p, lr2Think)
+		})
+
+	default:
+		panic(fmt.Sprintf("algo: LR2 philosopher %d has invalid pc %d", p, st.PC))
+	}
+}

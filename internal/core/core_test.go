@@ -1,0 +1,224 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func TestSystemSimulate(t *testing.T) {
+	t.Parallel()
+	sys := System{
+		Topology:  graph.Figure1A(),
+		Algorithm: "GDP1",
+		Scheduler: Random,
+		Seed:      1,
+	}
+	res, err := sys.Simulate(sim.RunOptions{MaxSteps: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Progress() {
+		t.Error("GDP1 made no progress on Figure1A")
+	}
+}
+
+func TestSystemValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := (&System{Algorithm: "GDP1"}).Simulate(sim.RunOptions{}); err == nil {
+		t.Error("Simulate accepted a missing topology")
+	}
+	if _, err := (&System{Topology: graph.Ring(3)}).Simulate(sim.RunOptions{}); err == nil {
+		t.Error("Simulate accepted a missing algorithm")
+	}
+	if _, err := (&System{Topology: graph.Ring(3), Algorithm: "nope"}).Simulate(sim.RunOptions{}); err == nil {
+		t.Error("Simulate accepted an unknown algorithm")
+	}
+	bad := System{Topology: graph.Ring(3), Algorithm: "GDP1", Scheduler: "warp"}
+	if _, err := bad.Simulate(sim.RunOptions{}); err == nil {
+		t.Error("Simulate accepted an unknown scheduler kind")
+	}
+}
+
+func TestSystemRepeatIsDeterministicPerSeed(t *testing.T) {
+	t.Parallel()
+	sys := System{Topology: graph.Ring(5), Algorithm: "LR1", Scheduler: Random, Seed: 9}
+	a, err := sys.Repeat(3, sim.RunOptions{MaxSteps: 5_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Repeat(3, sim.RunOptions{MaxSteps: 5_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].TotalEats != b[i].TotalEats {
+			t.Errorf("trial %d differs across identical Repeat calls", i)
+		}
+	}
+	if a[0].TotalEats == 0 {
+		t.Error("no meals in trial 0")
+	}
+}
+
+func TestSystemSchedulers(t *testing.T) {
+	t.Parallel()
+	for _, kind := range SchedulerKinds() {
+		sys := System{Topology: graph.Ring(4), Algorithm: "GDP2", Scheduler: kind, Seed: 2}
+		if _, err := sys.Simulate(sim.RunOptions{MaxSteps: 3_000}); err != nil {
+			t.Errorf("scheduler %s failed: %v", kind, err)
+		}
+	}
+}
+
+func TestSystemModelCheck(t *testing.T) {
+	t.Parallel()
+	sys := System{Topology: graph.Theorem2Minimal(), Algorithm: "LR2"}
+	rep, err := sys.ModelCheck(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FairAdversaryWins() {
+		t.Error("expected the Theorem 2 trap for LR2 on the theta graph")
+	}
+}
+
+func TestSystemRunConcurrent(t *testing.T) {
+	t.Parallel()
+	sys := System{Topology: graph.Ring(5), Algorithm: "GDP2", Seed: 3}
+	metrics, err := sys.RunConcurrent(context.Background(), 5*time.Second, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metrics.Starved) != 0 {
+		t.Errorf("starved philosophers: %v", metrics.Starved)
+	}
+	if _, err := (&System{Topology: graph.Ring(3), Algorithm: "colored"}).RunConcurrent(context.Background(), time.Second, 1); err == nil {
+		t.Error("RunConcurrent accepted an algorithm without a concurrent implementation")
+	}
+}
+
+func TestBuildTopology(t *testing.T) {
+	t.Parallel()
+	topo, err := BuildTopology("figure1a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumPhilosophers() != 6 {
+		t.Errorf("figure1a has %d philosophers", topo.NumPhilosophers())
+	}
+	ring, err := BuildTopology("ring", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.NumPhilosophers() != 7 {
+		t.Errorf("ring(7) has %d philosophers", ring.NumPhilosophers())
+	}
+	if _, err := BuildTopology("moebius", 3); err == nil {
+		t.Error("BuildTopology accepted an unknown name")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	t.Parallel()
+	table := &Table{
+		ID:         "E-X",
+		Title:      "demo",
+		Reproduces: "nothing",
+		Header:     []string{"a", "b"},
+	}
+	table.AddRow("x", 1)
+	table.AddRow(2.5, "y")
+	table.AddNote("note %d", 7)
+	md := table.Markdown()
+	for _, want := range []string{"## E-X", "| a | b |", "| x | 1 |", "note 7"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	txt := table.Text()
+	if !strings.Contains(txt, "E-X") || !strings.Contains(txt, "2.500") {
+		t.Errorf("text rendering wrong:\n%s", txt)
+	}
+	doc := RenderMarkdown("# intro", []*Table{table})
+	if !strings.Contains(doc, "# intro") || !strings.Contains(doc, "## E-X") {
+		t.Error("RenderMarkdown malformed")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	t.Parallel()
+	exps := Experiments()
+	if len(exps) < 8 {
+		t.Fatalf("expected at least 8 experiments, got %d", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %+v incomplete", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, err := RunByID("E-NOPE", ExperimentConfig{Quick: true}); err == nil {
+		t.Error("RunByID accepted an unknown id")
+	}
+}
+
+func TestRunFigure1Experiment(t *testing.T) {
+	t.Parallel()
+	table, err := RunByID("E-F1", ExperimentConfig{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 {
+		t.Errorf("E-F1 should have 4 rows, got %d", len(table.Rows))
+	}
+}
+
+func TestRunSection3ExperimentQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness skipped in -short mode")
+	}
+	t.Parallel()
+	table, err := RunByID("E-S3", ExperimentConfig{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("E-S3 should report 4 algorithms, got %d rows", len(table.Rows))
+	}
+	// Row order: LR1, LR2, GDP1, GDP2. The GDP rows must report zero
+	// no-progress runs (Theorem 3/4), LR1 a positive number (Section 3).
+	if !strings.HasPrefix(table.Rows[2][1], "0/") || !strings.HasPrefix(table.Rows[3][1], "0/") {
+		t.Errorf("GDP1/GDP2 should never be starved: %v", table.Rows)
+	}
+	if strings.HasPrefix(table.Rows[0][1], "0/") {
+		t.Errorf("LR1 should be starved in at least one quick trial: %v", table.Rows[0])
+	}
+}
+
+func TestRunNumberRangeSweepQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness skipped in -short mode")
+	}
+	t.Parallel()
+	table, err := RunByID("E-B2", ExperimentConfig{Quick: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 4 {
+		t.Errorf("E-B2 should sweep 4 values of m, got %d rows", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		if !strings.HasSuffix(row[3], "/10") || !strings.HasPrefix(row[3], "10/") {
+			t.Errorf("GDP1 should progress in every trial of the m sweep: %v", row)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package core assembles the substrates of this repository — topologies
+// (graph), the probabilistic step engine (sim), the algorithms (algo), the
+// schedulers and adversaries (sched), the concurrent runtime (runtime), the
+// model checker (modelcheck) and the verification harnesses (verify) — into
+// the system a user configures and runs, and defines the experiment suite
+// that regenerates every reproduced artifact of the paper (EXPERIMENTS.md).
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/graph"
+	"repro/internal/modelcheck"
+	"repro/internal/prng"
+	"repro/internal/runtime"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// SchedulerKind names the available schedulers/adversaries.
+type SchedulerKind string
+
+// The scheduler kinds accepted by System.
+const (
+	// RoundRobin cycles through the philosophers.
+	RoundRobin SchedulerKind = "round-robin"
+	// Random schedules a uniformly random philosopher each step.
+	Random SchedulerKind = "random"
+	// Sticky gives each philosopher bursts of consecutive steps.
+	Sticky SchedulerKind = "sticky"
+	// HungryFirst prefers philosophers in their trying section.
+	HungryFirst SchedulerKind = "hungry-first"
+	// Adversary is the greedy livelock adversary wrapped in a fixed
+	// fairness window (the Section 3 / Theorem 1 / Theorem 2 scheduler).
+	Adversary SchedulerKind = "adversary"
+	// StubbornAdversary is the same adversary wrapped in the paper's growing
+	// stubbornness construction.
+	StubbornAdversary SchedulerKind = "stubborn-adversary"
+)
+
+// SchedulerKinds lists every scheduler kind.
+func SchedulerKinds() []SchedulerKind {
+	return []SchedulerKind{RoundRobin, Random, Sticky, HungryFirst, Adversary, StubbornAdversary}
+}
+
+// System is one configured generalized dining-philosopher system: a topology,
+// an algorithm, a scheduler and a seed. The zero value is not usable;
+// populate the fields and call the methods.
+type System struct {
+	// Topology is the fork/philosopher multigraph (required).
+	Topology *graph.Topology
+	// Algorithm is the algorithm name as registered in package algo
+	// (required), for example "GDP1".
+	Algorithm string
+	// AlgoOptions tunes the algorithm (optional).
+	AlgoOptions algo.Options
+	// Scheduler selects the scheduler kind (default Random).
+	Scheduler SchedulerKind
+	// Protected restricts the adversary's target set (nil = all).
+	Protected []graph.PhilID
+	// FairnessWindow is the bounded-fair adversary's window (0 = default).
+	FairnessWindow int64
+	// Seed makes runs reproducible.
+	Seed uint64
+}
+
+// NewScheduler constructs the scheduler described by the system
+// configuration, using rng for any randomized scheduler.
+func (s *System) NewScheduler(rng *prng.Source) (sim.Scheduler, error) {
+	kind := s.Scheduler
+	if kind == "" {
+		kind = Random
+	}
+	switch kind {
+	case RoundRobin:
+		return sched.NewRoundRobin(), nil
+	case Random:
+		return sched.NewUniformRandom(rng), nil
+	case Sticky:
+		return sched.NewSticky(4), nil
+	case HungryFirst:
+		return sched.NewHungryFirst(rng), nil
+	case Adversary:
+		return sched.NewBoundedFair(sched.NewGreedyLivelock(s.Protected...), s.FairnessWindow), nil
+	case StubbornAdversary:
+		return sched.NewStubborn(sched.NewGreedyLivelock(s.Protected...)), nil
+	default:
+		return nil, fmt.Errorf("core: unknown scheduler kind %q (available: %v)", kind, SchedulerKinds())
+	}
+}
+
+// program constructs the algorithm program.
+func (s *System) program() (sim.Program, error) {
+	if s.Algorithm == "" {
+		return nil, fmt.Errorf("core: System.Algorithm is required (available: %v)", algo.Names())
+	}
+	return algo.New(s.Algorithm, s.AlgoOptions)
+}
+
+// Simulate runs the system on the step engine.
+func (s *System) Simulate(opts sim.RunOptions) (*sim.Result, error) {
+	if s.Topology == nil {
+		return nil, fmt.Errorf("core: System.Topology is required")
+	}
+	prog, err := s.program()
+	if err != nil {
+		return nil, err
+	}
+	rng := prng.New(s.Seed)
+	scheduler, err := s.NewScheduler(rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(s.Topology, prog, scheduler, rng, opts)
+}
+
+// Repeat runs the system `trials` times with derived seeds and returns every
+// result. It is the Monte-Carlo building block of the experiments.
+func (s *System) Repeat(trials int, opts sim.RunOptions) ([]*sim.Result, error) {
+	if trials <= 0 {
+		trials = 1
+	}
+	results := make([]*sim.Result, 0, trials)
+	for i := 0; i < trials; i++ {
+		trial := *s
+		trial.Seed = s.Seed + uint64(i)*0x9e3779b97f4a7c15
+		res, err := trial.Simulate(opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: trial %d: %w", i, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// ModelCheck exhaustively explores the system's state space (small instances
+// only) and returns the analysis report. The scheduler configuration is
+// irrelevant here: the model checker quantifies over all schedulers.
+func (s *System) ModelCheck(maxStates int) (*modelcheck.Report, error) {
+	if s.Topology == nil {
+		return nil, fmt.Errorf("core: System.Topology is required")
+	}
+	prog, err := s.program()
+	if err != nil {
+		return nil, err
+	}
+	return modelcheck.Check(s.Topology, prog, modelcheck.Options{
+		MaxStates: maxStates,
+		Protected: s.Protected,
+	})
+}
+
+// RunConcurrent executes the system on the goroutine runtime for the given
+// duration (or until every philosopher has eaten targetMeals times).
+func (s *System) RunConcurrent(ctx context.Context, duration time.Duration, targetMeals int64) (*runtime.Metrics, error) {
+	if s.Topology == nil {
+		return nil, fmt.Errorf("core: System.Topology is required")
+	}
+	var alg runtime.Algorithm
+	switch s.Algorithm {
+	case "LR1":
+		alg = runtime.LR1
+	case "LR2":
+		alg = runtime.LR2
+	case "GDP1":
+		alg = runtime.GDP1
+	case "GDP2":
+		alg = runtime.GDP2
+	case "ordered-forks":
+		alg = runtime.Ordered
+	default:
+		return nil, fmt.Errorf("core: algorithm %q has no concurrent runtime implementation", s.Algorithm)
+	}
+	return runtime.Run(ctx, runtime.Config{
+		Topology:                  s.Topology,
+		Algorithm:                 alg,
+		M:                         s.AlgoOptions.M,
+		TargetMealsPerPhilosopher: targetMeals,
+		MaxDuration:               duration,
+		Seed:                      s.Seed,
+	})
+}
+
+// Topologies returns the named topology constructors exposed to the CLI and
+// the public facade.
+func Topologies() map[string]func(n int) *graph.Topology {
+	return map[string]func(n int) *graph.Topology{
+		"ring":            func(n int) *graph.Topology { return graph.Ring(defaultN(n, 5)) },
+		"doubled-polygon": func(n int) *graph.Topology { return graph.DoubledPolygon(defaultN(n, 3)) },
+		"ring-chord":      func(n int) *graph.Topology { return graph.RingWithChord(defaultN(n, 6), defaultN(n, 6)/2) },
+		"ring-pendant":    func(n int) *graph.Topology { return graph.RingWithPendant(defaultN(n, 5)) },
+		"theta":           func(n int) *graph.Topology { return graph.Theta(1, 1, defaultN(n, 1)) },
+		"star":            func(n int) *graph.Topology { return graph.Star(defaultN(n, 5)) },
+		"grid":            func(n int) *graph.Topology { g := defaultN(n, 3); return graph.Grid(g, g) },
+		"figure1a":        func(int) *graph.Topology { return graph.Figure1A() },
+		"figure1b":        func(int) *graph.Topology { return graph.Figure1B() },
+		"figure1c":        func(int) *graph.Topology { return graph.Figure1C() },
+		"figure1d":        func(int) *graph.Topology { return graph.Figure1D() },
+	}
+}
+
+// BuildTopology resolves a topology by name with a size parameter (ignored by
+// the fixed Figure 1 topologies).
+func BuildTopology(name string, n int) (*graph.Topology, error) {
+	ctor, ok := Topologies()[name]
+	if !ok {
+		names := make([]string, 0, len(Topologies()))
+		for k := range Topologies() {
+			names = append(names, k)
+		}
+		return nil, fmt.Errorf("core: unknown topology %q (available: %v)", name, names)
+	}
+	return ctor(n), nil
+}
+
+func defaultN(n, fallback int) int {
+	if n <= 0 {
+		return fallback
+	}
+	return n
+}

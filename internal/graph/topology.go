@@ -1,0 +1,359 @@
+// Package graph models generalized dining-philosopher topologies.
+//
+// Following Herescu & Palamidessi (PODC 2001), a generalized dining
+// philosopher system is an undirected multigraph whose nodes are the forks and
+// whose arcs are the philosophers: each philosopher is adjacent to exactly two
+// distinct forks (its "left" and "right" fork), a fork may be shared by any
+// positive number of philosophers, and the numbers of philosophers and forks
+// are unrelated. The classic Dijkstra table is the special case of a simple
+// ring.
+//
+// The package provides construction, validation, structural queries (degrees,
+// adjacency, cycles), the concrete topologies used in the paper (Figure 1, the
+// Theorem 1 "ring plus chord" family, the Theorem 2 "theta" family) and
+// generators for synthetic workloads.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ForkID identifies a fork (a node of the topology). Fork IDs are dense
+// integers in [0, NumForks).
+type ForkID int
+
+// PhilID identifies a philosopher (an arc of the topology). Philosopher IDs
+// are dense integers in [0, NumPhilosophers).
+type PhilID int
+
+// NoFork is the sentinel "no fork" value.
+const NoFork ForkID = -1
+
+// NoPhil is the sentinel "no philosopher" value.
+const NoPhil PhilID = -1
+
+// Side selects one of a philosopher's two forks.
+type Side int
+
+const (
+	// Left is the philosopher's left fork.
+	Left Side = iota
+	// Right is the philosopher's right fork.
+	Right
+)
+
+// String implements fmt.Stringer.
+func (s Side) String() string {
+	if s == Left {
+		return "left"
+	}
+	return "right"
+}
+
+// Other returns the opposite side.
+func (s Side) Other() Side {
+	if s == Left {
+		return Right
+	}
+	return Left
+}
+
+// Topology is an immutable generalized dining-philosopher system: a multigraph
+// with forks as nodes and philosophers as arcs. Construct one with a Builder
+// or one of the predefined constructors; a constructed Topology is safe for
+// concurrent read access.
+type Topology struct {
+	name     string
+	numForks int
+	// phils[p][Left], phils[p][Right] are the two forks of philosopher p.
+	phils [][2]ForkID
+	// at[f] lists the philosophers adjacent to fork f, in increasing order.
+	at [][]PhilID
+}
+
+// Builder incrementally constructs a Topology. The zero value is not usable;
+// call NewBuilder.
+type Builder struct {
+	name     string
+	numForks int
+	phils    [][2]ForkID
+	err      error
+}
+
+// NewBuilder returns a Builder for a topology with numForks forks and no
+// philosophers yet.
+func NewBuilder(name string, numForks int) *Builder {
+	b := &Builder{name: name, numForks: numForks}
+	if numForks < 2 {
+		b.err = fmt.Errorf("graph: topology %q needs at least 2 forks, got %d", name, numForks)
+	}
+	return b
+}
+
+// AddPhilosopher adds a philosopher whose left fork is left and right fork is
+// right, returning its PhilID. Errors (out-of-range or identical forks) are
+// deferred until Build.
+func (b *Builder) AddPhilosopher(left, right ForkID) PhilID {
+	id := PhilID(len(b.phils))
+	if b.err == nil {
+		switch {
+		case left == right:
+			b.err = fmt.Errorf("graph: philosopher %d in %q has identical left and right fork %d", id, b.name, left)
+		case left < 0 || int(left) >= b.numForks:
+			b.err = fmt.Errorf("graph: philosopher %d in %q has left fork %d out of range [0,%d)", id, b.name, left, b.numForks)
+		case right < 0 || int(right) >= b.numForks:
+			b.err = fmt.Errorf("graph: philosopher %d in %q has right fork %d out of range [0,%d)", id, b.name, right, b.numForks)
+		}
+	}
+	b.phils = append(b.phils, [2]ForkID{left, right})
+	return id
+}
+
+// Build validates the accumulated system and returns the immutable Topology.
+func (b *Builder) Build() (*Topology, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.phils) == 0 {
+		return nil, fmt.Errorf("graph: topology %q has no philosophers", b.name)
+	}
+	t := &Topology{
+		name:     b.name,
+		numForks: b.numForks,
+		phils:    make([][2]ForkID, len(b.phils)),
+		at:       make([][]PhilID, b.numForks),
+	}
+	copy(t.phils, b.phils)
+	for p, fks := range t.phils {
+		t.at[fks[Left]] = append(t.at[fks[Left]], PhilID(p))
+		t.at[fks[Right]] = append(t.at[fks[Right]], PhilID(p))
+	}
+	for f := range t.at {
+		sort.Slice(t.at[f], func(i, j int) bool { return t.at[f][i] < t.at[f][j] })
+	}
+	return t, nil
+}
+
+// MustBuild is like Build but panics on error. Intended for the predefined
+// constructors and tests, where a failure is a programming bug.
+func (b *Builder) MustBuild() *Topology {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns the topology's descriptive name.
+func (t *Topology) Name() string { return t.name }
+
+// NumForks returns the number of forks (nodes).
+func (t *Topology) NumForks() int { return t.numForks }
+
+// NumPhilosophers returns the number of philosophers (arcs).
+func (t *Topology) NumPhilosophers() int { return len(t.phils) }
+
+// Fork returns the fork on the given side of philosopher p.
+func (t *Topology) Fork(p PhilID, s Side) ForkID { return t.phils[p][s] }
+
+// Left returns philosopher p's left fork.
+func (t *Topology) Left(p PhilID) ForkID { return t.phils[p][Left] }
+
+// Right returns philosopher p's right fork.
+func (t *Topology) Right(p PhilID) ForkID { return t.phils[p][Right] }
+
+// Forks returns both forks of philosopher p as a two-element array
+// (index by Side).
+func (t *Topology) Forks(p PhilID) [2]ForkID { return t.phils[p] }
+
+// OtherFork returns the fork of philosopher p that is not f. It panics if f is
+// not adjacent to p.
+func (t *Topology) OtherFork(p PhilID, f ForkID) ForkID {
+	switch f {
+	case t.phils[p][Left]:
+		return t.phils[p][Right]
+	case t.phils[p][Right]:
+		return t.phils[p][Left]
+	}
+	panic(fmt.Sprintf("graph: fork %d is not adjacent to philosopher %d", f, p))
+}
+
+// SideOf returns which side of philosopher p fork f is on. It panics if f is
+// not adjacent to p.
+func (t *Topology) SideOf(p PhilID, f ForkID) Side {
+	switch f {
+	case t.phils[p][Left]:
+		return Left
+	case t.phils[p][Right]:
+		return Right
+	}
+	panic(fmt.Sprintf("graph: fork %d is not adjacent to philosopher %d", f, p))
+}
+
+// PhilosophersAt returns the philosophers adjacent to fork f in increasing
+// order. The returned slice must not be modified.
+func (t *Topology) PhilosophersAt(f ForkID) []PhilID { return t.at[f] }
+
+// Degree returns the number of philosophers sharing fork f.
+func (t *Topology) Degree(f ForkID) int { return len(t.at[f]) }
+
+// MaxDegree returns the maximum fork degree in the topology.
+func (t *Topology) MaxDegree() int {
+	max := 0
+	for f := range t.at {
+		if d := len(t.at[f]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Slot returns the index of philosopher p within PhilosophersAt(f), used by
+// simulators to store per-(fork, adjacent philosopher) bookkeeping in dense
+// arrays. It panics if p is not adjacent to f.
+func (t *Topology) Slot(f ForkID, p PhilID) int {
+	for i, q := range t.at[f] {
+		if q == p {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("graph: philosopher %d is not adjacent to fork %d", p, f))
+}
+
+// Neighbors returns the philosophers that share at least one fork with p,
+// excluding p itself, in increasing order without duplicates.
+func (t *Topology) Neighbors(p PhilID) []PhilID {
+	seen := make(map[PhilID]bool)
+	for _, f := range t.phils[p] {
+		for _, q := range t.at[f] {
+			if q != p {
+				seen[q] = true
+			}
+		}
+	}
+	out := make([]PhilID, 0, len(seen))
+	for q := range seen {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SharesForkWith reports whether philosophers p and q share a fork.
+func (t *Topology) SharesForkWith(p, q PhilID) bool {
+	if p == q {
+		return false
+	}
+	for _, fp := range t.phils[p] {
+		for _, fq := range t.phils[q] {
+			if fp == fq {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsClassicRing reports whether the topology is the classic dining-philosopher
+// ring: equal numbers of forks and philosophers, every fork shared by exactly
+// two philosophers, and the whole graph a single cycle.
+func (t *Topology) IsClassicRing() bool {
+	if t.numForks != len(t.phils) {
+		return false
+	}
+	for f := 0; f < t.numForks; f++ {
+		if t.Degree(ForkID(f)) != 2 {
+			return false
+		}
+	}
+	comps := t.connectedForkComponents()
+	return len(comps) == 1
+}
+
+// Validate re-checks the structural invariants of Definition 1: at least two
+// forks, at least one philosopher, every philosopher adjacent to two distinct
+// in-range forks. Builders already enforce this; Validate exists so that
+// topologies decoded from external input can be re-checked.
+func (t *Topology) Validate() error {
+	if t.numForks < 2 {
+		return fmt.Errorf("graph: topology %q has %d forks, need at least 2", t.name, t.numForks)
+	}
+	if len(t.phils) == 0 {
+		return fmt.Errorf("graph: topology %q has no philosophers", t.name)
+	}
+	for p, fks := range t.phils {
+		if fks[Left] == fks[Right] {
+			return fmt.Errorf("graph: philosopher %d has identical forks", p)
+		}
+		for _, f := range fks {
+			if f < 0 || int(f) >= t.numForks {
+				return fmt.Errorf("graph: philosopher %d references fork %d out of range", p, f)
+			}
+		}
+	}
+	return nil
+}
+
+// connectedForkComponents returns the connected components of the fork graph
+// (forks connected when some philosopher is adjacent to both) as slices of
+// fork IDs.
+func (t *Topology) connectedForkComponents() [][]ForkID {
+	visited := make([]bool, t.numForks)
+	var comps [][]ForkID
+	for start := 0; start < t.numForks; start++ {
+		if visited[start] {
+			continue
+		}
+		var comp []ForkID
+		stack := []ForkID{ForkID(start)}
+		visited[start] = true
+		for len(stack) > 0 {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, f)
+			for _, p := range t.at[f] {
+				g := t.OtherFork(p, f)
+				if !visited[g] {
+					visited[g] = true
+					stack = append(stack, g)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnected reports whether the fork graph is connected. Isolated forks
+// (degree zero) count as their own components.
+func (t *Topology) IsConnected() bool {
+	return len(t.connectedForkComponents()) == 1
+}
+
+// String returns a compact human-readable description.
+func (t *Topology) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d philosophers, %d forks", t.name, len(t.phils), t.numForks)
+	return b.String()
+}
+
+// DOT returns a Graphviz representation: forks are nodes, philosophers are
+// labelled edges. Useful for inspecting generated and reconstructed
+// topologies.
+func (t *Topology) DOT() string {
+	var b strings.Builder
+	b.WriteString("graph \"")
+	b.WriteString(t.name)
+	b.WriteString("\" {\n")
+	for f := 0; f < t.numForks; f++ {
+		fmt.Fprintf(&b, "  f%d [shape=point, label=\"f%d\"];\n", f, f)
+	}
+	for p, fks := range t.phils {
+		fmt.Fprintf(&b, "  f%d -- f%d [label=\"P%d\"];\n", fks[Left], fks[Right], p)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

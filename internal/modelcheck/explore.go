@@ -1,0 +1,336 @@
+// Package modelcheck explores the complete state space of small generalized
+// dining-philosopher systems and analyses it as a Markov decision process
+// (MDP): the adversary chooses which philosopher moves, the random draws of
+// the algorithms resolve probabilistically.
+//
+// The paper's positive and negative results are statements about this MDP:
+//
+//   - Theorems 1 and 2 assert that, on suitable topologies, there EXISTS a
+//     fair adversary under which LR1 (respectively LR2) makes no progress
+//     with positive probability.
+//   - Theorems 3 and 4 assert that under EVERY fair adversary GDP1 makes
+//     progress (and GDP2 serves every philosopher) with probability 1.
+//
+// The corresponding verifiable structure is an end component of the
+// "no protected philosopher eats" sub-MDP that offers an allowed action for
+// every philosopher: inside such a component the adversary can stay forever
+// with probability 1 while scheduling every philosopher infinitely often
+// (fairness), so its existence is exactly the negative result, and its
+// absence on every reachable part of the state space certifies the positive
+// result for the explored instance. FindStarvationTrap computes it.
+package modelcheck
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Options configures an exploration.
+type Options struct {
+	// MaxStates caps the number of distinct states explored; beyond it the
+	// exploration stops and the result is marked Truncated. Zero means
+	// DefaultMaxStates.
+	MaxStates int
+	// Protected is the set of philosophers whose meals count as "bad" for the
+	// starvation-trap analysis; nil or empty means all philosophers.
+	Protected []graph.PhilID
+	// Hunger overrides the AlwaysHungry workload (rarely useful: the paper's
+	// progress analysis assumes saturated demand).
+	Hunger sim.HungerModel
+}
+
+// DefaultMaxStates bounds explorations when Options.MaxStates is zero.
+const DefaultMaxStates = 2_000_000
+
+// transition is one (state, philosopher) action with its probabilistic
+// outcomes.
+type transition struct {
+	// succ[i] is the state index reached by outcome i.
+	succ []int32
+	// probs[i] is the probability of outcome i.
+	probs []float64
+}
+
+// StateSpace is the explored MDP.
+type StateSpace struct {
+	topo *graph.Topology
+	prog sim.Program
+
+	// NumPhils is the number of philosophers (actions per state).
+	NumPhils int
+	// trans[s][a] is the transition of philosopher a from state s.
+	trans [][]transition
+	// bad[s] reports whether a protected philosopher is eating in state s.
+	bad []bool
+	// anyEating[s] reports whether any philosopher is eating in state s.
+	anyEating []bool
+	// initial is the index of the initial state.
+	initial int
+	// Truncated reports whether MaxStates was hit; analyses on a truncated
+	// space are only valid for the explored fragment.
+	Truncated bool
+	// expanded[s] reports whether state s had its outgoing transitions fully
+	// computed. States discovered but not expanded (possible only when
+	// Truncated) are excluded from the safety analyses so that truncation can
+	// never fabricate a trap.
+	expanded []bool
+	// keys holds the canonical key of every state (index-aligned), kept for
+	// debugging and witness extraction.
+	keys []string
+}
+
+// NumStates returns the number of distinct states explored.
+func (ss *StateSpace) NumStates() int { return len(ss.trans) }
+
+// NumTransitions returns the total number of (state, philosopher) actions.
+func (ss *StateSpace) NumTransitions() int {
+	total := 0
+	for _, ts := range ss.trans {
+		total += len(ts)
+	}
+	return total
+}
+
+// NumBadStates returns the number of states in which a protected philosopher
+// is eating.
+func (ss *StateSpace) NumBadStates() int {
+	n := 0
+	for _, b := range ss.bad {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Explore builds the complete reachable state space of prog on topo.
+func Explore(topo *graph.Topology, prog sim.Program, opts Options) (*StateSpace, error) {
+	if topo == nil || prog == nil {
+		return nil, fmt.Errorf("modelcheck: Explore requires a topology and a program")
+	}
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	protected := make(map[graph.PhilID]bool)
+	for _, p := range opts.Protected {
+		protected[p] = true
+	}
+	isProtected := func(p graph.PhilID) bool {
+		return len(protected) == 0 || protected[p]
+	}
+
+	ss := &StateSpace{
+		topo:     topo,
+		prog:     prog,
+		NumPhils: topo.NumPhilosophers(),
+	}
+
+	initial := sim.NewWorld(topo)
+	if opts.Hunger != nil {
+		initial.Hunger = opts.Hunger
+	}
+	prog.Init(initial)
+
+	index := make(map[string]int)
+	type frontierEntry struct {
+		id int
+		w  *sim.World
+	}
+	var frontier []frontierEntry
+
+	intern := func(w *sim.World) (int, *sim.World, bool) {
+		key := w.Key()
+		if id, ok := index[key]; ok {
+			return id, nil, false
+		}
+		id := len(ss.trans)
+		index[key] = id
+		ss.trans = append(ss.trans, nil)
+		ss.expanded = append(ss.expanded, false)
+		ss.keys = append(ss.keys, key)
+		badHere := false
+		eatingHere := false
+		for p := range w.Phils {
+			if w.Phils[p].Phase == sim.Eating {
+				eatingHere = true
+				if isProtected(graph.PhilID(p)) {
+					badHere = true
+				}
+			}
+		}
+		ss.bad = append(ss.bad, badHere)
+		ss.anyEating = append(ss.anyEating, eatingHere)
+		return id, w, true
+	}
+
+	id, w0, _ := intern(initial)
+	ss.initial = id
+	frontier = append(frontier, frontierEntry{id: id, w: w0})
+
+	for len(frontier) > 0 {
+		entry := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+
+		transitions := make([]transition, ss.NumPhils)
+		for a := 0; a < ss.NumPhils; a++ {
+			pid := graph.PhilID(a)
+			// Outcomes must not mutate the world they are computed from, so
+			// the shared frontier world can be probed directly; each outcome
+			// is then applied to its own clone.
+			outcomes := prog.Outcomes(entry.w, pid)
+			tr := transition{
+				succ:  make([]int32, len(outcomes)),
+				probs: make([]float64, len(outcomes)),
+			}
+			for i := range outcomes {
+				succWorld := entry.w.Clone()
+				succOutcomes := prog.Outcomes(succWorld, pid)
+				if len(succOutcomes) != len(outcomes) {
+					return nil, fmt.Errorf("modelcheck: %s produced unstable outcome sets for P%d", prog.Name(), pid)
+				}
+				succOutcomes[i].Apply()
+				succWorld.Step++
+				succID, succW, isNew := intern(succWorld)
+				tr.succ[i] = int32(succID)
+				tr.probs[i] = outcomes[i].Prob
+				if isNew {
+					if len(ss.trans) > maxStates {
+						ss.Truncated = true
+						// Keep the partially built transition for consistency
+						// but stop expanding new states.
+						frontier = nil
+					} else {
+						frontier = append(frontier, frontierEntry{id: succID, w: succW})
+					}
+				}
+			}
+			transitions[a] = tr
+		}
+		ss.trans[entry.id] = transitions
+		ss.expanded[entry.id] = true
+		if ss.Truncated {
+			break
+		}
+	}
+
+	// States left unexpanded (nil transitions) get self-loops so that the
+	// analyses remain well defined on truncated spaces.
+	for s := range ss.trans {
+		if ss.trans[s] == nil {
+			ts := make([]transition, ss.NumPhils)
+			for a := range ts {
+				ts[a] = transition{succ: []int32{int32(s)}, probs: []float64{1}}
+			}
+			ss.trans[s] = ts
+		}
+	}
+	return ss, nil
+}
+
+// Reachable returns the set of states reachable from the initial state using
+// any actions and any outcomes, as a boolean slice indexed by state.
+func (ss *StateSpace) Reachable() []bool {
+	seen := make([]bool, ss.NumStates())
+	stack := []int{ss.initial}
+	seen[ss.initial] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, tr := range ss.trans[s] {
+			for _, succ := range tr.succ {
+				if !seen[succ] {
+					seen[succ] = true
+					stack = append(stack, int(succ))
+				}
+			}
+		}
+	}
+	return seen
+}
+
+// EatReachableFromEverywhere reports whether, from every reachable state, a
+// state in which some philosopher is eating remains reachable (existentially
+// over scheduling and randomness). A false answer exhibits a true dead end:
+// a region from which no meal can ever happen again under any scheduling —
+// for example the hold-and-wait deadlock of the colored-philosophers baseline
+// on an odd ring.
+func (ss *StateSpace) EatReachableFromEverywhere() bool {
+	return len(ss.DeadRegionStates()) == 0
+}
+
+// DeadRegionStates returns the reachable states from which no eating state is
+// reachable under any scheduling and any random outcomes.
+func (ss *StateSpace) DeadRegionStates() []int {
+	n := ss.NumStates()
+	// Backward reachability from eating states over the "some action/outcome"
+	// relation: build reverse adjacency implicitly by iterating forward.
+	canReach := make([]bool, n)
+	for s := 0; s < n; s++ {
+		if ss.anyEating[s] {
+			canReach[s] = true
+		}
+	}
+	// Iterate to fixpoint (the state graph is small enough for the quadratic
+	// worst case; typical convergence is a few passes).
+	changed := true
+	for changed {
+		changed = false
+		for s := 0; s < n; s++ {
+			if canReach[s] {
+				continue
+			}
+			for _, tr := range ss.trans[s] {
+				for _, succ := range tr.succ {
+					if canReach[succ] {
+						canReach[s] = true
+						changed = true
+						break
+					}
+				}
+				if canReach[s] {
+					break
+				}
+			}
+		}
+	}
+	reachable := ss.Reachable()
+	var dead []int
+	for s := 0; s < n; s++ {
+		if reachable[s] && !canReach[s] {
+			dead = append(dead, s)
+		}
+	}
+	return dead
+}
+
+// DeadlockStates returns the reachable states in which every action of every
+// philosopher is a self-loop: the system can never change state again. The
+// paper's algorithms have none; the naive hold-and-wait baselines do.
+func (ss *StateSpace) DeadlockStates() []int {
+	reachable := ss.Reachable()
+	var out []int
+	for s := 0; s < ss.NumStates(); s++ {
+		if !reachable[s] {
+			continue
+		}
+		stuck := true
+		for _, tr := range ss.trans[s] {
+			for _, succ := range tr.succ {
+				if int(succ) != s {
+					stuck = false
+					break
+				}
+			}
+			if !stuck {
+				break
+			}
+		}
+		if stuck {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package modelcheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func mustProg(t *testing.T, name string, opts algo.Options) sim.Program {
+	t.Helper()
+	prog, err := algo.New(name, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func runCheck(t *testing.T, topo *graph.Topology, algoName string, opts algo.Options, protected []graph.PhilID) *Report {
+	t.Helper()
+	rep, err := Check(topo, mustProg(t, algoName, opts), Options{Protected: protected})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Truncated {
+		t.Fatalf("%s on %s: exploration truncated; the instance is supposed to fit", algoName, topo.Name())
+	}
+	return rep
+}
+
+func TestExploreBasicProperties(t *testing.T) {
+	t.Parallel()
+	ss, err := Explore(graph.Ring(3), mustProg(t, "LR1", algo.Options{}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.NumStates() == 0 || ss.NumTransitions() == 0 {
+		t.Fatal("empty state space")
+	}
+	if ss.NumTransitions() != ss.NumStates()*3 {
+		t.Errorf("expected 3 actions per state, got %d transitions for %d states", ss.NumTransitions(), ss.NumStates())
+	}
+	if ss.NumBadStates() == 0 {
+		t.Error("the ring has reachable eating states")
+	}
+	reach := ss.Reachable()
+	count := 0
+	for _, r := range reach {
+		if r {
+			count++
+		}
+	}
+	if count != ss.NumStates() {
+		t.Errorf("only %d/%d states reachable; exploration should only produce reachable states", count, ss.NumStates())
+	}
+}
+
+func TestExploreRejectsNilArguments(t *testing.T) {
+	t.Parallel()
+	if _, err := Explore(nil, mustProg(t, "LR1", algo.Options{}), Options{}); err == nil {
+		t.Error("Explore accepted nil topology")
+	}
+	if _, err := Explore(graph.Ring(3), nil, Options{}); err == nil {
+		t.Error("Explore accepted nil program")
+	}
+}
+
+func TestExploreTruncation(t *testing.T) {
+	t.Parallel()
+	ss, err := Explore(graph.Ring(4), mustProg(t, "LR1", algo.Options{}), Options{MaxStates: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ss.Truncated {
+		t.Error("exploration with MaxStates 50 should truncate on Ring(4)")
+	}
+	// Truncated explorations must not fabricate traps out of unexpanded
+	// states: whatever the verdict, the analysis must not panic and any trap
+	// reported must consist of expanded states only.
+	trap := ss.FindStarvationTrap()
+	_ = trap
+}
+
+func TestNoDeadlocksForPaperAlgorithms(t *testing.T) {
+	t.Parallel()
+	for _, name := range []string{"LR1", "LR2", "GDP1", "GDP2"} {
+		rep := runCheck(t, graph.Theorem2Minimal(), name, algo.Options{}, nil)
+		if rep.DeadlockStates != 0 {
+			t.Errorf("%s: %d deadlock states on the theta graph; the paper's algorithms never wedge", name, rep.DeadlockStates)
+		}
+		if rep.DeadRegionStates != 0 {
+			t.Errorf("%s: %d states with no reachable meal", name, rep.DeadRegionStates)
+		}
+	}
+}
+
+func TestLR1NoTrapOnClassicRing(t *testing.T) {
+	t.Parallel()
+	// Lehmann & Rabin's original theorem: LR1 guarantees progress with
+	// probability 1 on the simple ring, so no fair adversary has a starvation
+	// trap against global progress.
+	rep := runCheck(t, graph.Ring(3), "LR1", algo.Options{}, nil)
+	if rep.FairAdversaryWins() {
+		t.Errorf("found a global-progress trap for LR1 on the classic ring:\n%s", rep)
+	}
+}
+
+func TestTheorem1LR1TrapOnRingWithExtraArc(t *testing.T) {
+	t.Parallel()
+	// Theorem 1: as soon as a ring fork is shared by an additional
+	// philosopher, a fair adversary can prevent the ring philosophers from
+	// ever eating. The minimal instance is a triangle plus one parallel arc.
+	ring := []graph.PhilID{0, 1, 2}
+	rep := runCheck(t, graph.Theorem1Minimal(), "LR1", algo.Options{}, ring)
+	if !rep.FairAdversaryWins() {
+		t.Errorf("Theorem 1: expected a starvation trap for LR1 on %s:\n%s", graph.Theorem1Minimal().Name(), rep)
+	}
+	// The same holds on the ring-with-pendant form, where the extra arc leads
+	// to a private fork.
+	rep2 := runCheck(t, graph.RingWithPendant(3), "LR1", algo.Options{}, ring)
+	if !rep2.FairAdversaryWins() {
+		t.Errorf("Theorem 1: expected a starvation trap for LR1 on %s:\n%s", graph.RingWithPendant(3).Name(), rep2)
+	}
+	// And LR1 even fails for global progress there (protect everyone).
+	rep3 := runCheck(t, graph.Theorem1Minimal(), "LR1", algo.Options{}, nil)
+	if !rep3.FairAdversaryWins() {
+		t.Errorf("expected a global-progress trap for LR1 on theorem1-minimal:\n%s", rep3)
+	}
+}
+
+func TestTheorem2LR2TrapOnThetaGraph(t *testing.T) {
+	t.Parallel()
+	// Theorem 2: with two forks joined by three internally disjoint paths a
+	// fair adversary defeats LR2 (and LR1) — here even for global progress.
+	for _, name := range []string{"LR1", "LR2"} {
+		rep := runCheck(t, graph.Theorem2Minimal(), name, algo.Options{}, nil)
+		if !rep.FairAdversaryWins() {
+			t.Errorf("Theorem 2: expected a starvation trap for %s on the theta graph:\n%s", name, rep)
+		}
+	}
+}
+
+func TestLR2SurvivesWhereOnlyTheorem1Applies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large LR2 state space skipped in -short mode")
+	}
+	t.Parallel()
+	// The paper notes that the Theorem 1 construction does not defeat LR2:
+	// once the extra philosopher has eaten, the guest book stops it from
+	// retaking the shared fork before the ring philosophers eat. On the
+	// ring-with-pendant topology (which has the Theorem 1 structure but not
+	// the Theorem 2 structure) LR2 has no starvation trap against the ring.
+	ring := []graph.PhilID{0, 1, 2}
+	rep := runCheck(t, graph.RingWithPendant(3), "LR2", algo.Options{}, ring)
+	if rep.FairAdversaryWins() {
+		t.Errorf("LR2 should not be defeatable on ring-with-pendant (no Theorem 2 structure):\n%s", rep)
+	}
+}
+
+func TestTheorem3GDP1NoProgressTrap(t *testing.T) {
+	t.Parallel()
+	// Theorem 3: GDP1 guarantees progress (someone eats) with probability 1
+	// under every fair adversary, on every topology. Verified exhaustively on
+	// the minimal counterexample topologies that defeat LR1/LR2.
+	for _, topo := range []*graph.Topology{graph.Theorem2Minimal(), graph.Theorem1Minimal(), graph.Ring(3)} {
+		rep := runCheck(t, topo, "GDP1", algo.Options{}, nil)
+		if rep.FairAdversaryWins() {
+			t.Errorf("Theorem 3: found a global-progress trap for GDP1 on %s:\n%s", topo.Name(), rep)
+		}
+	}
+}
+
+func TestGDP1IsNotLockoutFree(t *testing.T) {
+	t.Parallel()
+	// The paper's Section 5 motivation: GDP1 ensures progress but not
+	// lockout-freedom — a fair adversary can starve an individual philosopher.
+	rep := runCheck(t, graph.Theorem2Minimal(), "GDP1", algo.Options{}, []graph.PhilID{0})
+	if !rep.FairAdversaryWins() {
+		t.Errorf("expected an individual-starvation trap for GDP1 (it is not lockout-free):\n%s", rep)
+	}
+}
+
+func TestTheorem4GDP2LockoutFreedomOnTheta(t *testing.T) {
+	t.Parallel()
+	// Theorem 4 on the minimal generalized instance: no fair adversary can
+	// starve an individual GDP2 philosopher on the theta graph.
+	rep := runCheck(t, graph.Theorem2Minimal(), "GDP2", algo.Options{}, []graph.PhilID{0})
+	if rep.FairAdversaryWins() {
+		t.Errorf("Theorem 4: found an individual-starvation trap for GDP2 on the theta graph:\n%s", rep)
+	}
+}
+
+func TestGDP2FirstForkCourtesyGapOnClassicRing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large GDP2 state space skipped in -short mode")
+	}
+	t.Parallel()
+	// Reproduction finding: reading Tables 2/4 literally, the courtesy test
+	// Cond(fork) guards only the FIRST fork acquisition. On the classic ring
+	// a fair adversary can then starve an individual GDP2 philosopher by
+	// steering the fork numbers so that both neighbours always acquire their
+	// shared fork with the victim as their *second* fork, which is never
+	// courtesy-checked. Extending the courtesy test to both acquisitions
+	// removes the trap. EXPERIMENTS.md (E-T4) discusses the discrepancy with
+	// the paper's Theorem 4.
+	victim := []graph.PhilID{0}
+
+	asPrinted := runCheck(t, graph.Ring(3), "GDP2", algo.Options{}, victim)
+	if !asPrinted.FairAdversaryWins() {
+		t.Errorf("expected the first-fork-only courtesy reading of GDP2 to admit an individual-starvation trap on Ring(3):\n%s", asPrinted)
+	}
+
+	strengthened := runCheck(t, graph.Ring(3), "GDP2", algo.Options{CourtesyOnBothForks: true}, victim)
+	if strengthened.FairAdversaryWins() {
+		t.Errorf("GDP2 with courtesy on both forks should have no individual-starvation trap on Ring(3):\n%s", strengthened)
+	}
+}
+
+func TestLR2LockoutFreeOnClassicRing(t *testing.T) {
+	t.Parallel()
+	// Lehmann & Rabin's second algorithm is lockout-free on the classic ring;
+	// LR1 is not (it only guarantees progress).
+	lr2 := runCheck(t, graph.Ring(3), "LR2", algo.Options{}, []graph.PhilID{0})
+	if lr2.FairAdversaryWins() {
+		t.Errorf("LR2 should be lockout-free on the classic ring:\n%s", lr2)
+	}
+	lr1 := runCheck(t, graph.Ring(3), "LR1", algo.Options{}, []graph.PhilID{0})
+	if !lr1.FairAdversaryWins() {
+		t.Errorf("LR1 is not lockout-free even on the classic ring; expected an individual trap:\n%s", lr1)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	t.Parallel()
+	rep := runCheck(t, graph.Ring(3), "LR1", algo.Options{}, nil)
+	s := rep.String()
+	for _, want := range []string{"LR1", "ring-3", "states:", "VERDICT"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestNaiveBaselineDeadlocksAndOthersDoNot(t *testing.T) {
+	t.Parallel()
+	// The naive symmetric deterministic baseline (everyone left-first,
+	// hold-and-wait) deadlocks on every ring — Lehmann & Rabin's
+	// impossibility result in action. The model checker finds both true
+	// deadlock states and a non-empty dead region.
+	naive := runCheck(t, graph.Ring(3), "naive-left-first", algo.Options{}, nil)
+	if naive.DeadlockStates == 0 || naive.DeadRegionStates == 0 {
+		t.Errorf("expected the naive left-first baseline to deadlock on a ring:\n%s", naive)
+	}
+	// The colored and ordered-fork baselines are deadlock-free on the ring.
+	for _, name := range []string{"colored", "ordered-forks"} {
+		rep := runCheck(t, graph.Ring(3), name, algo.Options{}, nil)
+		if rep.DeadRegionStates != 0 || rep.DeadlockStates != 0 {
+			t.Errorf("%s should be deadlock-free on Ring(3): %+v", name, rep)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package modelcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Report bundles every analysis of one explored instance.
+type Report struct {
+	Topology  string
+	Algorithm string
+	Protected []graph.PhilID
+
+	States      int
+	Transitions int
+	BadStates   int
+	Truncated   bool
+
+	// DeadlockStates is the number of reachable states from which no
+	// philosopher can ever change the state again.
+	DeadlockStates int
+	// DeadRegionStates is the number of reachable states from which no meal
+	// is reachable under any scheduling (0 for all correct algorithms).
+	DeadRegionStates int
+	// Trap is the starvation-trap analysis (Theorems 1–4).
+	Trap Trap
+}
+
+// Check explores prog on topo and runs every analysis.
+func Check(topo *graph.Topology, prog sim.Program, opts Options) (*Report, error) {
+	ss, err := Explore(topo, prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Topology:         topo.Name(),
+		Algorithm:        prog.Name(),
+		Protected:        append([]graph.PhilID(nil), opts.Protected...),
+		States:           ss.NumStates(),
+		Transitions:      ss.NumTransitions(),
+		BadStates:        ss.NumBadStates(),
+		Truncated:        ss.Truncated,
+		DeadlockStates:   len(ss.DeadlockStates()),
+		DeadRegionStates: len(ss.DeadRegionStates()),
+		Trap:             ss.FindStarvationTrap(),
+	}
+	return rep, nil
+}
+
+// FairAdversaryWins reports the headline verdict: a fair adversary can, with
+// positive probability, starve the protected set forever.
+func (r *Report) FairAdversaryWins() bool {
+	return r.Trap.Exists && r.Trap.Reachable
+}
+
+// String renders a compact multi-line report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s", r.Algorithm, r.Topology)
+	if len(r.Protected) > 0 {
+		fmt.Fprintf(&b, " (protected: %v)", r.Protected)
+	}
+	fmt.Fprintf(&b, "\n  states: %d, transitions: %d, eating states (protected): %d",
+		r.States, r.Transitions, r.BadStates)
+	if r.Truncated {
+		b.WriteString(" [TRUNCATED]")
+	}
+	fmt.Fprintf(&b, "\n  deadlock states: %d, dead (no future meal) states: %d",
+		r.DeadlockStates, r.DeadRegionStates)
+	fmt.Fprintf(&b, "\n  safe region: %d states", r.Trap.SafeRegionStates)
+	if r.FairAdversaryWins() {
+		fmt.Fprintf(&b, "\n  VERDICT: a fair adversary can starve the protected set forever (trap of %d states)", r.Trap.States)
+	} else {
+		fmt.Fprintf(&b, "\n  VERDICT: no fair starvation trap exists (best coverage %d/%d philosophers)",
+			len(r.Trap.CoveredPhilosophers), philCount(r))
+	}
+	return b.String()
+}
+
+func philCount(r *Report) int {
+	// Transitions per state equal the number of philosophers; recover it from
+	// the ratio to avoid storing it twice.
+	if r.States == 0 {
+		return 0
+	}
+	return r.Transitions / r.States
+}

@@ -1,0 +1,278 @@
+package prng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	t.Parallel()
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("step %d: sources with equal seeds diverged: %d vs %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	t.Parallel()
+	a := New(1)
+	b := New(2)
+	same := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/%d identical outputs; streams should be unrelated", same, n)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	t.Parallel()
+	src := New(7)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := src.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d, out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntRange(t *testing.T) {
+	t.Parallel()
+	src := New(11)
+	counts := make(map[int]int)
+	for i := 0; i < 6000; i++ {
+		v := src.IntRange(1, 6)
+		if v < 1 || v > 6 {
+			t.Fatalf("IntRange(1,6) = %d out of range", v)
+		}
+		counts[v]++
+	}
+	for face := 1; face <= 6; face++ {
+		if counts[face] < 700 || counts[face] > 1300 {
+			t.Errorf("IntRange(1,6): face %d frequency %d far from uniform (expected ~1000)", face, counts[face])
+		}
+	}
+}
+
+func TestIntRangePanicsWhenInverted(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IntRange(3,2) did not panic")
+		}
+	}()
+	New(1).IntRange(3, 2)
+}
+
+func TestFloat64Range(t *testing.T) {
+	t.Parallel()
+	src := New(3)
+	sum := 0.0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		f := src.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("Float64 mean = %v, want about 0.5", mean)
+	}
+}
+
+func TestBoolExtremes(t *testing.T) {
+	t.Parallel()
+	src := New(5)
+	for i := 0; i < 100; i++ {
+		if src.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !src.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	t.Parallel()
+	src := New(6)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if src.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.25) > 0.02 {
+		t.Errorf("Bool(0.25) hit fraction %v, want about 0.25", frac)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	t.Parallel()
+	parent := New(9)
+	child := parent.Split()
+	same := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("parent and split child produced %d/%d identical outputs", same, n)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	t.Parallel()
+	a := New(9).Split()
+	b := New(9).Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split is not deterministic for equal parents")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	t.Parallel()
+	src := New(13)
+	for _, n := range []int{0, 1, 2, 5, 31, 100} {
+		p := src.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	t.Parallel()
+	src := New(17)
+	vals := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	src.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	got := 0
+	for _, v := range vals {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("Shuffle changed multiset: sum %d != %d", got, sum)
+	}
+}
+
+func TestWeightedRespectsZeroWeights(t *testing.T) {
+	t.Parallel()
+	src := New(19)
+	for i := 0; i < 1000; i++ {
+		idx := src.Weighted([]float64{0, 1, 0})
+		if idx != 1 {
+			t.Fatalf("Weighted([0,1,0]) = %d, want 1", idx)
+		}
+	}
+}
+
+func TestWeightedDistribution(t *testing.T) {
+	t.Parallel()
+	src := New(23)
+	counts := [3]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[src.Weighted([]float64{1, 2, 1})]++
+	}
+	frac1 := float64(counts[1]) / n
+	if math.Abs(frac1-0.5) > 0.02 {
+		t.Errorf("Weighted([1,2,1]) middle fraction %v, want about 0.5", frac1)
+	}
+}
+
+func TestWeightedPanicsWithoutPositiveWeight(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Weighted with all-zero weights did not panic")
+		}
+	}()
+	New(1).Weighted([]float64{0, 0})
+}
+
+func TestIntnUniformityProperty(t *testing.T) {
+	t.Parallel()
+	// Property: for any seed and any small n, 10n draws hit every residue class.
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%8) + 2
+		src := New(seed)
+		seen := make(map[int]bool)
+		for i := 0; i < 200*n; i++ {
+			seen[src.Intn(n)] = true
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint64HighBitVaries(t *testing.T) {
+	t.Parallel()
+	src := New(31)
+	ones := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if src.Uint64()>>63 == 1 {
+			ones++
+		}
+	}
+	if ones < n/3 || ones > 2*n/3 {
+		t.Errorf("high bit set %d/%d times; expected roughly half", ones, n)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	src := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = src.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	src := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = src.Intn(1000)
+	}
+}

@@ -1,0 +1,124 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	t.Parallel()
+	if _, err := Run(context.Background(), Config{Algorithm: GDP1}); err == nil {
+		t.Error("Run accepted a missing topology")
+	}
+	if _, err := Run(context.Background(), Config{Topology: graph.Ring(3), Algorithm: "nope"}); err == nil {
+		t.Error("Run accepted an unknown algorithm")
+	}
+}
+
+func TestAllAlgorithmsServeEveryoneOnClassicRing(t *testing.T) {
+	t.Parallel()
+	for _, alg := range Algorithms() {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			t.Parallel()
+			metrics, err := Run(context.Background(), Config{
+				Topology:                  graph.Ring(5),
+				Algorithm:                 alg,
+				TargetMealsPerPhilosopher: 3,
+				MaxDuration:               10 * time.Second,
+				Seed:                      1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(metrics.Starved) != 0 {
+				t.Fatalf("%s starved philosophers %v (meals %v)", alg, metrics.Starved, metrics.Meals)
+			}
+			for p, meals := range metrics.Meals {
+				if meals < 3 {
+					t.Errorf("%s: philosopher %d completed %d meals, want >= 3", alg, p, meals)
+				}
+			}
+			if metrics.JainIndex <= 0 || metrics.JainIndex > 1 {
+				t.Errorf("%s: implausible Jain index %v", alg, metrics.JainIndex)
+			}
+			if metrics.TotalMeals < 15 {
+				t.Errorf("%s: total meals %d, want >= 15", alg, metrics.TotalMeals)
+			}
+			if metrics.MealsPerSecond <= 0 {
+				t.Errorf("%s: throughput not recorded", alg)
+			}
+		})
+	}
+}
+
+func TestGDPAlgorithmsOnGeneralizedTopologies(t *testing.T) {
+	t.Parallel()
+	topos := []*graph.Topology{graph.Figure1A(), graph.Theorem2Minimal(), graph.RingWithChord(6, 3)}
+	for _, topo := range topos {
+		for _, alg := range []Algorithm{GDP1, GDP2} {
+			topo, alg := topo, alg
+			t.Run(topo.Name()+"/"+string(alg), func(t *testing.T) {
+				t.Parallel()
+				metrics, err := Run(context.Background(), Config{
+					Topology:                  topo,
+					Algorithm:                 alg,
+					TargetMealsPerPhilosopher: 2,
+					MaxDuration:               10 * time.Second,
+					Seed:                      7,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(metrics.Starved) != 0 {
+					t.Errorf("%s on %s starved %v", alg, topo.Name(), metrics.Starved)
+				}
+			})
+		}
+	}
+}
+
+func TestRunHonoursContextCancellation(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	metrics, err := Run(ctx, Config{
+		Topology:    graph.Ring(3),
+		Algorithm:   GDP1,
+		MaxDuration: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("Run did not stop promptly after cancellation")
+	}
+	_ = metrics
+}
+
+func TestRunDurationBound(t *testing.T) {
+	t.Parallel()
+	start := time.Now()
+	metrics, err := Run(context.Background(), Config{
+		Topology:    graph.Figure1B(),
+		Algorithm:   GDP2,
+		MaxDuration: 300 * time.Millisecond,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("run took %v, expected to stop near the 300ms bound", elapsed)
+	}
+	if metrics.TotalMeals == 0 {
+		t.Error("no meals completed within the duration bound")
+	}
+	if metrics.Duration <= 0 {
+		t.Error("duration not recorded")
+	}
+}

@@ -1,0 +1,358 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// GreedyLivelock is the adversarial scheduling strategy used to reproduce the
+// negative results of the paper (the Section 3 example and Theorems 1 and 2):
+// it tries to prevent every philosopher in a protected set from ever eating,
+// using only scheduling decisions (it cannot influence the random draws).
+//
+// The strategy distils the rotating walks of the paper's Figures 2 and 3 into
+// a priority rule evaluated on the full system state each step. Terminology:
+//
+//   - a protected philosopher is "dangerous" when it holds its first fork and
+//     its second fork is free — scheduling it would let it start eating;
+//   - a held fork is "covered" when some other philosopher is committed to it
+//     (a queued taker that will pick it up as soon as it is released);
+//   - a "reserve" is a hungry philosopher that neither holds nor has selected
+//     a fork — the only philosophers whose future commitment the adversary
+//     can still steer (by choosing when to schedule their random draw).
+//
+// Priorities (first match wins):
+//
+//  1. let a useful unprotected philosopher run (Theorem 1's walk repeatedly
+//     feeds the extra philosopher outside the ring so it keeps the shared
+//     fork busy);
+//  2. defuse: schedule a philosopher committed to a fork that a dangerous
+//     philosopher needs — it takes the fork away;
+//  3. safe take: schedule a philosopher committed to a free fork whose other
+//     fork is held (it can never reach a meal from there);
+//  4. steer a reserve adjacent to a dangerous fork (its draw may commit it to
+//     that fork; a wrong draw either parks it harmlessly on a held fork or
+//     enters the free-take/release retry loop of the paper's walk);
+//  5. cover: steer a reserve adjacent to an uncovered held fork, so that when
+//     the holder is eventually forced to release it there is a queued taker;
+//  6. advance a retry loop: a philosopher that holds a fork wanted by a
+//     queued taker and whose own second fork is held can release safely;
+//  7. wake thinking philosophers;
+//  8. burn time on parked philosophers (committed to a held fork — a pure
+//     busy-wait no-op);
+//  9. during the initial symmetric phase, advance reserves and committed
+//     philosophers to break the system into the pattern;
+//  10. only when every remaining choice would feed a protected philosopher
+//     does it concede.
+//
+// Wrap the advisor in BoundedFair (fixed fairness window, the honest choice
+// for finite experiments) or Stubborn (the paper's growing-stubbornness
+// construction) to obtain a fair scheduler.
+type GreedyLivelock struct {
+	// Protected is the set of philosophers that must not eat; nil or empty
+	// means every philosopher is protected (the Section 3 example).
+	Protected []graph.PhilID
+
+	protected map[graph.PhilID]bool
+}
+
+// NewGreedyLivelock returns the livelock advisor protecting the given
+// philosophers (all philosophers when none are given).
+func NewGreedyLivelock(protected ...graph.PhilID) *GreedyLivelock {
+	return &GreedyLivelock{Protected: protected}
+}
+
+// Name implements Advisor.
+func (g *GreedyLivelock) Name() string {
+	if len(g.Protected) == 0 {
+		return "greedy-livelock"
+	}
+	return fmt.Sprintf("greedy-livelock-%d-protected", len(g.Protected))
+}
+
+// isProtected reports whether p is in the protected set.
+func (g *GreedyLivelock) isProtected(p graph.PhilID) bool {
+	if len(g.Protected) == 0 {
+		return true
+	}
+	if g.protected == nil {
+		g.protected = make(map[graph.PhilID]bool, len(g.Protected))
+		for _, q := range g.Protected {
+			g.protected[q] = true
+		}
+	}
+	return g.protected[p]
+}
+
+// analysis is the per-step classification of the system state used by the
+// advisor's rules.
+type analysis struct {
+	dangerForks map[graph.ForkID]bool
+	anyDanger   bool
+	// committedTo[f] counts philosophers committed (but not holding) to f.
+	committedTo map[graph.ForkID]int
+	reserves    []graph.PhilID
+}
+
+func (g *GreedyLivelock) analyse(w *sim.World) analysis {
+	a := analysis{
+		dangerForks: make(map[graph.ForkID]bool),
+		committedTo: make(map[graph.ForkID]int),
+	}
+	for p := range w.Phils {
+		pid := graph.PhilID(p)
+		if g.isProtected(pid) && w.CouldEatNext(pid) {
+			a.dangerForks[w.SecondForkOf(pid)] = true
+			a.anyDanger = true
+		}
+		if w.IsCommitted(pid) {
+			a.committedTo[w.FirstForkOf(pid)]++
+		}
+		st := &w.Phils[pid]
+		if st.Phase == sim.Hungry && !st.HasFirst && !w.IsCommitted(pid) {
+			a.reserves = append(a.reserves, pid)
+		}
+	}
+	return a
+}
+
+// oldest returns the candidate that was scheduled least recently, so that the
+// advisor's voluntary choices keep everyone's fairness clock reset and no
+// burst of forced schedulings (over which the advisor has no control) ever
+// builds up. Returns graph.NoPhil for an empty candidate list.
+func oldest(w *sim.World, candidates []graph.PhilID) graph.PhilID {
+	best := graph.NoPhil
+	var bestLast int64
+	for _, pid := range candidates {
+		last := int64(-1)
+		if int(pid) < len(w.LastScheduled) {
+			last = w.LastScheduled[pid]
+		}
+		if best == graph.NoPhil || last < bestLast {
+			best = pid
+			bestLast = last
+		}
+	}
+	return best
+}
+
+// steerTarget picks a reserve adjacent to fork f, preferring reserves whose
+// other fork is free (a wrong draw then leads back to the choice step via the
+// take/fail/release retry loop, so the steering can be repeated) and
+// unprotected reserves. Returns graph.NoPhil when no reserve is adjacent.
+func (g *GreedyLivelock) steerTarget(w *sim.World, an analysis, f graph.ForkID) graph.PhilID {
+	best := graph.NoPhil
+	bestScore := -1
+	for _, pid := range an.reserves {
+		left, right := w.Topo.Left(pid), w.Topo.Right(pid)
+		if left != f && right != f {
+			continue
+		}
+		other := left
+		if other == f {
+			other = right
+		}
+		score := 0
+		if w.IsFree(other) {
+			score += 2 // retriable steering
+		}
+		if !g.isProtected(pid) {
+			score++
+		}
+		if score > bestScore {
+			bestScore = score
+			best = pid
+		}
+	}
+	return best
+}
+
+// Advise implements Advisor.
+func (g *GreedyLivelock) Advise(w *sim.World) graph.PhilID {
+	n := len(w.Phils)
+	an := g.analyse(w)
+
+	// Rule 1: useful unprotected philosopher.
+	var rule1 []graph.PhilID
+	for p := 0; p < n; p++ {
+		pid := graph.PhilID(p)
+		if g.isProtected(pid) {
+			continue
+		}
+		st := &w.Phils[pid]
+		switch {
+		case st.Phase == sim.Eating,
+			w.CouldEatNext(pid),
+			an.anyDanger && w.IsCommitted(pid) && an.dangerForks[st.First],
+			an.anyDanger && st.Phase == sim.Hungry && !st.HasFirst && !w.IsCommitted(pid) &&
+				(an.dangerForks[w.Topo.Left(pid)] || an.dangerForks[w.Topo.Right(pid)]):
+			rule1 = append(rule1, pid)
+		}
+	}
+	if pid := oldest(w, rule1); pid != graph.NoPhil {
+		return pid
+	}
+
+	// Rule 2: defuse — take a dangerous fork away from the endangered holder.
+	if an.anyDanger {
+		var defusers []graph.PhilID
+		for p := 0; p < n; p++ {
+			pid := graph.PhilID(p)
+			if w.IsCommitted(pid) && an.dangerForks[w.FirstForkOf(pid)] && w.IsFree(w.FirstForkOf(pid)) {
+				defusers = append(defusers, pid)
+			}
+		}
+		if pid := oldest(w, defusers); pid != graph.NoPhil {
+			return pid
+		}
+	}
+
+	// Rule 3: safe take — committed to a free fork, other fork held.
+	var takers []graph.PhilID
+	for p := 0; p < n; p++ {
+		pid := graph.PhilID(p)
+		if !w.IsCommitted(pid) {
+			continue
+		}
+		if w.IsFree(w.FirstForkOf(pid)) && !w.IsFree(w.SecondForkOf(pid)) {
+			takers = append(takers, pid)
+		}
+	}
+	if pid := oldest(w, takers); pid != graph.NoPhil {
+		return pid
+	}
+
+	// Rule 4: steer a reserve towards a dangerous fork.
+	if an.anyDanger {
+		for f := range an.dangerForks {
+			if target := g.steerTarget(w, an, f); target != graph.NoPhil {
+				return target
+			}
+		}
+	}
+
+	// Rule 5: cover — make sure every held fork has a queued taker before its
+	// holder is forced to release it.
+	for f := 0; f < w.Topo.NumForks(); f++ {
+		fid := graph.ForkID(f)
+		if w.IsFree(fid) || an.committedTo[fid] > 0 {
+			continue
+		}
+		if target := g.steerTarget(w, an, fid); target != graph.NoPhil {
+			return target
+		}
+	}
+
+	// Rule 6: advance a retry loop — a philosopher holding a fork that a
+	// queued taker wants, with its own second fork held, can release safely.
+	var retriers []graph.PhilID
+	for p := 0; p < n; p++ {
+		pid := graph.PhilID(p)
+		if !w.HoldsOnlyFirst(pid) {
+			continue
+		}
+		first := w.FirstForkOf(pid)
+		second := w.SecondForkOf(pid)
+		if !w.IsFree(second) && an.committedTo[first] > 0 {
+			retriers = append(retriers, pid)
+		}
+	}
+	if pid := oldest(w, retriers); pid != graph.NoPhil {
+		return pid
+	}
+
+	// Rules 7+8: harmless time-burners — thinking philosophers and parked
+	// philosophers (committed to a held fork, a pure busy-wait). Scheduling
+	// the least recently scheduled one keeps fairness pressure from building
+	// up behind the adversary's back.
+	var idle []graph.PhilID
+	for p := 0; p < n; p++ {
+		pid := graph.PhilID(p)
+		if w.Phils[pid].Phase == sim.Thinking {
+			idle = append(idle, pid)
+			continue
+		}
+		if w.IsCommitted(pid) && !w.IsFree(w.FirstForkOf(pid)) {
+			idle = append(idle, pid)
+		}
+	}
+	if pid := oldest(w, idle); pid != graph.NoPhil {
+		return pid
+	}
+
+	// Rule 9: pattern formation. While no fork is held, the adversary builds
+	// the walk's starting configuration: it first steers reserves so that
+	// every fork has a committed prospective holder (the paper's State 1 has
+	// one philosopher committed to each fork), and only then lets a committed
+	// philosopher take its fork — the resulting chain of "dangerous" holders
+	// resolves through rules 2 and 3 because every needed fork has a taker.
+	heldCount := 0
+	for f := 0; f < w.Topo.NumForks(); f++ {
+		if !w.IsFree(graph.ForkID(f)) {
+			heldCount++
+		}
+	}
+	if heldCount == 0 {
+		for f := 0; f < w.Topo.NumForks(); f++ {
+			fid := graph.ForkID(f)
+			if an.committedTo[fid] > 0 {
+				continue
+			}
+			if target := g.steerTarget(w, an, fid); target != graph.NoPhil {
+				return target
+			}
+		}
+		var committed []graph.PhilID
+		for p := 0; p < n; p++ {
+			pid := graph.PhilID(p)
+			if w.IsCommitted(pid) {
+				committed = append(committed, pid)
+			}
+		}
+		if pid := oldest(w, committed); pid != graph.NoPhil {
+			return pid
+		}
+	}
+
+	// Rule 9b: nothing better to do — advance reserves and committed
+	// philosophers (oldest first) to keep the system moving.
+	var breaking []graph.PhilID
+	for p := 0; p < n; p++ {
+		pid := graph.PhilID(p)
+		st := &w.Phils[pid]
+		if st.Phase == sim.Hungry && !st.HasFirst {
+			breaking = append(breaking, pid)
+		}
+	}
+	if pid := oldest(w, breaking); pid != graph.NoPhil {
+		return pid
+	}
+
+	// Rule 10: a philosopher holding its first fork with the second held can
+	// always be scheduled safely even without a queued taker.
+	var holders []graph.PhilID
+	for p := 0; p < n; p++ {
+		pid := graph.PhilID(p)
+		if w.HoldsOnlyFirst(pid) && !w.IsFree(w.SecondForkOf(pid)) {
+			holders = append(holders, pid)
+		}
+	}
+	if pid := oldest(w, holders); pid != graph.NoPhil {
+		return pid
+	}
+
+	// Rule 11: everything left is dangerous or eating; concede.
+	var rest []graph.PhilID
+	for p := 0; p < n; p++ {
+		pid := graph.PhilID(p)
+		if !w.CouldEatNext(pid) && !w.IsEating(pid) {
+			rest = append(rest, pid)
+		}
+	}
+	if pid := oldest(w, rest); pid != graph.NoPhil {
+		return pid
+	}
+	return 0
+}

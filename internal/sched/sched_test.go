@@ -1,0 +1,265 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/prng"
+	"repro/internal/sim"
+)
+
+// countingProgram is a trivial program for scheduler unit tests: every action
+// is a no-op.
+type countingProgram struct{}
+
+func (countingProgram) Name() string    { return "counting" }
+func (countingProgram) Init(*sim.World) {}
+func (countingProgram) Symmetric() bool { return true }
+func (countingProgram) Outcomes(w *sim.World, p graph.PhilID) []sim.Outcome {
+	return []sim.Outcome{{Prob: 1, Label: "noop", Apply: func() {}}}
+}
+
+func TestRoundRobinCyclesThroughAll(t *testing.T) {
+	t.Parallel()
+	w := sim.NewWorld(graph.Ring(4))
+	s := NewRoundRobin()
+	var got []graph.PhilID
+	for i := 0; i < 8; i++ {
+		got = append(got, s.Next(w))
+	}
+	want := []graph.PhilID{0, 1, 2, 3, 0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round robin sequence %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUniformRandomCoversEveryone(t *testing.T) {
+	t.Parallel()
+	w := sim.NewWorld(graph.Ring(5))
+	s := NewUniformRandom(prng.New(1))
+	seen := map[graph.PhilID]int{}
+	for i := 0; i < 2000; i++ {
+		seen[s.Next(w)]++
+	}
+	for p := 0; p < 5; p++ {
+		if seen[graph.PhilID(p)] < 200 {
+			t.Errorf("philosopher %d scheduled only %d/2000 times", p, seen[graph.PhilID(p)])
+		}
+	}
+}
+
+func TestStickySchedulesBursts(t *testing.T) {
+	t.Parallel()
+	w := sim.NewWorld(graph.Ring(3))
+	s := NewSticky(4)
+	var got []graph.PhilID
+	for i := 0; i < 12; i++ {
+		got = append(got, s.Next(w))
+	}
+	for i := 0; i < 4; i++ {
+		if got[i] != 0 || got[4+i] != 1 || got[8+i] != 2 {
+			t.Fatalf("sticky sequence %v not in bursts of 4", got)
+		}
+	}
+	if NewSticky(0).Burst != 1 {
+		t.Error("NewSticky should clamp burst to at least 1")
+	}
+}
+
+func TestHungryFirstPrefersBusyPhilosophers(t *testing.T) {
+	t.Parallel()
+	w := sim.NewWorld(graph.Ring(4))
+	w.BecomeHungry(2)
+	s := NewHungryFirst(prng.New(3))
+	for i := 0; i < 50; i++ {
+		if got := s.Next(w); got != 2 {
+			t.Fatalf("hungry-first scheduled %d while only philosopher 2 is hungry", got)
+		}
+	}
+	// With nobody hungry it still returns someone valid.
+	w2 := sim.NewWorld(graph.Ring(4))
+	if got := s.Next(w2); got < 0 || int(got) >= 4 {
+		t.Fatalf("hungry-first returned invalid philosopher %d", got)
+	}
+}
+
+func TestPrioritySchedulerReturnsHighestPriority(t *testing.T) {
+	t.Parallel()
+	w := sim.NewWorld(graph.Ring(4))
+	s := NewPriority(3, 1)
+	if got := s.Next(w); got != 3 {
+		t.Errorf("priority scheduler returned %d, want 3", got)
+	}
+	if got := NewPriority().Next(w); got != 0 {
+		t.Errorf("priority scheduler with empty order returned %d, want 0", got)
+	}
+}
+
+func TestFairnessMonitorMeasuresGaps(t *testing.T) {
+	t.Parallel()
+	topo := graph.Ring(3)
+	w := sim.NewWorld(topo)
+	mon := NewFairnessMonitor(NewRoundRobin())
+	for i := 0; i < 30; i++ {
+		mon.Next(w)
+	}
+	if !mon.EveryoneScheduled() {
+		t.Error("round robin should have scheduled everyone")
+	}
+	if got := mon.MaxGap(); got != 3 {
+		t.Errorf("round robin max gap = %d, want 3", got)
+	}
+	if mon.Steps() != 30 {
+		t.Errorf("Steps = %d, want 30", mon.Steps())
+	}
+	if mon.ScheduledCount(0) != 10 {
+		t.Errorf("ScheduledCount(0) = %d, want 10", mon.ScheduledCount(0))
+	}
+	if mon.Report() == "" {
+		t.Error("empty fairness report")
+	}
+}
+
+func TestFairnessMonitorDetectsUnfairness(t *testing.T) {
+	t.Parallel()
+	w := sim.NewWorld(graph.Ring(3))
+	unfair := sim.SchedulerFunc{SchedulerName: "stuck", NextFunc: func(*sim.World) graph.PhilID { return 0 }}
+	mon := NewFairnessMonitor(unfair)
+	for i := 0; i < 100; i++ {
+		mon.Next(w)
+	}
+	if mon.EveryoneScheduled() {
+		t.Error("monitor claims everyone was scheduled under a stuck scheduler")
+	}
+	if mon.MaxGap() < 100 {
+		t.Errorf("MaxGap = %d, want >= 100 for never-scheduled philosophers", mon.MaxGap())
+	}
+	if mon.GapOf(1) < 100 {
+		t.Errorf("GapOf(1) = %d, want >= 100", mon.GapOf(1))
+	}
+}
+
+func TestStubbornForcesFairness(t *testing.T) {
+	t.Parallel()
+	// An advisor that always wants philosopher 0; the stubborn wrapper must
+	// still schedule everyone.
+	adv := AdvisorFunc{AdvisorName: "always-0", AdviseFunc: func(*sim.World) graph.PhilID { return 0 }}
+	s := NewStubborn(adv)
+	topo := graph.Ring(4)
+	res, err := sim.Run(topo, countingProgram{}, s, prng.New(1), sim.RunOptions{MaxSteps: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, c := range res.ScheduledCount {
+		if c == 0 {
+			t.Errorf("stubborn wrapper never scheduled philosopher %d", p)
+		}
+	}
+	if s.ForcedCount() == 0 {
+		t.Error("stubborn wrapper should have been forced at least once")
+	}
+	if s.Window() <= DefaultWindow {
+		t.Errorf("window should have grown beyond %d, got %d", DefaultWindow, s.Window())
+	}
+}
+
+func TestBoundedFairRespectsWindow(t *testing.T) {
+	t.Parallel()
+	adv := AdvisorFunc{AdvisorName: "always-0", AdviseFunc: func(*sim.World) graph.PhilID { return 0 }}
+	s := NewBoundedFair(adv, 50)
+	mon := NewFairnessMonitor(s)
+	topo := graph.Ring(5)
+	res, err := sim.Run(topo, countingProgram{}, mon, prng.New(1), sim.RunOptions{MaxSteps: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxScheduleGap > 55 {
+		t.Errorf("bounded-fair(50) produced a scheduling gap of %d", res.MaxScheduleGap)
+	}
+	if s.ForcedCount() == 0 {
+		t.Error("bounded-fair should have forced schedulings against the stubborn advisor")
+	}
+	if got := NewBoundedFair(adv, 0).window(); got != DefaultBoundedWindow {
+		t.Errorf("default window = %d, want %d", got, DefaultBoundedWindow)
+	}
+}
+
+func TestReplayFollowsSequenceThenFallsBack(t *testing.T) {
+	t.Parallel()
+	w := sim.NewWorld(graph.Ring(3))
+	r := NewReplay(false, 2, 2, 1)
+	got := []graph.PhilID{r.Next(w), r.Next(w), r.Next(w), r.Next(w), r.Next(w)}
+	want := []graph.PhilID{2, 2, 1, 0, 1} // falls back to round robin
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replay sequence %v, want %v", got, want)
+		}
+	}
+	loop := NewReplay(true, 1, 2)
+	for i := 0; i < 10; i++ {
+		p := loop.Next(w)
+		if p != 1 && p != 2 {
+			t.Fatalf("looping replay escaped its sequence: %d", p)
+		}
+	}
+}
+
+func TestScriptedDirectives(t *testing.T) {
+	t.Parallel()
+	topo := graph.Ring(3)
+	w := sim.NewWorld(topo)
+	hungryCount := 0
+	s := NewScripted(false,
+		Directive{Phil: 1, Budget: 3},
+		Directive{Phil: 2, Until: func(w *sim.World) bool { return hungryCount >= 2 }},
+	)
+	var seq []graph.PhilID
+	for i := 0; i < 8; i++ {
+		p := s.Next(w)
+		seq = append(seq, p)
+		if p == 2 {
+			hungryCount++
+		}
+	}
+	// First 3 schedulings of philosopher 1, then philosopher 2 until the
+	// condition (checked before each subsequent scheduling) holds, then the
+	// round-robin fallback.
+	if seq[0] != 1 || seq[1] != 1 || seq[2] != 1 {
+		t.Fatalf("scripted sequence %v should start with three schedulings of P1", seq)
+	}
+	if seq[3] != 2 || seq[4] != 2 {
+		t.Fatalf("scripted sequence %v should continue with P2", seq)
+	}
+	if !s.Exhausted() {
+		t.Error("script should be exhausted after its directives completed")
+	}
+	if s.String() == "" {
+		t.Error("empty script description")
+	}
+}
+
+func TestGreedyLivelockReturnsValidPhilosophers(t *testing.T) {
+	t.Parallel()
+	// Whatever the state, the advisor must return a valid philosopher.
+	topo := graph.Figure1A()
+	adv := NewGreedyLivelock()
+	w := sim.NewWorld(topo)
+	rng := prng.New(5)
+	for i := 0; i < 200; i++ {
+		p := adv.Advise(w)
+		if int(p) < 0 || int(p) >= topo.NumPhilosophers() {
+			t.Fatalf("advisor returned invalid philosopher %d", p)
+		}
+		// Drive the world with a random scheduler so states vary.
+		q := graph.PhilID(rng.Intn(topo.NumPhilosophers()))
+		st := &w.Phils[q]
+		if st.Phase == sim.Thinking {
+			w.BecomeHungry(q)
+		}
+	}
+	if NewGreedyLivelock().Name() == "" || NewGreedyLivelock(1, 2).Name() == "" {
+		t.Error("advisor names empty")
+	}
+}

@@ -1,0 +1,149 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Replay schedules a fixed sequence of philosophers and then either loops the
+// sequence or falls back to another scheduler. It is used in tests and for
+// replaying manually constructed walks such as the state sequences of the
+// paper's figures.
+type Replay struct {
+	// Sequence is the list of philosophers to schedule, in order.
+	Sequence []graph.PhilID
+	// Loop repeats the sequence forever when true; otherwise Fallback (or
+	// round-robin if nil) takes over after the sequence is exhausted.
+	Loop bool
+	// Fallback is consulted after a non-looping sequence ends.
+	Fallback sim.Scheduler
+
+	pos int
+}
+
+// NewReplay returns a Replay scheduler over the given sequence.
+func NewReplay(loop bool, sequence ...graph.PhilID) *Replay {
+	return &Replay{Sequence: sequence, Loop: loop}
+}
+
+// Name implements sim.Scheduler.
+func (*Replay) Name() string { return "replay" }
+
+// Next implements sim.Scheduler.
+func (r *Replay) Next(w *sim.World) graph.PhilID {
+	if len(r.Sequence) == 0 {
+		return r.fallback(w)
+	}
+	if r.pos >= len(r.Sequence) {
+		if !r.Loop {
+			return r.fallback(w)
+		}
+		r.pos = 0
+	}
+	p := r.Sequence[r.pos]
+	r.pos++
+	if int(p) < 0 || int(p) >= len(w.Phils) {
+		return 0
+	}
+	return p
+}
+
+func (r *Replay) fallback(w *sim.World) graph.PhilID {
+	if r.Fallback == nil {
+		r.Fallback = NewRoundRobin()
+	}
+	return r.Fallback.Next(w)
+}
+
+// Directive is one step of a Scripted adversary: keep scheduling Phil until
+// Until holds (evaluated after each of Phil's actions) or Budget actions have
+// been spent. A nil Until with Budget b schedules Phil exactly b times.
+type Directive struct {
+	// Phil is the philosopher to schedule.
+	Phil graph.PhilID
+	// Until, when non-nil, ends the directive as soon as it evaluates true.
+	Until func(w *sim.World) bool
+	// Budget bounds the number of schedulings (0 means 1).
+	Budget int
+}
+
+// defaultDirectiveBudget bounds condition-driven directives whose Budget is
+// left at zero, so a condition that never becomes true cannot hang the
+// adversary in an unfair loop.
+const defaultDirectiveBudget = 1024
+
+// Scripted executes a list of directives, such as the "schedule P4 until he
+// commits to the fork taken by P3" steps of the Section 3 walk, then hands
+// over to Fallback (round-robin if nil). Optionally the directive list loops.
+type Scripted struct {
+	// Directives is the program of the adversary.
+	Directives []Directive
+	// Loop restarts the directive list after the last directive completes.
+	Loop bool
+	// Fallback takes over when the script is exhausted and Loop is false.
+	Fallback sim.Scheduler
+
+	idx   int
+	spent int
+	done  bool
+}
+
+// NewScripted returns a Scripted adversary over the given directives.
+func NewScripted(loop bool, directives ...Directive) *Scripted {
+	return &Scripted{Directives: directives, Loop: loop}
+}
+
+// Name implements sim.Scheduler.
+func (*Scripted) Name() string { return "scripted" }
+
+// Exhausted reports whether the script has run out of directives (and is now
+// delegating to the fallback).
+func (s *Scripted) Exhausted() bool { return s.done }
+
+// Next implements sim.Scheduler.
+func (s *Scripted) Next(w *sim.World) graph.PhilID {
+	for !s.done {
+		if s.idx >= len(s.Directives) {
+			if s.Loop && len(s.Directives) > 0 {
+				s.idx, s.spent = 0, 0
+				continue
+			}
+			s.done = true
+			break
+		}
+		d := s.Directives[s.idx]
+		budget := d.Budget
+		if budget <= 0 {
+			if d.Until != nil {
+				budget = defaultDirectiveBudget
+			} else {
+				budget = 1
+			}
+		}
+		// Directive finished by condition or budget?
+		if d.Until != nil && s.spent > 0 && d.Until(w) {
+			s.idx, s.spent = s.idx+1, 0
+			continue
+		}
+		if s.spent >= budget {
+			s.idx, s.spent = s.idx+1, 0
+			continue
+		}
+		s.spent++
+		if int(d.Phil) < 0 || int(d.Phil) >= len(w.Phils) {
+			return 0
+		}
+		return d.Phil
+	}
+	if s.Fallback == nil {
+		s.Fallback = NewRoundRobin()
+	}
+	return s.Fallback.Next(w)
+}
+
+// String describes the script for diagnostics.
+func (s *Scripted) String() string {
+	return fmt.Sprintf("scripted adversary: %d directives, loop=%t", len(s.Directives), s.Loop)
+}

@@ -1,0 +1,140 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Advisor encodes a (possibly unfair) adversarial scheduling strategy: given
+// the full state of the system it suggests which philosopher it would like to
+// schedule next. Advisors are turned into fair schedulers by the Stubborn
+// wrapper.
+type Advisor interface {
+	// Name identifies the strategy.
+	Name() string
+	// Advise returns the philosopher the strategy wants to schedule next.
+	Advise(w *sim.World) graph.PhilID
+}
+
+// AdvisorFunc adapts a function to the Advisor interface.
+type AdvisorFunc struct {
+	AdvisorName string
+	AdviseFunc  func(w *sim.World) graph.PhilID
+}
+
+// Name implements Advisor.
+func (a AdvisorFunc) Name() string { return a.AdvisorName }
+
+// Advise implements Advisor.
+func (a AdvisorFunc) Advise(w *sim.World) graph.PhilID { return a.AdviseFunc(w) }
+
+// Stubborn turns an Advisor into a fair scheduler using the construction of
+// Section 3 of the paper: the adversary follows its strategy, but it may
+// ignore a given philosopher only for a bounded number of steps (the current
+// "level of stubbornness"); whenever the bound forces it to schedule a
+// philosopher it did not want to schedule, the bound for subsequent rounds is
+// increased, so that the probability that the adversary is never forced again
+// remains bounded away from zero while every computation it produces is fair.
+type Stubborn struct {
+	// Advisor is the wrapped strategy.
+	Advisor Advisor
+	// InitialWindow is the initial bound on how many consecutive steps a
+	// philosopher may be ignored (minimum 1). Zero means DefaultWindow.
+	InitialWindow int64
+	// Growth is the factor by which the window grows after every forced
+	// scheduling; values <= 1 mean DefaultGrowth.
+	Growth float64
+
+	window    int64
+	lastSched []int64
+	step      int64
+	forced    int64
+}
+
+// DefaultWindow is the initial stubbornness bound used when none is given.
+const DefaultWindow = 64
+
+// DefaultGrowth is the window growth factor used when none is given.
+const DefaultGrowth = 2.0
+
+// NewStubborn wraps advisor in a Stubborn scheduler with default parameters.
+func NewStubborn(advisor Advisor) *Stubborn {
+	return &Stubborn{Advisor: advisor}
+}
+
+// Name implements sim.Scheduler.
+func (s *Stubborn) Name() string {
+	return fmt.Sprintf("stubborn(%s)", s.Advisor.Name())
+}
+
+// ForcedCount returns how many scheduling decisions were forced by the
+// fairness bound rather than chosen by the advisor.
+func (s *Stubborn) ForcedCount() int64 { return s.forced }
+
+// Window returns the current stubbornness bound.
+func (s *Stubborn) Window() int64 {
+	if s.window == 0 {
+		if s.InitialWindow > 0 {
+			return s.InitialWindow
+		}
+		return DefaultWindow
+	}
+	return s.window
+}
+
+// Next implements sim.Scheduler.
+func (s *Stubborn) Next(w *sim.World) graph.PhilID {
+	n := len(w.Phils)
+	if s.lastSched == nil {
+		s.lastSched = make([]int64, n)
+		for i := range s.lastSched {
+			s.lastSched[i] = -1
+		}
+		s.window = s.InitialWindow
+		if s.window <= 0 {
+			s.window = DefaultWindow
+		}
+	}
+	growth := s.Growth
+	if growth <= 1 {
+		growth = DefaultGrowth
+	}
+
+	// Fairness pressure: if some philosopher has waited at least the current
+	// window, schedule the longest-waiting one and grow the window.
+	forcedPhil := graph.NoPhil
+	var worstGap int64 = -1
+	for p := 0; p < n; p++ {
+		var gap int64
+		if s.lastSched[p] < 0 {
+			gap = s.step + 1
+		} else {
+			gap = s.step - s.lastSched[p]
+		}
+		if gap >= s.window && gap > worstGap {
+			worstGap = gap
+			forcedPhil = graph.PhilID(p)
+		}
+	}
+
+	var choice graph.PhilID
+	if forcedPhil != graph.NoPhil {
+		choice = forcedPhil
+		s.forced++
+		next := int64(float64(s.window) * growth)
+		if next <= s.window {
+			next = s.window + 1
+		}
+		s.window = next
+	} else {
+		choice = s.Advisor.Advise(w)
+		if int(choice) < 0 || int(choice) >= n {
+			choice = 0
+		}
+	}
+	s.lastSched[choice] = s.step
+	s.step++
+	return choice
+}

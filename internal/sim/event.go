@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// EventKind classifies the atomic actions of the algorithms.
+type EventKind uint8
+
+const (
+	// EventScheduled records that the adversary scheduled a philosopher
+	// (emitted once per step by the engine before the action is applied).
+	EventScheduled EventKind = iota
+	// EventBecameHungry records the end of the thinking section.
+	EventBecameHungry
+	// EventStillThinking records a scheduled philosopher that kept thinking.
+	EventStillThinking
+	// EventCommitted records a philosopher selecting its first fork (the
+	// "empty arrow" of the paper's figures).
+	EventCommitted
+	// EventTookFork records a successful test-and-set on a fork.
+	EventTookFork
+	// EventForkBusy records a failed attempt to take a fork (busy wait).
+	EventForkBusy
+	// EventBlockedByCond records a failed attempt because the courtesy
+	// condition Cond(fork) was false (LR2/GDP2 only).
+	EventBlockedByCond
+	// EventReleasedFork records a fork release.
+	EventReleasedFork
+	// EventChangedNR records a philosopher re-randomising a fork's nr value
+	// (GDP1/GDP2 step "fork.nr := random[1,m]").
+	EventChangedNR
+	// EventStartEat records the acquisition of the second fork: the
+	// philosopher begins eating.
+	EventStartEat
+	// EventDoneEat records the completion of a meal.
+	EventDoneEat
+	// EventRequested records insertion into a fork's request list.
+	EventRequested
+	// EventUnrequested records removal from a fork's request list.
+	EventUnrequested
+	// EventSignedGuestBook records a signature in a fork's guest book.
+	EventSignedGuestBook
+	// EventAux records an algorithm-specific auxiliary action (baselines).
+	EventAux
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventScheduled:
+		return "scheduled"
+	case EventBecameHungry:
+		return "became-hungry"
+	case EventStillThinking:
+		return "still-thinking"
+	case EventCommitted:
+		return "committed"
+	case EventTookFork:
+		return "took-fork"
+	case EventForkBusy:
+		return "fork-busy"
+	case EventBlockedByCond:
+		return "blocked-by-cond"
+	case EventReleasedFork:
+		return "released-fork"
+	case EventChangedNR:
+		return "changed-nr"
+	case EventStartEat:
+		return "start-eat"
+	case EventDoneEat:
+		return "done-eat"
+	case EventRequested:
+		return "requested"
+	case EventUnrequested:
+		return "unrequested"
+	case EventSignedGuestBook:
+		return "signed-guest-book"
+	case EventAux:
+		return "aux"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one atomic observable action of the system.
+type Event struct {
+	Step   int64
+	Kind   EventKind
+	Phil   graph.PhilID
+	Fork   graph.ForkID // graph.NoFork when not applicable
+	Detail int64        // event-specific detail (for example the new nr value)
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	if e.Fork == graph.NoFork {
+		return fmt.Sprintf("[%6d] P%d %s", e.Step, e.Phil, e.Kind)
+	}
+	return fmt.Sprintf("[%6d] P%d %s f%d (%d)", e.Step, e.Phil, e.Kind, e.Fork, e.Detail)
+}
+
+// Recorder receives every event emitted by a run. Implementations must be
+// cheap; the engine calls Record synchronously.
+type Recorder interface {
+	Record(Event)
+}
+
+// RecorderFunc adapts a function to the Recorder interface.
+type RecorderFunc func(Event)
+
+// Record implements Recorder.
+func (f RecorderFunc) Record(e Event) { f(e) }
+
+// emit records an event if a recorder is installed.
+func (w *World) emit(kind EventKind, p graph.PhilID, f graph.ForkID, detail int64) {
+	if w.rec == nil {
+		return
+	}
+	w.rec.Record(Event{Step: w.Step, Kind: kind, Phil: p, Fork: f, Detail: detail})
+}

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// The operations in this file are the shared-variable primitives of the
+// paper: atomic test-and-set / release of forks, the nr field of GDP1/GDP2,
+// and the request list r and guest book g of LR2/GDP2. Philosopher programs
+// compose them inside Outcome.Apply closures; each helper performs exactly one
+// paper-level operation and keeps philosopher and fork bookkeeping consistent.
+
+// BecomeHungry moves philosopher p from thinking to the trying section.
+func (w *World) BecomeHungry(p graph.PhilID) {
+	st := &w.Phils[p]
+	st.Phase = Hungry
+	w.HungrySince[p] = w.Step
+	w.emit(EventBecameHungry, p, graph.NoFork, 0)
+}
+
+// StayThinking records that p was scheduled while thinking and did not become
+// hungry.
+func (w *World) StayThinking(p graph.PhilID) {
+	w.emit(EventStillThinking, p, graph.NoFork, 0)
+}
+
+// Commit records p selecting fork f as its first fork (not yet taken).
+func (w *World) Commit(p graph.PhilID, f graph.ForkID) {
+	st := &w.Phils[p]
+	st.First = f
+	st.HasFirst = false
+	st.HasSecond = false
+	w.emit(EventCommitted, p, f, 0)
+}
+
+// TryTake performs the atomic "if isFree(fork) then take(fork)" test-and-set
+// for philosopher p on fork f. It returns true when the fork was free and is
+// now held by p. The caller is responsible for updating the program counter
+// based on the result and for calling MarkHolding to reflect which of p's two
+// holdings f is.
+func (w *World) TryTake(p graph.PhilID, f graph.ForkID) bool {
+	if w.Forks[f].Holder != graph.NoPhil {
+		w.emit(EventForkBusy, p, f, int64(w.Forks[f].Holder))
+		return false
+	}
+	w.Forks[f].Holder = p
+	w.emit(EventTookFork, p, f, 0)
+	return true
+}
+
+// MarkHoldingFirst records on p's side that it now holds its first fork.
+func (w *World) MarkHoldingFirst(p graph.PhilID) { w.Phils[p].HasFirst = true }
+
+// MarkHoldingSecond records on p's side that it now holds its second fork.
+func (w *World) MarkHoldingSecond(p graph.PhilID) { w.Phils[p].HasSecond = true }
+
+// Release releases fork f held by p. It panics if p does not hold f, because
+// such a release is a bug in the calling algorithm, not a runtime condition.
+func (w *World) Release(p graph.PhilID, f graph.ForkID) {
+	if w.Forks[f].Holder != p {
+		panic(fmt.Sprintf("sim: philosopher %d releasing fork %d held by %d", p, f, w.Forks[f].Holder))
+	}
+	w.Forks[f].Holder = graph.NoPhil
+	st := &w.Phils[p]
+	if st.First == f {
+		st.HasFirst = false
+	} else if st.First != graph.NoFork && w.Topo.OtherFork(p, st.First) == f {
+		st.HasSecond = false
+	}
+	w.emit(EventReleasedFork, p, f, 0)
+}
+
+// ReleaseAll releases every fork currently held by p (used by the combined
+// "release(fork); release(other(fork))" lines and by tests).
+func (w *World) ReleaseAll(p graph.PhilID) {
+	for _, f := range w.HeldForks(p) {
+		w.Release(p, f)
+	}
+}
+
+// ClearSelection removes p's current first-fork selection. The algorithms call
+// it when they release their first fork and jump back to the selection step,
+// so that observers (adversaries, traces, the model checker) see the
+// philosopher as having no pending commitment rather than a stale one.
+func (w *World) ClearSelection(p graph.PhilID) {
+	st := &w.Phils[p]
+	st.First = graph.NoFork
+	st.HasFirst = false
+	st.HasSecond = false
+}
+
+// SetNR sets the nr field of fork f to value on behalf of philosopher p.
+func (w *World) SetNR(p graph.PhilID, f graph.ForkID, value int) {
+	w.Forks[f].NR = value
+	w.emit(EventChangedNR, p, f, int64(value))
+}
+
+// NR returns the nr field of fork f.
+func (w *World) NR(f graph.ForkID) int { return w.Forks[f].NR }
+
+// StartEating marks p as eating (it must hold both forks) and updates the
+// first-eat metrics.
+func (w *World) StartEating(p graph.PhilID) {
+	st := &w.Phils[p]
+	if !st.HasFirst || !st.HasSecond {
+		panic(fmt.Sprintf("sim: philosopher %d starting to eat without both forks", p))
+	}
+	st.Phase = Eating
+	if w.FirstEatStep < 0 {
+		w.FirstEatStep = w.Step
+	}
+	if w.FirstEatBy[p] < 0 {
+		w.FirstEatBy[p] = w.Step
+	}
+	if w.HungrySince[p] >= 0 {
+		w.TotalWait += w.Step - w.HungrySince[p]
+		w.HungrySince[p] = -1
+	}
+	w.emit(EventStartEat, p, graph.NoFork, 0)
+}
+
+// FinishEating records the completion of p's meal. The forks are NOT released
+// here; the algorithms release them in their own subsequent atomic steps, as
+// in the paper's pseudo-code.
+func (w *World) FinishEating(p graph.PhilID) {
+	w.TotalEats++
+	w.EatsBy[p]++
+	w.emit(EventDoneEat, p, graph.NoFork, w.EatsBy[p])
+}
+
+// BackToThinking resets p's trying-section bookkeeping and returns it to the
+// thinking phase with the given program counter.
+func (w *World) BackToThinking(p graph.PhilID, pc uint8) {
+	st := &w.Phils[p]
+	st.Phase = Thinking
+	st.PC = pc
+	st.First = graph.NoFork
+	st.HasFirst = false
+	st.HasSecond = false
+}
+
+// --- Request lists and guest books (LR2 / GDP2) ---
+
+// Request inserts p into fork f's request list r.
+func (w *World) Request(p graph.PhilID, f graph.ForkID) {
+	slot := w.Topo.Slot(f, p)
+	w.Forks[f].Req[slot] = true
+	w.emit(EventRequested, p, f, 0)
+}
+
+// Unrequest removes p from fork f's request list r.
+func (w *World) Unrequest(p graph.PhilID, f graph.ForkID) {
+	slot := w.Topo.Slot(f, p)
+	w.Forks[f].Req[slot] = false
+	w.emit(EventUnrequested, p, f, 0)
+}
+
+// HasRequest reports whether p currently has a request on fork f.
+func (w *World) HasRequest(p graph.PhilID, f graph.ForkID) bool {
+	return w.Forks[f].Req[w.Topo.Slot(f, p)]
+}
+
+// SignGuestBook records in fork f's guest book that p has just used it.
+func (w *World) SignGuestBook(p graph.PhilID, f graph.ForkID) {
+	slot := w.Topo.Slot(f, p)
+	w.Forks[f].Used[slot] = w.Step
+	w.emit(EventSignedGuestBook, p, f, 0)
+}
+
+// GuestBookEmpty reports whether no philosopher has ever signed fork f's
+// guest book. (Used to check the Theorem 2 observation that the adversary can
+// keep the guest books of the trapped region empty forever.)
+func (w *World) GuestBookEmpty(f graph.ForkID) bool {
+	for _, u := range w.Forks[f].Used {
+		if u >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RecordBlockedByCond records that p examined fork f but declined to take it
+// because the courtesy condition Cond(fork) was false (LR2/GDP2 line 4).
+func (w *World) RecordBlockedByCond(p graph.PhilID, f graph.ForkID) {
+	w.emit(EventBlockedByCond, p, f, 0)
+}
+
+// Cond evaluates the courtesy condition Cond(fork) of Section 3.2 for
+// philosopher p on fork f: p may take the fork only if every other
+// philosopher with an outstanding request on f has used the fork no earlier
+// than p's own last use (equivalently, p is not "ahead" of any hungry
+// neighbour on this fork). With empty request lists or empty guest books the
+// condition is vacuously true, matching the paper's initial state.
+func (w *World) Cond(p graph.PhilID, f graph.ForkID) bool {
+	fs := &w.Forks[f]
+	mySlot := w.Topo.Slot(f, p)
+	myUse := fs.Used[mySlot]
+	for slot, requested := range fs.Req {
+		if !requested || slot == mySlot {
+			continue
+		}
+		if fs.Used[slot] < myUse {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Globals (shared state for the non-distributed baselines) ---
+
+// EnsureGlobals grows the Globals slice to at least n entries (zero-filled).
+func (w *World) EnsureGlobals(n int) {
+	for len(w.Globals) < n {
+		w.Globals = append(w.Globals, 0)
+	}
+}
+
+// Global returns global auxiliary register i (0 if never set).
+func (w *World) Global(i int) int64 {
+	if i >= len(w.Globals) {
+		return 0
+	}
+	return w.Globals[i]
+}
+
+// SetGlobal sets global auxiliary register i.
+func (w *World) SetGlobal(i int, v int64) {
+	w.EnsureGlobals(i + 1)
+	w.Globals[i] = v
+	w.emit(EventAux, graph.NoPhil, graph.NoFork, v)
+}

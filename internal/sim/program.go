@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/prng"
+)
+
+// Outcome is one possible result of the next atomic action of a scheduled
+// philosopher. Deterministic actions have a single outcome with probability 1;
+// the random draws of the algorithms (random_choice(left, right) and
+// random[1, m]) have one outcome per possible result.
+//
+// Apply mutates the World the Outcome was computed from. Outcomes must be
+// applied at most once, and only to that World.
+type Outcome struct {
+	// Prob is the probability of this outcome. The probabilities of the
+	// outcomes returned together must sum to 1 (within rounding).
+	Prob float64
+	// Label is a short human-readable description ("commit left", "nr:=3").
+	Label string
+	// Apply performs the action.
+	Apply func()
+}
+
+// Program is a philosopher algorithm: the paper's Tables 1–4 and the baseline
+// solutions of the introduction. The same program is run by every philosopher
+// (the symmetry condition); all per-philosopher state lives in the World.
+type Program interface {
+	// Name returns the algorithm name ("LR1", "GDP2", ...).
+	Name() string
+	// Init prepares algorithm-specific initial state on a fresh World (for
+	// example the shared ticket counter of the ticket-box baseline). Most
+	// algorithms need nothing beyond NewWorld's defaults.
+	Init(w *World)
+	// Outcomes returns the possible next atomic actions of philosopher p in
+	// world w. It must return at least one outcome: a philosopher that cannot
+	// progress (busy waiting) returns an outcome that re-performs the failed
+	// test. Outcomes must not mutate w; only applying one of them may.
+	Outcomes(w *World, p graph.PhilID) []Outcome
+	// Symmetric reports whether the algorithm satisfies the paper's symmetry
+	// and full-distribution conditions (identical code, no shared state other
+	// than the forks, no central control). The baselines of the introduction
+	// return false.
+	Symmetric() bool
+}
+
+// HungerModel decides when thinking philosophers become hungry. The paper
+// assumes "think may not terminate": the end of thinking is not under the
+// algorithm's control, so it is a property of the workload, not of the
+// program.
+type HungerModel interface {
+	// Name returns the model's name for reports.
+	Name() string
+	// HungerProbability returns the probability that philosopher p, scheduled
+	// while thinking, becomes hungry at this step.
+	HungerProbability(w *World, p graph.PhilID) float64
+}
+
+// AlwaysHungry is the saturated workload: thinking terminates immediately, so
+// every philosopher re-enters the trying section as soon as it is scheduled.
+// This is the workload of the paper's progress and lockout analyses ("whenever
+// a philosopher is hungry...").
+type AlwaysHungry struct{}
+
+// Name implements HungerModel.
+func (AlwaysHungry) Name() string { return "always-hungry" }
+
+// HungerProbability implements HungerModel.
+func (AlwaysHungry) HungerProbability(*World, graph.PhilID) float64 { return 1 }
+
+// NeverHungryAgainAfter is a workload in which each philosopher becomes hungry
+// until it has eaten Limit times and then thinks forever. Limit 0 means the
+// philosopher never becomes hungry at all.
+type NeverHungryAgainAfter struct {
+	Limit int64
+}
+
+// Name implements HungerModel.
+func (m NeverHungryAgainAfter) Name() string { return fmt.Sprintf("appetite-%d", m.Limit) }
+
+// HungerProbability implements HungerModel.
+func (m NeverHungryAgainAfter) HungerProbability(w *World, p graph.PhilID) float64 {
+	if w.EatsBy[p] >= m.Limit {
+		return 0
+	}
+	return 1
+}
+
+// BernoulliHunger is a workload in which a scheduled thinking philosopher
+// becomes hungry with fixed probability P.
+type BernoulliHunger struct {
+	P float64
+}
+
+// Name implements HungerModel.
+func (m BernoulliHunger) Name() string { return fmt.Sprintf("bernoulli-%.2f", m.P) }
+
+// HungerProbability implements HungerModel.
+func (m BernoulliHunger) HungerProbability(*World, graph.PhilID) float64 { return m.P }
+
+// ThinkOutcomes is a helper for programs: it builds the outcome set of a
+// scheduled thinking philosopher under the world's hunger model, calling
+// onHungry (which typically performs the paper's "become hungry" bookkeeping
+// and advances the program counter) when the philosopher becomes hungry.
+func ThinkOutcomes(w *World, p graph.PhilID, onHungry func()) []Outcome {
+	prob := 1.0
+	if w.Hunger != nil {
+		prob = w.Hunger.HungerProbability(w, p)
+	}
+	hungryOutcome := Outcome{
+		Prob:  prob,
+		Label: "become hungry",
+		Apply: onHungry,
+	}
+	if prob >= 1 {
+		hungryOutcome.Prob = 1
+		return []Outcome{hungryOutcome}
+	}
+	thinkOutcome := Outcome{
+		Prob:  1 - prob,
+		Label: "keep thinking",
+		Apply: func() { w.StayThinking(p) },
+	}
+	if prob <= 0 {
+		thinkOutcome.Prob = 1
+		return []Outcome{thinkOutcome}
+	}
+	return []Outcome{hungryOutcome, thinkOutcome}
+}
+
+// SampleOutcome selects one of the outcomes according to their probabilities
+// using rng. It panics if outcomes is empty.
+func SampleOutcome(outcomes []Outcome, rng *prng.Source) Outcome {
+	switch len(outcomes) {
+	case 0:
+		panic("sim: empty outcome set")
+	case 1:
+		return outcomes[0]
+	}
+	weights := make([]float64, len(outcomes))
+	for i, o := range outcomes {
+		weights[i] = o.Prob
+	}
+	return outcomes[rng.Weighted(weights)]
+}
+
+// ValidateOutcomes checks that an outcome set is well formed: non-empty, all
+// probabilities positive, summing to 1 within tolerance. Used by tests and by
+// the engine in debug mode.
+func ValidateOutcomes(outcomes []Outcome) error {
+	if len(outcomes) == 0 {
+		return fmt.Errorf("sim: empty outcome set")
+	}
+	sum := 0.0
+	for i, o := range outcomes {
+		if o.Prob <= 0 {
+			return fmt.Errorf("sim: outcome %d (%q) has non-positive probability %v", i, o.Label, o.Prob)
+		}
+		if o.Apply == nil {
+			return fmt.Errorf("sim: outcome %d (%q) has nil Apply", i, o.Label)
+		}
+		sum += o.Prob
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("sim: outcome probabilities sum to %v, want 1", sum)
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/prng"
+)
+
+// Scheduler is the paper's adversary: it observes the complete state of the
+// system (it "has complete information of the past of the computation") and
+// decides which philosopher executes the next atomic action. Fairness —
+// every philosopher scheduled infinitely often — is a property of the
+// scheduler, checked externally by the fairness monitor in package sched.
+type Scheduler interface {
+	// Name returns the scheduler's name for reports.
+	Name() string
+	// Next returns the philosopher to schedule in world w. It must return a
+	// valid philosopher ID.
+	Next(w *World) graph.PhilID
+}
+
+// SchedulerFunc adapts a function to the Scheduler interface.
+type SchedulerFunc struct {
+	SchedulerName string
+	NextFunc      func(w *World) graph.PhilID
+}
+
+// Name implements Scheduler.
+func (s SchedulerFunc) Name() string { return s.SchedulerName }
+
+// Next implements Scheduler.
+func (s SchedulerFunc) Next(w *World) graph.PhilID { return s.NextFunc(w) }
+
+// RunOptions configures a run of the step engine.
+type RunOptions struct {
+	// MaxSteps bounds the number of atomic actions; 0 means the package
+	// default (DefaultMaxSteps).
+	MaxSteps int64
+	// StopAfterTotalEats stops the run once this many meals have completed
+	// (0 = no such stop).
+	StopAfterTotalEats int64
+	// StopWhenAllHaveEaten stops the run once every philosopher has eaten at
+	// least once.
+	StopWhenAllHaveEaten bool
+	// StopWhenPhilEats stops the run once the philosopher StopPhil has eaten.
+	// It is a separate flag so that the zero value of RunOptions does not
+	// accidentally watch philosopher 0.
+	StopWhenPhilEats bool
+	// StopPhil is the philosopher watched by StopWhenPhilEats.
+	StopPhil graph.PhilID
+	// Hunger overrides the default AlwaysHungry workload when non-nil.
+	Hunger HungerModel
+	// Recorder receives every event when non-nil.
+	Recorder Recorder
+	// CheckInvariants makes the engine verify World.CheckInvariants after
+	// every step; intended for tests (it is O(n+k) per step).
+	CheckInvariants bool
+	// ValidateOutcomes makes the engine verify every outcome set before
+	// sampling; intended for tests.
+	ValidateOutcomes bool
+}
+
+// DefaultMaxSteps is the step bound used when RunOptions.MaxSteps is zero.
+const DefaultMaxSteps = 1_000_000
+
+// StopReason describes why a run ended.
+type StopReason string
+
+const (
+	// StopMaxSteps means the step bound was reached.
+	StopMaxSteps StopReason = "max-steps"
+	// StopTotalEats means the requested number of meals completed.
+	StopTotalEats StopReason = "total-eats"
+	// StopAllAte means every philosopher ate at least once.
+	StopAllAte StopReason = "all-ate"
+	// StopPhilAte means the watched philosopher ate.
+	StopPhilAte StopReason = "phil-ate"
+)
+
+// Result summarises a run.
+type Result struct {
+	// Algorithm, SchedulerName and Topology identify the configuration.
+	Algorithm     string
+	SchedulerName string
+	Topology      string
+
+	// Steps is the number of atomic actions executed.
+	Steps int64
+	// TotalEats is the number of completed meals.
+	TotalEats int64
+	// EatsBy[p] is the number of completed meals of philosopher p.
+	EatsBy []int64
+	// FirstEatStep is the step of the first meal, or -1 if nobody ate.
+	FirstEatStep int64
+	// FirstEatBy[p] is the step at which p first started eating, or -1.
+	FirstEatBy []int64
+	// MeanWaitSteps is the mean number of steps between becoming hungry and
+	// starting to eat, over started meals (0 when nobody ate).
+	MeanWaitSteps float64
+	// ScheduledCount[p] is how many times p was scheduled.
+	ScheduledCount []int64
+	// MaxScheduleGap is the largest observed gap (in steps) between
+	// consecutive schedulings of the same philosopher — a fairness witness.
+	MaxScheduleGap int64
+	// Starved lists philosophers that became hungry during the run and never
+	// ate.
+	Starved []graph.PhilID
+	// Reason states why the run stopped.
+	Reason StopReason
+	// Final is the final world (for inspection by tests and adversaries).
+	Final *World
+}
+
+// Progress reports whether at least one meal completed.
+func (r *Result) Progress() bool { return r.TotalEats > 0 }
+
+// LockoutFree reports whether every philosopher that was ever hungry ate at
+// least once during the run.
+func (r *Result) LockoutFree() bool { return len(r.Starved) == 0 }
+
+// Run executes the step engine: repeatedly asks the scheduler for a
+// philosopher, asks the program for that philosopher's possible next actions,
+// samples one according to its probability and applies it, until a stop
+// condition holds.
+func Run(topo *graph.Topology, prog Program, sched Scheduler, rng *prng.Source, opts RunOptions) (*Result, error) {
+	if topo == nil || prog == nil || sched == nil || rng == nil {
+		return nil, errors.New("sim: Run requires topology, program, scheduler and rng")
+	}
+	w := NewWorld(topo)
+	if opts.Hunger != nil {
+		w.Hunger = opts.Hunger
+	}
+	w.SetRecorder(opts.Recorder)
+	prog.Init(w)
+	return RunWorld(w, prog, sched, rng, opts)
+}
+
+// RunWorld is like Run but starts from an existing world (which must have been
+// initialised for prog). It allows adversaries and tests to resume from
+// prepared states.
+func RunWorld(w *World, prog Program, sched Scheduler, rng *prng.Source, opts RunOptions) (*Result, error) {
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	if opts.Hunger != nil {
+		w.Hunger = opts.Hunger
+	}
+	if opts.Recorder != nil {
+		w.SetRecorder(opts.Recorder)
+	}
+
+	n := len(w.Phils)
+	lastScheduled := make([]int64, n)
+	for i := range lastScheduled {
+		lastScheduled[i] = -1
+	}
+	everHungry := make([]bool, n)
+	var maxGap int64
+
+	reason := StopMaxSteps
+	start := w.Step
+	for w.Step-start < maxSteps {
+		p := sched.Next(w)
+		if int(p) < 0 || int(p) >= n {
+			return nil, fmt.Errorf("sim: scheduler %q returned invalid philosopher %d", sched.Name(), p)
+		}
+		w.emit(EventScheduled, p, graph.NoFork, 0)
+		if gap := w.Step - lastScheduled[p]; lastScheduled[p] >= 0 && gap > maxGap {
+			maxGap = gap
+		}
+		lastScheduled[p] = w.Step
+		w.ScheduledCount[p]++
+		w.LastScheduled[p] = w.Step
+
+		outcomes := prog.Outcomes(w, p)
+		if opts.ValidateOutcomes {
+			if err := ValidateOutcomes(outcomes); err != nil {
+				return nil, fmt.Errorf("sim: %s outcomes for P%d at step %d: %w", prog.Name(), p, w.Step, err)
+			}
+		}
+		SampleOutcome(outcomes, rng).Apply()
+		if w.Phils[p].Phase == Hungry {
+			everHungry[p] = true
+		}
+		w.Step++
+
+		if opts.CheckInvariants {
+			if err := w.CheckInvariants(); err != nil {
+				return nil, fmt.Errorf("sim: invariant violated after step %d of %s: %w", w.Step, prog.Name(), err)
+			}
+		}
+
+		if opts.StopAfterTotalEats > 0 && w.TotalEats >= opts.StopAfterTotalEats {
+			reason = StopTotalEats
+			break
+		}
+		if opts.StopWhenPhilEats && opts.StopPhil >= 0 &&
+			int(opts.StopPhil) < n && w.EatsBy[opts.StopPhil] > 0 {
+			reason = StopPhilAte
+			break
+		}
+		if opts.StopWhenAllHaveEaten && allPositive(w.EatsBy) {
+			reason = StopAllAte
+			break
+		}
+	}
+
+	// Account for the trailing gap of each philosopher (including philosophers
+	// never scheduled at all), so that a scheduler that ignores somebody shows
+	// up as unfair.
+	for p := 0; p < n; p++ {
+		var gap int64
+		if lastScheduled[p] < 0 {
+			gap = w.Step - start
+		} else {
+			gap = w.Step - lastScheduled[p]
+		}
+		if gap > maxGap {
+			maxGap = gap
+		}
+	}
+
+	res := &Result{
+		Algorithm:      prog.Name(),
+		SchedulerName:  sched.Name(),
+		Topology:       w.Topo.Name(),
+		Steps:          w.Step - start,
+		TotalEats:      w.TotalEats,
+		EatsBy:         append([]int64(nil), w.EatsBy...),
+		FirstEatStep:   w.FirstEatStep,
+		FirstEatBy:     append([]int64(nil), w.FirstEatBy...),
+		ScheduledCount: append([]int64(nil), w.ScheduledCount...),
+		MaxScheduleGap: maxGap,
+		Reason:         reason,
+		Final:          w,
+	}
+	if started := countStartedMeals(w); started > 0 {
+		res.MeanWaitSteps = float64(w.TotalWait) / float64(started)
+	}
+	for p := 0; p < n; p++ {
+		if everHungry[p] && w.EatsBy[p] == 0 && w.FirstEatBy[p] < 0 {
+			res.Starved = append(res.Starved, graph.PhilID(p))
+		}
+	}
+	return res, nil
+}
+
+// countStartedMeals returns the number of meals whose waiting time has been
+// accumulated into TotalWait (meals that started).
+func countStartedMeals(w *World) int64 {
+	// A meal's wait is added exactly when it starts; completed meals plus the
+	// currently eating philosophers all started.
+	started := w.TotalEats
+	for p := range w.Phils {
+		if w.Phils[p].Phase == Eating {
+			started++
+		}
+	}
+	return started
+}
+
+func allPositive(xs []int64) bool {
+	for _, x := range xs {
+		if x <= 0 {
+			return false
+		}
+	}
+	return true
+}

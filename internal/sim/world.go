@@ -1,0 +1,471 @@
+// Package sim implements the execution model of the paper: a probabilistic
+// automaton in the sense of Segala and Lynch, specialised to generalized
+// dining-philosopher systems.
+//
+// A World holds the complete instantaneous state of a system: one PhilState
+// per philosopher and one ForkState per fork (plus optional shared "globals"
+// used only by the non-distributed baseline algorithms). Philosopher programs
+// (package algo) describe, for the currently scheduled philosopher, the set of
+// possible next atomic actions as Outcomes with probabilities; an adversary
+// (a Scheduler) resolves the nondeterministic choice of which philosopher
+// moves, and a PRNG (or, in the model checker, exhaustive branching) resolves
+// the probabilistic choice among outcomes.
+//
+// Worlds are plain values: cloning copies all state, and Key returns a
+// canonical encoding of the protocol-relevant state so that the model checker
+// can identify revisited states.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Phase is the coarse activity of a philosopher, as used in the paper's
+// progress and lockout statements: thinking, in the trying section (hungry),
+// or eating.
+type Phase uint8
+
+const (
+	// Thinking means the philosopher is outside the trying section.
+	Thinking Phase = iota
+	// Hungry means the philosopher is in the trying section (steps 2..5 of
+	// the algorithms): it wants to eat and is competing for forks.
+	Hungry
+	// Eating means the philosopher holds both forks and is eating.
+	Eating
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case Thinking:
+		return "thinking"
+	case Hungry:
+		return "hungry"
+	case Eating:
+		return "eating"
+	default:
+		return fmt.Sprintf("Phase(%d)", uint8(p))
+	}
+}
+
+// PhilState is the local state of one philosopher. All fields are values so
+// that copying a PhilState copies the state.
+type PhilState struct {
+	// PC is the algorithm-specific program counter (line number of the
+	// pseudo-code being executed next).
+	PC uint8
+	// Phase is the coarse phase; kept in sync by the World helpers.
+	Phase Phase
+	// First is the fork currently selected as "fork" in the pseudo-code
+	// (the first fork to acquire), or graph.NoFork when no selection is
+	// active.
+	First graph.ForkID
+	// HasFirst reports whether the philosopher currently holds First.
+	HasFirst bool
+	// HasSecond reports whether the philosopher currently holds the fork
+	// opposite to First.
+	HasSecond bool
+	// Aux is algorithm-specific scratch state (for example the ticket held by
+	// a philosopher in the ticket-box baseline). Included in Key.
+	Aux [2]int64
+}
+
+// ForkState is the state of one fork. Req and Used are indexed by the
+// adjacency slot of each philosopher sharing the fork
+// (graph.Topology.Slot).
+type ForkState struct {
+	// Holder is the philosopher currently holding the fork, or graph.NoPhil.
+	Holder graph.PhilID
+	// NR is the fork's number field used by GDP1/GDP2 (0 initially).
+	NR int
+	// Req[slot] reports whether the philosopher at that adjacency slot has an
+	// outstanding request in the fork's request list r (LR2/GDP2).
+	Req []bool
+	// Used[slot] is the step at which the philosopher at that slot last
+	// signed the fork's guest book g, or -1 if never (LR2/GDP2). Only the
+	// relative order of entries matters to the algorithms.
+	Used []int64
+}
+
+// World is the complete state of a generalized dining-philosopher system
+// together with run-time bookkeeping (metrics and the event recorder), which
+// is excluded from Clone-equality and Key.
+type World struct {
+	Topo  *graph.Topology
+	Phils []PhilState
+	Forks []ForkState
+	// Globals is shared auxiliary state used only by the non-distributed
+	// baseline algorithms (central monitor, ticket box). Empty for the
+	// symmetric fully distributed algorithms.
+	Globals []int64
+	// Step counts atomic actions executed so far.
+	Step int64
+	// Hunger decides when thinking philosophers become hungry (the workload).
+	// It is policy, not protocol state, and is excluded from Key.
+	Hunger HungerModel
+
+	// Metrics (not part of Key):
+
+	// TotalEats is the number of completed meals.
+	TotalEats int64
+	// EatsBy[p] is the number of completed meals of philosopher p.
+	EatsBy []int64
+	// FirstEatStep is the step at which the first meal started, or -1.
+	FirstEatStep int64
+	// FirstEatBy[p] is the step at which philosopher p first started eating,
+	// or -1.
+	FirstEatBy []int64
+	// HungrySince[p] is the step at which philosopher p last became hungry,
+	// or -1 if it is not currently hungry.
+	HungrySince []int64
+	// TotalWait accumulates, over completed meals, the number of steps between
+	// becoming hungry and starting to eat.
+	TotalWait int64
+	// ScheduledCount[p] counts how many times p was scheduled.
+	ScheduledCount []int64
+	// LastScheduled[p] is the step at which p was last scheduled, or -1.
+	// Adversaries use it to spread their harmless "idle" scheduling evenly so
+	// that fairness pressure never builds up behind their back.
+	LastScheduled []int64
+
+	rec Recorder
+}
+
+// NewWorld returns a World in the initial state required by the paper's
+// symmetry condition: every philosopher thinking with program counter 1 and no
+// selection, every fork free with nr = 0, empty request lists and guest books.
+func NewWorld(topo *graph.Topology) *World {
+	n := topo.NumPhilosophers()
+	k := topo.NumForks()
+	w := &World{
+		Topo:           topo,
+		Phils:          make([]PhilState, n),
+		Forks:          make([]ForkState, k),
+		Step:           0,
+		Hunger:         AlwaysHungry{},
+		EatsBy:         make([]int64, n),
+		FirstEatStep:   -1,
+		FirstEatBy:     make([]int64, n),
+		HungrySince:    make([]int64, n),
+		ScheduledCount: make([]int64, n),
+	}
+	w.LastScheduled = make([]int64, n)
+	for p := range w.Phils {
+		w.Phils[p] = PhilState{PC: 1, Phase: Thinking, First: graph.NoFork}
+		w.FirstEatBy[p] = -1
+		w.HungrySince[p] = -1
+		w.LastScheduled[p] = -1
+	}
+	for f := range w.Forks {
+		deg := topo.Degree(graph.ForkID(f))
+		w.Forks[f] = ForkState{
+			Holder: graph.NoPhil,
+			NR:     0,
+			Req:    make([]bool, deg),
+			Used:   make([]int64, deg),
+		}
+		for i := range w.Forks[f].Used {
+			w.Forks[f].Used[i] = -1
+		}
+	}
+	return w
+}
+
+// SetRecorder installs an event recorder (may be nil to disable recording).
+func (w *World) SetRecorder(r Recorder) { w.rec = r }
+
+// Recorder returns the installed event recorder, or nil.
+func (w *World) Recorder() Recorder { return w.rec }
+
+// Clone returns a deep copy of the world sharing only the immutable topology
+// and dropping the event recorder.
+func (w *World) Clone() *World {
+	c := &World{
+		Topo:           w.Topo,
+		Phils:          append([]PhilState(nil), w.Phils...),
+		Forks:          make([]ForkState, len(w.Forks)),
+		Globals:        append([]int64(nil), w.Globals...),
+		Step:           w.Step,
+		Hunger:         w.Hunger,
+		TotalEats:      w.TotalEats,
+		EatsBy:         append([]int64(nil), w.EatsBy...),
+		FirstEatStep:   w.FirstEatStep,
+		FirstEatBy:     append([]int64(nil), w.FirstEatBy...),
+		HungrySince:    append([]int64(nil), w.HungrySince...),
+		TotalWait:      w.TotalWait,
+		ScheduledCount: append([]int64(nil), w.ScheduledCount...),
+		LastScheduled:  append([]int64(nil), w.LastScheduled...),
+	}
+	for f := range w.Forks {
+		src := &w.Forks[f]
+		c.Forks[f] = ForkState{
+			Holder: src.Holder,
+			NR:     src.NR,
+			Req:    append([]bool(nil), src.Req...),
+			Used:   append([]int64(nil), src.Used...),
+		}
+	}
+	return c
+}
+
+// Key returns a canonical encoding of the protocol-relevant state. Two worlds
+// with equal keys are indistinguishable to every philosopher program: the
+// encoding covers program counters, phases, fork selections and holdings,
+// auxiliary registers, fork holders, nr values, request lists, globals, and
+// the guest books up to order-preserving renaming of timestamps (only the
+// relative order of guest-book entries per fork is observable).
+func (w *World) Key() string {
+	var b strings.Builder
+	b.Grow(16*len(w.Phils) + 16*len(w.Forks))
+	for i := range w.Phils {
+		p := &w.Phils[i]
+		fmt.Fprintf(&b, "p%d,%d,%d,%t,%t,%d,%d;", p.PC, p.Phase, p.First, p.HasFirst, p.HasSecond, p.Aux[0], p.Aux[1])
+	}
+	for i := range w.Forks {
+		f := &w.Forks[i]
+		fmt.Fprintf(&b, "f%d,%d,", f.Holder, f.NR)
+		for _, r := range f.Req {
+			if r {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		b.WriteByte(',')
+		for _, rank := range rankNormalize(f.Used) {
+			fmt.Fprintf(&b, "%d.", rank)
+		}
+		b.WriteByte(';')
+	}
+	for _, g := range w.Globals {
+		fmt.Fprintf(&b, "g%d;", g)
+	}
+	return b.String()
+}
+
+// rankNormalize maps the values of used to their rank order: -1 stays -1, and
+// the remaining distinct values are replaced by 0, 1, 2, ... in increasing
+// order. Guest-book semantics depend only on comparisons between entries of
+// the same fork, so this keeps the state space finite for model checking.
+func rankNormalize(used []int64) []int {
+	distinct := make([]int64, 0, len(used))
+	for _, u := range used {
+		if u >= 0 {
+			distinct = append(distinct, u)
+		}
+	}
+	sort.Slice(distinct, func(i, j int) bool { return distinct[i] < distinct[j] })
+	// Dedupe.
+	uniq := distinct[:0]
+	var last int64 = -1
+	for i, u := range distinct {
+		if i == 0 || u != last {
+			uniq = append(uniq, u)
+			last = u
+		}
+	}
+	out := make([]int, len(used))
+	for i, u := range used {
+		if u < 0 {
+			out[i] = -1
+			continue
+		}
+		out[i] = sort.Search(len(uniq), func(j int) bool { return uniq[j] >= u })
+	}
+	return out
+}
+
+// --- Generic state queries used by schedulers, adversaries and detectors ---
+
+// IsFree reports whether fork f is not held by any philosopher.
+func (w *World) IsFree(f graph.ForkID) bool { return w.Forks[f].Holder == graph.NoPhil }
+
+// HolderOf returns the philosopher holding fork f, or graph.NoPhil.
+func (w *World) HolderOf(f graph.ForkID) graph.PhilID { return w.Forks[f].Holder }
+
+// PhaseOf returns the phase of philosopher p.
+func (w *World) PhaseOf(p graph.PhilID) Phase { return w.Phils[p].Phase }
+
+// IsHungry reports whether philosopher p is in the trying section.
+func (w *World) IsHungry(p graph.PhilID) bool { return w.Phils[p].Phase == Hungry }
+
+// IsEating reports whether philosopher p is eating.
+func (w *World) IsEating(p graph.PhilID) bool { return w.Phils[p].Phase == Eating }
+
+// AnyEating reports whether some philosopher is eating.
+func (w *World) AnyEating() bool {
+	for p := range w.Phils {
+		if w.Phils[p].Phase == Eating {
+			return true
+		}
+	}
+	return false
+}
+
+// AnyHungry reports whether some philosopher is in the trying section.
+func (w *World) AnyHungry() bool {
+	for p := range w.Phils {
+		if w.Phils[p].Phase == Hungry {
+			return true
+		}
+	}
+	return false
+}
+
+// FirstForkOf returns the fork currently selected as first fork by p, or
+// graph.NoFork.
+func (w *World) FirstForkOf(p graph.PhilID) graph.ForkID { return w.Phils[p].First }
+
+// SecondForkOf returns the fork opposite to p's current selection, or
+// graph.NoFork if p has no selection.
+func (w *World) SecondForkOf(p graph.PhilID) graph.ForkID {
+	first := w.Phils[p].First
+	if first == graph.NoFork {
+		return graph.NoFork
+	}
+	return w.Topo.OtherFork(p, first)
+}
+
+// HoldsOnlyFirst reports whether p holds exactly its first fork.
+func (w *World) HoldsOnlyFirst(p graph.PhilID) bool {
+	return w.Phils[p].HasFirst && !w.Phils[p].HasSecond
+}
+
+// IsCommitted reports whether p has selected a first fork it does not yet
+// hold — the "empty arrow" of the paper's figures.
+func (w *World) IsCommitted(p graph.PhilID) bool {
+	st := &w.Phils[p]
+	return st.Phase == Hungry && st.First != graph.NoFork && !st.HasFirst
+}
+
+// CouldEatNext reports whether p holds its first fork and its second fork is
+// currently free: scheduling p repeatedly from such a state leads to eating
+// (used by livelock adversaries as the "dangerous" predicate).
+func (w *World) CouldEatNext(p graph.PhilID) bool {
+	if !w.HoldsOnlyFirst(p) {
+		return false
+	}
+	second := w.SecondForkOf(p)
+	return second != graph.NoFork && w.IsFree(second)
+}
+
+// HeldForks returns the forks currently held by p (0, 1 or 2 forks).
+func (w *World) HeldForks(p graph.PhilID) []graph.ForkID {
+	st := &w.Phils[p]
+	var out []graph.ForkID
+	if st.HasFirst {
+		out = append(out, st.First)
+	}
+	if st.HasSecond {
+		out = append(out, w.Topo.OtherFork(p, st.First))
+	}
+	return out
+}
+
+// NumHungry returns the number of philosophers in the trying section.
+func (w *World) NumHungry() int {
+	n := 0
+	for p := range w.Phils {
+		if w.Phils[p].Phase == Hungry {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckInvariants verifies the structural invariants that every algorithm must
+// preserve: fork holders hold adjacent forks, holder bookkeeping matches
+// philosopher bookkeeping, a fork has at most one holder, and eating
+// philosophers hold both forks. It returns a descriptive error on violation.
+// It is used by tests and by the engine in debug mode.
+func (w *World) CheckInvariants() error {
+	holderSeen := make(map[graph.ForkID]graph.PhilID)
+	for f := range w.Forks {
+		h := w.Forks[f].Holder
+		if h == graph.NoPhil {
+			continue
+		}
+		if int(h) < 0 || int(h) >= len(w.Phils) {
+			return fmt.Errorf("sim: fork %d held by out-of-range philosopher %d", f, h)
+		}
+		adjacent := false
+		for _, fk := range w.Topo.Forks(h) {
+			if fk == graph.ForkID(f) {
+				adjacent = true
+			}
+		}
+		if !adjacent {
+			return fmt.Errorf("sim: fork %d held by non-adjacent philosopher %d", f, h)
+		}
+		holderSeen[graph.ForkID(f)] = h
+	}
+	for p := range w.Phils {
+		st := &w.Phils[p]
+		if st.HasSecond && !st.HasFirst {
+			return fmt.Errorf("sim: philosopher %d holds second fork without first", p)
+		}
+		if st.HasFirst {
+			if st.First == graph.NoFork {
+				return fmt.Errorf("sim: philosopher %d marked holding first fork but has no selection", p)
+			}
+			if w.Forks[st.First].Holder != graph.PhilID(p) {
+				return fmt.Errorf("sim: philosopher %d claims fork %d but fork holder is %d", p, st.First, w.Forks[st.First].Holder)
+			}
+		}
+		if st.HasSecond {
+			second := w.Topo.OtherFork(graph.PhilID(p), st.First)
+			if w.Forks[second].Holder != graph.PhilID(p) {
+				return fmt.Errorf("sim: philosopher %d claims second fork %d but fork holder is %d", p, second, w.Forks[second].Holder)
+			}
+		}
+		if st.Phase == Eating && !(st.HasFirst && st.HasSecond) {
+			return fmt.Errorf("sim: philosopher %d eating without both forks", p)
+		}
+	}
+	// Every held fork's holder must acknowledge holding it.
+	for f, h := range holderSeen {
+		st := &w.Phils[h]
+		owns := (st.HasFirst && st.First == f) ||
+			(st.HasSecond && st.First != graph.NoFork && w.Topo.OtherFork(h, st.First) == f)
+		if !owns {
+			return fmt.Errorf("sim: fork %d lists holder %d but philosopher does not acknowledge it", f, h)
+		}
+	}
+	return nil
+}
+
+// String renders a compact single-line description of the state, mainly for
+// test failure messages. For full diagrams use package trace.
+func (w *World) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "step %d |", w.Step)
+	for p := range w.Phils {
+		st := &w.Phils[p]
+		fmt.Fprintf(&b, " P%d[%s pc%d", p, st.Phase, st.PC)
+		if st.First != graph.NoFork {
+			fmt.Fprintf(&b, " f%d", st.First)
+			if st.HasFirst {
+				b.WriteString("*")
+			}
+			if st.HasSecond {
+				b.WriteString("*")
+			}
+		}
+		b.WriteString("]")
+	}
+	b.WriteString(" |")
+	for f := range w.Forks {
+		fs := &w.Forks[f]
+		fmt.Fprintf(&b, " f%d(nr%d", f, fs.NR)
+		if fs.Holder != graph.NoPhil {
+			fmt.Fprintf(&b, " P%d", fs.Holder)
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}

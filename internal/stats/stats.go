@@ -1,0 +1,285 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: running moments, histograms, binomial proportion
+// estimates with confidence intervals, and fairness indices over
+// per-philosopher meal counts.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates a stream of float64 observations with Welford's
+// algorithm, providing mean, variance and extrema without storing the stream.
+// The zero value is ready to use.
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// Count returns the number of observations.
+func (r *Running) Count() int64 { return r.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the unbiased sample variance (0 with fewer than two
+// observations).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Min returns the smallest observation (0 with none).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest observation (0 with none).
+func (r *Running) Max() float64 { return r.max }
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval for the mean.
+func (r *Running) CI95() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return 1.96 * r.StdDev() / math.Sqrt(float64(r.n))
+}
+
+// String formats the summary as "mean ± ci (n=...)".
+func (r *Running) String() string {
+	return fmt.Sprintf("%.3f ± %.3f (n=%d)", r.Mean(), r.CI95(), r.n)
+}
+
+// Proportion is a Bernoulli success-rate estimator.
+type Proportion struct {
+	successes int64
+	trials    int64
+}
+
+// Add records one trial.
+func (p *Proportion) Add(success bool) {
+	p.trials++
+	if success {
+		p.successes++
+	}
+}
+
+// AddN records a batch of trials.
+func (p *Proportion) AddN(successes, trials int64) {
+	p.successes += successes
+	p.trials += trials
+}
+
+// Successes returns the number of successes.
+func (p *Proportion) Successes() int64 { return p.successes }
+
+// Trials returns the number of trials.
+func (p *Proportion) Trials() int64 { return p.trials }
+
+// Estimate returns the point estimate successes/trials (0 with no trials).
+func (p *Proportion) Estimate() float64 {
+	if p.trials == 0 {
+		return 0
+	}
+	return float64(p.successes) / float64(p.trials)
+}
+
+// Wilson95 returns the 95% Wilson score interval for the proportion, which
+// behaves sensibly even for extreme counts (0 or all successes).
+func (p *Proportion) Wilson95() (lo, hi float64) {
+	if p.trials == 0 {
+		return 0, 1
+	}
+	const z = 1.96
+	n := float64(p.trials)
+	phat := p.Estimate()
+	denom := 1 + z*z/n
+	center := (phat + z*z/(2*n)) / denom
+	half := z * math.Sqrt(phat*(1-phat)/n+z*z/(4*n*n)) / denom
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// String formats the estimate with its Wilson interval.
+func (p *Proportion) String() string {
+	lo, hi := p.Wilson95()
+	return fmt.Sprintf("%.3f [%.3f, %.3f] (%d/%d)", p.Estimate(), lo, hi, p.successes, p.trials)
+}
+
+// JainIndex computes Jain's fairness index over the given per-philosopher
+// quantities: (Σx)² / (n·Σx²). It is 1 for perfectly equal allocations and
+// approaches 1/n when a single philosopher gets everything. It returns 1 for
+// an empty or all-zero input (an empty system is vacuously fair).
+func JainIndex(xs []int64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		f := float64(x)
+		sum += f
+		sumSq += f * f
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// MinMax returns the smallest and largest values of xs (0, 0 for empty input).
+func MinMax(xs []int64) (min, max int64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []int64) int64 {
+	var total int64
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Percentile returns the q-th percentile (0 <= q <= 100) of xs using
+// nearest-rank on a sorted copy. It returns 0 for empty input.
+func Percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(q/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Histogram is a fixed-bucket histogram over int64 observations.
+type Histogram struct {
+	// BucketWidth is the width of each bucket (must be positive).
+	BucketWidth int64
+	counts      map[int64]int64
+	total       int64
+}
+
+// NewHistogram returns a histogram with the given bucket width.
+func NewHistogram(bucketWidth int64) *Histogram {
+	if bucketWidth <= 0 {
+		bucketWidth = 1
+	}
+	return &Histogram{BucketWidth: bucketWidth, counts: make(map[int64]int64)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x int64) {
+	bucket := x / h.BucketWidth
+	if x < 0 {
+		bucket = -((-x + h.BucketWidth - 1) / h.BucketWidth)
+	}
+	h.counts[bucket]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Buckets returns the non-empty buckets as (lower bound, count) pairs in
+// increasing order.
+func (h *Histogram) Buckets() ([]int64, []int64) {
+	keys := make([]int64, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	lows := make([]int64, len(keys))
+	counts := make([]int64, len(keys))
+	for i, k := range keys {
+		lows[i] = k * h.BucketWidth
+		counts[i] = h.counts[k]
+	}
+	return lows, counts
+}
+
+// String renders a small ASCII bar chart.
+func (h *Histogram) String() string {
+	lows, counts := h.Buckets()
+	var maxCount int64
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	out := ""
+	for i := range lows {
+		bar := 1
+		if maxCount > 0 {
+			bar = int(40 * counts[i] / maxCount)
+		}
+		if bar < 1 {
+			bar = 1
+		}
+		out += fmt.Sprintf("%8d | %s %d\n", lows[i], repeat('#', bar), counts[i])
+	}
+	return out
+}
+
+func repeat(c byte, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return string(b)
+}

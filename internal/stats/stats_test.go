@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningMoments(t *testing.T) {
+	t.Parallel()
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.Count() != 8 {
+		t.Errorf("Count = %d", r.Count())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", r.Mean())
+	}
+	// Sample variance of this classic data set is 32/7.
+	if math.Abs(r.Variance()-32.0/7.0) > 1e-9 {
+		t.Errorf("Variance = %v, want %v", r.Variance(), 32.0/7.0)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+	if r.CI95() <= 0 {
+		t.Error("CI95 should be positive for varied data")
+	}
+	if !strings.Contains(r.String(), "n=8") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestRunningZeroValue(t *testing.T) {
+	t.Parallel()
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 || r.CI95() != 0 || r.Count() != 0 {
+		t.Error("zero-value Running should report zeros")
+	}
+}
+
+func TestRunningMatchesDirectComputationProperty(t *testing.T) {
+	t.Parallel()
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var r Running
+		sum := 0.0
+		for _, v := range raw {
+			r.Add(float64(v))
+			sum += float64(v)
+		}
+		mean := sum / float64(len(raw))
+		return math.Abs(r.Mean()-mean) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProportion(t *testing.T) {
+	t.Parallel()
+	var p Proportion
+	for i := 0; i < 100; i++ {
+		p.Add(i < 25)
+	}
+	if p.Estimate() != 0.25 {
+		t.Errorf("Estimate = %v", p.Estimate())
+	}
+	lo, hi := p.Wilson95()
+	if lo >= 0.25 || hi <= 0.25 {
+		t.Errorf("Wilson interval [%v, %v] should contain the point estimate", lo, hi)
+	}
+	if lo < 0.15 || hi > 0.37 {
+		t.Errorf("Wilson interval [%v, %v] implausibly wide for n=100", lo, hi)
+	}
+	if p.Successes() != 25 || p.Trials() != 100 {
+		t.Error("counters wrong")
+	}
+	if !strings.Contains(p.String(), "25/100") {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestProportionEdgeCases(t *testing.T) {
+	t.Parallel()
+	var empty Proportion
+	lo, hi := empty.Wilson95()
+	if lo != 0 || hi != 1 {
+		t.Errorf("empty proportion interval [%v, %v], want [0, 1]", lo, hi)
+	}
+	var all Proportion
+	all.AddN(50, 50)
+	lo, hi = all.Wilson95()
+	if hi != 1 || lo < 0.9 {
+		t.Errorf("all-success interval [%v, %v]", lo, hi)
+	}
+	var none Proportion
+	none.AddN(0, 50)
+	lo, hi = none.Wilson95()
+	if lo != 0 || hi > 0.1 {
+		t.Errorf("no-success interval [%v, %v]", lo, hi)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	t.Parallel()
+	if got := JainIndex([]int64{5, 5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal allocation index = %v, want 1", got)
+	}
+	got := JainIndex([]int64{10, 0, 0, 0})
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("single-winner index = %v, want 0.25", got)
+	}
+	if JainIndex(nil) != 1 || JainIndex([]int64{0, 0}) != 1 {
+		t.Error("degenerate Jain index should be 1")
+	}
+	mixed := JainIndex([]int64{4, 6})
+	if mixed <= 0.25 || mixed >= 1 {
+		t.Errorf("mixed allocation index = %v, expected strictly between 1/n and 1", mixed)
+	}
+}
+
+func TestJainIndexBoundsProperty(t *testing.T) {
+	t.Parallel()
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]int64, len(raw))
+		for i, v := range raw {
+			xs[i] = int64(v)
+		}
+		idx := JainIndex(xs)
+		return idx >= 1/float64(len(xs))-1e-9 && idx <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	t.Parallel()
+	min, max := MinMax([]int64{3, -1, 7, 0})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %d, %d", min, max)
+	}
+	if Sum([]int64{3, -1, 7, 0}) != 9 {
+		t.Error("Sum wrong")
+	}
+	min, max = MinMax(nil)
+	if min != 0 || max != 0 {
+		t.Error("MinMax of empty should be 0,0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	t.Parallel()
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Errorf("P50 = %v, want 5", got)
+	}
+	if got := Percentile(xs, 100); got != 10 {
+		t.Errorf("P100 = %v, want 10", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v, want 1", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	t.Parallel()
+	h := NewHistogram(10)
+	for _, x := range []int64{1, 5, 9, 10, 11, 25, 25, -3} {
+		h.Add(x)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	lows, counts := h.Buckets()
+	if len(lows) != len(counts) || len(lows) == 0 {
+		t.Fatal("empty buckets")
+	}
+	if lows[0] != -10 {
+		t.Errorf("first bucket low = %d, want -10 for the negative observation", lows[0])
+	}
+	var sum int64
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != 8 {
+		t.Errorf("bucket counts sum to %d, want 8", sum)
+	}
+	if h.String() == "" {
+		t.Error("empty histogram rendering")
+	}
+	if NewHistogram(0).BucketWidth != 1 {
+		t.Error("zero bucket width should be clamped to 1")
+	}
+}

@@ -1,0 +1,301 @@
+// Package verify provides machine-checkable formulations of the paper's
+// statements that complement the exhaustive model checker on instances too
+// large to explore: Monte-Carlo progress and lockout-freedom checks
+// (Theorems 3 and 4), the probability lower bound used in the proof of
+// Theorem 3, and a symmetry audit of the algorithms (the paper's symmetry and
+// full-distribution conditions).
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/algo"
+	"repro/internal/graph"
+	"repro/internal/prng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// SchedulerFactory constructs a fresh scheduler for each trial (schedulers
+// carry state, so they cannot be shared across trials).
+type SchedulerFactory func(rng *prng.Source) sim.Scheduler
+
+// ProgressCheck is the Monte-Carlo form of a progress statement
+// T --(F, p)--> E: starting every trial from the all-thinking initial state
+// under a saturated workload, the system must reach a state where some
+// philosopher eats.
+type ProgressCheck struct {
+	Topology  *graph.Topology
+	Algorithm sim.Program
+	Scheduler SchedulerFactory
+	Trials    int
+	MaxSteps  int64
+	Seed      uint64
+}
+
+// ProgressResult summarises a ProgressCheck.
+type ProgressResult struct {
+	Proportion stats.Proportion
+	// StepsToFirstMeal aggregates the number of steps before the first meal
+	// over successful trials.
+	StepsToFirstMeal stats.Running
+	// Failures lists the seeds of trials with no progress (empty when the
+	// check passed).
+	Failures []uint64
+}
+
+// Passed reports whether every trial made progress.
+func (r *ProgressResult) Passed() bool { return len(r.Failures) == 0 }
+
+// Run executes the check.
+func (c ProgressCheck) Run() (*ProgressResult, error) {
+	if c.Trials <= 0 {
+		c.Trials = 100
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 100_000
+	}
+	out := &ProgressResult{}
+	for i := 0; i < c.Trials; i++ {
+		seed := c.Seed + uint64(i)*0x9e3779b9
+		rng := prng.New(seed)
+		res, err := sim.Run(c.Topology, c.Algorithm, c.Scheduler(rng.Split()), rng, sim.RunOptions{
+			MaxSteps:           c.MaxSteps,
+			StopAfterTotalEats: 1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("verify: progress trial %d: %w", i, err)
+		}
+		ok := res.Progress()
+		out.Proportion.Add(ok)
+		if ok {
+			out.StepsToFirstMeal.Add(float64(res.FirstEatStep))
+		} else {
+			out.Failures = append(out.Failures, seed)
+		}
+	}
+	return out, nil
+}
+
+// LockoutCheck is the Monte-Carlo form of the lockout-freedom statement
+// T_i --(F, 1)--> E_i: every philosopher that becomes hungry eventually eats.
+// A trial passes when every philosopher completes at least MealsEach meals
+// within the step budget.
+type LockoutCheck struct {
+	Topology  *graph.Topology
+	Algorithm sim.Program
+	Scheduler SchedulerFactory
+	Trials    int
+	MaxSteps  int64
+	MealsEach int64
+	Seed      uint64
+}
+
+// LockoutResult summarises a LockoutCheck.
+type LockoutResult struct {
+	Proportion stats.Proportion
+	// WorstJainIndex is the smallest Jain fairness index over per-philosopher
+	// meal counts observed across trials.
+	WorstJainIndex float64
+	// Failures lists the seeds of failed trials.
+	Failures []uint64
+}
+
+// Passed reports whether every trial served every philosopher.
+func (r *LockoutResult) Passed() bool { return len(r.Failures) == 0 }
+
+// Run executes the check.
+func (c LockoutCheck) Run() (*LockoutResult, error) {
+	if c.Trials <= 0 {
+		c.Trials = 50
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 200_000
+	}
+	if c.MealsEach <= 0 {
+		c.MealsEach = 1
+	}
+	out := &LockoutResult{WorstJainIndex: 1}
+	for i := 0; i < c.Trials; i++ {
+		seed := c.Seed + uint64(i)*0x9e3779b9
+		rng := prng.New(seed)
+		res, err := sim.Run(c.Topology, c.Algorithm, c.Scheduler(rng.Split()), rng, sim.RunOptions{
+			MaxSteps: c.MaxSteps,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("verify: lockout trial %d: %w", i, err)
+		}
+		ok := true
+		for _, meals := range res.EatsBy {
+			if meals < c.MealsEach {
+				ok = false
+				break
+			}
+		}
+		out.Proportion.Add(ok)
+		if jain := stats.JainIndex(res.EatsBy); jain < out.WorstJainIndex {
+			out.WorstJainIndex = jain
+		}
+		if !ok {
+			out.Failures = append(out.Failures, seed)
+		}
+	}
+	return out, nil
+}
+
+// DistinctNumberBound returns the lower bound used in the proof of Theorem 3:
+// the probability that k independent uniform draws from [1, m] are pairwise
+// distinct, m!/(m^k (m−k)!). It panics if k > m (the paper requires m >= k).
+func DistinctNumberBound(m, k int) float64 {
+	if k > m {
+		panic(fmt.Sprintf("verify: DistinctNumberBound requires k <= m, got k=%d m=%d", k, m))
+	}
+	if k <= 1 {
+		return 1
+	}
+	p := 1.0
+	for i := 0; i < k; i++ {
+		p *= float64(m-i) / float64(m)
+	}
+	return p
+}
+
+// EstimateDistinctNumberProbability estimates, by simulation, the probability
+// that k independent uniform draws from [1, m] are pairwise distinct. It is
+// used to validate DistinctNumberBound against an independent computation.
+func EstimateDistinctNumberProbability(m, k int, trials int, seed uint64) float64 {
+	if trials <= 0 {
+		trials = 100_000
+	}
+	rng := prng.New(seed)
+	hits := 0
+	seen := make(map[int]bool, k)
+	for t := 0; t < trials; t++ {
+		for key := range seen {
+			delete(seen, key)
+		}
+		distinct := true
+		for i := 0; i < k; i++ {
+			v := rng.IntRange(1, m)
+			if seen[v] {
+				distinct = false
+				break
+			}
+			seen[v] = true
+		}
+		if distinct {
+			hits++
+		}
+	}
+	return float64(hits) / float64(trials)
+}
+
+// Section3Bound returns the paper's lower bound for the probability that the
+// fair approximation of the Section 3 scheduler succeeds forever:
+// 1/4 · Π_{k≥1}(1 − p^k) ≥ 1/4 · (1 − p − p²), which is at least 1/16 for
+// p ≤ 1/2.
+func Section3Bound(p float64) float64 {
+	if p < 0 || p >= 1 {
+		return 0
+	}
+	return 0.25 * (1 - p - p*p)
+}
+
+// SymmetryReport is the result of a symmetry audit.
+type SymmetryReport struct {
+	// IdenticalInitialStates reports whether all philosophers and all forks
+	// start in identical states.
+	IdenticalInitialStates bool
+	// UsesSharedGlobals reports whether the algorithm touched any shared
+	// global register during a probe run (full distribution forbids it).
+	UsesSharedGlobals bool
+	// Details carries human-readable findings.
+	Details []string
+}
+
+// Symmetric is the overall verdict: identical initial states and no shared
+// state beyond the forks.
+func (r SymmetryReport) Symmetric() bool {
+	return r.IdenticalInitialStates && !r.UsesSharedGlobals
+}
+
+// AuditSymmetry checks the paper's symmetry and full-distribution conditions
+// for an algorithm on a topology: all philosophers and forks must start in the
+// same state, and a probe run must not use any shared variable other than the
+// forks themselves.
+func AuditSymmetry(topo *graph.Topology, prog sim.Program, seed uint64) SymmetryReport {
+	var rep SymmetryReport
+	w := sim.NewWorld(topo)
+	prog.Init(w)
+
+	rep.IdenticalInitialStates = true
+	for p := 1; p < len(w.Phils); p++ {
+		if w.Phils[p] != w.Phils[0] {
+			rep.IdenticalInitialStates = false
+			rep.Details = append(rep.Details, fmt.Sprintf("philosopher %d starts in a different state than philosopher 0", p))
+			break
+		}
+	}
+	for f := 1; f < len(w.Forks); f++ {
+		if w.Forks[f].NR != w.Forks[0].NR || w.Forks[f].Holder != w.Forks[0].Holder {
+			rep.IdenticalInitialStates = false
+			rep.Details = append(rep.Details, fmt.Sprintf("fork %d starts in a different state than fork 0", f))
+			break
+		}
+	}
+	if len(w.Globals) > 0 {
+		for _, g := range w.Globals {
+			if g != 0 {
+				rep.UsesSharedGlobals = true
+			}
+		}
+	}
+
+	// Probe run: any write to a shared global register is a violation of full
+	// distribution.
+	rng := prng.New(seed)
+	sched := sim.SchedulerFunc{
+		SchedulerName: "audit-round-robin",
+		NextFunc: func(w *sim.World) graph.PhilID {
+			return graph.PhilID(w.Step % int64(len(w.Phils)))
+		},
+	}
+	res, err := sim.RunWorld(w, prog, sched, rng, sim.RunOptions{MaxSteps: 5000})
+	if err != nil {
+		rep.Details = append(rep.Details, "probe run failed: "+err.Error())
+		return rep
+	}
+	for _, g := range res.Final.Globals {
+		if g != 0 {
+			rep.UsesSharedGlobals = true
+		}
+	}
+	if len(res.Final.Globals) > 0 && !rep.UsesSharedGlobals {
+		// Globals allocated but never set to a non-zero value still indicate
+		// shared state (for example a monitor token that happened to be free
+		// at the end); report it.
+		rep.UsesSharedGlobals = true
+	}
+	if rep.UsesSharedGlobals {
+		rep.Details = append(rep.Details, "algorithm uses shared global registers (not fully distributed)")
+	}
+	return rep
+}
+
+// AlgorithmOptionsForTheorem3 returns the algorithm options used by the
+// Theorem 3 experiments for a given m multiplier: m = multiplier × k, so the
+// DistinctNumberBound can be swept.
+func AlgorithmOptionsForTheorem3(topo *graph.Topology, multiplier int) algo.Options {
+	if multiplier < 1 {
+		multiplier = 1
+	}
+	return algo.Options{M: topo.NumForks() * multiplier}
+}
+
+// TheoremBoundGap quantifies how conservative the Theorem 3 bound is for a
+// given m and k: the ratio between the exact distinct-draw probability and 1.
+// It is exported for the bound-sweep experiment (E-B2).
+func TheoremBoundGap(m, k int) float64 {
+	return math.Max(0, 1-DistinctNumberBound(m, k))
+}

@@ -1,0 +1,188 @@
+package verify
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/graph"
+	"repro/internal/prng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func randomSched(rng *prng.Source) sim.Scheduler { return sched.NewUniformRandom(rng) }
+func roundRobinSched(*prng.Source) sim.Scheduler { return sched.NewRoundRobin() }
+
+func TestDistinctNumberBound(t *testing.T) {
+	t.Parallel()
+	if got := DistinctNumberBound(5, 1); got != 1 {
+		t.Errorf("k=1 bound = %v, want 1", got)
+	}
+	// m=3, k=3: 3!/3^3 = 6/27.
+	if got, want := DistinctNumberBound(3, 3), 6.0/27.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("bound(3,3) = %v, want %v", got, want)
+	}
+	// m=6, k=3: (6*5*4)/6^3 = 120/216.
+	if got, want := DistinctNumberBound(6, 3), 120.0/216.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("bound(6,3) = %v, want %v", got, want)
+	}
+	// Larger m gives a larger probability of distinct numbers.
+	if DistinctNumberBound(12, 3) <= DistinctNumberBound(3, 3) {
+		t.Error("bound should increase with m")
+	}
+}
+
+func TestDistinctNumberBoundPanicsWhenKExceedsM(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k > m")
+		}
+	}()
+	DistinctNumberBound(2, 3)
+}
+
+func TestDistinctNumberBoundMatchesSimulation(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct{ m, k int }{{3, 3}, {6, 3}, {10, 4}} {
+		analytic := DistinctNumberBound(tc.m, tc.k)
+		estimated := EstimateDistinctNumberProbability(tc.m, tc.k, 200_000, 7)
+		if math.Abs(analytic-estimated) > 0.01 {
+			t.Errorf("m=%d k=%d: analytic %v vs estimated %v", tc.m, tc.k, analytic, estimated)
+		}
+	}
+}
+
+func TestSection3Bound(t *testing.T) {
+	t.Parallel()
+	// For p <= 1/2 the bound is at least 1/16.
+	if got := Section3Bound(0.5); got < 1.0/16.0-1e-12 {
+		t.Errorf("Section3Bound(0.5) = %v, want >= 1/16", got)
+	}
+	if got := Section3Bound(0); got != 0.25 {
+		t.Errorf("Section3Bound(0) = %v, want 0.25", got)
+	}
+	if Section3Bound(-1) != 0 || Section3Bound(1) != 0 {
+		t.Error("out-of-range p should give 0")
+	}
+}
+
+func TestProgressCheckGDP1OnFigure1Topologies(t *testing.T) {
+	t.Parallel()
+	// Theorem 3, Monte-Carlo form: GDP1 makes progress on every Figure 1
+	// topology under random fair scheduling, in every trial.
+	for _, topo := range graph.Figure1() {
+		prog, err := algo.New("GDP1", algo.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ProgressCheck{
+			Topology:  topo,
+			Algorithm: prog,
+			Scheduler: randomSched,
+			Trials:    30,
+			MaxSteps:  50_000,
+			Seed:      11,
+		}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Passed() {
+			t.Errorf("GDP1 failed to progress on %s in trials with seeds %v", topo.Name(), res.Failures)
+		}
+		if res.StepsToFirstMeal.Mean() <= 0 {
+			t.Errorf("first-meal statistics missing for %s", topo.Name())
+		}
+	}
+}
+
+func TestProgressCheckDetectsDeadlock(t *testing.T) {
+	t.Parallel()
+	// The naive baseline deadlocks under round-robin; the progress check must
+	// report the failures rather than hide them.
+	res, err := ProgressCheck{
+		Topology:  graph.Ring(5),
+		Algorithm: algo.NewNaive(),
+		Scheduler: roundRobinSched,
+		Trials:    5,
+		MaxSteps:  20_000,
+		Seed:      3,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() {
+		t.Error("progress check passed for the deadlocking naive baseline")
+	}
+}
+
+func TestLockoutCheckGDP2(t *testing.T) {
+	t.Parallel()
+	prog, err := algo.New("GDP2", algo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LockoutCheck{
+		Topology:  graph.Figure1A(),
+		Algorithm: prog,
+		Scheduler: randomSched,
+		Trials:    10,
+		MaxSteps:  150_000,
+		MealsEach: 1,
+		Seed:      5,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed() {
+		t.Errorf("GDP2 lockout check failed for seeds %v", res.Failures)
+	}
+	if res.WorstJainIndex <= 0 || res.WorstJainIndex > 1 {
+		t.Errorf("implausible Jain index %v", res.WorstJainIndex)
+	}
+}
+
+func TestAuditSymmetryPaperAlgorithms(t *testing.T) {
+	t.Parallel()
+	topo := graph.Figure1A()
+	for _, name := range []string{"LR1", "LR2", "GDP1", "GDP2"} {
+		prog, err := algo.New(name, algo.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := AuditSymmetry(topo, prog, 3)
+		if !rep.Symmetric() {
+			t.Errorf("%s should pass the symmetry audit: %+v", name, rep)
+		}
+	}
+}
+
+func TestAuditSymmetryRejectsCentralizedBaselines(t *testing.T) {
+	t.Parallel()
+	topo := graph.Ring(5)
+	for _, name := range []string{"central-monitor", "ticket-box"} {
+		prog, err := algo.New(name, algo.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := AuditSymmetry(topo, prog, 3)
+		if rep.Symmetric() {
+			t.Errorf("%s uses shared state and must fail the symmetry audit", name)
+		}
+	}
+}
+
+func TestAlgorithmOptionsForTheorem3(t *testing.T) {
+	t.Parallel()
+	topo := graph.Ring(4)
+	if got := AlgorithmOptionsForTheorem3(topo, 3).M; got != 12 {
+		t.Errorf("M = %d, want 12", got)
+	}
+	if got := AlgorithmOptionsForTheorem3(topo, 0).M; got != 4 {
+		t.Errorf("M with zero multiplier = %d, want 4", got)
+	}
+	if gap := TheoremBoundGap(4, 4); gap <= 0 || gap >= 1 {
+		t.Errorf("TheoremBoundGap(4,4) = %v out of (0,1)", gap)
+	}
+}
