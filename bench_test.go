@@ -61,7 +61,6 @@ func BenchmarkTable4GDP2(b *testing.B) { benchmarkTable(b, "GDP2") }
 // BenchmarkFigure1Topologies runs GDP1 on each of the four Figure 1 systems.
 func BenchmarkFigure1Topologies(b *testing.B) {
 	for _, topo := range graph.Figure1() {
-		topo := topo
 		b.Run(topo.Name(), func(b *testing.B) {
 			b.ReportAllocs()
 			var meals int64
@@ -80,7 +79,6 @@ func BenchmarkFigure1Topologies(b *testing.B) {
 // LR1 and 0 for GDP1/GDP2).
 func BenchmarkSection3Adversary(b *testing.B) {
 	for _, algorithm := range []string{"LR1", "LR2", "GDP1", "GDP2"} {
-		algorithm := algorithm
 		b.Run(algorithm, func(b *testing.B) {
 			topo := graph.Figure1A()
 			b.ReportAllocs()
@@ -111,7 +109,6 @@ func BenchmarkTheorem1(b *testing.B) {
 		{"GDP1", nil, false},
 	}
 	for _, c := range cases {
-		c := c
 		b.Run(c.algorithm, func(b *testing.B) {
 			prog, err := algo.New(c.algorithm, algo.Options{})
 			if err != nil {
@@ -135,7 +132,6 @@ func BenchmarkTheorem1(b *testing.B) {
 // analysis for LR2 versus GDP2 on the theta graph.
 func BenchmarkTheorem2(b *testing.B) {
 	for _, algorithm := range []string{"LR2", "GDP2"} {
-		algorithm := algorithm
 		b.Run(algorithm, func(b *testing.B) {
 			prog, err := algo.New(algorithm, algo.Options{})
 			if err != nil {
@@ -161,7 +157,6 @@ func BenchmarkTheorem2(b *testing.B) {
 // progress under every fair scheduler).
 func BenchmarkTheorem3Progress(b *testing.B) {
 	for _, topo := range graph.Figure1() {
-		topo := topo
 		b.Run(topo.Name(), func(b *testing.B) {
 			b.ReportAllocs()
 			var firstMeal int64
@@ -205,7 +200,6 @@ func BenchmarkTheorem4Lockout(b *testing.B) {
 // for which Lehmann & Rabin proved them correct, under the adversary.
 func BenchmarkClassicRing(b *testing.B) {
 	for _, algorithm := range []string{"LR1", "LR2"} {
-		algorithm := algorithm
 		b.Run(algorithm, func(b *testing.B) {
 			topo := graph.Ring(5)
 			b.ReportAllocs()
@@ -225,7 +219,6 @@ func BenchmarkClassicRing(b *testing.B) {
 func BenchmarkAlgorithmsRing(b *testing.B) {
 	for _, size := range []int{5, 25, 101} {
 		for _, algorithm := range []string{"LR1", "LR2", "GDP1", "GDP2", "ordered-forks", "ticket-box"} {
-			size, algorithm := size, algorithm
 			b.Run(fmt.Sprintf("n=%d/%s", size, algorithm), func(b *testing.B) {
 				topo := graph.Ring(size)
 				b.ReportAllocs()
@@ -246,7 +239,6 @@ func BenchmarkNumberRangeSweep(b *testing.B) {
 	topo := graph.Figure1A()
 	k := topo.NumForks()
 	for _, mult := range []int{1, 2, 4, 8} {
-		mult := mult
 		b.Run(fmt.Sprintf("m=%dk", mult), func(b *testing.B) {
 			m := k * mult
 			b.ReportAllocs()
@@ -289,7 +281,6 @@ func BenchmarkGuardedChoice(b *testing.B) {
 // (experiment E-RT): one op is a full 50ms concurrent execution.
 func BenchmarkRuntimeGoroutines(b *testing.B) {
 	for _, algorithm := range []string{dining.LR1, dining.GDP1, dining.GDP2} {
-		algorithm := algorithm
 		b.Run(algorithm, func(b *testing.B) {
 			topo := dining.Figure1A()
 			b.ReportAllocs()
@@ -345,7 +336,6 @@ func BenchmarkModelCheckerScaling(b *testing.B) {
 		{"t1min/LR1", graph.Theorem1Minimal(), "LR1"},
 	}
 	for _, c := range cases {
-		c := c
 		b.Run(c.name, func(b *testing.B) {
 			prog, err := algo.New(c.alg, algo.Options{})
 			if err != nil {

@@ -27,42 +27,72 @@ import (
 	"repro/internal/sim"
 )
 
-// one wraps a single deterministic action as an outcome set.
-func one(label string, apply func()) []sim.Outcome {
-	return []sim.Outcome{{Prob: 1, Label: label, Apply: apply}}
+// The outcome constructors below append to a caller-provided scratch buffer
+// and build outcomes from static Apply functions plus an Arg, so that a
+// steady-state simulation step performs no heap allocations (see
+// sim.Outcome).
+
+// one appends a single deterministic action with probability 1.
+func one(buf []sim.Outcome, label string, arg int64, apply func(*sim.World, graph.PhilID, int64)) []sim.Outcome {
+	return append(buf, sim.Outcome{Prob: 1, Label: label, Arg: arg, Apply: apply})
 }
 
-// coinFlip returns the two-outcome set of the algorithms' random_choice(left,
+// coinFlip appends the two-outcome set of the algorithms' random_choice(left,
 // right) draw. pLeft is the probability of choosing the left fork; the paper
 // uses 1/2 but notes the negative results do not depend on the value.
-func coinFlip(pLeft float64, left, right sim.Outcome) []sim.Outcome {
+func coinFlip(buf []sim.Outcome, pLeft float64, left, right sim.Outcome) []sim.Outcome {
 	if pLeft <= 0 {
 		right.Prob = 1
-		return []sim.Outcome{right}
+		return append(buf, right)
 	}
 	if pLeft >= 1 {
 		left.Prob = 1
-		return []sim.Outcome{left}
+		return append(buf, left)
 	}
 	left.Prob = pLeft
 	right.Prob = 1 - pLeft
-	return []sim.Outcome{left, right}
+	return append(buf, left, right)
 }
 
-// uniformNR returns the outcome set of the GDP step "fork.nr := random[1, m]":
-// one outcome per value in [1, m], each with probability 1/m.
-func uniformNR(m int, label func(v int) string, apply func(v int)) []sim.Outcome {
-	outcomes := make([]sim.Outcome, m)
+// uniformNR appends the outcome set of the GDP step "fork.nr := random[1, m]":
+// one outcome per value in [1, m], each with probability 1/m. apply receives
+// the drawn value as arg.
+func uniformNR(buf []sim.Outcome, m int, apply func(*sim.World, graph.PhilID, int64)) []sim.Outcome {
 	p := 1.0 / float64(m)
 	for v := 1; v <= m; v++ {
-		v := v
-		outcomes[v-1] = sim.Outcome{
+		buf = append(buf, sim.Outcome{
 			Prob:  p,
-			Label: label(v),
-			Apply: func() { apply(v) },
-		}
+			Label: nrLabel(v),
+			Arg:   int64(v),
+			Apply: apply,
+		})
 	}
-	return outcomes
+	return buf
+}
+
+// nrLabels precomputes the labels of the common nr draws so that building the
+// uniformNR outcome set allocates nothing; draws beyond the table (m beyond
+// 256 forks, only reachable through explicit Options.M or very large
+// topologies) fall back to fmt.
+var nrLabels = func() [257]string {
+	var labels [257]string
+	for v := range labels {
+		labels[v] = fmt.Sprintf("nr := %d", v)
+	}
+	return labels
+}()
+
+func nrLabel(v int) string {
+	if v >= 0 && v < len(nrLabels) {
+		return nrLabels[v]
+	}
+	return fmt.Sprintf("nr := %d", v)
+}
+
+// applySetPC is the generic "nothing to do but advance" action: it sets the
+// philosopher's program counter to arg.
+func applySetPC(w *sim.World, p graph.PhilID, arg int64) {
+	w.Phils[p].PC = uint8(arg)
 }
 
 // Options configures the tunable parameters shared by the algorithms.
@@ -85,6 +115,26 @@ type Options struct {
 	// shared fork second; checking the condition on both forks removes that
 	// trap. See EXPERIMENTS.md, experiment E-T4.
 	CourtesyOnBothForks bool
+}
+
+// Courtesy option bits passed to the static Apply functions through
+// Outcome.Arg (the Apply functions are shared across program instances, so
+// per-instance options must travel with the outcome).
+const (
+	flagCourtesyOnBoth int64 = 1 << iota
+	flagDisableCourtesy
+)
+
+// courtesyFlags encodes the courtesy options as Outcome.Arg bits.
+func (o Options) courtesyFlags() int64 {
+	var flags int64
+	if o.CourtesyOnBothForks {
+		flags |= flagCourtesyOnBoth
+	}
+	if o.DisableCourtesy {
+		flags |= flagDisableCourtesy
+	}
+	return flags
 }
 
 // leftBias returns the configured or default probability of picking left.

@@ -68,7 +68,6 @@ func TestAllAlgorithmsProgressOnClassicRing(t *testing.T) {
 	// naive left-first baseline is excluded: it exists precisely because it
 	// deadlocks (see TestNaiveLeftFirstDeadlocks).
 	for _, name := range Names() {
-		name := name
 		if name == "naive-left-first" {
 			continue
 		}
@@ -98,7 +97,6 @@ func TestPaperAlgorithmsProgressOnFigure1Topologies(t *testing.T) {
 	t.Parallel()
 	for _, topo := range graph.Figure1() {
 		for _, prog := range PaperAlgorithms(Options{}) {
-			topo, prog := topo, prog
 			t.Run(topo.Name()+"/"+prog.Name(), func(t *testing.T) {
 				t.Parallel()
 				res := runFor(t, topo, prog, sched.NewUniformRandom(prng.New(3)), 11,
@@ -151,7 +149,7 @@ func TestLR1ReleasesFirstForkWhenSecondTaken(t *testing.T) {
 	// Make P1 hold P0's right fork (= fork 1): P1's left fork is 1.
 	stepPhil := func(p graph.PhilID, times int) {
 		for i := 0; i < times; i++ {
-			sim.SampleOutcome(prog.Outcomes(w, p), rng).Apply()
+			sim.SampleOutcome(prog.Outcomes(w, p, nil), rng).Do(w, p)
 			w.Step++
 		}
 	}
@@ -181,7 +179,7 @@ func TestLR1BusyWaitsOnHeldFirstFork(t *testing.T) {
 	rng := prng.New(1)
 	step := func(p graph.PhilID, times int) {
 		for i := 0; i < times; i++ {
-			sim.SampleOutcome(prog.Outcomes(w, p), rng).Apply()
+			sim.SampleOutcome(prog.Outcomes(w, p, nil), rng).Do(w, p)
 			w.Step++
 		}
 	}
@@ -194,7 +192,7 @@ func TestLR1BusyWaitsOnHeldFirstFork(t *testing.T) {
 	w2 := sim.NewWorld(topo)
 	step2 := func(p graph.PhilID, times int) {
 		for i := 0; i < times; i++ {
-			sim.SampleOutcome(prog2.Outcomes(w2, p), rng).Apply()
+			sim.SampleOutcome(prog2.Outcomes(w2, p, nil), rng).Do(w2, p)
 			w2.Step++
 		}
 	}
@@ -216,7 +214,7 @@ func TestLR1BusyWaitsOnHeldFirstFork(t *testing.T) {
 	w3.Commit(0, 2) // fork 2 is held by P2
 	w3.Phils[0].PC = lr1TakeFirst
 	for i := 0; i < 5; i++ {
-		sim.SampleOutcome(prog.Outcomes(w3, 0), rng).Apply()
+		sim.SampleOutcome(prog.Outcomes(w3, 0, nil), rng).Do(w3, 0)
 		if w3.Phils[0].PC != lr1TakeFirst {
 			t.Fatalf("LR1 left the busy-wait loop although the fork is held")
 		}
@@ -232,15 +230,15 @@ func TestGDP1SelectsHigherNumberedFork(t *testing.T) {
 	// P0: left fork 0, right fork 1. Give fork 0 a higher nr.
 	w.SetNR(0, 0, 5)
 	w.SetNR(0, 1, 2)
-	sim.SampleOutcome(prog.Outcomes(w, 0), rng).Apply() // think -> hungry
-	sim.SampleOutcome(prog.Outcomes(w, 0), rng).Apply() // select
+	sim.SampleOutcome(prog.Outcomes(w, 0, nil), rng).Do(w, 0) // think -> hungry
+	sim.SampleOutcome(prog.Outcomes(w, 0, nil), rng).Do(w, 0) // select
 	if w.FirstForkOf(0) != 0 {
 		t.Errorf("GDP1 selected fork %d, want the higher-numbered fork 0", w.FirstForkOf(0))
 	}
 	// Ties select the right fork (the else branch of line 2).
 	w2 := sim.NewWorld(topo)
-	sim.SampleOutcome(prog.Outcomes(w2, 0), rng).Apply()
-	sim.SampleOutcome(prog.Outcomes(w2, 0), rng).Apply()
+	sim.SampleOutcome(prog.Outcomes(w2, 0, nil), rng).Do(w2, 0)
+	sim.SampleOutcome(prog.Outcomes(w2, 0, nil), rng).Do(w2, 0)
 	if w2.FirstForkOf(0) != 1 {
 		t.Errorf("GDP1 tie-break selected fork %d, want the right fork 1", w2.FirstForkOf(0))
 	}
@@ -254,7 +252,7 @@ func TestGDP1RenumbersOnTie(t *testing.T) {
 	rng := prng.New(2)
 	step := func(p graph.PhilID, times int) {
 		for i := 0; i < times; i++ {
-			sim.SampleOutcome(prog.Outcomes(w, p), rng).Apply()
+			sim.SampleOutcome(prog.Outcomes(w, p, nil), rng).Do(w, p)
 			w.Step++
 		}
 	}
@@ -269,7 +267,7 @@ func TestGDP1RenumbersOnTie(t *testing.T) {
 	}
 
 	// With distinct numbers the renumber step must not change anything.
-	outcomes := prog.Outcomes(w, 0)
+	outcomes := prog.Outcomes(w, 0, nil)
 	if len(outcomes) != 1 {
 		t.Errorf("renumber step with distinct numbers should be deterministic, got %d outcomes", len(outcomes))
 	}
@@ -282,9 +280,9 @@ func TestGDP1RenumberOutcomeDistribution(t *testing.T) {
 	w := sim.NewWorld(topo)
 	rng := prng.New(3)
 	for i := 0; i < 3; i++ { // hungry, select, take
-		sim.SampleOutcome(prog.Outcomes(w, 0), rng).Apply()
+		sim.SampleOutcome(prog.Outcomes(w, 0, nil), rng).Do(w, 0)
 	}
-	outcomes := prog.Outcomes(w, 0) // renumber step, tie
+	outcomes := prog.Outcomes(w, 0, nil) // renumber step, tie
 	if len(outcomes) != 7 {
 		t.Fatalf("renumber with m=7 should offer 7 outcomes, got %d", len(outcomes))
 	}

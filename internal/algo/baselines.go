@@ -46,49 +46,61 @@ func (*OrderedForks) Symmetric() bool { return false }
 func (*OrderedForks) Init(*sim.World) {}
 
 // Outcomes implements sim.Program.
-func (*OrderedForks) Outcomes(w *sim.World, p graph.PhilID) []sim.Outcome {
+func (*OrderedForks) Outcomes(w *sim.World, p graph.PhilID, buf []sim.Outcome) []sim.Outcome {
 	st := &w.Phils[p]
+	switch st.PC {
+	case ordThink:
+		return sim.ThinkOutcomes(w, p, buf, ordTakeLow)
+	case ordTakeLow:
+		return one(buf, "take low fork", 0, ordApplyTakeLow)
+	case ordTakeHigh:
+		return one(buf, "take high fork", 0, ordApplyTakeHigh)
+	case ordEat:
+		return one(buf, "eat", 0, ordApplyEat)
+	case ordRelease:
+		return one(buf, "release forks", 0, ordApplyRelease)
+	default:
+		panic(fmt.Sprintf("algo: ordered-forks philosopher %d has invalid pc %d", p, st.PC))
+	}
+}
+
+// orderedForksOf returns p's forks as (low, high) in the global fork order.
+func orderedForksOf(w *sim.World, p graph.PhilID) (graph.ForkID, graph.ForkID) {
 	low, high := w.Topo.Left(p), w.Topo.Right(p)
 	if low > high {
 		low, high = high, low
 	}
-	switch st.PC {
-	case ordThink:
-		return sim.ThinkOutcomes(w, p, func() {
-			w.BecomeHungry(p)
-			st.PC = ordTakeLow
-		})
-	case ordTakeLow:
-		return one("take low fork", func() {
-			w.Commit(p, low)
-			if w.TryTake(p, low) {
-				w.MarkHoldingFirst(p)
-				st.PC = ordTakeHigh
-			}
-		})
-	case ordTakeHigh:
-		return one("take high fork", func() {
-			if w.TryTake(p, high) {
-				w.MarkHoldingSecond(p)
-				w.StartEating(p)
-				st.PC = ordEat
-			}
-			// else: hold the low fork and busy wait (hierarchical allocation
-			// never releases while waiting).
-		})
-	case ordEat:
-		return one("eat", func() {
-			w.FinishEating(p)
-			st.PC = ordRelease
-		})
-	case ordRelease:
-		return one("release forks", func() {
-			w.ReleaseAll(p)
-			w.BackToThinking(p, ordThink)
-		})
-	default:
-		panic(fmt.Sprintf("algo: ordered-forks philosopher %d has invalid pc %d", p, st.PC))
+	return low, high
+}
+
+func ordApplyTakeLow(w *sim.World, p graph.PhilID, _ int64) {
+	low, _ := orderedForksOf(w, p)
+	w.Commit(p, low)
+	if w.TryTake(p, low) {
+		w.MarkHoldingFirst(p)
+		w.Phils[p].PC = ordTakeHigh
 	}
+}
+
+func ordApplyTakeHigh(w *sim.World, p graph.PhilID, _ int64) {
+	_, high := orderedForksOf(w, p)
+	if w.TryTake(p, high) {
+		w.MarkHoldingSecond(p)
+		w.StartEating(p)
+		w.Phils[p].PC = ordEat
+	}
+	// else: hold the low fork and busy wait (hierarchical allocation never
+	// releases while waiting).
+}
+
+func ordApplyEat(w *sim.World, p graph.PhilID, _ int64) {
+	w.FinishEating(p)
+	w.Phils[p].PC = ordRelease
+}
+
+func ordApplyRelease(w *sim.World, p graph.PhilID, _ int64) {
+	w.ReleaseAll(p)
+	w.BackToThinking(p, ordThink)
 }
 
 // --- Naive left-first philosophers ---
@@ -116,44 +128,54 @@ func (*Naive) Symmetric() bool { return true }
 func (*Naive) Init(*sim.World) {}
 
 // Outcomes implements sim.Program.
-func (*Naive) Outcomes(w *sim.World, p graph.PhilID) []sim.Outcome {
+func (*Naive) Outcomes(w *sim.World, p graph.PhilID, buf []sim.Outcome) []sim.Outcome {
 	st := &w.Phils[p]
-	first, second := w.Topo.Left(p), w.Topo.Right(p)
 	switch st.PC {
 	case colThink:
-		return sim.ThinkOutcomes(w, p, func() {
-			w.BecomeHungry(p)
-			st.PC = colTakeA
-		})
+		return sim.ThinkOutcomes(w, p, buf, colTakeA)
 	case colTakeA:
-		return one("take left fork", func() {
-			w.Commit(p, first)
-			if w.TryTake(p, first) {
-				w.MarkHoldingFirst(p)
-				st.PC = colTakeB
-			}
-		})
+		return one(buf, "take left fork", int64(w.Topo.Left(p)), holdWaitApplyTakeFirst)
 	case colTakeB:
-		return one("take right fork", func() {
-			if w.TryTake(p, second) {
-				w.MarkHoldingSecond(p)
-				w.StartEating(p)
-				st.PC = colEat
-			}
-		})
+		return one(buf, "take right fork", 0, holdWaitApplyTakeSecond)
 	case colEat:
-		return one("eat", func() {
-			w.FinishEating(p)
-			st.PC = colRelease
-		})
+		return one(buf, "eat", 0, holdWaitApplyEat)
 	case colRelease:
-		return one("release forks", func() {
-			w.ReleaseAll(p)
-			w.BackToThinking(p, colThink)
-		})
+		return one(buf, "release forks", 0, holdWaitApplyRelease)
 	default:
 		panic(fmt.Sprintf("algo: naive philosopher %d has invalid pc %d", p, st.PC))
 	}
+}
+
+// The hold-and-wait apply functions are shared by the naive and colored
+// baselines: both commit to a rule-determined first fork (passed as arg) and
+// hold it while busy-waiting for the second.
+
+func holdWaitApplyTakeFirst(w *sim.World, p graph.PhilID, arg int64) {
+	f := graph.ForkID(arg)
+	w.Commit(p, f)
+	if w.TryTake(p, f) {
+		w.MarkHoldingFirst(p)
+		w.Phils[p].PC = colTakeB
+	}
+}
+
+func holdWaitApplyTakeSecond(w *sim.World, p graph.PhilID, _ int64) {
+	second := w.Topo.OtherFork(p, w.Phils[p].First)
+	if w.TryTake(p, second) {
+		w.MarkHoldingSecond(p)
+		w.StartEating(p)
+		w.Phils[p].PC = colEat
+	}
+}
+
+func holdWaitApplyEat(w *sim.World, p graph.PhilID, _ int64) {
+	w.FinishEating(p)
+	w.Phils[p].PC = colRelease
+}
+
+func holdWaitApplyRelease(w *sim.World, p graph.PhilID, _ int64) {
+	w.ReleaseAll(p)
+	w.BackToThinking(p, colThink)
 }
 
 // --- Colored philosophers ---
@@ -189,44 +211,23 @@ func (*Colored) Symmetric() bool { return false }
 func (*Colored) Init(*sim.World) {}
 
 // Outcomes implements sim.Program.
-func (*Colored) Outcomes(w *sim.World, p graph.PhilID) []sim.Outcome {
+func (*Colored) Outcomes(w *sim.World, p graph.PhilID, buf []sim.Outcome) []sim.Outcome {
 	st := &w.Phils[p]
-	first, second := w.Topo.Left(p), w.Topo.Right(p)
+	first := w.Topo.Left(p)
 	if p%2 == 1 {
-		first, second = second, first
+		first = w.Topo.Right(p)
 	}
 	switch st.PC {
 	case colThink:
-		return sim.ThinkOutcomes(w, p, func() {
-			w.BecomeHungry(p)
-			st.PC = colTakeA
-		})
+		return sim.ThinkOutcomes(w, p, buf, colTakeA)
 	case colTakeA:
-		return one("take first fork (by color)", func() {
-			w.Commit(p, first)
-			if w.TryTake(p, first) {
-				w.MarkHoldingFirst(p)
-				st.PC = colTakeB
-			}
-		})
+		return one(buf, "take first fork (by color)", int64(first), holdWaitApplyTakeFirst)
 	case colTakeB:
-		return one("take second fork (by color)", func() {
-			if w.TryTake(p, second) {
-				w.MarkHoldingSecond(p)
-				w.StartEating(p)
-				st.PC = colEat
-			}
-		})
+		return one(buf, "take second fork (by color)", 0, holdWaitApplyTakeSecond)
 	case colEat:
-		return one("eat", func() {
-			w.FinishEating(p)
-			st.PC = colRelease
-		})
+		return one(buf, "eat", 0, holdWaitApplyEat)
 	case colRelease:
-		return one("release forks", func() {
-			w.ReleaseAll(p)
-			w.BackToThinking(p, colThink)
-		})
+		return one(buf, "release forks", 0, holdWaitApplyRelease)
 	default:
 		panic(fmt.Sprintf("algo: colored philosopher %d has invalid pc %d", p, st.PC))
 	}
@@ -267,51 +268,56 @@ func (*CentralMonitor) Symmetric() bool { return false }
 func (*CentralMonitor) Init(w *sim.World) { w.EnsureGlobals(1) }
 
 // Outcomes implements sim.Program.
-func (*CentralMonitor) Outcomes(w *sim.World, p graph.PhilID) []sim.Outcome {
+func (*CentralMonitor) Outcomes(w *sim.World, p graph.PhilID, buf []sim.Outcome) []sim.Outcome {
 	st := &w.Phils[p]
-	left, right := w.Topo.Left(p), w.Topo.Right(p)
 	switch st.PC {
 	case monThink:
-		return sim.ThinkOutcomes(w, p, func() {
-			w.BecomeHungry(p)
-			st.PC = monAcquire
-		})
+		return sim.ThinkOutcomes(w, p, buf, monAcquire)
 	case monAcquire:
-		return one("acquire monitor", func() {
-			if w.Global(monitorTokenGlobal) == 0 {
-				w.SetGlobal(monitorTokenGlobal, int64(p)+1)
-				st.PC = monGrab
-			}
-		})
+		return one(buf, "acquire monitor", 0, monApplyAcquire)
 	case monGrab:
-		return one("take both forks under monitor", func() {
-			if w.IsFree(left) && w.IsFree(right) {
-				w.Commit(p, left)
-				w.TryTake(p, left)
-				w.MarkHoldingFirst(p)
-				w.TryTake(p, right)
-				w.MarkHoldingSecond(p)
-				w.StartEating(p)
-				w.SetGlobal(monitorTokenGlobal, 0)
-				st.PC = monEat
-			} else {
-				w.SetGlobal(monitorTokenGlobal, 0)
-				st.PC = monAcquire
-			}
-		})
+		return one(buf, "take both forks under monitor", 0, monApplyGrab)
 	case monEat:
-		return one("eat", func() {
-			w.FinishEating(p)
-			st.PC = monRelease
-		})
+		return one(buf, "eat", 0, monApplyEat)
 	case monRelease:
-		return one("release forks", func() {
-			w.ReleaseAll(p)
-			w.BackToThinking(p, monThink)
-		})
+		return one(buf, "release forks", 0, monApplyRelease)
 	default:
 		panic(fmt.Sprintf("algo: central-monitor philosopher %d has invalid pc %d", p, st.PC))
 	}
+}
+
+func monApplyAcquire(w *sim.World, p graph.PhilID, _ int64) {
+	if w.Global(monitorTokenGlobal) == 0 {
+		w.SetGlobal(monitorTokenGlobal, int64(p)+1)
+		w.Phils[p].PC = monGrab
+	}
+}
+
+func monApplyGrab(w *sim.World, p graph.PhilID, _ int64) {
+	left, right := w.Topo.Left(p), w.Topo.Right(p)
+	if w.IsFree(left) && w.IsFree(right) {
+		w.Commit(p, left)
+		w.TryTake(p, left)
+		w.MarkHoldingFirst(p)
+		w.TryTake(p, right)
+		w.MarkHoldingSecond(p)
+		w.StartEating(p)
+		w.SetGlobal(monitorTokenGlobal, 0)
+		w.Phils[p].PC = monEat
+	} else {
+		w.SetGlobal(monitorTokenGlobal, 0)
+		w.Phils[p].PC = monAcquire
+	}
+}
+
+func monApplyEat(w *sim.World, p graph.PhilID, _ int64) {
+	w.FinishEating(p)
+	w.Phils[p].PC = monRelease
+}
+
+func monApplyRelease(w *sim.World, p graph.PhilID, _ int64) {
+	w.ReleaseAll(p)
+	w.BackToThinking(p, monThink)
 }
 
 // --- Ticket box ---
@@ -362,52 +368,59 @@ func (t *TicketBox) Init(w *sim.World) {
 }
 
 // Outcomes implements sim.Program.
-func (*TicketBox) Outcomes(w *sim.World, p graph.PhilID) []sim.Outcome {
+func (*TicketBox) Outcomes(w *sim.World, p graph.PhilID, buf []sim.Outcome) []sim.Outcome {
 	st := &w.Phils[p]
-	left, right := w.Topo.Left(p), w.Topo.Right(p)
 	switch st.PC {
 	case tktThink:
-		return sim.ThinkOutcomes(w, p, func() {
-			w.BecomeHungry(p)
-			st.PC = tktAcquire
-		})
+		return sim.ThinkOutcomes(w, p, buf, tktAcquire)
 	case tktAcquire:
-		return one("acquire ticket", func() {
-			if w.Global(ticketsGlobal) > 0 {
-				w.SetGlobal(ticketsGlobal, w.Global(ticketsGlobal)-1)
-				st.Aux[0] = 1
-				st.PC = tktTakeLeft
-			}
-		})
+		return one(buf, "acquire ticket", 0, tktApplyAcquire)
 	case tktTakeLeft:
-		return one("take left fork", func() {
-			w.Commit(p, left)
-			if w.TryTake(p, left) {
-				w.MarkHoldingFirst(p)
-				st.PC = tktTakeRight
-			}
-		})
+		return one(buf, "take left fork", 0, tktApplyTakeLeft)
 	case tktTakeRight:
-		return one("take right fork", func() {
-			if w.TryTake(p, right) {
-				w.MarkHoldingSecond(p)
-				w.StartEating(p)
-				st.PC = tktEat
-			}
-		})
+		return one(buf, "take right fork", 0, tktApplyTakeRight)
 	case tktEat:
-		return one("eat", func() {
-			w.FinishEating(p)
-			st.PC = tktRelease
-		})
+		return one(buf, "eat", 0, tktApplyEat)
 	case tktRelease:
-		return one("release forks and ticket", func() {
-			w.ReleaseAll(p)
-			w.SetGlobal(ticketsGlobal, w.Global(ticketsGlobal)+1)
-			st.Aux[0] = 0
-			w.BackToThinking(p, tktThink)
-		})
+		return one(buf, "release forks and ticket", 0, tktApplyRelease)
 	default:
 		panic(fmt.Sprintf("algo: ticket-box philosopher %d has invalid pc %d", p, st.PC))
 	}
+}
+
+func tktApplyAcquire(w *sim.World, p graph.PhilID, _ int64) {
+	if w.Global(ticketsGlobal) > 0 {
+		w.SetGlobal(ticketsGlobal, w.Global(ticketsGlobal)-1)
+		w.Phils[p].Aux[0] = 1
+		w.Phils[p].PC = tktTakeLeft
+	}
+}
+
+func tktApplyTakeLeft(w *sim.World, p graph.PhilID, _ int64) {
+	left := w.Topo.Left(p)
+	w.Commit(p, left)
+	if w.TryTake(p, left) {
+		w.MarkHoldingFirst(p)
+		w.Phils[p].PC = tktTakeRight
+	}
+}
+
+func tktApplyTakeRight(w *sim.World, p graph.PhilID, _ int64) {
+	if w.TryTake(p, w.Topo.Right(p)) {
+		w.MarkHoldingSecond(p)
+		w.StartEating(p)
+		w.Phils[p].PC = tktEat
+	}
+}
+
+func tktApplyEat(w *sim.World, p graph.PhilID, _ int64) {
+	w.FinishEating(p)
+	w.Phils[p].PC = tktRelease
+}
+
+func tktApplyRelease(w *sim.World, p graph.PhilID, _ int64) {
+	w.ReleaseAll(p)
+	w.SetGlobal(ticketsGlobal, w.Global(ticketsGlobal)+1)
+	w.Phils[p].Aux[0] = 0
+	w.BackToThinking(p, tktThink)
 }

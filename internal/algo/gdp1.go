@@ -60,78 +60,82 @@ func (*GDP1) Symmetric() bool { return true }
 func (*GDP1) Init(*sim.World) {}
 
 // Outcomes implements sim.Program.
-func (a *GDP1) Outcomes(w *sim.World, p graph.PhilID) []sim.Outcome {
+func (a *GDP1) Outcomes(w *sim.World, p graph.PhilID, buf []sim.Outcome) []sim.Outcome {
 	st := &w.Phils[p]
 	switch st.PC {
 	case gdp1Think:
-		return sim.ThinkOutcomes(w, p, func() {
-			w.BecomeHungry(p)
-			st.PC = gdp1Select
-		})
+		return sim.ThinkOutcomes(w, p, buf, gdp1Select)
 
 	case gdp1Select:
-		return one("select higher-numbered fork", func() {
-			left, right := w.Topo.Left(p), w.Topo.Right(p)
-			if w.NR(left) > w.NR(right) {
-				w.Commit(p, left)
-			} else {
-				w.Commit(p, right)
-			}
-			st.PC = gdp1TakeFirst
-		})
+		return one(buf, "select higher-numbered fork", 0, gdp1ApplySelect)
 
 	case gdp1TakeFirst:
-		return one("take first fork", func() {
-			if w.TryTake(p, st.First) {
-				w.MarkHoldingFirst(p)
-				st.PC = gdp1Renumber
-			}
-			// else: busy wait at line 3.
-		})
+		return one(buf, "take first fork", 0, gdp1ApplyTakeFirst)
 
 	case gdp1Renumber:
 		second := w.Topo.OtherFork(p, st.First)
 		if w.NR(st.First) != w.NR(second) {
-			return one("numbers already distinct", func() {
-				st.PC = gdp1TrySecond
-			})
+			return one(buf, "numbers already distinct", gdp1TrySecond, applySetPC)
 		}
-		m := a.opts.nrRange(w.Topo)
-		first := st.First
-		return uniformNR(m,
-			func(v int) string { return fmt.Sprintf("nr := %d", v) },
-			func(v int) {
-				w.SetNR(p, first, v)
-				st.PC = gdp1TrySecond
-			})
+		return uniformNR(buf, a.opts.nrRange(w.Topo), gdp1ApplyRenumber)
 
 	case gdp1TrySecond:
-		return one("try second fork", func() {
-			second := w.Topo.OtherFork(p, st.First)
-			if w.TryTake(p, second) {
-				w.MarkHoldingSecond(p)
-				w.StartEating(p)
-				st.PC = gdp1Eat
-			} else {
-				w.Release(p, st.First)
-				w.ClearSelection(p)
-				st.PC = gdp1Select
-			}
-		})
+		return one(buf, "try second fork", 0, gdp1ApplyTrySecond)
 
 	case gdp1Eat:
-		return one("eat", func() {
-			w.FinishEating(p)
-			st.PC = gdp1Release
-		})
+		return one(buf, "eat", 0, gdp1ApplyEat)
 
 	case gdp1Release:
-		return one("release forks", func() {
-			w.ReleaseAll(p)
-			w.BackToThinking(p, gdp1Think)
-		})
+		return one(buf, "release forks", 0, gdp1ApplyRelease)
 
 	default:
 		panic(fmt.Sprintf("algo: GDP1 philosopher %d has invalid pc %d", p, st.PC))
 	}
+}
+
+func gdp1ApplySelect(w *sim.World, p graph.PhilID, _ int64) {
+	left, right := w.Topo.Left(p), w.Topo.Right(p)
+	if w.NR(left) > w.NR(right) {
+		w.Commit(p, left)
+	} else {
+		w.Commit(p, right)
+	}
+	w.Phils[p].PC = gdp1TakeFirst
+}
+
+func gdp1ApplyTakeFirst(w *sim.World, p graph.PhilID, _ int64) {
+	if w.TryTake(p, w.Phils[p].First) {
+		w.MarkHoldingFirst(p)
+		w.Phils[p].PC = gdp1Renumber
+	}
+	// else: busy wait at line 3.
+}
+
+func gdp1ApplyRenumber(w *sim.World, p graph.PhilID, arg int64) {
+	w.SetNR(p, w.Phils[p].First, int(arg))
+	w.Phils[p].PC = gdp1TrySecond
+}
+
+func gdp1ApplyTrySecond(w *sim.World, p graph.PhilID, _ int64) {
+	st := &w.Phils[p]
+	second := w.Topo.OtherFork(p, st.First)
+	if w.TryTake(p, second) {
+		w.MarkHoldingSecond(p)
+		w.StartEating(p)
+		st.PC = gdp1Eat
+	} else {
+		w.Release(p, st.First)
+		w.ClearSelection(p)
+		st.PC = gdp1Select
+	}
+}
+
+func gdp1ApplyEat(w *sim.World, p graph.PhilID, _ int64) {
+	w.FinishEating(p)
+	w.Phils[p].PC = gdp1Release
+}
+
+func gdp1ApplyRelease(w *sim.World, p graph.PhilID, _ int64) {
+	w.ReleaseAll(p)
+	w.BackToThinking(p, gdp1Think)
 }

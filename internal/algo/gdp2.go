@@ -60,112 +60,123 @@ func (*GDP2) Symmetric() bool { return true }
 func (*GDP2) Init(*sim.World) {}
 
 // Outcomes implements sim.Program.
-func (a *GDP2) Outcomes(w *sim.World, p graph.PhilID) []sim.Outcome {
+func (a *GDP2) Outcomes(w *sim.World, p graph.PhilID, buf []sim.Outcome) []sim.Outcome {
 	st := &w.Phils[p]
-	left, right := w.Topo.Left(p), w.Topo.Right(p)
 	switch st.PC {
 	case gdp2Think:
-		return sim.ThinkOutcomes(w, p, func() {
-			w.BecomeHungry(p)
-			st.PC = gdp2Request
-		})
+		return sim.ThinkOutcomes(w, p, buf, gdp2Request)
 
 	case gdp2Request:
-		return one("insert requests", func() {
-			w.Request(p, left)
-			w.Request(p, right)
-			st.PC = gdp2Select
-		})
+		return one(buf, "insert requests", 0, gdp2ApplyRequest)
 
 	case gdp2Select:
-		return one("select higher-numbered fork", func() {
-			if w.NR(left) > w.NR(right) {
-				w.Commit(p, left)
-			} else {
-				w.Commit(p, right)
-			}
-			st.PC = gdp2TakeFirst
-		})
+		return one(buf, "select higher-numbered fork", 0, gdp2ApplySelect)
 
 	case gdp2TakeFirst:
-		return one("take first fork (courteous)", func() {
-			allowed := w.IsFree(st.First) && (a.opts.DisableCourtesy || w.Cond(p, st.First))
-			if allowed {
-				if !w.TryTake(p, st.First) {
-					return
-				}
-				w.MarkHoldingFirst(p)
-				st.PC = gdp2Renumber
-				return
-			}
-			if !w.IsFree(st.First) {
-				w.TryTake(p, st.First) // records fork-busy, cannot succeed
-				return
-			}
-			w.RecordBlockedByCond(p, st.First)
-		})
+		return one(buf, "take first fork (courteous)", a.opts.courtesyFlags(), gdp2ApplyTakeFirst)
 
 	case gdp2Renumber:
 		second := w.Topo.OtherFork(p, st.First)
 		if w.NR(st.First) != w.NR(second) {
-			return one("numbers already distinct", func() {
-				st.PC = gdp2TrySecond
-			})
+			return one(buf, "numbers already distinct", gdp2TrySecond, applySetPC)
 		}
-		m := a.opts.nrRange(w.Topo)
-		first := st.First
-		return uniformNR(m,
-			func(v int) string { return fmt.Sprintf("nr := %d", v) },
-			func(v int) {
-				w.SetNR(p, first, v)
-				st.PC = gdp2TrySecond
-			})
+		return uniformNR(buf, a.opts.nrRange(w.Topo), gdp2ApplyRenumber)
 
 	case gdp2TrySecond:
-		return one("try second fork", func() {
-			second := w.Topo.OtherFork(p, st.First)
-			allowed := !a.opts.CourtesyOnBothForks || a.opts.DisableCourtesy || w.Cond(p, second)
-			if allowed && w.TryTake(p, second) {
-				w.MarkHoldingSecond(p)
-				w.StartEating(p)
-				st.PC = gdp2Eat
-				return
-			}
-			if !allowed {
-				w.RecordBlockedByCond(p, second)
-			}
-			w.Release(p, st.First)
-			w.ClearSelection(p)
-			st.PC = gdp2Select
-		})
+		return one(buf, "try second fork", a.opts.courtesyFlags(), gdp2ApplyTrySecond)
 
 	case gdp2Eat:
-		return one("eat", func() {
-			w.FinishEating(p)
-			st.PC = gdp2Unrequest
-		})
+		return one(buf, "eat", 0, gdp2ApplyEat)
 
 	case gdp2Unrequest:
-		return one("remove requests", func() {
-			w.Unrequest(p, left)
-			w.Unrequest(p, right)
-			st.PC = gdp2Sign
-		})
+		return one(buf, "remove requests", 0, gdp2ApplyUnrequest)
 
 	case gdp2Sign:
-		return one("sign guest books", func() {
-			w.SignGuestBook(p, left)
-			w.SignGuestBook(p, right)
-			st.PC = gdp2Release
-		})
+		return one(buf, "sign guest books", 0, gdp2ApplySign)
 
 	case gdp2Release:
-		return one("release forks", func() {
-			w.ReleaseAll(p)
-			w.BackToThinking(p, gdp2Think)
-		})
+		return one(buf, "release forks", 0, gdp2ApplyRelease)
 
 	default:
 		panic(fmt.Sprintf("algo: GDP2 philosopher %d has invalid pc %d", p, st.PC))
 	}
+}
+
+func gdp2ApplyRequest(w *sim.World, p graph.PhilID, _ int64) {
+	w.Request(p, w.Topo.Left(p))
+	w.Request(p, w.Topo.Right(p))
+	w.Phils[p].PC = gdp2Select
+}
+
+func gdp2ApplySelect(w *sim.World, p graph.PhilID, _ int64) {
+	left, right := w.Topo.Left(p), w.Topo.Right(p)
+	if w.NR(left) > w.NR(right) {
+		w.Commit(p, left)
+	} else {
+		w.Commit(p, right)
+	}
+	w.Phils[p].PC = gdp2TakeFirst
+}
+
+func gdp2ApplyTakeFirst(w *sim.World, p graph.PhilID, arg int64) {
+	st := &w.Phils[p]
+	allowed := w.IsFree(st.First) && (arg&flagDisableCourtesy != 0 || w.Cond(p, st.First))
+	if allowed {
+		if !w.TryTake(p, st.First) {
+			return
+		}
+		w.MarkHoldingFirst(p)
+		st.PC = gdp2Renumber
+		return
+	}
+	if !w.IsFree(st.First) {
+		w.TryTake(p, st.First) // records fork-busy, cannot succeed
+		return
+	}
+	w.RecordBlockedByCond(p, st.First)
+}
+
+func gdp2ApplyRenumber(w *sim.World, p graph.PhilID, arg int64) {
+	w.SetNR(p, w.Phils[p].First, int(arg))
+	w.Phils[p].PC = gdp2TrySecond
+}
+
+func gdp2ApplyTrySecond(w *sim.World, p graph.PhilID, arg int64) {
+	st := &w.Phils[p]
+	second := w.Topo.OtherFork(p, st.First)
+	allowed := arg&flagCourtesyOnBoth == 0 || arg&flagDisableCourtesy != 0 || w.Cond(p, second)
+	if allowed && w.TryTake(p, second) {
+		w.MarkHoldingSecond(p)
+		w.StartEating(p)
+		st.PC = gdp2Eat
+		return
+	}
+	if !allowed {
+		w.RecordBlockedByCond(p, second)
+	}
+	w.Release(p, st.First)
+	w.ClearSelection(p)
+	st.PC = gdp2Select
+}
+
+func gdp2ApplyEat(w *sim.World, p graph.PhilID, _ int64) {
+	w.FinishEating(p)
+	w.Phils[p].PC = gdp2Unrequest
+}
+
+func gdp2ApplyUnrequest(w *sim.World, p graph.PhilID, _ int64) {
+	w.Unrequest(p, w.Topo.Left(p))
+	w.Unrequest(p, w.Topo.Right(p))
+	w.Phils[p].PC = gdp2Sign
+}
+
+func gdp2ApplySign(w *sim.World, p graph.PhilID, _ int64) {
+	w.SignGuestBook(p, w.Topo.Left(p))
+	w.SignGuestBook(p, w.Topo.Right(p))
+	w.Phils[p].PC = gdp2Release
+}
+
+func gdp2ApplyRelease(w *sim.World, p graph.PhilID, _ int64) {
+	w.ReleaseAll(p)
+	w.BackToThinking(p, gdp2Think)
 }

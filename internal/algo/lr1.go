@@ -47,64 +47,68 @@ func (*LR1) Symmetric() bool { return true }
 func (*LR1) Init(*sim.World) {}
 
 // Outcomes implements sim.Program.
-func (a *LR1) Outcomes(w *sim.World, p graph.PhilID) []sim.Outcome {
+func (a *LR1) Outcomes(w *sim.World, p graph.PhilID, buf []sim.Outcome) []sim.Outcome {
 	st := &w.Phils[p]
 	switch st.PC {
 	case lr1Think:
-		return sim.ThinkOutcomes(w, p, func() {
-			w.BecomeHungry(p)
-			st.PC = lr1Choose
-		})
+		return sim.ThinkOutcomes(w, p, buf, lr1Choose)
 
 	case lr1Choose:
-		left, right := w.Topo.Left(p), w.Topo.Right(p)
-		return coinFlip(a.opts.leftBias(),
-			sim.Outcome{Label: "commit left", Apply: func() {
-				w.Commit(p, left)
-				st.PC = lr1TakeFirst
-			}},
-			sim.Outcome{Label: "commit right", Apply: func() {
-				w.Commit(p, right)
-				st.PC = lr1TakeFirst
-			}},
+		return coinFlip(buf, a.opts.leftBias(),
+			sim.Outcome{Label: "commit left", Arg: int64(w.Topo.Left(p)), Apply: lr1ApplyCommit},
+			sim.Outcome{Label: "commit right", Arg: int64(w.Topo.Right(p)), Apply: lr1ApplyCommit},
 		)
 
 	case lr1TakeFirst:
-		return one("take first fork", func() {
-			if w.TryTake(p, st.First) {
-				w.MarkHoldingFirst(p)
-				st.PC = lr1TrySecond
-			}
-			// else: busy wait, PC stays at 3.
-		})
+		return one(buf, "take first fork", 0, lr1ApplyTakeFirst)
 
 	case lr1TrySecond:
-		return one("try second fork", func() {
-			second := w.Topo.OtherFork(p, st.First)
-			if w.TryTake(p, second) {
-				w.MarkHoldingSecond(p)
-				w.StartEating(p)
-				st.PC = lr1Eat
-			} else {
-				w.Release(p, st.First)
-				w.ClearSelection(p)
-				st.PC = lr1Choose
-			}
-		})
+		return one(buf, "try second fork", 0, lr1ApplyTrySecond)
 
 	case lr1Eat:
-		return one("eat", func() {
-			w.FinishEating(p)
-			st.PC = lr1Release
-		})
+		return one(buf, "eat", 0, lr1ApplyEat)
 
 	case lr1Release:
-		return one("release forks", func() {
-			w.ReleaseAll(p)
-			w.BackToThinking(p, lr1Think)
-		})
+		return one(buf, "release forks", 0, lr1ApplyRelease)
 
 	default:
 		panic(fmt.Sprintf("algo: LR1 philosopher %d has invalid pc %d", p, st.PC))
 	}
+}
+
+func lr1ApplyCommit(w *sim.World, p graph.PhilID, arg int64) {
+	w.Commit(p, graph.ForkID(arg))
+	w.Phils[p].PC = lr1TakeFirst
+}
+
+func lr1ApplyTakeFirst(w *sim.World, p graph.PhilID, _ int64) {
+	if w.TryTake(p, w.Phils[p].First) {
+		w.MarkHoldingFirst(p)
+		w.Phils[p].PC = lr1TrySecond
+	}
+	// else: busy wait, PC stays at 3.
+}
+
+func lr1ApplyTrySecond(w *sim.World, p graph.PhilID, _ int64) {
+	st := &w.Phils[p]
+	second := w.Topo.OtherFork(p, st.First)
+	if w.TryTake(p, second) {
+		w.MarkHoldingSecond(p)
+		w.StartEating(p)
+		st.PC = lr1Eat
+	} else {
+		w.Release(p, st.First)
+		w.ClearSelection(p)
+		st.PC = lr1Choose
+	}
+}
+
+func lr1ApplyEat(w *sim.World, p graph.PhilID, _ int64) {
+	w.FinishEating(p)
+	w.Phils[p].PC = lr1Release
+}
+
+func lr1ApplyRelease(w *sim.World, p graph.PhilID, _ int64) {
+	w.ReleaseAll(p)
+	w.BackToThinking(p, lr1Think)
 }

@@ -58,98 +58,109 @@ func (*LR2) Symmetric() bool { return true }
 func (*LR2) Init(*sim.World) {}
 
 // Outcomes implements sim.Program.
-func (a *LR2) Outcomes(w *sim.World, p graph.PhilID) []sim.Outcome {
+func (a *LR2) Outcomes(w *sim.World, p graph.PhilID, buf []sim.Outcome) []sim.Outcome {
 	st := &w.Phils[p]
-	left, right := w.Topo.Left(p), w.Topo.Right(p)
 	switch st.PC {
 	case lr2Think:
-		return sim.ThinkOutcomes(w, p, func() {
-			w.BecomeHungry(p)
-			st.PC = lr2Request
-		})
+		return sim.ThinkOutcomes(w, p, buf, lr2Request)
 
 	case lr2Request:
-		return one("insert requests", func() {
-			w.Request(p, left)
-			w.Request(p, right)
-			st.PC = lr2Choose
-		})
+		return one(buf, "insert requests", 0, lr2ApplyRequest)
 
 	case lr2Choose:
-		return coinFlip(a.opts.leftBias(),
-			sim.Outcome{Label: "commit left", Apply: func() {
-				w.Commit(p, left)
-				st.PC = lr2TakeFirst
-			}},
-			sim.Outcome{Label: "commit right", Apply: func() {
-				w.Commit(p, right)
-				st.PC = lr2TakeFirst
-			}},
+		return coinFlip(buf, a.opts.leftBias(),
+			sim.Outcome{Label: "commit left", Arg: int64(w.Topo.Left(p)), Apply: lr2ApplyCommit},
+			sim.Outcome{Label: "commit right", Arg: int64(w.Topo.Right(p)), Apply: lr2ApplyCommit},
 		)
 
 	case lr2TakeFirst:
-		return one("take first fork (courteous)", func() {
-			if w.IsFree(st.First) && w.Cond(p, st.First) {
-				if !w.TryTake(p, st.First) {
-					return
-				}
-				w.MarkHoldingFirst(p)
-				st.PC = lr2TrySecond
-				return
-			}
-			// Busy wait at line 4. Record why for the trace.
-			if !w.IsFree(st.First) {
-				w.TryTake(p, st.First) // records a fork-busy event, cannot succeed
-				return
-			}
-			w.RecordBlockedByCond(p, st.First)
-		})
+		return one(buf, "take first fork (courteous)", 0, lr2ApplyTakeFirst)
 
 	case lr2TrySecond:
-		return one("try second fork", func() {
-			second := w.Topo.OtherFork(p, st.First)
-			allowed := !a.opts.CourtesyOnBothForks || w.Cond(p, second)
-			if allowed && w.TryTake(p, second) {
-				w.MarkHoldingSecond(p)
-				w.StartEating(p)
-				st.PC = lr2Eat
-				return
-			}
-			if !allowed {
-				w.RecordBlockedByCond(p, second)
-			}
-			w.Release(p, st.First)
-			w.ClearSelection(p)
-			st.PC = lr2Choose
-		})
+		return one(buf, "try second fork", a.opts.courtesyFlags(), lr2ApplyTrySecond)
 
 	case lr2Eat:
-		return one("eat", func() {
-			w.FinishEating(p)
-			st.PC = lr2Unrequest
-		})
+		return one(buf, "eat", 0, lr2ApplyEat)
 
 	case lr2Unrequest:
-		return one("remove requests", func() {
-			w.Unrequest(p, left)
-			w.Unrequest(p, right)
-			st.PC = lr2Sign
-		})
+		return one(buf, "remove requests", 0, lr2ApplyUnrequest)
 
 	case lr2Sign:
-		return one("sign guest books", func() {
-			w.SignGuestBook(p, left)
-			w.SignGuestBook(p, right)
-			st.PC = lr2Release
-		})
+		return one(buf, "sign guest books", 0, lr2ApplySign)
 
 	case lr2Release:
-		return one("release forks", func() {
-			w.ReleaseAll(p)
-			w.BackToThinking(p, lr2Think)
-		})
+		return one(buf, "release forks", 0, lr2ApplyRelease)
 
 	default:
 		panic(fmt.Sprintf("algo: LR2 philosopher %d has invalid pc %d", p, st.PC))
 	}
+}
+
+func lr2ApplyRequest(w *sim.World, p graph.PhilID, _ int64) {
+	w.Request(p, w.Topo.Left(p))
+	w.Request(p, w.Topo.Right(p))
+	w.Phils[p].PC = lr2Choose
+}
+
+func lr2ApplyCommit(w *sim.World, p graph.PhilID, arg int64) {
+	w.Commit(p, graph.ForkID(arg))
+	w.Phils[p].PC = lr2TakeFirst
+}
+
+func lr2ApplyTakeFirst(w *sim.World, p graph.PhilID, _ int64) {
+	st := &w.Phils[p]
+	if w.IsFree(st.First) && w.Cond(p, st.First) {
+		if !w.TryTake(p, st.First) {
+			return
+		}
+		w.MarkHoldingFirst(p)
+		st.PC = lr2TrySecond
+		return
+	}
+	// Busy wait at line 4. Record why for the trace.
+	if !w.IsFree(st.First) {
+		w.TryTake(p, st.First) // records a fork-busy event, cannot succeed
+		return
+	}
+	w.RecordBlockedByCond(p, st.First)
+}
+
+func lr2ApplyTrySecond(w *sim.World, p graph.PhilID, arg int64) {
+	st := &w.Phils[p]
+	second := w.Topo.OtherFork(p, st.First)
+	allowed := arg&flagCourtesyOnBoth == 0 || w.Cond(p, second)
+	if allowed && w.TryTake(p, second) {
+		w.MarkHoldingSecond(p)
+		w.StartEating(p)
+		st.PC = lr2Eat
+		return
+	}
+	if !allowed {
+		w.RecordBlockedByCond(p, second)
+	}
+	w.Release(p, st.First)
+	w.ClearSelection(p)
+	st.PC = lr2Choose
+}
+
+func lr2ApplyEat(w *sim.World, p graph.PhilID, _ int64) {
+	w.FinishEating(p)
+	w.Phils[p].PC = lr2Unrequest
+}
+
+func lr2ApplyUnrequest(w *sim.World, p graph.PhilID, _ int64) {
+	w.Unrequest(p, w.Topo.Left(p))
+	w.Unrequest(p, w.Topo.Right(p))
+	w.Phils[p].PC = lr2Sign
+}
+
+func lr2ApplySign(w *sim.World, p graph.PhilID, _ int64) {
+	w.SignGuestBook(p, w.Topo.Left(p))
+	w.SignGuestBook(p, w.Topo.Right(p))
+	w.Phils[p].PC = lr2Release
+}
+
+func lr2ApplyRelease(w *sim.World, p graph.PhilID, _ int64) {
+	w.ReleaseAll(p)
+	w.BackToThinking(p, lr2Think)
 }

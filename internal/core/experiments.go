@@ -22,6 +22,10 @@ type ExperimentConfig struct {
 	Quick bool
 	// Seed is the base seed for all Monte-Carlo experiments.
 	Seed uint64
+	// Workers bounds the number of goroutines used for Monte-Carlo trials.
+	// Zero means one per CPU; 1 forces sequential execution. Every table is
+	// bit-identical whatever the value (see ParallelTrials).
+	Workers int
 }
 
 func (c ExperimentConfig) trials(full, quick int) int {
@@ -105,10 +109,12 @@ func runFigure1(ExperimentConfig) (*Table, error) {
 }
 
 // adversaryStarvationRate measures how often the bounded-fair greedy
-// adversary prevents every protected philosopher from eating.
-func adversaryStarvationRate(topo *graph.Topology, algorithm string, opts algo.Options, protected []graph.PhilID, trials int, steps int64, seed uint64) (stats.Proportion, error) {
+// adversary prevents every protected philosopher from eating. Trials fan out
+// over workers goroutines (see ParallelTrials); each trial's seed is derived
+// from its index, so the proportion is identical for every worker count.
+func adversaryStarvationRate(topo *graph.Topology, algorithm string, opts algo.Options, protected []graph.PhilID, trials, workers int, steps int64, seed uint64) (stats.Proportion, error) {
 	var prop stats.Proportion
-	for i := 0; i < trials; i++ {
+	starvedByTrial, err := ParallelTrials(workers, trials, func(i int) (bool, error) {
 		sys := System{
 			Topology:    topo,
 			Algorithm:   algorithm,
@@ -119,19 +125,22 @@ func adversaryStarvationRate(topo *graph.Topology, algorithm string, opts algo.O
 		}
 		res, err := sys.Simulate(sim.RunOptions{MaxSteps: steps})
 		if err != nil {
-			return prop, err
+			return false, err
 		}
-		starved := true
 		if len(protected) == 0 {
-			starved = res.TotalEats == 0
-		} else {
-			for _, p := range protected {
-				if res.EatsBy[p] > 0 {
-					starved = false
-					break
-				}
+			return res.TotalEats == 0, nil
+		}
+		for _, p := range protected {
+			if res.EatsBy[p] > 0 {
+				return false, nil
 			}
 		}
+		return true, nil
+	})
+	if err != nil {
+		return prop, err
+	}
+	for _, starved := range starvedByTrial {
 		prop.Add(starved)
 	}
 	return prop, nil
@@ -146,7 +155,7 @@ func runSection3(cfg ExperimentConfig) (*Table, error) {
 	t := &Table{Header: []string{"algorithm", "no-progress runs", "rate (Wilson 95%)", "paper bound"}}
 	bound := verify.Section3Bound(0.5)
 	for _, name := range []string{"LR1", "LR2", "GDP1", "GDP2"} {
-		prop, err := adversaryStarvationRate(topo, name, algo.Options{}, nil, trials, steps, cfg.Seed+11)
+		prop, err := adversaryStarvationRate(topo, name, algo.Options{}, nil, trials, cfg.Workers, steps, cfg.Seed+11)
 		if err != nil {
 			return nil, err
 		}
@@ -200,7 +209,7 @@ func runTheorem1(cfg ExperimentConfig) (*Table, error) {
 	for i := range ringIDs {
 		ringIDs[i] = graph.PhilID(i)
 	}
-	prop, err := adversaryStarvationRate(graph.Figure1D(), "LR1", algo.Options{}, ringIDs, trials, 30_000, cfg.Seed+23)
+	prop, err := adversaryStarvationRate(graph.Figure1D(), "LR1", algo.Options{}, ringIDs, trials, cfg.Workers, 30_000, cfg.Seed+23)
 	if err != nil {
 		return nil, err
 	}
@@ -226,7 +235,7 @@ func runTheorem2(cfg ExperimentConfig) (*Table, error) {
 		t.AddRow(graph.Theorem2Minimal().Name(), name, "exhaustive model check", rep.FairAdversaryWins(), detail)
 	}
 	trials := cfg.trials(200, 25)
-	prop, err := adversaryStarvationRate(graph.Theorem2Minimal(), "LR2", algo.Options{}, nil, trials, 30_000, cfg.Seed+31)
+	prop, err := adversaryStarvationRate(graph.Theorem2Minimal(), "LR2", algo.Options{}, nil, trials, cfg.Workers, 30_000, cfg.Seed+31)
 	if err != nil {
 		return nil, err
 	}
@@ -244,17 +253,27 @@ func runTheorem3(cfg ExperimentConfig) (*Table, error) {
 	topos := []*graph.Topology{graph.Figure1A(), graph.Figure1B(), graph.Figure1C(), graph.Figure1D(), graph.Ring(7), graph.RandomMultigraph(18, 7, 4242)}
 	for _, topo := range topos {
 		for _, kind := range []SchedulerKind{Random, RoundRobin, Adversary} {
-			var progressed int
-			var firstMeal stats.Running
-			for i := 0; i < trials; i++ {
+			type trialResult struct {
+				progressed bool
+				firstEat   float64
+			}
+			perTrial, err := ParallelTrials(cfg.Workers, trials, func(i int) (trialResult, error) {
 				sys := System{Topology: topo, Algorithm: "GDP1", Scheduler: kind, Seed: cfg.Seed + uint64(i)*131}
 				res, err := sys.Simulate(sim.RunOptions{MaxSteps: 60_000, StopAfterTotalEats: 1})
 				if err != nil {
-					return nil, err
+					return trialResult{}, err
 				}
-				if res.Progress() {
+				return trialResult{progressed: res.Progress(), firstEat: float64(res.FirstEatStep)}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var progressed int
+			var firstMeal stats.Running
+			for _, tr := range perTrial {
+				if tr.progressed {
 					progressed++
-					firstMeal.Add(float64(res.FirstEatStep))
+					firstMeal.Add(tr.firstEat)
 				}
 			}
 			t.AddRow(topo.Name(), string(kind), fmt.Sprintf("%d/%d", progressed, trials), fmt.Sprintf("%.1f", firstMeal.Mean()))
@@ -322,6 +341,7 @@ func runTheorem4(cfg ExperimentConfig) (*Table, error) {
 			MaxSteps:  150_000,
 			MealsEach: 1,
 			Seed:      cfg.Seed + 77,
+			Workers:   cfg.Workers,
 		}
 		res, err := check.Run()
 		if err != nil {
@@ -349,17 +369,35 @@ func runEfficiency(cfg ExperimentConfig) (*Table, error) {
 	for _, size := range sizes {
 		topo := graph.Ring(size)
 		for _, name := range algorithms {
-			var stepsPerMeal, wait, jain stats.Running
-			for i := 0; i < trials; i++ {
+			type trialResult struct {
+				ate                      bool
+				stepsPerMeal, wait, jain float64
+			}
+			perTrial, err := ParallelTrials(cfg.Workers, trials, func(i int) (trialResult, error) {
 				sys := System{Topology: topo, Algorithm: name, Scheduler: Random, Seed: cfg.Seed + uint64(i)*997}
 				res, err := sys.Simulate(sim.RunOptions{MaxSteps: 50_000})
 				if err != nil {
-					return nil, err
+					return trialResult{}, err
 				}
-				if res.TotalEats > 0 {
-					stepsPerMeal.Add(float64(res.Steps) / float64(res.TotalEats))
-					wait.Add(res.MeanWaitSteps)
-					jain.Add(stats.JainIndex(res.EatsBy))
+				if res.TotalEats == 0 {
+					return trialResult{}, nil
+				}
+				return trialResult{
+					ate:          true,
+					stepsPerMeal: float64(res.Steps) / float64(res.TotalEats),
+					wait:         res.MeanWaitSteps,
+					jain:         stats.JainIndex(res.EatsBy),
+				}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			var stepsPerMeal, wait, jain stats.Running
+			for _, tr := range perTrial {
+				if tr.ate {
+					stepsPerMeal.Add(tr.stepsPerMeal)
+					wait.Add(tr.wait)
+					jain.Add(tr.jain)
 				}
 			}
 			t.AddRow(size, name, fmt.Sprintf("%.1f", stepsPerMeal.Mean()), fmt.Sprintf("%.1f", wait.Mean()), fmt.Sprintf("%.3f", jain.Mean()))
@@ -380,9 +418,11 @@ func runNumberRangeSweep(cfg ExperimentConfig) (*Table, error) {
 	for _, mult := range []int{1, 2, 4, 8} {
 		m := k * mult
 		bound := verify.DistinctNumberBound(m, k)
-		var progressed int
-		var firstMeal stats.Running
-		for i := 0; i < trials; i++ {
+		type trialResult struct {
+			progressed bool
+			firstEat   float64
+		}
+		perTrial, err := ParallelTrials(cfg.Workers, trials, func(i int) (trialResult, error) {
 			sys := System{
 				Topology:    topo,
 				Algorithm:   "GDP1",
@@ -392,11 +432,19 @@ func runNumberRangeSweep(cfg ExperimentConfig) (*Table, error) {
 			}
 			res, err := sys.Simulate(sim.RunOptions{MaxSteps: 60_000, StopAfterTotalEats: 1})
 			if err != nil {
-				return nil, err
+				return trialResult{}, err
 			}
-			if res.Progress() {
+			return trialResult{progressed: res.Progress(), firstEat: float64(res.FirstEatStep)}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var progressed int
+		var firstMeal stats.Running
+		for _, tr := range perTrial {
+			if tr.progressed {
 				progressed++
-				firstMeal.Add(float64(res.FirstEatStep))
+				firstMeal.Add(tr.firstEat)
 			}
 		}
 		t.AddRow(topo.Name(), m, fmt.Sprintf("%.3f", bound), fmt.Sprintf("%d/%d", progressed, trials), fmt.Sprintf("%.1f", firstMeal.Mean()))

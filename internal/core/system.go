@@ -118,20 +118,30 @@ func (s *System) Simulate(opts sim.RunOptions) (*sim.Result, error) {
 }
 
 // Repeat runs the system `trials` times with derived seeds and returns every
-// result. It is the Monte-Carlo building block of the experiments.
+// result in trial order. It is the Monte-Carlo building block of the
+// experiments. Trials run on one goroutine per CPU (each trial's seed depends
+// only on its index, so the results are identical to a sequential run);
+// configurations with a Recorder run sequentially, since a recorder observes
+// a single event stream.
 func (s *System) Repeat(trials int, opts sim.RunOptions) ([]*sim.Result, error) {
 	if trials <= 0 {
 		trials = 1
 	}
-	results := make([]*sim.Result, 0, trials)
-	for i := 0; i < trials; i++ {
+	workers := 0
+	if opts.Recorder != nil {
+		workers = 1
+	}
+	results, err := ParallelTrials(workers, trials, func(i int) (*sim.Result, error) {
 		trial := *s
 		trial.Seed = s.Seed + uint64(i)*0x9e3779b97f4a7c15
 		res, err := trial.Simulate(opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: trial %d: %w", i, err)
 		}
-		results = append(results, res)
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
 }

@@ -1,0 +1,30 @@
+package core
+
+import (
+	"runtime"
+
+	"repro/internal/par"
+)
+
+// This file exposes the parallel Monte-Carlo trial engine to the experiment
+// layer. Every experiment in the suite is a loop of independent trials whose
+// seeds are derived from the trial index alone, so trials can run on any
+// worker in any order without changing a single result: the engine fans the
+// indices out across GOMAXPROCS goroutines, stores each trial's result at
+// its own index, and lets the caller aggregate in index order. The produced
+// experiment tables are therefore bit-identical to a sequential run —
+// including floating-point accumulations, which see the results in the same
+// order — and deterministic given the base seed
+// (TestParallelTrialsMatchSequential locks this in).
+
+// DefaultTrialWorkers returns the worker count used when a configuration
+// leaves Workers at zero: one per available CPU.
+func DefaultTrialWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ParallelTrials runs trials independent trial functions across min(workers,
+// trials) goroutines and returns their results in trial-index order; see
+// par.Trials for the full contract (workers <= 0 means one per CPU, errors
+// report the lowest failing index).
+func ParallelTrials[T any](workers, trials int, run func(trial int) (T, error)) ([]T, error) {
+	return par.Trials(workers, trials, run)
+}

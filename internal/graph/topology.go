@@ -71,6 +71,11 @@ type Topology struct {
 	phils [][2]ForkID
 	// at[f] lists the philosophers adjacent to fork f, in increasing order.
 	at [][]PhilID
+	// slotBase[f] is the offset of fork f's first adjacency slot in the flat
+	// per-(fork, adjacent philosopher) arrays used by simulators; slotBase has
+	// numForks+1 entries so slotBase[f+1]-slotBase[f] is Degree(f) and
+	// slotBase[numForks] is the total slot count.
+	slotBase []int
 }
 
 // Builder incrementally constructs a Topology. The zero value is not usable;
@@ -132,6 +137,10 @@ func (b *Builder) Build() (*Topology, error) {
 	}
 	for f := range t.at {
 		sort.Slice(t.at[f], func(i, j int) bool { return t.at[f][i] < t.at[f][j] })
+	}
+	t.slotBase = make([]int, t.numForks+1)
+	for f := 0; f < t.numForks; f++ {
+		t.slotBase[f+1] = t.slotBase[f] + len(t.at[f])
 	}
 	return t, nil
 }
@@ -221,6 +230,19 @@ func (t *Topology) Slot(f ForkID, p PhilID) int {
 	}
 	panic(fmt.Sprintf("graph: philosopher %d is not adjacent to fork %d", p, f))
 }
+
+// SlotBase returns the offset of fork f's first adjacency slot in a flat
+// array that concatenates the slots of every fork in fork-ID order: the
+// per-(fork, adjacent philosopher) datum of philosopher p on fork f lives at
+// index SlotBase(f)+Slot(f, p). Simulators use it to store all request-list
+// and guest-book state in two shared backing arrays instead of one pair of
+// small slices per fork.
+func (t *Topology) SlotBase(f ForkID) int { return t.slotBase[f] }
+
+// TotalSlots returns the total number of (fork, adjacent philosopher)
+// adjacency slots, i.e. the sum of all fork degrees (always twice the number
+// of philosophers).
+func (t *Topology) TotalSlots() int { return t.slotBase[t.numForks] }
 
 // Neighbors returns the philosophers that share at least one fork with p,
 // excluding p itself, in increasing order without duplicates.

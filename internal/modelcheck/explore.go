@@ -37,8 +37,16 @@ type Options struct {
 	// starvation-trap analysis; nil or empty means all philosophers.
 	Protected []graph.PhilID
 	// Hunger overrides the AlwaysHungry workload (rarely useful: the paper's
-	// progress analysis assumes saturated demand).
+	// progress analysis assumes saturated demand). When set, exploration
+	// clones carry the full run metrics so that metric-reading models
+	// (sim.NeverHungryAgainAfter) keep working; the default workload uses
+	// the faster protocol-only clones.
 	Hunger sim.HungerModel
+	// KeepKeys retains the canonical key of every state for debugging and
+	// witness extraction (StateSpace.KeyOf, Trap.WitnessKey). Off by default:
+	// on large instances the per-state key copies dominate the exploration's
+	// memory footprint, and the analyses never need them.
+	KeepKeys bool
 }
 
 // DefaultMaxStates bounds explorations when Options.MaxStates is zero.
@@ -76,13 +84,22 @@ type StateSpace struct {
 	// Truncated) are excluded from the safety analyses so that truncation can
 	// never fabricate a trap.
 	expanded []bool
-	// keys holds the canonical key of every state (index-aligned), kept for
-	// debugging and witness extraction.
+	// keys holds the canonical key of every state (index-aligned). Retained
+	// only when Options.KeepKeys is set; nil otherwise.
 	keys []string
 }
 
 // NumStates returns the number of distinct states explored.
 func (ss *StateSpace) NumStates() int { return len(ss.trans) }
+
+// KeyOf returns the canonical key of state s, or "" when the exploration did
+// not retain keys (Options.KeepKeys).
+func (ss *StateSpace) KeyOf(s int) string {
+	if ss.keys == nil {
+		return ""
+	}
+	return ss.keys[s]
+}
 
 // NumTransitions returns the total number of (state, philosopher) actions.
 func (ss *StateSpace) NumTransitions() int {
@@ -134,23 +151,43 @@ func Explore(topo *graph.Topology, prog sim.Program, opts Options) (*StateSpace,
 	}
 	prog.Init(initial)
 
-	index := make(map[string]int)
+	// index dedupes states by canonical key. Lookups use the string(keyBuf)
+	// no-copy idiom: the compiler elides the []byte→string conversion for a
+	// map read, so probing a seen state allocates nothing; only genuinely new
+	// states pay for one string copy (the retained map key).
+	index := make(map[string]int32)
 	type frontierEntry struct {
-		id int
+		id int32
 		w  *sim.World
 	}
 	var frontier []frontierEntry
-
-	intern := func(w *sim.World) (int, *sim.World, bool) {
-		key := w.Key()
-		if id, ok := index[key]; ok {
-			return id, nil, false
+	var keyBuf []byte
+	// spare receives protocol clones that turned out to be already-interned
+	// states, so the dominant revisit case recycles one world's backing
+	// slices instead of allocating fresh ones per probed outcome.
+	var spare *sim.World
+	// With a custom hunger model the clones must carry run metrics (the
+	// model may read them, e.g. NeverHungryAgainAfter reads EatsBy), so fall
+	// back to full Clone and skip the spare-recycling fast path.
+	clone := func(src, spare *sim.World) *sim.World {
+		if opts.Hunger != nil {
+			return src.Clone()
 		}
-		id := len(ss.trans)
-		index[key] = id
+		return src.CloneProtocolInto(spare)
+	}
+
+	intern := func(w *sim.World) (int32, bool) {
+		keyBuf = w.AppendKey(keyBuf[:0])
+		if id, ok := index[string(keyBuf)]; ok {
+			return id, false
+		}
+		id := int32(len(ss.trans))
+		index[string(keyBuf)] = id
 		ss.trans = append(ss.trans, nil)
 		ss.expanded = append(ss.expanded, false)
-		ss.keys = append(ss.keys, key)
+		if opts.KeepKeys {
+			ss.keys = append(ss.keys, string(keyBuf))
+		}
 		badHere := false
 		eatingHere := false
 		for p := range w.Phils {
@@ -163,13 +200,15 @@ func Explore(topo *graph.Topology, prog sim.Program, opts Options) (*StateSpace,
 		}
 		ss.bad = append(ss.bad, badHere)
 		ss.anyEating = append(ss.anyEating, eatingHere)
-		return id, w, true
+		return id, true
 	}
 
-	id, w0, _ := intern(initial)
-	ss.initial = id
+	w0 := clone(initial, nil)
+	id, _ := intern(w0)
+	ss.initial = int(id)
 	frontier = append(frontier, frontierEntry{id: id, w: w0})
 
+	var obuf, sbuf []sim.Outcome
 	for len(frontier) > 0 {
 		entry := frontier[len(frontier)-1]
 		frontier = frontier[:len(frontier)-1]
@@ -180,21 +219,24 @@ func Explore(topo *graph.Topology, prog sim.Program, opts Options) (*StateSpace,
 			// Outcomes must not mutate the world they are computed from, so
 			// the shared frontier world can be probed directly; each outcome
 			// is then applied to its own clone.
-			outcomes := prog.Outcomes(entry.w, pid)
+			outcomes := prog.Outcomes(entry.w, pid, obuf[:0])
+			obuf = outcomes
 			tr := transition{
 				succ:  make([]int32, len(outcomes)),
 				probs: make([]float64, len(outcomes)),
 			}
 			for i := range outcomes {
-				succWorld := entry.w.Clone()
-				succOutcomes := prog.Outcomes(succWorld, pid)
+				succWorld := clone(entry.w, spare)
+				spare = nil
+				succOutcomes := prog.Outcomes(succWorld, pid, sbuf[:0])
+				sbuf = succOutcomes
 				if len(succOutcomes) != len(outcomes) {
 					return nil, fmt.Errorf("modelcheck: %s produced unstable outcome sets for P%d", prog.Name(), pid)
 				}
-				succOutcomes[i].Apply()
+				succOutcomes[i].Do(succWorld, pid)
 				succWorld.Step++
-				succID, succW, isNew := intern(succWorld)
-				tr.succ[i] = int32(succID)
+				succID, isNew := intern(succWorld)
+				tr.succ[i] = succID
 				tr.probs[i] = outcomes[i].Prob
 				if isNew {
 					if len(ss.trans) > maxStates {
@@ -203,8 +245,10 @@ func Explore(topo *graph.Topology, prog sim.Program, opts Options) (*StateSpace,
 						// but stop expanding new states.
 						frontier = nil
 					} else {
-						frontier = append(frontier, frontierEntry{id: succID, w: succW})
+						frontier = append(frontier, frontierEntry{id: succID, w: succWorld})
 					}
+				} else {
+					spare = succWorld
 				}
 			}
 			transitions[a] = tr

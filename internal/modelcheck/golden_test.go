@@ -1,0 +1,97 @@
+package modelcheck
+
+import (
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/graph"
+)
+
+// TestExplorationGolden pins the exact exploration results (state counts,
+// transition counts, bad/deadlock/dead-region counts, safe-region sizes and
+// trap sizes) of the instances the experiment suite model-checks. The values
+// were captured from the original fmt-keyed, per-fork-slice implementation;
+// the binary AppendKey encoder, the flattened World layout and the
+// protocol-only cloning of Explore must keep every one of them byte-identical
+// — a refactor that merges or splits states shows up here immediately.
+//
+// Larger instances (ring-3 GDP2, theorem1-minimal GDP1) are skipped in -short
+// mode; the small ones still cover every algorithm and key feature (guest
+// books, request lists, nr fields, globals, aux registers).
+func TestExplorationGolden(t *testing.T) {
+	t.Parallel()
+	type want struct {
+		states, trans, bad, deadlock, dead, safe, trapStates int
+		trapExists                                           bool
+	}
+	type inst struct {
+		topo      *graph.Topology
+		algorithm string
+		opts      algo.Options
+		protected []graph.PhilID
+		big       bool
+		want      want
+	}
+	ring3 := []graph.PhilID{0, 1, 2}
+	instances := []inst{
+		{graph.Theorem1Minimal(), "LR1", algo.Options{}, ring3, false,
+			want{2736, 10944, 1280, 0, 0, 1456, 462, true}},
+		{graph.Theorem1Minimal(), "LR1", algo.Options{}, nil, false,
+			want{2736, 10944, 1664, 0, 0, 1072, 134, true}},
+		{graph.Theorem1Minimal(), "GDP1", algo.Options{}, nil, true,
+			want{64392, 257568, 28728, 0, 0, 35664, 0, false}},
+		{graph.RingWithPendant(3), "LR1", algo.Options{}, ring3, false,
+			want{3450, 13800, 1760, 0, 0, 1690, 350, true}},
+		{graph.Ring(3), "LR1", algo.Options{}, nil, false,
+			want{486, 1458, 288, 0, 0, 198, 0, false}},
+		{graph.Ring(3), "LR1", algo.Options{}, []graph.PhilID{0}, false,
+			want{486, 1458, 96, 0, 0, 390, 315, true}},
+		{graph.Ring(3), "LR2", algo.Options{}, []graph.PhilID{0}, false,
+			want{16282, 48846, 3710, 0, 0, 12572, 0, false}},
+		{graph.Ring(3), "GDP2", algo.Options{}, []graph.PhilID{0}, true,
+			want{182951, 548853, 34992, 0, 0, 147959, 392, true}},
+		{graph.Ring(3), "GDP2", algo.Options{CourtesyOnBothForks: true}, []graph.PhilID{0}, true,
+			want{180359, 541077, 34128, 0, 0, 146231, 0, false}},
+		{graph.Theorem2Minimal(), "LR1", algo.Options{}, nil, false,
+			want{376, 1128, 192, 0, 0, 184, 48, true}},
+		{graph.Theorem2Minimal(), "LR2", algo.Options{}, nil, false,
+			want{12830, 38490, 7950, 0, 0, 4880, 48, true}},
+		{graph.Theorem2Minimal(), "GDP1", algo.Options{}, nil, false,
+			want{324, 972, 108, 0, 0, 216, 0, false}},
+		{graph.Theorem2Minimal(), "GDP2", algo.Options{}, nil, false,
+			want{10096, 30288, 5088, 0, 0, 5008, 0, false}},
+		{graph.Theorem2Minimal(), "GDP1", algo.Options{}, []graph.PhilID{0}, false,
+			want{324, 972, 36, 0, 0, 288, 33, true}},
+		{graph.Theorem2Minimal(), "GDP2", algo.Options{}, []graph.PhilID{0}, false,
+			want{10096, 30288, 1696, 0, 0, 8400, 0, false}},
+		{graph.Ring(3), "naive-left-first", algo.Options{}, nil, false,
+			want{135, 405, 72, 1, 1, 63, 1, true}},
+		{graph.Ring(3), "colored", algo.Options{}, nil, false,
+			want{126, 378, 70, 0, 0, 56, 0, false}},
+		{graph.Ring(3), "ordered-forks", algo.Options{}, nil, false,
+			want{126, 378, 70, 0, 0, 56, 0, false}},
+		{graph.Ring(3), "ticket-box", algo.Options{}, nil, false,
+			want{176, 528, 84, 0, 0, 92, 0, false}},
+		{graph.Ring(3), "central-monitor", algo.Options{}, nil, false,
+			want{68, 204, 48, 0, 0, 20, 0, false}},
+	}
+	for _, in := range instances {
+		if testing.Short() && in.big {
+			continue
+		}
+		prog, err := algo.New(in.algorithm, in.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Check(in.topo, prog, Options{Protected: in.protected})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := want{rep.States, rep.Transitions, rep.BadStates, rep.DeadlockStates,
+			rep.DeadRegionStates, rep.Trap.SafeRegionStates, rep.Trap.States, rep.Trap.Exists}
+		if got != in.want {
+			t.Errorf("%s on %s (protected %v, opts %+v):\n got  %+v\n want %+v",
+				in.algorithm, in.topo.Name(), in.protected, in.opts, got, in.want)
+		}
+	}
+}

@@ -57,6 +57,23 @@ func TestExploreBasicProperties(t *testing.T) {
 	}
 }
 
+func TestExploreSupportsMetricReadingHungerModel(t *testing.T) {
+	t.Parallel()
+	// NeverHungryAgainAfter reads the EatsBy metric, which protocol-only
+	// clones do not carry; Explore must fall back to full clones for custom
+	// hunger models instead of panicking on the nil slice.
+	ss, err := Explore(graph.Ring(3), mustProg(t, "LR1", algo.Options{}), Options{
+		Hunger:    sim.NeverHungryAgainAfter{Limit: 1},
+		MaxStates: 20_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.NumStates() == 0 {
+		t.Fatal("empty state space")
+	}
+}
+
 func TestExploreRejectsNilArguments(t *testing.T) {
 	t.Parallel()
 	if _, err := Explore(nil, mustProg(t, "LR1", algo.Options{}), Options{}); err == nil {

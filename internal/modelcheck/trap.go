@@ -32,7 +32,8 @@ type Trap struct {
 	// forever (the greatest safe region of the safety game).
 	SafeRegionStates int
 	// WitnessKey is the canonical key of one state inside the trap (empty
-	// when none exists); useful for debugging and for replaying the pattern.
+	// when none exists or when the exploration did not retain keys — see
+	// Options.KeepKeys); useful for debugging and for replaying the pattern.
 	WitnessKey string
 	// CoveredPhilosophers lists, for the largest candidate end component
 	// found, which philosophers have an allowed action somewhere inside it.
@@ -165,15 +166,22 @@ func (ss *StateSpace) FindStarvationTrap() Trap {
 	}
 
 	// Step 3: group remaining states by component and check philosopher
-	// coverage.
+	// coverage. Components are visited in sorted index order so that the
+	// reported best-coverage tie-break is deterministic.
 	groups := make(map[int][]int)
 	for s := 0; s < n; s++ {
 		if inEC[s] {
 			groups[comp[s]] = append(groups[comp[s]], s)
 		}
 	}
+	compIDs := make([]int, 0, len(groups))
+	for id := range groups {
+		compIDs = append(compIDs, id)
+	}
+	sort.Ints(compIDs)
 	bestCovered := 0
-	for _, states := range groups {
+	for _, id := range compIDs {
+		states := groups[id]
 		covered := make([]bool, ss.NumPhils)
 		for _, s := range states {
 			for a := 0; a < ss.NumPhils; a++ {
@@ -197,7 +205,7 @@ func (ss *StateSpace) FindStarvationTrap() Trap {
 			if fully {
 				trap.Exists = true
 				trap.States = len(states)
-				trap.WitnessKey = ss.keys[states[0]]
+				trap.WitnessKey = ss.KeyOf(states[0])
 				// Reachability of the trap (the safe region is already
 				// restricted to reachable states, so any member works).
 				trap.Reachable = true

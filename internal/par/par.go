@@ -1,0 +1,85 @@
+// Package par provides the generic worker-pool trial runner shared by the
+// experiment layer (core) and the Monte-Carlo checks (verify). It is a leaf
+// package so both can import it without a cycle.
+//
+// The contract that makes parallel trials deterministic lives here: trial
+// functions derive all randomness from their index, results land at their
+// index, and callers aggregate in index order — so scheduling is
+// unobservable and every aggregate (including floating-point folds) is
+// bit-identical to a sequential run.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Trials runs trials independent trial functions across min(workers, trials)
+// goroutines and returns their results in trial-index order. A workers value
+// <= 0 means one worker per available CPU; workers == 1 runs inline with no
+// goroutines. run receives the trial index and must derive all randomness
+// from it (typically via a per-trial seed) — it must not communicate with
+// other trials.
+//
+// If any trial fails, Trials returns the error of the lowest-indexed failing
+// trial (so the reported error is deterministic too) and remaining trials
+// may be skipped.
+func Trials[T any](workers, trials int, run func(trial int) (T, error)) ([]T, error) {
+	if trials <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	results := make([]T, trials)
+	if workers == 1 {
+		for i := 0; i < trials; i++ {
+			var err error
+			if results[i], err = run(i); err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+
+	var (
+		next   atomic.Int64 // next trial index to claim
+		failed atomic.Bool  // fast-path flag: some trial errored
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		errAt  = -1 // lowest failing trial index, under mu
+		retErr error
+	)
+	wg.Add(workers)
+	for wkr := 0; wkr < workers; wkr++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= trials || failed.Load() {
+					return
+				}
+				res, err := run(i)
+				if err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if errAt < 0 || i < errAt {
+						errAt, retErr = i, err
+					}
+					mu.Unlock()
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if retErr != nil {
+		return nil, retErr
+	}
+	return results, nil
+}

@@ -21,7 +21,6 @@ func TestRunRejectsBadConfig(t *testing.T) {
 func TestAllAlgorithmsServeEveryoneOnClassicRing(t *testing.T) {
 	t.Parallel()
 	for _, alg := range Algorithms() {
-		alg := alg
 		t.Run(string(alg), func(t *testing.T) {
 			t.Parallel()
 			metrics, err := Run(context.Background(), Config{
@@ -60,7 +59,6 @@ func TestGDPAlgorithmsOnGeneralizedTopologies(t *testing.T) {
 	topos := []*graph.Topology{graph.Figure1A(), graph.Theorem2Minimal(), graph.RingWithChord(6, 3)}
 	for _, topo := range topos {
 		for _, alg := range []Algorithm{GDP1, GDP2} {
-			topo, alg := topo, alg
 			t.Run(topo.Name()+"/"+string(alg), func(t *testing.T) {
 				t.Parallel()
 				metrics, err := Run(context.Background(), Config{

@@ -56,6 +56,15 @@ type GreedyLivelock struct {
 	Protected []graph.PhilID
 
 	protected map[graph.PhilID]bool
+
+	// Per-step scratch, reused across Advise calls so that the adversary
+	// allocates nothing in steady state. dangerForks and committedTo are
+	// dense per-fork tables (iterated in fork-ID order, which also makes the
+	// advisor deterministic); reserves and cand hold candidate lists.
+	dangerForks []bool
+	committedTo []int
+	reserves    []graph.PhilID
+	cand        []graph.PhilID
 }
 
 // NewGreedyLivelock returns the livelock advisor protecting the given
@@ -87,20 +96,30 @@ func (g *GreedyLivelock) isProtected(p graph.PhilID) bool {
 }
 
 // analysis is the per-step classification of the system state used by the
-// advisor's rules.
+// advisor's rules. It views the advisor's reusable scratch tables:
+// dangerForks and committedTo are indexed by fork ID.
 type analysis struct {
-	dangerForks map[graph.ForkID]bool
+	dangerForks []bool
 	anyDanger   bool
 	// committedTo[f] counts philosophers committed (but not holding) to f.
-	committedTo map[graph.ForkID]int
+	committedTo []int
 	reserves    []graph.PhilID
 }
 
 func (g *GreedyLivelock) analyse(w *sim.World) analysis {
-	a := analysis{
-		dangerForks: make(map[graph.ForkID]bool),
-		committedTo: make(map[graph.ForkID]int),
+	k := w.Topo.NumForks()
+	if cap(g.dangerForks) < k {
+		g.dangerForks = make([]bool, k)
+		g.committedTo = make([]int, k)
 	}
+	g.dangerForks = g.dangerForks[:k]
+	g.committedTo = g.committedTo[:k]
+	for f := 0; f < k; f++ {
+		g.dangerForks[f] = false
+		g.committedTo[f] = 0
+	}
+	g.reserves = g.reserves[:0]
+	a := analysis{dangerForks: g.dangerForks, committedTo: g.committedTo}
 	for p := range w.Phils {
 		pid := graph.PhilID(p)
 		if g.isProtected(pid) && w.CouldEatNext(pid) {
@@ -112,9 +131,10 @@ func (g *GreedyLivelock) analyse(w *sim.World) analysis {
 		}
 		st := &w.Phils[pid]
 		if st.Phase == sim.Hungry && !st.HasFirst && !w.IsCommitted(pid) {
-			a.reserves = append(a.reserves, pid)
+			g.reserves = append(g.reserves, pid)
 		}
 	}
+	a.reserves = g.reserves
 	return a
 }
 
@@ -175,7 +195,7 @@ func (g *GreedyLivelock) Advise(w *sim.World) graph.PhilID {
 	an := g.analyse(w)
 
 	// Rule 1: useful unprotected philosopher.
-	var rule1 []graph.PhilID
+	rule1 := g.cand[:0]
 	for p := 0; p < n; p++ {
 		pid := graph.PhilID(p)
 		if g.isProtected(pid) {
@@ -191,26 +211,28 @@ func (g *GreedyLivelock) Advise(w *sim.World) graph.PhilID {
 			rule1 = append(rule1, pid)
 		}
 	}
+	g.cand = rule1
 	if pid := oldest(w, rule1); pid != graph.NoPhil {
 		return pid
 	}
 
 	// Rule 2: defuse — take a dangerous fork away from the endangered holder.
 	if an.anyDanger {
-		var defusers []graph.PhilID
+		defusers := g.cand[:0]
 		for p := 0; p < n; p++ {
 			pid := graph.PhilID(p)
 			if w.IsCommitted(pid) && an.dangerForks[w.FirstForkOf(pid)] && w.IsFree(w.FirstForkOf(pid)) {
 				defusers = append(defusers, pid)
 			}
 		}
+		g.cand = defusers
 		if pid := oldest(w, defusers); pid != graph.NoPhil {
 			return pid
 		}
 	}
 
 	// Rule 3: safe take — committed to a free fork, other fork held.
-	var takers []graph.PhilID
+	takers := g.cand[:0]
 	for p := 0; p < n; p++ {
 		pid := graph.PhilID(p)
 		if !w.IsCommitted(pid) {
@@ -220,14 +242,19 @@ func (g *GreedyLivelock) Advise(w *sim.World) graph.PhilID {
 			takers = append(takers, pid)
 		}
 	}
+	g.cand = takers
 	if pid := oldest(w, takers); pid != graph.NoPhil {
 		return pid
 	}
 
-	// Rule 4: steer a reserve towards a dangerous fork.
+	// Rule 4: steer a reserve towards a dangerous fork (in fork-ID order, so
+	// the advisor is deterministic).
 	if an.anyDanger {
-		for f := range an.dangerForks {
-			if target := g.steerTarget(w, an, f); target != graph.NoPhil {
+		for f := 0; f < len(an.dangerForks); f++ {
+			if !an.dangerForks[f] {
+				continue
+			}
+			if target := g.steerTarget(w, an, graph.ForkID(f)); target != graph.NoPhil {
 				return target
 			}
 		}
@@ -247,7 +274,7 @@ func (g *GreedyLivelock) Advise(w *sim.World) graph.PhilID {
 
 	// Rule 6: advance a retry loop — a philosopher holding a fork that a
 	// queued taker wants, with its own second fork held, can release safely.
-	var retriers []graph.PhilID
+	retriers := g.cand[:0]
 	for p := 0; p < n; p++ {
 		pid := graph.PhilID(p)
 		if !w.HoldsOnlyFirst(pid) {
@@ -259,6 +286,7 @@ func (g *GreedyLivelock) Advise(w *sim.World) graph.PhilID {
 			retriers = append(retriers, pid)
 		}
 	}
+	g.cand = retriers
 	if pid := oldest(w, retriers); pid != graph.NoPhil {
 		return pid
 	}
@@ -267,7 +295,7 @@ func (g *GreedyLivelock) Advise(w *sim.World) graph.PhilID {
 	// philosophers (committed to a held fork, a pure busy-wait). Scheduling
 	// the least recently scheduled one keeps fairness pressure from building
 	// up behind the adversary's back.
-	var idle []graph.PhilID
+	idle := g.cand[:0]
 	for p := 0; p < n; p++ {
 		pid := graph.PhilID(p)
 		if w.Phils[pid].Phase == sim.Thinking {
@@ -278,6 +306,7 @@ func (g *GreedyLivelock) Advise(w *sim.World) graph.PhilID {
 			idle = append(idle, pid)
 		}
 	}
+	g.cand = idle
 	if pid := oldest(w, idle); pid != graph.NoPhil {
 		return pid
 	}
@@ -304,13 +333,14 @@ func (g *GreedyLivelock) Advise(w *sim.World) graph.PhilID {
 				return target
 			}
 		}
-		var committed []graph.PhilID
+		committed := g.cand[:0]
 		for p := 0; p < n; p++ {
 			pid := graph.PhilID(p)
 			if w.IsCommitted(pid) {
 				committed = append(committed, pid)
 			}
 		}
+		g.cand = committed
 		if pid := oldest(w, committed); pid != graph.NoPhil {
 			return pid
 		}
@@ -318,7 +348,7 @@ func (g *GreedyLivelock) Advise(w *sim.World) graph.PhilID {
 
 	// Rule 9b: nothing better to do — advance reserves and committed
 	// philosophers (oldest first) to keep the system moving.
-	var breaking []graph.PhilID
+	breaking := g.cand[:0]
 	for p := 0; p < n; p++ {
 		pid := graph.PhilID(p)
 		st := &w.Phils[pid]
@@ -326,31 +356,34 @@ func (g *GreedyLivelock) Advise(w *sim.World) graph.PhilID {
 			breaking = append(breaking, pid)
 		}
 	}
+	g.cand = breaking
 	if pid := oldest(w, breaking); pid != graph.NoPhil {
 		return pid
 	}
 
 	// Rule 10: a philosopher holding its first fork with the second held can
 	// always be scheduled safely even without a queued taker.
-	var holders []graph.PhilID
+	holders := g.cand[:0]
 	for p := 0; p < n; p++ {
 		pid := graph.PhilID(p)
 		if w.HoldsOnlyFirst(pid) && !w.IsFree(w.SecondForkOf(pid)) {
 			holders = append(holders, pid)
 		}
 	}
+	g.cand = holders
 	if pid := oldest(w, holders); pid != graph.NoPhil {
 		return pid
 	}
 
 	// Rule 11: everything left is dangerous or eating; concede.
-	var rest []graph.PhilID
+	rest := g.cand[:0]
 	for p := 0; p < n; p++ {
 		pid := graph.PhilID(p)
 		if !w.CouldEatNext(pid) && !w.IsEating(pid) {
 			rest = append(rest, pid)
 		}
 	}
+	g.cand = rest
 	if pid := oldest(w, rest); pid != graph.NoPhil {
 		return pid
 	}

@@ -136,7 +136,8 @@ func (s *Priority) Next(w *sim.World) graph.PhilID {
 // system busy without being adversarial, and is fair with probability 1 under
 // the AlwaysHungry workload.
 type HungryFirst struct {
-	rng *prng.Source
+	rng  *prng.Source
+	busy []graph.PhilID // per-step scratch, reused across Next calls
 }
 
 // NewHungryFirst returns a hungry-first random scheduler.
@@ -147,12 +148,13 @@ func (*HungryFirst) Name() string { return "hungry-first" }
 
 // Next implements sim.Scheduler.
 func (s *HungryFirst) Next(w *sim.World) graph.PhilID {
-	busy := make([]graph.PhilID, 0, len(w.Phils))
+	busy := s.busy[:0]
 	for p := range w.Phils {
 		if w.Phils[p].Phase != sim.Thinking {
 			busy = append(busy, graph.PhilID(p))
 		}
 	}
+	s.busy = busy
 	if len(busy) == 0 {
 		return graph.PhilID(s.rng.Intn(len(w.Phils)))
 	}

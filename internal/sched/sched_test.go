@@ -15,8 +15,8 @@ type countingProgram struct{}
 func (countingProgram) Name() string    { return "counting" }
 func (countingProgram) Init(*sim.World) {}
 func (countingProgram) Symmetric() bool { return true }
-func (countingProgram) Outcomes(w *sim.World, p graph.PhilID) []sim.Outcome {
-	return []sim.Outcome{{Prob: 1, Label: "noop", Apply: func() {}}}
+func (countingProgram) Outcomes(w *sim.World, p graph.PhilID, buf []sim.Outcome) []sim.Outcome {
+	return append(buf, sim.Outcome{Prob: 1, Label: "noop", Apply: func(*sim.World, graph.PhilID, int64) {}})
 }
 
 func TestRoundRobinCyclesThroughAll(t *testing.T) {

@@ -9,14 +9,18 @@ import (
 // The operations in this file are the shared-variable primitives of the
 // paper: atomic test-and-set / release of forks, the nr field of GDP1/GDP2,
 // and the request list r and guest book g of LR2/GDP2. Philosopher programs
-// compose them inside Outcome.Apply closures; each helper performs exactly one
-// paper-level operation and keeps philosopher and fork bookkeeping consistent.
+// compose them inside Outcome.Apply functions; each helper performs exactly
+// one paper-level operation and keeps philosopher and fork bookkeeping
+// consistent. Metric updates are skipped on protocol-only worlds
+// (CloneProtocol), whose metric slices are nil.
 
 // BecomeHungry moves philosopher p from thinking to the trying section.
 func (w *World) BecomeHungry(p graph.PhilID) {
 	st := &w.Phils[p]
 	st.Phase = Hungry
-	w.HungrySince[p] = w.Step
+	if w.HungrySince != nil {
+		w.HungrySince[p] = w.Step
+	}
 	w.emit(EventBecameHungry, p, graph.NoFork, 0)
 }
 
@@ -73,10 +77,15 @@ func (w *World) Release(p graph.PhilID, f graph.ForkID) {
 }
 
 // ReleaseAll releases every fork currently held by p (used by the combined
-// "release(fork); release(other(fork))" lines and by tests).
+// "release(fork); release(other(fork))" lines and by tests). The first fork
+// is released before the second, matching the paper's pseudo-code order.
 func (w *World) ReleaseAll(p graph.PhilID) {
-	for _, f := range w.HeldForks(p) {
-		w.Release(p, f)
+	st := &w.Phils[p]
+	if st.HasFirst {
+		w.Release(p, st.First)
+	}
+	if st.HasSecond {
+		w.Release(p, w.Topo.OtherFork(p, st.First))
 	}
 }
 
@@ -111,10 +120,10 @@ func (w *World) StartEating(p graph.PhilID) {
 	if w.FirstEatStep < 0 {
 		w.FirstEatStep = w.Step
 	}
-	if w.FirstEatBy[p] < 0 {
+	if w.FirstEatBy != nil && w.FirstEatBy[p] < 0 {
 		w.FirstEatBy[p] = w.Step
 	}
-	if w.HungrySince[p] >= 0 {
+	if w.HungrySince != nil && w.HungrySince[p] >= 0 {
 		w.TotalWait += w.Step - w.HungrySince[p]
 		w.HungrySince[p] = -1
 	}
@@ -126,8 +135,12 @@ func (w *World) StartEating(p graph.PhilID) {
 // in the paper's pseudo-code.
 func (w *World) FinishEating(p graph.PhilID) {
 	w.TotalEats++
-	w.EatsBy[p]++
-	w.emit(EventDoneEat, p, graph.NoFork, w.EatsBy[p])
+	var eats int64
+	if w.EatsBy != nil {
+		w.EatsBy[p]++
+		eats = w.EatsBy[p]
+	}
+	w.emit(EventDoneEat, p, graph.NoFork, eats)
 }
 
 // BackToThinking resets p's trying-section bookkeeping and returns it to the
@@ -143,29 +156,31 @@ func (w *World) BackToThinking(p graph.PhilID, pc uint8) {
 
 // --- Request lists and guest books (LR2 / GDP2) ---
 
+// slotIndex returns p's index into the flat req/used arrays for fork f.
+func (w *World) slotIndex(f graph.ForkID, p graph.PhilID) int {
+	return w.Topo.SlotBase(f) + w.Topo.Slot(f, p)
+}
+
 // Request inserts p into fork f's request list r.
 func (w *World) Request(p graph.PhilID, f graph.ForkID) {
-	slot := w.Topo.Slot(f, p)
-	w.Forks[f].Req[slot] = true
+	w.req[w.slotIndex(f, p)] = true
 	w.emit(EventRequested, p, f, 0)
 }
 
 // Unrequest removes p from fork f's request list r.
 func (w *World) Unrequest(p graph.PhilID, f graph.ForkID) {
-	slot := w.Topo.Slot(f, p)
-	w.Forks[f].Req[slot] = false
+	w.req[w.slotIndex(f, p)] = false
 	w.emit(EventUnrequested, p, f, 0)
 }
 
 // HasRequest reports whether p currently has a request on fork f.
 func (w *World) HasRequest(p graph.PhilID, f graph.ForkID) bool {
-	return w.Forks[f].Req[w.Topo.Slot(f, p)]
+	return w.req[w.slotIndex(f, p)]
 }
 
 // SignGuestBook records in fork f's guest book that p has just used it.
 func (w *World) SignGuestBook(p graph.PhilID, f graph.ForkID) {
-	slot := w.Topo.Slot(f, p)
-	w.Forks[f].Used[slot] = w.Step
+	w.used[w.slotIndex(f, p)] = w.Step
 	w.emit(EventSignedGuestBook, p, f, 0)
 }
 
@@ -173,7 +188,7 @@ func (w *World) SignGuestBook(p graph.PhilID, f graph.ForkID) {
 // guest book. (Used to check the Theorem 2 observation that the adversary can
 // keep the guest books of the trapped region empty forever.)
 func (w *World) GuestBookEmpty(f graph.ForkID) bool {
-	for _, u := range w.Forks[f].Used {
+	for _, u := range w.ForkUsed(f) {
 		if u >= 0 {
 			return false
 		}
@@ -194,14 +209,15 @@ func (w *World) RecordBlockedByCond(p graph.PhilID, f graph.ForkID) {
 // neighbour on this fork). With empty request lists or empty guest books the
 // condition is vacuously true, matching the paper's initial state.
 func (w *World) Cond(p graph.PhilID, f graph.ForkID) bool {
-	fs := &w.Forks[f]
+	base := w.Topo.SlotBase(f)
+	deg := w.Topo.Degree(f)
 	mySlot := w.Topo.Slot(f, p)
-	myUse := fs.Used[mySlot]
-	for slot, requested := range fs.Req {
-		if !requested || slot == mySlot {
+	myUse := w.used[base+mySlot]
+	for slot := 0; slot < deg; slot++ {
+		if !w.req[base+slot] || slot == mySlot {
 			continue
 		}
-		if fs.Used[slot] < myUse {
+		if w.used[base+slot] < myUse {
 			return false
 		}
 	}

@@ -12,17 +12,35 @@ import (
 // the random draws of the algorithms (random_choice(left, right) and
 // random[1, m]) have one outcome per possible result.
 //
-// Apply mutates the World the Outcome was computed from. Outcomes must be
-// applied at most once, and only to that World.
+// Apply mutates a world: it receives the world and philosopher the outcome
+// set was computed for plus the outcome's Arg. Keeping Apply a plain function
+// of (world, philosopher, arg) — rather than a closure over them — lets
+// programs build outcome sets without allocating: the function values are
+// static, and the variable part of the action travels in Arg. The model
+// checker exploits the same shape to apply an outcome to a *clone* of the
+// world it was computed from (the outcome sets of equal protocol states are
+// identical, so outcome i of the recomputed set is outcome i of the
+// original).
+//
+// An outcome must be applied at most once, and only to a world whose protocol
+// state equals the one it was computed from.
 type Outcome struct {
 	// Prob is the probability of this outcome. The probabilities of the
 	// outcomes returned together must sum to 1 (within rounding).
 	Prob float64
 	// Label is a short human-readable description ("commit left", "nr:=3").
 	Label string
-	// Apply performs the action.
-	Apply func()
+	// Arg carries the outcome-specific datum passed to Apply (a fork ID, a
+	// drawn nr value, a program counter, an option bit mask — whatever the
+	// program encoded).
+	Arg int64
+	// Apply performs the action on w for philosopher p. Call it through Do so
+	// that Arg is threaded correctly.
+	Apply func(w *World, p graph.PhilID, arg int64)
 }
+
+// Do applies the outcome to world w for philosopher p, threading Arg.
+func (o *Outcome) Do(w *World, p graph.PhilID) { o.Apply(w, p, o.Arg) }
 
 // Program is a philosopher algorithm: the paper's Tables 1–4 and the baseline
 // solutions of the introduction. The same program is run by every philosopher
@@ -34,11 +52,14 @@ type Program interface {
 	// example the shared ticket counter of the ticket-box baseline). Most
 	// algorithms need nothing beyond NewWorld's defaults.
 	Init(w *World)
-	// Outcomes returns the possible next atomic actions of philosopher p in
-	// world w. It must return at least one outcome: a philosopher that cannot
-	// progress (busy waiting) returns an outcome that re-performs the failed
-	// test. Outcomes must not mutate w; only applying one of them may.
-	Outcomes(w *World, p graph.PhilID) []Outcome
+	// Outcomes appends the possible next atomic actions of philosopher p in
+	// world w to buf and returns the extended buffer (pass nil, or a scratch
+	// buffer truncated to length 0, exactly as with append). It must produce
+	// at least one outcome: a philosopher that cannot progress (busy waiting)
+	// gets an outcome that re-performs the failed test. Outcomes must not
+	// mutate w; only applying one of them may. Equal protocol states must
+	// produce identical outcome sets.
+	Outcomes(w *World, p graph.PhilID, buf []Outcome) []Outcome
 	// Symmetric reports whether the algorithm satisfies the paper's symmetry
 	// and full-distribution conditions (identical code, no shared state other
 	// than the forks, no central control). The baselines of the introduction
@@ -72,7 +93,8 @@ func (AlwaysHungry) HungerProbability(*World, graph.PhilID) float64 { return 1 }
 
 // NeverHungryAgainAfter is a workload in which each philosopher becomes hungry
 // until it has eaten Limit times and then thinks forever. Limit 0 means the
-// philosopher never becomes hungry at all.
+// philosopher never becomes hungry at all. It reads the EatsBy metric, so it
+// must not be used with protocol-only worlds (CloneProtocol).
 type NeverHungryAgainAfter struct {
 	Limit int64
 }
@@ -100,50 +122,89 @@ func (m BernoulliHunger) Name() string { return fmt.Sprintf("bernoulli-%.2f", m.
 // HungerProbability implements HungerModel.
 func (m BernoulliHunger) HungerProbability(*World, graph.PhilID) float64 { return m.P }
 
-// ThinkOutcomes is a helper for programs: it builds the outcome set of a
-// scheduled thinking philosopher under the world's hunger model, calling
-// onHungry (which typically performs the paper's "become hungry" bookkeeping
-// and advances the program counter) when the philosopher becomes hungry.
-func ThinkOutcomes(w *World, p graph.PhilID, onHungry func()) []Outcome {
+// applyBecomeHungry performs the "become hungry" bookkeeping and jumps to the
+// program counter in arg.
+func applyBecomeHungry(w *World, p graph.PhilID, arg int64) {
+	w.BecomeHungry(p)
+	w.Phils[p].PC = uint8(arg)
+}
+
+// applyStayThinking records a scheduled thinking philosopher that kept
+// thinking.
+func applyStayThinking(w *World, p graph.PhilID, _ int64) {
+	w.StayThinking(p)
+}
+
+// ThinkOutcomes is a helper for programs: it appends the outcome set of a
+// scheduled thinking philosopher under the world's hunger model to buf. When
+// the philosopher becomes hungry, the standard bookkeeping runs and its
+// program counter is set to hungryPC (the first line of the trying section).
+func ThinkOutcomes(w *World, p graph.PhilID, buf []Outcome, hungryPC uint8) []Outcome {
 	prob := 1.0
 	if w.Hunger != nil {
 		prob = w.Hunger.HungerProbability(w, p)
 	}
-	hungryOutcome := Outcome{
+	hungry := Outcome{
 		Prob:  prob,
 		Label: "become hungry",
-		Apply: onHungry,
+		Arg:   int64(hungryPC),
+		Apply: applyBecomeHungry,
 	}
 	if prob >= 1 {
-		hungryOutcome.Prob = 1
-		return []Outcome{hungryOutcome}
+		hungry.Prob = 1
+		return append(buf, hungry)
 	}
-	thinkOutcome := Outcome{
+	think := Outcome{
 		Prob:  1 - prob,
 		Label: "keep thinking",
-		Apply: func() { w.StayThinking(p) },
+		Apply: applyStayThinking,
 	}
 	if prob <= 0 {
-		thinkOutcome.Prob = 1
-		return []Outcome{thinkOutcome}
+		think.Prob = 1
+		return append(buf, think)
 	}
-	return []Outcome{hungryOutcome, thinkOutcome}
+	return append(buf, hungry, think)
 }
 
 // SampleOutcome selects one of the outcomes according to their probabilities
-// using rng. It panics if outcomes is empty.
-func SampleOutcome(outcomes []Outcome, rng *prng.Source) Outcome {
+// using rng and returns a pointer into the slice. It panics if outcomes is
+// empty. It consumes at most one random draw and allocates nothing.
+func SampleOutcome(outcomes []Outcome, rng *prng.Source) *Outcome {
 	switch len(outcomes) {
 	case 0:
 		panic("sim: empty outcome set")
 	case 1:
-		return outcomes[0]
+		return &outcomes[0]
 	}
-	weights := make([]float64, len(outcomes))
-	for i, o := range outcomes {
-		weights[i] = o.Prob
+	// Mirrors prng.Source.Weighted so seeded runs keep their exact draws:
+	// negative weights count as zero, and floating-point slack falls back to
+	// the last positive-probability outcome.
+	total := 0.0
+	for i := range outcomes {
+		if outcomes[i].Prob > 0 {
+			total += outcomes[i].Prob
+		}
 	}
-	return outcomes[rng.Weighted(weights)]
+	if total <= 0 {
+		panic("sim: outcome probabilities sum to zero")
+	}
+	target := rng.Float64() * total
+	acc := 0.0
+	for i := range outcomes {
+		if outcomes[i].Prob <= 0 {
+			continue
+		}
+		acc += outcomes[i].Prob
+		if target < acc {
+			return &outcomes[i]
+		}
+	}
+	for i := len(outcomes) - 1; i >= 0; i-- {
+		if outcomes[i].Prob > 0 {
+			return &outcomes[i]
+		}
+	}
+	return &outcomes[len(outcomes)-1]
 }
 
 // ValidateOutcomes checks that an outcome set is well formed: non-empty, all
@@ -154,7 +215,8 @@ func ValidateOutcomes(outcomes []Outcome) error {
 		return fmt.Errorf("sim: empty outcome set")
 	}
 	sum := 0.0
-	for i, o := range outcomes {
+	for i := range outcomes {
+		o := &outcomes[i]
 		if o.Prob <= 0 {
 			return fmt.Errorf("sim: outcome %d (%q) has non-positive probability %v", i, o.Label, o.Prob)
 		}

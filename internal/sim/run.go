@@ -151,6 +151,7 @@ func RunWorld(w *World, prog Program, sched Scheduler, rng *prng.Source, opts Ru
 	if opts.Recorder != nil {
 		w.SetRecorder(opts.Recorder)
 	}
+	w.EnsureMetrics()
 
 	n := len(w.Phils)
 	lastScheduled := make([]int64, n)
@@ -162,6 +163,9 @@ func RunWorld(w *World, prog Program, sched Scheduler, rng *prng.Source, opts Ru
 
 	reason := StopMaxSteps
 	start := w.Step
+	// Scratch outcome buffer reused across steps so that the engine's hot
+	// loop allocates nothing in steady state.
+	var obuf []Outcome
 	for w.Step-start < maxSteps {
 		p := sched.Next(w)
 		if int(p) < 0 || int(p) >= n {
@@ -175,13 +179,14 @@ func RunWorld(w *World, prog Program, sched Scheduler, rng *prng.Source, opts Ru
 		w.ScheduledCount[p]++
 		w.LastScheduled[p] = w.Step
 
-		outcomes := prog.Outcomes(w, p)
+		outcomes := prog.Outcomes(w, p, obuf[:0])
+		obuf = outcomes
 		if opts.ValidateOutcomes {
 			if err := ValidateOutcomes(outcomes); err != nil {
 				return nil, fmt.Errorf("sim: %s outcomes for P%d at step %d: %w", prog.Name(), p, w.Step, err)
 			}
 		}
-		SampleOutcome(outcomes, rng).Apply()
+		SampleOutcome(outcomes, rng).Do(w, p)
 		if w.Phils[p].Phase == Hungry {
 			everHungry[p] = true
 		}

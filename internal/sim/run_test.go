@@ -19,46 +19,46 @@ type toyProgram struct{}
 func (toyProgram) Name() string    { return "toy" }
 func (toyProgram) Init(*World)     {}
 func (toyProgram) Symmetric() bool { return true }
-func (toyProgram) Outcomes(w *World, p graph.PhilID) []Outcome {
-	st := &w.Phils[p]
-	one := func(label string, apply func()) []Outcome {
-		return []Outcome{{Prob: 1, Label: label, Apply: apply}}
-	}
-	switch st.PC {
+func (toyProgram) Outcomes(w *World, p graph.PhilID, buf []Outcome) []Outcome {
+	switch w.Phils[p].PC {
 	case 1: // thinking
-		return ThinkOutcomes(w, p, func() {
-			w.BecomeHungry(p)
-			st.PC = 2
-		})
+		return ThinkOutcomes(w, p, buf, 2)
 	case 2: // take left
-		return one("take left", func() {
-			w.Commit(p, w.Topo.Left(p))
-			if w.TryTake(p, w.Topo.Left(p)) {
-				w.MarkHoldingFirst(p)
-				st.PC = 3
-			}
-		})
+		return append(buf, Outcome{Prob: 1, Label: "take left", Apply: toyApplyTakeLeft})
 	case 3: // take right or release
-		return one("take right", func() {
-			right := w.Topo.OtherFork(p, st.First)
-			if w.TryTake(p, right) {
-				w.MarkHoldingSecond(p)
-				w.StartEating(p)
-				st.PC = 4
-			} else {
-				w.Release(p, st.First)
-				st.PC = 2
-			}
-		})
+		return append(buf, Outcome{Prob: 1, Label: "take right", Apply: toyApplyTakeRight})
 	case 4: // finish eating
-		return one("finish", func() {
-			w.FinishEating(p)
-			w.ReleaseAll(p)
-			w.BackToThinking(p, 1)
-		})
+		return append(buf, Outcome{Prob: 1, Label: "finish", Apply: toyApplyFinish})
 	default:
 		panic("toy: bad pc")
 	}
+}
+
+func toyApplyTakeLeft(w *World, p graph.PhilID, _ int64) {
+	w.Commit(p, w.Topo.Left(p))
+	if w.TryTake(p, w.Topo.Left(p)) {
+		w.MarkHoldingFirst(p)
+		w.Phils[p].PC = 3
+	}
+}
+
+func toyApplyTakeRight(w *World, p graph.PhilID, _ int64) {
+	st := &w.Phils[p]
+	right := w.Topo.OtherFork(p, st.First)
+	if w.TryTake(p, right) {
+		w.MarkHoldingSecond(p)
+		w.StartEating(p)
+		st.PC = 4
+	} else {
+		w.Release(p, st.First)
+		st.PC = 2
+	}
+}
+
+func toyApplyFinish(w *World, p graph.PhilID, _ int64) {
+	w.FinishEating(p)
+	w.ReleaseAll(p)
+	w.BackToThinking(p, 1)
 }
 
 // roundRobin is a minimal fair scheduler for engine tests.
@@ -285,7 +285,7 @@ func TestThinkOutcomes(t *testing.T) {
 	t.Parallel()
 	w := NewWorld(graph.Ring(3))
 	w.Hunger = BernoulliHunger{P: 0.25}
-	got := ThinkOutcomes(w, 0, func() { w.BecomeHungry(0) })
+	got := ThinkOutcomes(w, 0, nil, 2)
 	if len(got) != 2 {
 		t.Fatalf("expected 2 outcomes for fractional hunger, got %d", len(got))
 	}
@@ -293,31 +293,40 @@ func TestThinkOutcomes(t *testing.T) {
 		t.Error(err)
 	}
 	w.Hunger = AlwaysHungry{}
-	if got := ThinkOutcomes(w, 0, func() {}); len(got) != 1 {
+	if got := ThinkOutcomes(w, 0, nil, 2); len(got) != 1 {
 		t.Errorf("AlwaysHungry should give a single outcome, got %d", len(got))
 	}
 	w.Hunger = NeverHungryAgainAfter{Limit: 0}
-	if got := ThinkOutcomes(w, 0, func() {}); len(got) != 1 || got[0].Label != "keep thinking" {
+	if got := ThinkOutcomes(w, 0, nil, 2); len(got) != 1 || got[0].Label != "keep thinking" {
 		t.Errorf("zero appetite should give a single keep-thinking outcome")
+	}
+	// The hungry outcome applies the standard bookkeeping and jumps to the
+	// requested PC.
+	w.Hunger = AlwaysHungry{}
+	hungry := ThinkOutcomes(w, 0, nil, 7)
+	hungry[0].Do(w, 0)
+	if !w.IsHungry(0) || w.Phils[0].PC != 7 {
+		t.Errorf("hungry outcome did not apply: phase %v pc %d", w.PhaseOf(0), w.Phils[0].PC)
 	}
 }
 
 func TestValidateOutcomes(t *testing.T) {
 	t.Parallel()
-	ok := []Outcome{{Prob: 0.5, Apply: func() {}}, {Prob: 0.5, Apply: func() {}}}
+	noop := func(*World, graph.PhilID, int64) {}
+	ok := []Outcome{{Prob: 0.5, Apply: noop}, {Prob: 0.5, Apply: noop}}
 	if err := ValidateOutcomes(ok); err != nil {
 		t.Errorf("valid outcomes rejected: %v", err)
 	}
 	if err := ValidateOutcomes(nil); err == nil {
 		t.Error("empty outcome set accepted")
 	}
-	if err := ValidateOutcomes([]Outcome{{Prob: 0.4, Apply: func() {}}}); err == nil {
+	if err := ValidateOutcomes([]Outcome{{Prob: 0.4, Apply: noop}}); err == nil {
 		t.Error("probabilities not summing to 1 accepted")
 	}
 	if err := ValidateOutcomes([]Outcome{{Prob: 1, Apply: nil}}); err == nil {
 		t.Error("nil Apply accepted")
 	}
-	if err := ValidateOutcomes([]Outcome{{Prob: -1, Apply: func() {}}, {Prob: 2, Apply: func() {}}}); err == nil {
+	if err := ValidateOutcomes([]Outcome{{Prob: -1, Apply: noop}, {Prob: 2, Apply: noop}}); err == nil {
 		t.Error("negative probability accepted")
 	}
 }
@@ -326,9 +335,10 @@ func TestSampleOutcomeDistribution(t *testing.T) {
 	t.Parallel()
 	rng := prng.New(77)
 	counts := map[string]int{}
+	noop := func(*World, graph.PhilID, int64) {}
 	outcomes := []Outcome{
-		{Prob: 0.75, Label: "a", Apply: func() {}},
-		{Prob: 0.25, Label: "b", Apply: func() {}},
+		{Prob: 0.75, Label: "a", Apply: noop},
+		{Prob: 0.25, Label: "b", Apply: noop},
 	}
 	const n = 20000
 	for i := 0; i < n; i++ {

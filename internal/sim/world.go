@@ -11,14 +11,49 @@
 // moves, and a PRNG (or, in the model checker, exhaustive branching) resolves
 // the probabilistic choice among outcomes.
 //
-// Worlds are plain values: cloning copies all state, and Key returns a
-// canonical encoding of the protocol-relevant state so that the model checker
-// can identify revisited states.
+// # Protocol state versus run metrics
+//
+// A World separates two kinds of state. Protocol state is everything a
+// philosopher program can observe: program counters, phases, fork selections
+// and holdings, auxiliary registers, fork holders, nr values, request lists,
+// guest books and the shared globals. Run metrics (meal counters, first-eat
+// steps, waiting times, scheduling counts) are bookkeeping for experiment
+// reports; they are excluded from Key and from clone equality. Clone copies
+// both; CloneProtocol copies only the protocol state and leaves the metric
+// slices nil, which the mutation helpers tolerate — this is what the model
+// checker uses, since exploring a state space has no use for metrics. The
+// per-(fork, philosopher) request-list and guest-book entries of all forks
+// live in two flat backing arrays indexed by graph.Topology.SlotBase, so
+// cloning a world is a handful of bulk copies instead of two small
+// allocations per fork.
+//
+// # Key encoding
+//
+// Worlds are plain values: cloning copies all state, and AppendKey appends a
+// compact binary encoding of the protocol-relevant state to a caller-held
+// scratch buffer so that the model checker can identify revisited states
+// without allocating. The encoding is, in order:
+//
+//   - per philosopher: PC byte; one flags byte packing the Phase (2 bits),
+//     HasFirst and HasSecond; uvarint(First+1); zigzag varints of Aux[0] and
+//     Aux[1];
+//   - per fork: uvarint(Holder+1); uvarint(NR); the request bits packed 8 per
+//     byte; one byte per adjacency slot holding the guest-book rank+1 (0 for
+//     "never signed"), where ranks number the distinct signing times of that
+//     fork in increasing order — only the relative order of guest-book
+//     entries is observable, so rank normalization keeps the state space
+//     finite;
+//   - uvarint(len(Globals)) followed by zigzag varints of the globals.
+//
+// Given a fixed topology every field has a fixed position, so the encoding is
+// injective on observable protocol states. Key returns the same encoding as a
+// string for convenience; hot paths should use AppendKey with a reused
+// buffer.
 package sim
 
 import (
+	"encoding/binary"
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/graph"
@@ -75,21 +110,15 @@ type PhilState struct {
 	Aux [2]int64
 }
 
-// ForkState is the state of one fork. Req and Used are indexed by the
-// adjacency slot of each philosopher sharing the fork
-// (graph.Topology.Slot).
+// ForkState is the per-fork protocol state. The request-list and guest-book
+// entries of the fork live in the World's flat req/used arrays at the fork's
+// slot offsets (see graph.Topology.SlotBase); use World.ForkReq and
+// World.ForkUsed to view them.
 type ForkState struct {
 	// Holder is the philosopher currently holding the fork, or graph.NoPhil.
 	Holder graph.PhilID
 	// NR is the fork's number field used by GDP1/GDP2 (0 initially).
 	NR int
-	// Req[slot] reports whether the philosopher at that adjacency slot has an
-	// outstanding request in the fork's request list r (LR2/GDP2).
-	Req []bool
-	// Used[slot] is the step at which the philosopher at that slot last
-	// signed the fork's guest book g, or -1 if never (LR2/GDP2). Only the
-	// relative order of entries matters to the algorithms.
-	Used []int64
 }
 
 // World is the complete state of a generalized dining-philosopher system
@@ -99,6 +128,10 @@ type World struct {
 	Topo  *graph.Topology
 	Phils []PhilState
 	Forks []ForkState
+	// req and used are the flat per-(fork, adjacent philosopher) request-list
+	// and guest-book arrays, indexed by Topo.SlotBase(f)+Topo.Slot(f, p).
+	req  []bool
+	used []int64
 	// Globals is shared auxiliary state used only by the non-distributed
 	// baseline algorithms (central monitor, ticket box). Empty for the
 	// symmetric fully distributed algorithms.
@@ -109,7 +142,10 @@ type World struct {
 	// It is policy, not protocol state, and is excluded from Key.
 	Hunger HungerModel
 
-	// Metrics (not part of Key):
+	// Metrics (not part of Key). On protocol-only worlds (CloneProtocol) the
+	// metric slices are nil and the mutation helpers skip metric updates;
+	// metric-reading hunger models (NeverHungryAgainAfter) must not be used
+	// with such worlds.
 
 	// TotalEats is the number of completed meals.
 	TotalEats int64
@@ -143,37 +179,61 @@ func NewWorld(topo *graph.Topology) *World {
 	n := topo.NumPhilosophers()
 	k := topo.NumForks()
 	w := &World{
-		Topo:           topo,
-		Phils:          make([]PhilState, n),
-		Forks:          make([]ForkState, k),
-		Step:           0,
-		Hunger:         AlwaysHungry{},
-		EatsBy:         make([]int64, n),
-		FirstEatStep:   -1,
-		FirstEatBy:     make([]int64, n),
-		HungrySince:    make([]int64, n),
-		ScheduledCount: make([]int64, n),
+		Topo:         topo,
+		Phils:        make([]PhilState, n),
+		Forks:        make([]ForkState, k),
+		req:          make([]bool, topo.TotalSlots()),
+		used:         make([]int64, topo.TotalSlots()),
+		Step:         0,
+		Hunger:       AlwaysHungry{},
+		FirstEatStep: -1,
 	}
-	w.LastScheduled = make([]int64, n)
 	for p := range w.Phils {
 		w.Phils[p] = PhilState{PC: 1, Phase: Thinking, First: graph.NoFork}
+	}
+	for f := range w.Forks {
+		w.Forks[f] = ForkState{Holder: graph.NoPhil, NR: 0}
+	}
+	for i := range w.used {
+		w.used[i] = -1
+	}
+	w.EnsureMetrics()
+	return w
+}
+
+// EnsureMetrics allocates the metric slices if the world is a protocol-only
+// clone, so that it can be handed to the run engine. It is a no-op on worlds
+// that already carry metrics.
+func (w *World) EnsureMetrics() {
+	if w.EatsBy != nil {
+		return
+	}
+	n := len(w.Phils)
+	w.EatsBy = make([]int64, n)
+	w.FirstEatBy = make([]int64, n)
+	w.HungrySince = make([]int64, n)
+	w.ScheduledCount = make([]int64, n)
+	w.LastScheduled = make([]int64, n)
+	for p := 0; p < n; p++ {
 		w.FirstEatBy[p] = -1
 		w.HungrySince[p] = -1
 		w.LastScheduled[p] = -1
 	}
-	for f := range w.Forks {
-		deg := topo.Degree(graph.ForkID(f))
-		w.Forks[f] = ForkState{
-			Holder: graph.NoPhil,
-			NR:     0,
-			Req:    make([]bool, deg),
-			Used:   make([]int64, deg),
-		}
-		for i := range w.Forks[f].Used {
-			w.Forks[f].Used[i] = -1
-		}
-	}
-	return w
+}
+
+// ForkReq returns the request-list entries of fork f, indexed by adjacency
+// slot (graph.Topology.Slot). The returned slice aliases the world's state.
+func (w *World) ForkReq(f graph.ForkID) []bool {
+	base := w.Topo.SlotBase(f)
+	return w.req[base : base+w.Topo.Degree(f)]
+}
+
+// ForkUsed returns the guest-book entries of fork f, indexed by adjacency
+// slot: the step of each philosopher's last signature, or -1. The returned
+// slice aliases the world's state.
+func (w *World) ForkUsed(f graph.ForkID) []int64 {
+	base := w.Topo.SlotBase(f)
+	return w.used[base : base+w.Topo.Degree(f)]
 }
 
 // SetRecorder installs an event recorder (may be nil to disable recording).
@@ -186,98 +246,162 @@ func (w *World) Recorder() Recorder { return w.rec }
 // and dropping the event recorder.
 func (w *World) Clone() *World {
 	c := &World{
-		Topo:           w.Topo,
-		Phils:          append([]PhilState(nil), w.Phils...),
-		Forks:          make([]ForkState, len(w.Forks)),
-		Globals:        append([]int64(nil), w.Globals...),
-		Step:           w.Step,
-		Hunger:         w.Hunger,
-		TotalEats:      w.TotalEats,
-		EatsBy:         append([]int64(nil), w.EatsBy...),
-		FirstEatStep:   w.FirstEatStep,
-		FirstEatBy:     append([]int64(nil), w.FirstEatBy...),
-		HungrySince:    append([]int64(nil), w.HungrySince...),
-		TotalWait:      w.TotalWait,
-		ScheduledCount: append([]int64(nil), w.ScheduledCount...),
-		LastScheduled:  append([]int64(nil), w.LastScheduled...),
+		Topo:         w.Topo,
+		Phils:        append([]PhilState(nil), w.Phils...),
+		Forks:        append([]ForkState(nil), w.Forks...),
+		req:          append([]bool(nil), w.req...),
+		used:         append([]int64(nil), w.used...),
+		Globals:      append([]int64(nil), w.Globals...),
+		Step:         w.Step,
+		Hunger:       w.Hunger,
+		TotalEats:    w.TotalEats,
+		FirstEatStep: w.FirstEatStep,
+		TotalWait:    w.TotalWait,
 	}
-	for f := range w.Forks {
-		src := &w.Forks[f]
-		c.Forks[f] = ForkState{
-			Holder: src.Holder,
-			NR:     src.NR,
-			Req:    append([]bool(nil), src.Req...),
-			Used:   append([]int64(nil), src.Used...),
-		}
+	if w.EatsBy != nil {
+		c.EatsBy = append([]int64(nil), w.EatsBy...)
+		c.FirstEatBy = append([]int64(nil), w.FirstEatBy...)
+		c.HungrySince = append([]int64(nil), w.HungrySince...)
+		c.ScheduledCount = append([]int64(nil), w.ScheduledCount...)
+		c.LastScheduled = append([]int64(nil), w.LastScheduled...)
 	}
 	return c
 }
 
-// Key returns a canonical encoding of the protocol-relevant state. Two worlds
-// with equal keys are indistinguishable to every philosopher program: the
-// encoding covers program counters, phases, fork selections and holdings,
-// auxiliary registers, fork holders, nr values, request lists, globals, and
-// the guest books up to order-preserving renaming of timestamps (only the
-// relative order of guest-book entries per fork is observable).
+// CloneProtocol returns a copy of the protocol state only: the metric slices
+// of the copy are nil (mutation helpers skip them) and the recorder is
+// dropped. It is what the model checker clones per explored transition.
+func (w *World) CloneProtocol() *World {
+	return w.CloneProtocolInto(nil)
+}
+
+// CloneProtocolInto is CloneProtocol reusing dst's backing slices when dst is
+// a world of the same topology (as produced by a previous CloneProtocol).
+// Passing nil allocates a fresh copy. It returns the clone, which is dst
+// whenever dst was usable.
+func (w *World) CloneProtocolInto(dst *World) *World {
+	if dst == nil || dst.Topo != w.Topo {
+		return &World{
+			Topo:    w.Topo,
+			Phils:   append([]PhilState(nil), w.Phils...),
+			Forks:   append([]ForkState(nil), w.Forks...),
+			req:     append([]bool(nil), w.req...),
+			used:    append([]int64(nil), w.used...),
+			Globals: append([]int64(nil), w.Globals...),
+			Step:    w.Step,
+			Hunger:  w.Hunger,
+		}
+	}
+	copy(dst.Phils, w.Phils)
+	copy(dst.Forks, w.Forks)
+	copy(dst.req, w.req)
+	copy(dst.used, w.used)
+	dst.Globals = append(dst.Globals[:0], w.Globals...)
+	dst.Step = w.Step
+	dst.Hunger = w.Hunger
+	return dst
+}
+
+// Key returns the canonical encoding of the protocol-relevant state as a
+// string. Two worlds with equal keys are indistinguishable to every
+// philosopher program. Key allocates; hot paths should use AppendKey with a
+// reused scratch buffer.
 func (w *World) Key() string {
-	var b strings.Builder
-	b.Grow(16*len(w.Phils) + 16*len(w.Forks))
+	return string(w.AppendKey(nil))
+}
+
+// AppendKey appends the canonical binary encoding of the protocol-relevant
+// state (see the package comment for the format) to buf and returns the
+// extended buffer. It performs no allocations beyond growing buf, so a caller
+// that reuses the buffer across calls encodes keys allocation-free in steady
+// state.
+func (w *World) AppendKey(buf []byte) []byte {
 	for i := range w.Phils {
 		p := &w.Phils[i]
-		fmt.Fprintf(&b, "p%d,%d,%d,%t,%t,%d,%d;", p.PC, p.Phase, p.First, p.HasFirst, p.HasSecond, p.Aux[0], p.Aux[1])
+		flags := byte(p.Phase) & 0x3
+		if p.HasFirst {
+			flags |= 1 << 2
+		}
+		if p.HasSecond {
+			flags |= 1 << 3
+		}
+		buf = append(buf, p.PC, flags)
+		buf = appendUvarint(buf, uint64(p.First+1))
+		buf = appendVarint(buf, p.Aux[0])
+		buf = appendVarint(buf, p.Aux[1])
 	}
 	for i := range w.Forks {
 		f := &w.Forks[i]
-		fmt.Fprintf(&b, "f%d,%d,", f.Holder, f.NR)
-		for _, r := range f.Req {
-			if r {
-				b.WriteByte('1')
-			} else {
-				b.WriteByte('0')
+		buf = appendUvarint(buf, uint64(f.Holder+1))
+		buf = appendUvarint(buf, uint64(f.NR))
+		base := w.Topo.SlotBase(graph.ForkID(i))
+		deg := w.Topo.Degree(graph.ForkID(i))
+		var bits, nbits byte
+		for s := 0; s < deg; s++ {
+			if w.req[base+s] {
+				bits |= 1 << nbits
+			}
+			if nbits++; nbits == 8 {
+				buf = append(buf, bits)
+				bits, nbits = 0, 0
 			}
 		}
-		b.WriteByte(',')
-		for _, rank := range rankNormalize(f.Used) {
-			fmt.Fprintf(&b, "%d.", rank)
+		if nbits > 0 {
+			buf = append(buf, bits)
 		}
-		b.WriteByte(';')
+		buf = appendGuestBookRanks(buf, w.used[base:base+deg])
 	}
+	buf = appendUvarint(buf, uint64(len(w.Globals)))
 	for _, g := range w.Globals {
-		fmt.Fprintf(&b, "g%d;", g)
+		buf = appendVarint(buf, g)
 	}
-	return b.String()
+	return buf
 }
 
-// rankNormalize maps the values of used to their rank order: -1 stays -1, and
-// the remaining distinct values are replaced by 0, 1, 2, ... in increasing
-// order. Guest-book semantics depend only on comparisons between entries of
-// the same fork, so this keeps the state space finite for model checking.
-func rankNormalize(used []int64) []int {
-	distinct := make([]int64, 0, len(used))
-	for _, u := range used {
-		if u >= 0 {
-			distinct = append(distinct, u)
-		}
-	}
-	sort.Slice(distinct, func(i, j int) bool { return distinct[i] < distinct[j] })
-	// Dedupe.
-	uniq := distinct[:0]
-	var last int64 = -1
-	for i, u := range distinct {
-		if i == 0 || u != last {
-			uniq = append(uniq, u)
-			last = u
-		}
-	}
-	out := make([]int, len(used))
-	for i, u := range used {
-		if u < 0 {
-			out[i] = -1
+// appendUvarint appends v in unsigned LEB128.
+func appendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+// appendVarint appends v in zigzag LEB128.
+func appendVarint(buf []byte, v int64) []byte {
+	return binary.AppendVarint(buf, v)
+}
+
+// appendGuestBookRanks appends, per adjacency slot, one byte holding the rank
+// of the slot's guest-book entry plus one (0 encodes "never signed"). The
+// rank of an entry is the number of distinct smaller non-negative entries in
+// used, so two guest books with the same relative signing order encode
+// identically — only comparisons between entries of the same fork are
+// observable (World.Cond), and rank normalization keeps the state space
+// finite for model checking. Fork degrees are tiny in every topology of the
+// paper, so the quadratic scan beats sorting and allocates nothing.
+func appendGuestBookRanks(buf []byte, used []int64) []byte {
+	for _, ui := range used {
+		if ui < 0 {
+			buf = append(buf, 0)
 			continue
 		}
-		out[i] = sort.Search(len(uniq), func(j int) bool { return uniq[j] >= u })
+		rank := 0
+		for j, uj := range used {
+			if uj < 0 || uj >= ui {
+				continue
+			}
+			// Count each distinct smaller value once (first occurrence only).
+			first := true
+			for k := 0; k < j; k++ {
+				if used[k] == uj {
+					first = false
+					break
+				}
+			}
+			if first {
+				rank++
+			}
+		}
+		buf = append(buf, byte(rank+1))
 	}
-	return out
+	return buf
 }
 
 // --- Generic state queries used by schedulers, adversaries and detectors ---

@@ -22,8 +22,10 @@ func TestNewWorldInitialSymmetry(t *testing.T) {
 		if fs.Holder != graph.NoPhil || fs.NR != 0 {
 			t.Errorf("fork %d not in initial state: %+v", f, fs)
 		}
-		for slot := range fs.Req {
-			if fs.Req[slot] || fs.Used[slot] != -1 {
+		fid := graph.ForkID(f)
+		req, used := w.ForkReq(fid), w.ForkUsed(fid)
+		for slot := range req {
+			if req[slot] || used[slot] != -1 {
 				t.Errorf("fork %d slot %d has non-initial request/guest-book state", f, slot)
 			}
 		}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/algo"
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/prng"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -20,6 +21,13 @@ import (
 // SchedulerFactory constructs a fresh scheduler for each trial (schedulers
 // carry state, so they cannot be shared across trials).
 type SchedulerFactory func(rng *prng.Source) sim.Scheduler
+
+// forEachTrial runs trial functions across a worker pool, collecting
+// results in trial-index order so that aggregation (including
+// floating-point folds) is identical to a sequential run; see par.Trials.
+func forEachTrial[T any](workers, trials int, run func(trial int) (T, error)) ([]T, error) {
+	return par.Trials(workers, trials, run)
+}
 
 // ProgressCheck is the Monte-Carlo form of a progress statement
 // T --(F, p)--> E: starting every trial from the all-thinking initial state
@@ -32,6 +40,9 @@ type ProgressCheck struct {
 	Trials    int
 	MaxSteps  int64
 	Seed      uint64
+	// Workers bounds the trial goroutines (0 = one per CPU, 1 = sequential);
+	// the result is identical for every value.
+	Workers int
 }
 
 // ProgressResult summarises a ProgressCheck.
@@ -56,8 +67,12 @@ func (c ProgressCheck) Run() (*ProgressResult, error) {
 	if c.MaxSteps <= 0 {
 		c.MaxSteps = 100_000
 	}
-	out := &ProgressResult{}
-	for i := 0; i < c.Trials; i++ {
+	type trialResult struct {
+		ok       bool
+		firstEat float64
+		seed     uint64
+	}
+	perTrial, err := forEachTrial(c.Workers, c.Trials, func(i int) (trialResult, error) {
 		seed := c.Seed + uint64(i)*0x9e3779b9
 		rng := prng.New(seed)
 		res, err := sim.Run(c.Topology, c.Algorithm, c.Scheduler(rng.Split()), rng, sim.RunOptions{
@@ -65,14 +80,20 @@ func (c ProgressCheck) Run() (*ProgressResult, error) {
 			StopAfterTotalEats: 1,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("verify: progress trial %d: %w", i, err)
+			return trialResult{}, fmt.Errorf("verify: progress trial %d: %w", i, err)
 		}
-		ok := res.Progress()
-		out.Proportion.Add(ok)
-		if ok {
-			out.StepsToFirstMeal.Add(float64(res.FirstEatStep))
+		return trialResult{ok: res.Progress(), firstEat: float64(res.FirstEatStep), seed: seed}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &ProgressResult{}
+	for _, tr := range perTrial {
+		out.Proportion.Add(tr.ok)
+		if tr.ok {
+			out.StepsToFirstMeal.Add(tr.firstEat)
 		} else {
-			out.Failures = append(out.Failures, seed)
+			out.Failures = append(out.Failures, tr.seed)
 		}
 	}
 	return out, nil
@@ -90,6 +111,9 @@ type LockoutCheck struct {
 	MaxSteps  int64
 	MealsEach int64
 	Seed      uint64
+	// Workers bounds the trial goroutines (0 = one per CPU, 1 = sequential);
+	// the result is identical for every value.
+	Workers int
 }
 
 // LockoutResult summarises a LockoutCheck.
@@ -116,15 +140,19 @@ func (c LockoutCheck) Run() (*LockoutResult, error) {
 	if c.MealsEach <= 0 {
 		c.MealsEach = 1
 	}
-	out := &LockoutResult{WorstJainIndex: 1}
-	for i := 0; i < c.Trials; i++ {
+	type trialResult struct {
+		ok   bool
+		jain float64
+		seed uint64
+	}
+	perTrial, err := forEachTrial(c.Workers, c.Trials, func(i int) (trialResult, error) {
 		seed := c.Seed + uint64(i)*0x9e3779b9
 		rng := prng.New(seed)
 		res, err := sim.Run(c.Topology, c.Algorithm, c.Scheduler(rng.Split()), rng, sim.RunOptions{
 			MaxSteps: c.MaxSteps,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("verify: lockout trial %d: %w", i, err)
+			return trialResult{}, fmt.Errorf("verify: lockout trial %d: %w", i, err)
 		}
 		ok := true
 		for _, meals := range res.EatsBy {
@@ -133,12 +161,19 @@ func (c LockoutCheck) Run() (*LockoutResult, error) {
 				break
 			}
 		}
-		out.Proportion.Add(ok)
-		if jain := stats.JainIndex(res.EatsBy); jain < out.WorstJainIndex {
-			out.WorstJainIndex = jain
+		return trialResult{ok: ok, jain: stats.JainIndex(res.EatsBy), seed: seed}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &LockoutResult{WorstJainIndex: 1}
+	for _, tr := range perTrial {
+		out.Proportion.Add(tr.ok)
+		if tr.jain < out.WorstJainIndex {
+			out.WorstJainIndex = tr.jain
 		}
-		if !ok {
-			out.Failures = append(out.Failures, seed)
+		if !tr.ok {
+			out.Failures = append(out.Failures, tr.seed)
 		}
 	}
 	return out, nil
