@@ -30,7 +30,7 @@ import (
 )
 
 // simulateOnce runs one bounded simulation and reports meals/step metrics.
-func simulateOnce(b *testing.B, topo *graph.Topology, algorithm string, kind core.SchedulerKind, seed uint64, steps int64) *sim.Result {
+func simulateOnce(b *testing.B, topo *graph.Topology, algorithm string, kind string, seed uint64, steps int64) *sim.Result {
 	b.Helper()
 	sys := core.System{Topology: topo, Algorithm: algorithm, Scheduler: kind, Seed: seed}
 	res, err := sys.Simulate(sim.RunOptions{MaxSteps: steps})
@@ -47,7 +47,7 @@ func benchmarkTable(b *testing.B, algorithm string) {
 	b.ReportAllocs()
 	var meals int64
 	for i := 0; i < b.N; i++ {
-		res := simulateOnce(b, topo, algorithm, core.Random, uint64(i)+1, 20_000)
+		res := simulateOnce(b, topo, algorithm, "random", uint64(i)+1, 20_000)
 		meals += res.TotalEats
 	}
 	b.ReportMetric(float64(meals)/float64(b.N), "meals/run")
@@ -65,7 +65,7 @@ func BenchmarkFigure1Topologies(b *testing.B) {
 			b.ReportAllocs()
 			var meals int64
 			for i := 0; i < b.N; i++ {
-				res := simulateOnce(b, topo, "GDP1", core.Random, uint64(i)+1, 20_000)
+				res := simulateOnce(b, topo, "GDP1", "random", uint64(i)+1, 20_000)
 				meals += res.TotalEats
 			}
 			b.ReportMetric(float64(meals)/float64(b.N), "meals/run")
@@ -84,7 +84,7 @@ func BenchmarkSection3Adversary(b *testing.B) {
 			b.ReportAllocs()
 			starved := 0
 			for i := 0; i < b.N; i++ {
-				res := simulateOnce(b, topo, algorithm, core.Adversary, uint64(i)+1, 30_000)
+				res := simulateOnce(b, topo, algorithm, "adversary", uint64(i)+1, 30_000)
 				if res.TotalEats == 0 {
 					starved++
 				}
@@ -161,7 +161,7 @@ func BenchmarkTheorem3Progress(b *testing.B) {
 			b.ReportAllocs()
 			var firstMeal int64
 			for i := 0; i < b.N; i++ {
-				sys := core.System{Topology: topo, Algorithm: "GDP1", Scheduler: core.Adversary, Seed: uint64(i) + 1}
+				sys := core.System{Topology: topo, Algorithm: "GDP1", Scheduler: "adversary", Seed: uint64(i) + 1}
 				res, err := sys.Simulate(sim.RunOptions{MaxSteps: 60_000, StopAfterTotalEats: 1})
 				if err != nil {
 					b.Fatal(err)
@@ -183,7 +183,7 @@ func BenchmarkTheorem4Lockout(b *testing.B) {
 	b.ReportAllocs()
 	var steps int64
 	for i := 0; i < b.N; i++ {
-		sys := core.System{Topology: topo, Algorithm: "GDP2", Scheduler: core.RoundRobin, Seed: uint64(i) + 1}
+		sys := core.System{Topology: topo, Algorithm: "GDP2", Scheduler: "round-robin", Seed: uint64(i) + 1}
 		res, err := sys.Simulate(sim.RunOptions{MaxSteps: 200_000, StopWhenAllHaveEaten: true})
 		if err != nil {
 			b.Fatal(err)
@@ -204,7 +204,7 @@ func BenchmarkClassicRing(b *testing.B) {
 			topo := graph.Ring(5)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res := simulateOnce(b, topo, algorithm, core.Adversary, uint64(i)+1, 30_000)
+				res := simulateOnce(b, topo, algorithm, "adversary", uint64(i)+1, 30_000)
 				if !res.Progress() {
 					b.Fatalf("%s starved on the classic ring", algorithm)
 				}
@@ -224,7 +224,7 @@ func BenchmarkAlgorithmsRing(b *testing.B) {
 				b.ReportAllocs()
 				var meals int64
 				for i := 0; i < b.N; i++ {
-					res := simulateOnce(b, topo, algorithm, core.Random, uint64(i)+1, 20_000)
+					res := simulateOnce(b, topo, algorithm, "random", uint64(i)+1, 20_000)
 					meals += res.TotalEats
 				}
 				b.ReportMetric(float64(meals)/float64(b.N), "meals/run")
@@ -248,7 +248,7 @@ func BenchmarkNumberRangeSweep(b *testing.B) {
 					Topology:    topo,
 					Algorithm:   "GDP1",
 					AlgoOptions: algo.Options{M: m},
-					Scheduler:   core.Adversary,
+					Scheduler:   "adversary",
 					Seed:        uint64(i) + 1,
 				}
 				res, err := sys.Simulate(sim.RunOptions{MaxSteps: 60_000, StopAfterTotalEats: 1})
@@ -271,7 +271,7 @@ func BenchmarkGuardedChoice(b *testing.B) {
 	b.ReportAllocs()
 	var commits int64
 	for i := 0; i < b.N; i++ {
-		res := simulateOnce(b, topo, "GDP2", core.Random, uint64(i)+1, 40_000)
+		res := simulateOnce(b, topo, "GDP2", "random", uint64(i)+1, 40_000)
 		commits += res.TotalEats
 	}
 	b.ReportMetric(float64(commits)/float64(b.N), "commits/run")

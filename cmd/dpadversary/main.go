@@ -14,11 +14,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
-	"repro/internal/algo"
-	"repro/internal/core"
-	"repro/internal/graph"
+	"repro/dining"
+	"repro/internal/cli"
 	"repro/internal/prng"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -26,47 +24,48 @@ import (
 )
 
 func main() {
+	cfg := cli.Config{Topology: "figure1a", Steps: 30_000, Seed: 3}
+	cfg.Register(flag.CommandLine, cli.FlagTopology|cli.FlagSteps|cli.FlagSeed)
 	var (
-		topology  = flag.String("topology", "figure1a", "topology name")
-		n         = flag.Int("n", 0, "topology size parameter")
-		steps     = flag.Int64("steps", 30_000, "atomic steps per run")
-		seed      = flag.Uint64("seed", 3, "random seed")
 		window    = flag.Int64("window", 512, "fairness window of the adversary")
 		snapshots = flag.Int64("snapshots", 6, "number of state snapshots to print for the first algorithm")
 	)
 	flag.Parse()
 
-	topo, err := core.BuildTopology(*topology, *n)
+	topo, err := cfg.BuildTopology()
 	if err != nil {
-		fatal(err)
+		cli.Fatal("dpadversary", err)
 	}
-	fmt.Printf("Adversarial walk on %s (fairness window %d, %d steps)\n\n", topo, *window, *steps)
+	fmt.Printf("Adversarial walk on %s (fairness window %d, %d steps)\n\n", topo, *window, cfg.Steps)
 
-	for i, name := range []string{"LR1", "LR2", "GDP1", "GDP2"} {
-		prog, err := algo.New(name, algo.Options{})
+	for i, name := range []string{dining.LR1, dining.LR2, dining.GDP1, dining.GDP2} {
+		prog, err := dining.NewAlgorithm(name, dining.AlgorithmOptions{})
 		if err != nil {
-			fatal(err)
+			cli.Fatal("dpadversary", err)
 		}
-		adversary := sched.NewBoundedFair(sched.NewGreedyLivelock(), *window)
+		adversary, err := dining.NewScheduler(dining.Adversary, dining.SchedulerConfig{FairnessWindow: *window})
+		if err != nil {
+			cli.Fatal("dpadversary", err)
+		}
 		monitor := sched.NewFairnessMonitor(adversary)
 
 		var walk trace.StateWalk
 		var snapshotEvery int64
 		if i == 0 && *snapshots > 0 {
-			snapshotEvery = *steps / *snapshots
+			snapshotEvery = cfg.Steps / *snapshots
 		}
 
 		w := sim.NewWorld(topo)
 		prog.Init(w)
-		rng := prng.New(*seed)
+		rng := prng.New(cfg.Seed)
 		stepsDone := int64(0)
-		for stepsDone < *steps {
-			chunk := *steps - stepsDone
+		for stepsDone < cfg.Steps {
+			chunk := cfg.Steps - stepsDone
 			if snapshotEvery > 0 && chunk > snapshotEvery {
 				chunk = snapshotEvery
 			}
 			if _, err := sim.RunWorld(w, prog, monitor, rng, sim.RunOptions{MaxSteps: chunk}); err != nil {
-				fatal(err)
+				cli.Fatal("dpadversary", err)
 			}
 			stepsDone += chunk
 			if snapshotEvery > 0 {
@@ -93,23 +92,18 @@ func main() {
 	// Also report the guest books for LR2 on the theta graph, the observation
 	// closing the proof of Theorem 2.
 	if topo.SatisfiesTheorem2() {
-		prog, _ := algo.New("LR2", algo.Options{})
-		adversary := sched.NewBoundedFair(sched.NewGreedyLivelock(), *window)
+		prog, _ := dining.NewAlgorithm(dining.LR2, dining.AlgorithmOptions{})
+		adversary, _ := dining.NewScheduler(dining.Adversary, dining.SchedulerConfig{FairnessWindow: *window})
 		w := sim.NewWorld(topo)
 		prog.Init(w)
-		if _, err := sim.RunWorld(w, prog, adversary, prng.New(*seed), sim.RunOptions{MaxSteps: *steps}); err == nil && w.TotalEats == 0 {
+		if _, err := sim.RunWorld(w, prog, adversary, prng.New(cfg.Seed), sim.RunOptions{MaxSteps: cfg.Steps}); err == nil && w.TotalEats == 0 {
 			empty := true
 			for f := 0; f < topo.NumForks(); f++ {
-				if !w.GuestBookEmpty(graph.ForkID(f)) {
+				if !w.GuestBookEmpty(dining.ForkID(f)) {
 					empty = false
 				}
 			}
 			fmt.Printf("LR2 guest books empty after the livelocked run: %v (the proof of Theorem 2 predicts they stay empty forever)\n", empty)
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dpadversary:", err)
-	os.Exit(1)
 }

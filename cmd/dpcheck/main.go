@@ -11,69 +11,71 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
-	"repro/internal/algo"
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/modelcheck"
+	"repro/dining"
+	"repro/internal/cli"
 )
 
 type checkCase struct {
 	label     string
-	topo      *graph.Topology
+	topo      *dining.Topology
 	algorithm string
-	opts      algo.Options
-	protected []graph.PhilID
+	opts      dining.AlgorithmOptions
+	protected []dining.PhilID
 	expect    string // the paper's claim, for the table
 	slow      bool
 }
 
 func main() {
+	cfg := cli.Config{Algorithm: "GDP1"}
+	cfg.Register(flag.CommandLine, cli.FlagAlgorithm)
 	var (
 		full      = flag.Bool("full", false, "include the larger, slower instances")
 		topology  = flag.String("topology", "", "check a single custom topology instead of the standard table")
 		n         = flag.Int("n", 0, "topology size parameter for -topology")
-		algorithm = flag.String("algorithm", "GDP1", "algorithm for -topology")
 		maxStates = flag.Int("max-states", 0, "state cap (0 = default)")
 	)
 	flag.Parse()
+	ctx := context.Background()
 
 	if *topology != "" {
-		topo, err := core.BuildTopology(*topology, *n)
+		topo, err := dining.NewTopology(*topology, *n)
 		if err != nil {
-			fatal(err)
+			cli.Fatal("dpcheck", err)
 		}
-		prog, err := algo.New(*algorithm, algo.Options{})
+		eng, err := dining.New(topo, cfg.Algorithm, dining.WithMaxStates(*maxStates))
 		if err != nil {
-			fatal(err)
+			cli.Fatal("dpcheck", err)
 		}
-		rep, err := modelcheck.Check(topo, prog, modelcheck.Options{MaxStates: *maxStates})
+		rep, err := eng.ModelCheck(ctx)
 		if err != nil {
-			fatal(err)
+			cli.Fatal("dpcheck", err)
 		}
 		fmt.Println(rep)
 		return
 	}
 
-	ring3 := []graph.PhilID{0, 1, 2}
-	single := []graph.PhilID{0}
+	ring3 := []dining.PhilID{0, 1, 2}
+	single := []dining.PhilID{0}
+	theorem1Minimal := dining.Theorem1Minimal()
+	theta := dining.Theorem2Minimal()
 	cases := []checkCase{
-		{"classic ring, global progress", graph.Ring(3), "LR1", algo.Options{}, nil, "no trap (Lehmann-Rabin 1981)", false},
-		{"Theorem 1 minimal, ring protected", graph.Theorem1Minimal(), "LR1", algo.Options{}, ring3, "trap exists (Theorem 1)", false},
-		{"ring + pendant, ring protected", graph.RingWithPendant(3), "LR1", algo.Options{}, ring3, "trap exists (Theorem 1)", false},
-		{"ring + pendant, ring protected", graph.RingWithPendant(3), "LR2", algo.Options{}, ring3, "no trap (Theorem 1 construction fails for LR2)", true},
-		{"theta graph, global progress", graph.Theorem2Minimal(), "LR2", algo.Options{}, nil, "trap exists (Theorem 2)", false},
-		{"theta graph, global progress", graph.Theorem2Minimal(), "GDP1", algo.Options{}, nil, "no trap (Theorem 3)", false},
-		{"Theorem 1 minimal, global progress", graph.Theorem1Minimal(), "GDP1", algo.Options{}, nil, "no trap (Theorem 3)", false},
-		{"theta graph, philosopher 0 protected", graph.Theorem2Minimal(), "GDP1", algo.Options{}, single, "trap exists (GDP1 is not lockout-free)", false},
-		{"theta graph, philosopher 0 protected", graph.Theorem2Minimal(), "GDP2", algo.Options{}, single, "no trap (Theorem 4)", false},
-		{"classic ring, philosopher 0 protected", graph.Ring(3), "LR2", algo.Options{}, single, "no trap (LR2 lockout-free on rings)", false},
-		{"classic ring, philosopher 0 protected", graph.Ring(3), "GDP2", algo.Options{}, single, "TRAP — see EXPERIMENTS.md E-T4 (courtesy gap)", false},
-		{"classic ring, philosopher 0 protected", graph.Ring(3), "GDP2", algo.Options{CourtesyOnBothForks: true}, single, "no trap (strengthened courtesy)", false},
+		{"classic ring, global progress", dining.Ring(3), dining.LR1, dining.AlgorithmOptions{}, nil, "no trap (Lehmann-Rabin 1981)", false},
+		{"Theorem 1 minimal, ring protected", theorem1Minimal, dining.LR1, dining.AlgorithmOptions{}, ring3, "trap exists (Theorem 1)", false},
+		{"ring + pendant, ring protected", dining.RingWithPendant(3), dining.LR1, dining.AlgorithmOptions{}, ring3, "trap exists (Theorem 1)", false},
+		{"ring + pendant, ring protected", dining.RingWithPendant(3), dining.LR2, dining.AlgorithmOptions{}, ring3, "no trap (Theorem 1 construction fails for LR2)", true},
+		{"theta graph, global progress", theta, dining.LR2, dining.AlgorithmOptions{}, nil, "trap exists (Theorem 2)", false},
+		{"theta graph, global progress", theta, dining.GDP1, dining.AlgorithmOptions{}, nil, "no trap (Theorem 3)", false},
+		{"Theorem 1 minimal, global progress", theorem1Minimal, dining.GDP1, dining.AlgorithmOptions{}, nil, "no trap (Theorem 3)", false},
+		{"theta graph, philosopher 0 protected", theta, dining.GDP1, dining.AlgorithmOptions{}, single, "trap exists (GDP1 is not lockout-free)", false},
+		{"theta graph, philosopher 0 protected", theta, dining.GDP2, dining.AlgorithmOptions{}, single, "no trap (Theorem 4)", false},
+		{"classic ring, philosopher 0 protected", dining.Ring(3), dining.LR2, dining.AlgorithmOptions{}, single, "no trap (LR2 lockout-free on rings)", false},
+		{"classic ring, philosopher 0 protected", dining.Ring(3), dining.GDP2, dining.AlgorithmOptions{}, single, "TRAP — see EXPERIMENTS.md E-T4 (courtesy gap)", false},
+		{"classic ring, philosopher 0 protected", dining.Ring(3), dining.GDP2, dining.AlgorithmOptions{CourtesyOnBothForks: true}, single, "no trap (strengthened courtesy)", false},
 	}
 
 	fmt.Printf("%-42s %-6s %-11s %-9s %-10s %s\n", "instance", "algo", "states", "time", "verdict", "paper / expectation")
@@ -81,14 +83,17 @@ func main() {
 		if c.slow && !*full {
 			continue
 		}
-		prog, err := algo.New(c.algorithm, c.opts)
+		eng, err := dining.New(c.topo, c.algorithm,
+			dining.WithAlgorithmOptions(c.opts),
+			dining.WithProtected(c.protected...),
+			dining.WithMaxStates(*maxStates))
 		if err != nil {
-			fatal(err)
+			cli.Fatal("dpcheck", err)
 		}
 		start := time.Now()
-		rep, err := modelcheck.Check(c.topo, prog, modelcheck.Options{Protected: c.protected, MaxStates: *maxStates})
+		rep, err := eng.ModelCheck(ctx)
 		if err != nil {
-			fatal(err)
+			cli.Fatal("dpcheck", err)
 		}
 		verdict := "no trap"
 		if rep.FairAdversaryWins() {
@@ -103,9 +108,4 @@ func main() {
 	fmt.Println("\nA \"trap\" is an end component of the no-protected-meal sub-MDP that offers an allowed")
 	fmt.Println("action for every philosopher: a fair adversary can stay inside it forever with positive")
 	fmt.Println("probability. '*' marks truncated explorations (verdicts are then only lower bounds).")
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dpcheck:", err)
-	os.Exit(1)
 }

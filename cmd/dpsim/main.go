@@ -1,97 +1,111 @@
 // Command dpsim runs a generalized dining-philosophers simulation from the
 // command line: pick a topology, an algorithm, a scheduler and a seed, and it
 // reports meals, waiting times, fairness and (optionally) the full event
-// trace.
+// trace. With -trials > 1 the per-trial results stream in as workers finish;
+// the printed aggregates are bit-identical for any -workers value.
 //
 // Examples:
 //
 //	dpsim -topology ring -n 5 -algorithm GDP2 -steps 100000
 //	dpsim -topology figure1a -algorithm LR1 -scheduler adversary -trials 50
 //	dpsim -topology theta -algorithm LR2 -scheduler adversary -trace
+//	dpsim -topology ring -algorithm GDP1 -trials 20 -json
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/algo"
-	"repro/internal/core"
-	"repro/internal/sim"
+	"repro/dining"
+	"repro/internal/cli"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
 func main() {
-	var (
-		topology  = flag.String("topology", "ring", "topology name (ring, doubled-polygon, ring-chord, ring-pendant, theta, star, grid, figure1a..figure1d)")
-		n         = flag.Int("n", 5, "topology size parameter (ignored by the figure topologies)")
-		algorithm = flag.String("algorithm", "GDP1", fmt.Sprintf("algorithm %v", algo.Names()))
-		scheduler = flag.String("scheduler", "random", "scheduler (round-robin, random, sticky, hungry-first, adversary, stubborn-adversary)")
-		steps     = flag.Int64("steps", 100_000, "maximum atomic steps per run")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		trials    = flag.Int("trials", 1, "number of independent runs")
-		m         = flag.Int("m", 0, "GDP number range m (0 = number of forks)")
-		showTrace = flag.Bool("trace", false, "print the event trace of the first run")
-	)
+	cfg := cli.Config{Topology: "ring", N: 5, Algorithm: "GDP1", Scheduler: "random", Steps: 100_000, Trials: 1, Seed: 1}
+	cfg.Register(flag.CommandLine, cli.FlagTopology|cli.FlagAlgorithm|cli.FlagScheduler|
+		cli.FlagSteps|cli.FlagTrials|cli.FlagSeed|cli.FlagWorkers|cli.FlagM|cli.FlagJSON)
+	showTrace := flag.Bool("trace", false, "print the event trace of a single run (requires -trials 1, text output)")
 	flag.Parse()
+	ctx := context.Background()
 
-	topo, err := core.BuildTopology(*topology, *n)
-	if err != nil {
-		fatal(err)
+	var log *trace.Log
+	var extra []dining.Option
+	if *showTrace {
+		if cfg.Trials != 1 {
+			cli.Fatal("dpsim", fmt.Errorf("-trace requires -trials 1 (a trace is one run's event stream), got -trials %d", cfg.Trials))
+		}
+		if cfg.JSON {
+			cli.Fatal("dpsim", fmt.Errorf("-trace and -json are mutually exclusive"))
+		}
+		log = trace.NewLog(0)
+		extra = append(extra, dining.WithRecorder(log))
 	}
-	fmt.Printf("%s | algorithm %s | scheduler %s | %d step budget\n", topo, *algorithm, *scheduler, *steps)
+	eng, err := cfg.Engine(extra...)
+	if err != nil {
+		cli.Fatal("dpsim", err)
+	}
+	topo := eng.Topology()
 
-	var progressRuns int
-	var mealsAgg, waitAgg, jainAgg stats.Running
-	for i := 0; i < *trials; i++ {
-		sys := core.System{
-			Topology:    topo,
-			Algorithm:   *algorithm,
-			AlgoOptions: algo.Options{M: *m},
-			Scheduler:   core.SchedulerKind(*scheduler),
-			Seed:        *seed + uint64(i)*0x9e3779b9,
-		}
-		opts := sim.RunOptions{MaxSteps: *steps}
-		var log *trace.Log
-		if *showTrace && i == 0 {
-			log = trace.NewLog(0)
-			opts.Recorder = log
-		}
-		res, err := sys.Simulate(opts)
+	if !cfg.JSON {
+		fmt.Printf("%s | algorithm %s | scheduler %s | %d step budget\n", topo, eng.Algorithm(), eng.Scheduler(), cfg.Steps)
+	}
+
+	// Stream the trials as workers finish; keep them indexed so that every
+	// printed aggregate is independent of completion order.
+	byTrial := make([]dining.TrialResult, cfg.Trials)
+	for tr, err := range eng.Trials(ctx, cfg.Trials) {
 		if err != nil {
-			fatal(err)
+			cli.Fatal("dpsim", err)
 		}
-		if res.Progress() {
-			progressRuns++
+		byTrial[tr.Trial] = tr
+		if !cfg.JSON && cfg.Trials > 1 {
+			fmt.Printf("trial %3d: meals %d, mean wait %.1f steps\n", tr.Trial, tr.TotalEats, tr.MeanWaitSteps)
 		}
-		mealsAgg.Add(float64(res.TotalEats))
-		waitAgg.Add(res.MeanWaitSteps)
-		jainAgg.Add(stats.JainIndex(res.EatsBy))
-		if *trials == 1 {
-			fmt.Printf("meals: %d (per philosopher %v)\n", res.TotalEats, res.EatsBy)
-			fmt.Printf("first meal at step %d, mean wait %.1f steps, max scheduling gap %d\n",
-				res.FirstEatStep, res.MeanWaitSteps, res.MaxScheduleGap)
-			if len(res.Starved) > 0 {
-				fmt.Printf("starved philosophers: %v\n", res.Starved)
-			}
+	}
+
+	if cfg.JSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(byTrial); err != nil {
+			cli.Fatal("dpsim", err)
+		}
+		return
+	}
+
+	if cfg.Trials == 1 {
+		res := byTrial[0]
+		fmt.Printf("meals: %d (per philosopher %v)\n", res.TotalEats, res.EatsBy)
+		fmt.Printf("first meal at step %d, mean wait %.1f steps, max scheduling gap %d\n",
+			res.FirstEatStep, res.MeanWaitSteps, res.MaxScheduleGap)
+		if len(res.Starved) > 0 {
+			fmt.Printf("starved philosophers: %v\n", res.Starved)
 		}
 		if log != nil {
 			fmt.Println("--- per-philosopher activity ---")
 			fmt.Print(trace.Summarize(log, topo.NumPhilosophers()))
 			fmt.Println("--- final state ---")
-			fmt.Print(trace.RenderState(res.Final))
+			fmt.Print(trace.RenderState(res.Result.Final))
 		}
+		return
 	}
-	if *trials > 1 {
-		fmt.Printf("runs with progress: %d/%d\n", progressRuns, *trials)
-		fmt.Printf("meals per run:      %s\n", mealsAgg.String())
-		fmt.Printf("mean wait steps:    %s\n", waitAgg.String())
-		fmt.Printf("Jain fairness:      %s\n", jainAgg.String())
-	}
-}
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dpsim:", err)
-	os.Exit(1)
+	var progressRuns int
+	var mealsAgg, waitAgg, jainAgg stats.Running
+	for _, tr := range byTrial {
+		if tr.TotalEats > 0 {
+			progressRuns++
+		}
+		mealsAgg.Add(float64(tr.TotalEats))
+		waitAgg.Add(tr.MeanWaitSteps)
+		jainAgg.Add(stats.JainIndex(tr.EatsBy))
+	}
+	fmt.Printf("runs with progress: %d/%d\n", progressRuns, cfg.Trials)
+	fmt.Printf("meals per run:      %s\n", mealsAgg.String())
+	fmt.Printf("mean wait steps:    %s\n", waitAgg.String())
+	fmt.Printf("Jain fairness:      %s\n", jainAgg.String())
 }

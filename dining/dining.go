@@ -1,20 +1,49 @@
-// Package dining is the public facade of the repository: it exposes the
-// generalized dining-philosophers library — topologies, the four algorithms
-// of Herescu & Palamidessi (PODC 2001), schedulers and adversaries, the
-// discrete-event simulator, the concurrent goroutine runtime and the model
-// checker — through a small, stable surface.
+// Package dining is the public facade of the repository: a streaming
+// experiment engine for the generalized dining-philosophers systems of
+// Herescu & Palamidessi (PODC 2001).
 //
-// A minimal session:
+// The v2 API has three layers:
 //
-//	topo := dining.Ring(5)
-//	sys := dining.System{Topology: topo, Algorithm: dining.GDP2, Seed: 1}
-//	res, err := sys.Simulate(dining.SimOptions{MaxSteps: 100_000})
-//	// res.TotalEats, res.EatsBy, ...
+// # Registries
 //
-// For adversarial executions set Scheduler to dining.Adversary; for real
-// goroutine-based concurrency use RunConcurrent; for exhaustive verification
-// on small instances use ModelCheck. See the examples directory for complete
-// programs.
+// Topologies, algorithms and schedulers are open, name-indexed registries.
+// The nine built-in algorithms, the six built-in schedulers/adversaries and
+// every builder topology self-register at init time; new implementations plug
+// in with [RegisterAlgorithm], [RegisterScheduler] and [RegisterTopology] and
+// immediately become available to every consumer — the engine, the sweep
+// matrix, the experiment suite and the command-line tools. [Algorithms],
+// [Schedulers] and [Topologies] enumerate the registered names in sorted
+// order.
+//
+// # Engine
+//
+// [New] assembles an immutable [Engine] from a topology, an algorithm name
+// and functional options:
+//
+//	topo, _ := dining.NewTopology("ring", 5)
+//	eng, err := dining.New(topo, dining.GDP2,
+//		dining.WithScheduler(dining.Adversary),
+//		dining.WithSeed(42),
+//		dining.WithWorkers(8),
+//		dining.WithMaxSteps(100_000))
+//
+// Every run path takes a [context.Context] and honours cancellation:
+// [Engine.Run] executes one simulation, [Engine.Repeat] runs n deterministic
+// Monte-Carlo trials in index order, [Engine.ModelCheck] explores the full
+// state space, and [Engine.RunConcurrent] executes the system on real
+// goroutines.
+//
+// # Streams
+//
+// [Engine.Trials] yields per-trial results as workers finish — an
+// [iter.Seq2] stream in completion order whose per-index payloads are
+// nevertheless bit-identical for any worker count (each trial derives all
+// randomness from its index). [Sweep] crosses topology × algorithm ×
+// scheduler grids into a streamed scenario matrix with the same determinism
+// guarantee.
+//
+// See the examples directory for complete programs and cmd/dpsim, dpbench,
+// dpcheck, dpadversary for the command-line tools.
 package dining
 
 import (
@@ -25,7 +54,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/modelcheck"
+	"repro/internal/prng"
 	"repro/internal/runtime"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
@@ -40,7 +71,8 @@ type PhilID = graph.PhilID
 // ForkID identifies a fork.
 type ForkID = graph.ForkID
 
-// Topology constructors (see package graph for the full set).
+// Topology constructors (see package graph for the full set). Each of these
+// is also available by name through the topology registry.
 var (
 	// Ring is the classic table of n philosophers and n forks.
 	Ring = graph.Ring
@@ -53,6 +85,10 @@ var (
 	RingWithPendant = graph.RingWithPendant
 	// Theta joins two forks by three or more disjoint paths (Theorem 2 family).
 	Theta = graph.Theta
+	// Theorem1Minimal and Theorem2Minimal are the smallest instances the
+	// model checker uses for Theorems 1 and 2.
+	Theorem1Minimal = graph.Theorem1Minimal
+	Theorem2Minimal = graph.Theorem2Minimal
 	// Star, Path, Grid, CompleteForkGraph and RandomMultigraph build further
 	// synthetic topologies.
 	Star              = graph.Star
@@ -69,7 +105,7 @@ var (
 	NewTopologyBuilder = graph.NewBuilder
 )
 
-// Algorithm names accepted by System.Algorithm.
+// Names of the built-in algorithms (see the algorithm registry).
 const (
 	// LR1 is Lehmann & Rabin's free-choice algorithm (Table 1).
 	LR1 = "LR1"
@@ -89,33 +125,46 @@ const (
 	NaiveLeftFirst = "naive-left-first"
 )
 
-// Algorithms returns every registered algorithm name.
-func Algorithms() []string { return algo.Names() }
-
-// AlgorithmOptions tunes an algorithm.
-type AlgorithmOptions = algo.Options
-
-// Scheduler kinds.
+// Names of the built-in schedulers (see the scheduler registry).
 const (
 	// RoundRobin cycles through philosophers.
-	RoundRobin = core.RoundRobin
-	// Random picks a uniformly random philosopher each step.
-	Random = core.Random
+	RoundRobin = "round-robin"
+	// Random picks a uniformly random philosopher each step. It is the
+	// engine's default scheduler.
+	Random = "random"
 	// Sticky schedules bursts per philosopher.
-	Sticky = core.Sticky
+	Sticky = "sticky"
 	// HungryFirst prefers philosophers in their trying section.
-	HungryFirst = core.HungryFirst
+	HungryFirst = "hungry-first"
 	// Adversary is the fair livelock adversary of Section 3 / Theorems 1–2.
-	Adversary = core.Adversary
+	Adversary = "adversary"
 	// StubbornAdversary uses the paper's growing-stubbornness construction.
-	StubbornAdversary = core.StubbornAdversary
+	StubbornAdversary = "stubborn-adversary"
 )
 
-// System is a configured system: topology + algorithm + scheduler + seed.
-type System = core.System
+// AlgorithmOptions tunes an algorithm (number range m, courtesy variants,
+// coin bias).
+type AlgorithmOptions = algo.Options
 
-// SimOptions configures a simulation run.
-type SimOptions = sim.RunOptions
+// Program is a philosopher algorithm as a state machine over the simulation
+// engine; custom algorithms implement it and register through
+// RegisterAlgorithm.
+type Program = sim.Program
+
+// Scheduler decides which philosopher executes the next atomic action;
+// custom schedulers implement it and register through RegisterScheduler.
+type Scheduler = sim.Scheduler
+
+// SchedulerConfig carries what a scheduler constructor may need: the run's
+// random source, the protected set and the adversary fairness window.
+type SchedulerConfig = sched.Config
+
+// RandSource is the deterministic random source handed to scheduler
+// constructors through SchedulerConfig.
+type RandSource = prng.Source
+
+// Recorder receives every simulation event; see WithRecorder.
+type Recorder = sim.Recorder
 
 // SimResult is the outcome of a simulation run.
 type SimResult = sim.Result
@@ -126,25 +175,38 @@ type ConcurrentMetrics = runtime.Metrics
 // CheckReport is the outcome of an exhaustive model check.
 type CheckReport = modelcheck.Report
 
-// Simulate is a convenience wrapper: build a System from the arguments and
-// run it on the step simulator.
-func Simulate(topo *Topology, algorithm string, seed uint64, opts SimOptions) (*SimResult, error) {
-	sys := System{Topology: topo, Algorithm: algorithm, Scheduler: Random, Seed: seed}
-	return sys.Simulate(opts)
+// Table is a titled result table (the sweep matrix and experiment-suite
+// format), renderable as text, Markdown or JSON.
+type Table = core.Table
+
+// Simulate is a convenience wrapper: build an engine from the arguments and
+// run one simulation.
+func Simulate(ctx context.Context, topo *Topology, algorithm string, opts ...Option) (*SimResult, error) {
+	eng, err := New(topo, algorithm, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(ctx)
 }
 
 // RunConcurrent is a convenience wrapper around the goroutine runtime: it
 // runs the algorithm on real goroutines until every philosopher has eaten
 // targetMeals times or the duration expires.
 func RunConcurrent(ctx context.Context, topo *Topology, algorithm string, seed uint64, duration time.Duration, targetMeals int64) (*ConcurrentMetrics, error) {
-	sys := System{Topology: topo, Algorithm: algorithm, Seed: seed}
-	return sys.RunConcurrent(ctx, duration, targetMeals)
+	eng, err := New(topo, algorithm, WithSeed(seed))
+	if err != nil {
+		return nil, err
+	}
+	return eng.RunConcurrent(ctx, duration, targetMeals)
 }
 
 // ModelCheck exhaustively verifies a small instance: it reports whether a
 // fair adversary can forever starve the protected philosophers (all of them
 // when protected is empty).
-func ModelCheck(topo *Topology, algorithm string, protected ...PhilID) (*CheckReport, error) {
-	sys := System{Topology: topo, Algorithm: algorithm, Protected: protected}
-	return sys.ModelCheck(0)
+func ModelCheck(ctx context.Context, topo *Topology, algorithm string, protected ...PhilID) (*CheckReport, error) {
+	eng, err := New(topo, algorithm, WithProtected(protected...))
+	if err != nil {
+		return nil, err
+	}
+	return eng.ModelCheck(ctx)
 }

@@ -2,6 +2,7 @@ package dining_test
 
 import (
 	"context"
+	"strings"
 	"testing"
 	"time"
 
@@ -10,7 +11,8 @@ import (
 
 func TestSimulateQuickstart(t *testing.T) {
 	t.Parallel()
-	res, err := dining.Simulate(dining.Ring(5), dining.GDP2, 1, dining.SimOptions{MaxSteps: 20_000})
+	res, err := dining.Simulate(context.Background(), dining.Ring(5), dining.GDP2,
+		dining.WithSeed(1), dining.WithMaxSteps(20_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,8 +23,14 @@ func TestSimulateQuickstart(t *testing.T) {
 
 func TestFacadeExposesAlgorithmsAndTopologies(t *testing.T) {
 	t.Parallel()
-	if len(dining.Algorithms()) < 4 {
-		t.Error("expected at least the four paper algorithms")
+	if len(dining.Algorithms()) < 9 {
+		t.Errorf("expected the nine built-in algorithms, got %v", dining.Algorithms())
+	}
+	if len(dining.Schedulers()) < 6 {
+		t.Errorf("expected the six built-in schedulers, got %v", dining.Schedulers())
+	}
+	if len(dining.Topologies()) < 10 {
+		t.Errorf("expected the builder topologies to be registered, got %v", dining.Topologies())
 	}
 	if dining.Figure1A().NumPhilosophers() != 6 {
 		t.Error("Figure1A should have 6 philosophers")
@@ -39,15 +47,38 @@ func TestFacadeExposesAlgorithmsAndTopologies(t *testing.T) {
 	}
 }
 
-func TestFacadeAdversarialSystem(t *testing.T) {
+func TestEngineValidation(t *testing.T) {
 	t.Parallel()
-	sys := dining.System{
-		Topology:  dining.DoubledPolygon(3),
-		Algorithm: dining.GDP1,
-		Scheduler: dining.Adversary,
-		Seed:      7,
+	if _, err := dining.New(nil, dining.GDP1); err == nil {
+		t.Error("New accepted a nil topology")
 	}
-	res, err := sys.Simulate(dining.SimOptions{MaxSteps: 30_000})
+	if _, err := dining.New(dining.Ring(3), "nope"); err == nil {
+		t.Error("New accepted an unknown algorithm")
+	} else if !strings.Contains(err.Error(), "registered:") {
+		t.Errorf("unknown-algorithm error should list the registered options, got: %v", err)
+	}
+	if _, err := dining.New(dining.Ring(3), dining.GDP1, dining.WithScheduler("warp")); err == nil {
+		t.Error("New accepted an unknown scheduler")
+	} else if !strings.Contains(err.Error(), "registered:") {
+		t.Errorf("unknown-scheduler error should list the registered options, got: %v", err)
+	}
+	if _, err := dining.NewTopology("moebius", 3); err == nil {
+		t.Error("NewTopology accepted an unknown name")
+	} else if !strings.Contains(err.Error(), "registered:") {
+		t.Errorf("unknown-topology error should list the registered options, got: %v", err)
+	}
+}
+
+func TestEngineAdversarialRun(t *testing.T) {
+	t.Parallel()
+	eng, err := dining.New(dining.DoubledPolygon(3), dining.GDP1,
+		dining.WithScheduler(dining.Adversary),
+		dining.WithSeed(7),
+		dining.WithMaxSteps(30_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +89,7 @@ func TestFacadeAdversarialSystem(t *testing.T) {
 
 func TestFacadeModelCheck(t *testing.T) {
 	t.Parallel()
-	rep, err := dining.ModelCheck(dining.Theta(1, 1, 1), dining.LR2)
+	rep, err := dining.ModelCheck(context.Background(), dining.Theta(1, 1, 1), dining.LR2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,5 +106,41 @@ func TestFacadeRunConcurrent(t *testing.T) {
 	}
 	if len(metrics.Starved) != 0 {
 		t.Errorf("starved: %v", metrics.Starved)
+	}
+}
+
+func TestEngineContextCancellation(t *testing.T) {
+	t.Parallel()
+	eng, err := dining.New(dining.Ring(5), dining.GDP2, dining.WithMaxSteps(1_000_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.Run(ctx); err == nil {
+		t.Error("Run ignored a cancelled context")
+	}
+	if _, err := eng.ModelCheck(ctx); err == nil {
+		t.Error("ModelCheck ignored a cancelled context")
+	}
+	sawErr := false
+	for _, err := range eng.Trials(ctx, 8) {
+		if err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Error("Trials stream ignored a cancelled context")
+	}
+
+	// A context cancelled mid-run must stop a long simulation promptly.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	start := time.Now()
+	if _, err := eng.Run(ctx2); err == nil {
+		t.Error("Run with a 1e9-step budget should have been cancelled")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("cancellation took %s", elapsed)
 	}
 }

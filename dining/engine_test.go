@@ -1,0 +1,120 @@
+package dining_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/dining"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TestTrialsBitIdenticalToParallelTrials is the determinism pin of the v2
+// streaming engine: for any worker count, collecting an Engine.Trials stream
+// by index must reproduce the internal core.ParallelTrials-based
+// System.Repeat results exactly — same seeds, same meals, same
+// floating-point aggregates.
+func TestTrialsBitIdenticalToParallelTrials(t *testing.T) {
+	t.Parallel()
+	const trials = 13
+	const steps = 8_000
+	topo := dining.Ring(5)
+
+	sys := core.System{Topology: topo, Algorithm: "GDP2", Scheduler: "random", Seed: 9}
+	want, err := sys.Repeat(trials, sim.RunOptions{MaxSteps: steps})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 3, 8} {
+		eng, err := dining.New(topo, dining.GDP2,
+			dining.WithSeed(9),
+			dining.WithWorkers(workers),
+			dining.WithMaxSteps(steps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]*dining.SimResult, trials)
+		for tr, err := range eng.Trials(context.Background(), trials) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[tr.Trial] != nil {
+				t.Fatalf("workers=%d: trial %d yielded twice", workers, tr.Trial)
+			}
+			got[tr.Trial] = tr.Result
+		}
+		for i := range want {
+			if got[i] == nil {
+				t.Fatalf("workers=%d: trial %d never yielded", workers, i)
+			}
+			w, g := want[i], got[i]
+			if g.TotalEats != w.TotalEats || g.Steps != w.Steps ||
+				g.FirstEatStep != w.FirstEatStep ||
+				g.MeanWaitSteps != w.MeanWaitSteps ||
+				g.MaxScheduleGap != w.MaxScheduleGap ||
+				!reflect.DeepEqual(g.EatsBy, w.EatsBy) ||
+				!reflect.DeepEqual(g.ScheduledCount, w.ScheduledCount) {
+				t.Errorf("workers=%d: trial %d differs from core.ParallelTrials: got (eats %d, steps %d, wait %v), want (eats %d, steps %d, wait %v)",
+					workers, i, g.TotalEats, g.Steps, g.MeanWaitSteps, w.TotalEats, w.Steps, w.MeanWaitSteps)
+			}
+		}
+
+		// Repeat is the blocking counterpart and must agree too.
+		rep, err := eng.Repeat(context.Background(), trials)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if rep[i].TotalEats != want[i].TotalEats || rep[i].Steps != want[i].Steps {
+				t.Errorf("workers=%d: Repeat trial %d differs from core.ParallelTrials", workers, i)
+			}
+		}
+	}
+}
+
+func TestEngineIsImmutableAndReusable(t *testing.T) {
+	t.Parallel()
+	eng, err := dining.New(dining.Ring(4), dining.LR1,
+		dining.WithSeed(3), dining.WithMaxSteps(4_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalEats != b.TotalEats || a.Steps != b.Steps {
+		t.Error("two Run calls on the same engine differ: engines must be immutable")
+	}
+	if eng.Algorithm() != "LR1" || eng.Scheduler() != dining.Random || eng.Seed() != 3 {
+		t.Error("accessors disagree with configuration")
+	}
+}
+
+func TestTrialsStopsOnConsumerBreak(t *testing.T) {
+	t.Parallel()
+	eng, err := dining.New(dining.Ring(4), dining.GDP1,
+		dining.WithMaxSteps(2_000), dining.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, err := range eng.Trials(context.Background(), 100) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen++
+		if seen == 3 {
+			break
+		}
+	}
+	if seen != 3 {
+		t.Errorf("saw %d results after breaking at 3", seen)
+	}
+}

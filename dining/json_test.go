@@ -1,0 +1,86 @@
+package dining_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/dining"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the JSON golden files")
+
+// TestJSONStableFieldNames pins the JSON wire format of the types the CLI
+// tools emit with -json: TrialResult (dpsim) and Table (dpbench, sweep
+// matrices). The golden files are the contract — renaming or retagging a
+// field is a breaking change that must show up here.
+func TestJSONStableFieldNames(t *testing.T) {
+	t.Parallel()
+	trials := []dining.TrialResult{
+		{
+			Trial:          0,
+			Seed:           42,
+			Topology:       "ring-3",
+			Algorithm:      "GDP2",
+			Scheduler:      "uniform-random",
+			Steps:          1000,
+			TotalEats:      12,
+			EatsBy:         []int64{4, 4, 4},
+			FirstEatStep:   17,
+			MeanWaitSteps:  8.5,
+			MaxScheduleGap: 21,
+			Reason:         "max-steps",
+		},
+		{
+			Trial:          1,
+			Seed:           11400714819323198527,
+			Topology:       "ring-3",
+			Algorithm:      "GDP2",
+			Scheduler:      "uniform-random",
+			Steps:          900,
+			TotalEats:      3,
+			EatsBy:         []int64{3, 0, 0},
+			FirstEatStep:   5,
+			MeanWaitSteps:  2.25,
+			MaxScheduleGap: 400,
+			Starved:        []dining.PhilID{1, 2},
+			Reason:         "cancelled",
+		},
+	}
+	table := &dining.Table{
+		ID:         "sweep",
+		Title:      "2-scenario sweep, 3 trials each",
+		Reproduces: "Theorem 3",
+		Header:     []string{"topology", "algorithm"},
+		Rows:       [][]string{{"ring-3", "GDP1"}, {"ring-3", "GDP2"}},
+		Notes:      []string{"a note"},
+	}
+
+	checkGolden(t, "trialresult.golden.json", trials)
+	checkGolden(t, "table.golden.json", table)
+}
+
+func checkGolden(t *testing.T, name string, v any) {
+	t.Helper()
+	got, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./dining -update-golden): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s: JSON output changed — field names are a stable contract.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}

@@ -1,0 +1,106 @@
+package dining_test
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"repro/dining"
+)
+
+func TestRegistriesEnumerateSorted(t *testing.T) {
+	t.Parallel()
+	for name, list := range map[string][]string{
+		"Algorithms": dining.Algorithms(),
+		"Schedulers": dining.Schedulers(),
+		"Topologies": dining.Topologies(),
+	} {
+		if len(list) == 0 {
+			t.Errorf("%s() is empty", name)
+		}
+		if !sort.StringsAreSorted(list) {
+			t.Errorf("%s() is not sorted: %v", name, list)
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	t.Parallel()
+	mustPanic := func(what string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", what)
+			}
+		}()
+		fn()
+	}
+	ctor := func(dining.AlgorithmOptions) dining.Program {
+		p, _ := dining.NewAlgorithm(dining.GDP1, dining.AlgorithmOptions{})
+		return p
+	}
+	dining.RegisterAlgorithm("test-dup-algo", ctor)
+	mustPanic("duplicate RegisterAlgorithm", func() { dining.RegisterAlgorithm("test-dup-algo", ctor) })
+	mustPanic("empty RegisterAlgorithm name", func() { dining.RegisterAlgorithm("", ctor) })
+	mustPanic("nil RegisterAlgorithm ctor", func() { dining.RegisterAlgorithm("test-nil-algo", nil) })
+
+	schedCtor := func(cfg dining.SchedulerConfig) dining.Scheduler {
+		s, _ := dining.NewScheduler(dining.RoundRobin, cfg)
+		return s
+	}
+	dining.RegisterScheduler("test-dup-sched", schedCtor)
+	mustPanic("duplicate RegisterScheduler", func() { dining.RegisterScheduler("test-dup-sched", schedCtor) })
+
+	topoCtor := func(n int) *dining.Topology {
+		if n <= 0 {
+			n = 4
+		}
+		return dining.Ring(n)
+	}
+	dining.RegisterTopology("test-dup-topo", topoCtor)
+	mustPanic("duplicate RegisterTopology", func() { dining.RegisterTopology("test-dup-topo", topoCtor) })
+}
+
+// TestRegisteredPluginsAreUsableEverywhere registers a custom algorithm,
+// scheduler and topology and drives them through the engine by name — the
+// open-registry contract of the v2 API.
+func TestRegisteredPluginsAreUsableEverywhere(t *testing.T) {
+	t.Parallel()
+	dining.RegisterAlgorithm("test-gdp1-alias", func(o dining.AlgorithmOptions) dining.Program {
+		p, err := dining.NewAlgorithm(dining.GDP1, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	})
+	dining.RegisterScheduler("test-round-robin-alias", func(cfg dining.SchedulerConfig) dining.Scheduler {
+		s, err := dining.NewScheduler(dining.RoundRobin, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+	dining.RegisterTopology("test-ring", func(n int) *dining.Topology {
+		if n <= 0 {
+			n = 5
+		}
+		return dining.Ring(n)
+	})
+
+	topo, err := dining.NewTopology("test-ring", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := dining.New(topo, "test-gdp1-alias",
+		dining.WithScheduler("test-round-robin-alias"),
+		dining.WithMaxSteps(5_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalEats == 0 {
+		t.Error("custom-registered configuration made no progress")
+	}
+}

@@ -1,0 +1,91 @@
+package dining_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/dining"
+)
+
+// TestSweepDeterministicAtAnyWorkerCount pins the Sweep determinism
+// guarantee: the same seed must produce a bit-identical matrix whether the
+// scenarios run sequentially or fanned out over many goroutines.
+func TestSweepDeterministicAtAnyWorkerCount(t *testing.T) {
+	t.Parallel()
+	base := dining.Sweep{
+		Topologies: []*dining.Topology{dining.Ring(4), dining.Theta(1, 1, 1)},
+		Algorithms: []string{dining.LR1, dining.GDP2},
+		Schedulers: []string{dining.Random, dining.Adversary},
+		Trials:     3,
+		MaxSteps:   3_000,
+		Seed:       5,
+	}
+
+	render := func(workers int) string {
+		s := base
+		s.Workers = workers
+		m, err := s.Matrix(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Markdown()
+	}
+	seq := render(1)
+	for _, workers := range []int{2, 7} {
+		if par := render(workers); par != seq {
+			t.Errorf("matrix differs at %d workers:\n--- sequential ---\n%s\n--- parallel ---\n%s", workers, seq, par)
+		}
+	}
+	if render(1) != seq {
+		t.Error("re-running the sweep with the same seed changed the matrix")
+	}
+}
+
+func TestSweepGridShapeAndStreaming(t *testing.T) {
+	t.Parallel()
+	s := dining.Sweep{
+		Topologies: []*dining.Topology{dining.Ring(4)},
+		Algorithms: []string{dining.GDP1, dining.GDP2},
+		Schedulers: []string{dining.Random},
+		Trials:     2,
+		MaxSteps:   2_000,
+	}
+	scenarios, err := s.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 2 {
+		t.Fatalf("expected 2 scenarios, got %d", len(scenarios))
+	}
+	seen := map[int]bool{}
+	for res, err := range s.Stream(context.Background()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[res.Index] {
+			t.Errorf("scenario %d streamed twice", res.Index)
+		}
+		seen[res.Index] = true
+		if res.Trials != 2 {
+			t.Errorf("scenario %d aggregated %d trials, want 2", res.Index, res.Trials)
+		}
+	}
+	if len(seen) != 2 {
+		t.Errorf("streamed %d scenarios, want 2", len(seen))
+	}
+
+	// Misconfigured sweeps fail loudly.
+	empty := dining.Sweep{Algorithms: []string{dining.GDP1}}
+	if _, err := empty.Scenarios(); err == nil {
+		t.Error("Scenarios accepted an empty topology axis")
+	}
+	sawErr := false
+	for _, err := range empty.Stream(context.Background()) {
+		if err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Error("Stream did not surface the empty-axis error")
+	}
+}

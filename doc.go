@@ -6,9 +6,21 @@
 // runtime, an exhaustive model checker for the paper's theorems, and the
 // experiment harness that regenerates every reproduced artifact.
 //
-// The public entry point for library users is package dining; the
-// command-line tools live under cmd; the reproduction experiments are
-// described in DESIGN.md and their results in EXPERIMENTS.md. The benchmark
-// suite in bench_test.go has one benchmark per reproduced table or figure of
-// the paper.
+// The public entry point for library users is package dining — a v2
+// streaming experiment engine built on three open registries (topologies,
+// algorithms, schedulers), functional-options construction
+// (dining.New(topo, algo, dining.WithScheduler(...), ...)) and incremental
+// result streams (Engine.Trials yields per-trial results as workers finish;
+// Sweep crosses topology × algorithm × scheduler grids into a streamed
+// scenario matrix). New algorithms, adversaries and topologies plug in with
+// dining.RegisterAlgorithm / RegisterScheduler / RegisterTopology without
+// touching the core packages.
+//
+// The command-line tools live under cmd (dpsim, dpbench, dpcheck,
+// dpadversary; dpsim and dpbench speak JSON with -json) and share the
+// internal/cli config layer, so registered extensions appear in every tool's
+// flags and error messages. The reproduction experiments are described in
+// DESIGN.md and their results in EXPERIMENTS.md. The benchmark suite in
+// bench_test.go has one benchmark per reproduced table or figure of the
+// paper.
 package repro

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -61,8 +62,9 @@ func main() {
 
 	// Run GDP2: every completed "meal" is one committed communication (the
 	// process held both of its channels exclusively).
-	sys := dining.System{Topology: topo, Algorithm: dining.GDP2, Scheduler: dining.Random, Seed: 7}
-	res, err := sys.Simulate(dining.SimOptions{MaxSteps: 200_000})
+	res, err := dining.Simulate(context.Background(), topo, dining.GDP2,
+		dining.WithSeed(7),
+		dining.WithMaxSteps(200_000))
 	if err != nil {
 		log.Fatal(err)
 	}

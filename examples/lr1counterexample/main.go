@@ -2,10 +2,12 @@
 // generalized system with six philosophers sharing three forks (Figure 1,
 // leftmost), a fair adversary prevents Lehmann & Rabin's algorithm LR1 from
 // ever making progress — while GDP1, the paper's algorithm, eats happily
-// under the very same adversary (Theorem 3).
+// under the very same adversary (Theorem 3). The per-trial verdicts stream
+// in through Engine.Trials as workers finish.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	topo := dining.DoubledPolygon(3) // 6 philosophers, 3 forks (Figure 1a)
 	const steps = 30_000
 	const trials = 20
@@ -22,23 +25,23 @@ func main() {
 	fmt.Printf("%d trials of %d atomic steps each\n\n", trials, steps)
 
 	for _, algorithm := range []string{dining.LR1, dining.GDP1} {
+		eng, err := dining.New(topo, algorithm,
+			dining.WithScheduler(dining.Adversary),
+			dining.WithSeed(1000),
+			dining.WithMaxSteps(steps))
+		if err != nil {
+			log.Fatal(err)
+		}
 		starvedRuns := 0
 		var totalMeals int64
-		for i := 0; i < trials; i++ {
-			sys := dining.System{
-				Topology:  topo,
-				Algorithm: algorithm,
-				Scheduler: dining.Adversary,
-				Seed:      uint64(1000 + i),
-			}
-			res, err := sys.Simulate(dining.SimOptions{MaxSteps: steps})
+		for tr, err := range eng.Trials(ctx, trials) {
 			if err != nil {
 				log.Fatal(err)
 			}
-			if res.TotalEats == 0 {
+			if tr.TotalEats == 0 {
 				starvedRuns++
 			}
-			totalMeals += res.TotalEats
+			totalMeals += tr.TotalEats
 		}
 		fmt.Printf("%-5s no-progress runs: %2d/%d   total meals across runs: %d\n",
 			algorithm, starvedRuns, trials, totalMeals)
@@ -51,11 +54,11 @@ func main() {
 
 	// The exhaustive verdict on the minimal instances (a few thousand states).
 	fmt.Println()
-	lr1, err := dining.ModelCheck(dining.Theta(1, 1, 1), dining.LR1)
+	lr1, err := dining.ModelCheck(ctx, dining.Theta(1, 1, 1), dining.LR1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	gdp1, err := dining.ModelCheck(dining.Theta(1, 1, 1), dining.GDP1)
+	gdp1, err := dining.ModelCheck(ctx, dining.Theta(1, 1, 1), dining.GDP1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 // Quickstart: five philosophers at the classic table running GDP2 (the
 // paper's lockout-free algorithm) as real goroutines, then the same system on
-// the reproducible discrete-event simulator.
+// the reproducible discrete-event simulator — both through one engine built
+// with the v2 functional-options API.
 package main
 
 import (
@@ -13,11 +14,19 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	table := dining.Ring(5)
+
+	eng, err := dining.New(table, dining.GDP2,
+		dining.WithSeed(42),
+		dining.WithMaxSteps(100_000))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// 1. Real concurrency: philosophers are goroutines, forks are mutexes.
 	fmt.Println("== goroutine runtime ==")
-	metrics, err := dining.RunConcurrent(context.Background(), table, dining.GDP2, 42, 500*time.Millisecond, 0)
+	metrics, err := eng.RunConcurrent(ctx, 500*time.Millisecond, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -25,9 +34,9 @@ func main() {
 	fmt.Printf("throughput: %.0f meals/s, Jain fairness index %.3f, starved: %d\n\n",
 		metrics.MealsPerSecond, metrics.JainIndex, len(metrics.Starved))
 
-	// 2. Reproducible simulation: same system, deterministic seed, step budget.
+	// 2. Reproducible simulation: same engine, deterministic seed, step budget.
 	fmt.Println("== discrete-event simulator ==")
-	res, err := dining.Simulate(table, dining.GDP2, 42, dining.SimOptions{MaxSteps: 100_000})
+	res, err := eng.Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,43 +1,50 @@
-// topologysweep runs all four algorithms of the paper on each of the Figure 1
-// topologies (plus the classic ring as a control) under a benign fair
-// scheduler and prints a throughput/fairness comparison — the quantitative
-// side of the generalization, which the paper leaves as future work.
+// topologysweep crosses the four paper algorithms with the Figure 1
+// topologies (plus the classic ring as a control) using the v2 Sweep API:
+// scenario aggregates stream in as workers finish, and the final matrix is
+// bit-identical for any worker count — the quantitative side of the
+// generalization, which the paper leaves as future work.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/dining"
-	"repro/internal/stats"
 )
 
 func main() {
-	topologies := []*dining.Topology{
-		dining.Ring(6),
-		dining.Figure1A(),
-		dining.Figure1B(),
-		dining.Figure1C(),
-		dining.Figure1D(),
+	sweep := dining.Sweep{
+		Topologies: []*dining.Topology{
+			dining.Ring(6),
+			dining.Figure1A(),
+			dining.Figure1B(),
+			dining.Figure1C(),
+			dining.Figure1D(),
+		},
+		Algorithms: []string{dining.LR1, dining.LR2, dining.GDP1, dining.GDP2},
+		Trials:     5,
+		MaxSteps:   60_000,
+		Seed:       11,
 	}
-	algorithms := []string{dining.LR1, dining.LR2, dining.GDP1, dining.GDP2}
-	const steps = 60_000
 
-	fmt.Printf("%-22s %-6s %10s %12s %10s %8s\n", "topology", "algo", "meals", "steps/meal", "mean wait", "Jain")
-	for _, topo := range topologies {
-		for _, algorithm := range algorithms {
-			res, err := dining.Simulate(topo, algorithm, 11, dining.SimOptions{MaxSteps: steps})
-			if err != nil {
-				log.Fatal(err)
-			}
-			stepsPerMeal := 0.0
-			if res.TotalEats > 0 {
-				stepsPerMeal = float64(res.Steps) / float64(res.TotalEats)
-			}
-			fmt.Printf("%-22s %-6s %10d %12.1f %10.1f %8.3f\n",
-				topo.Name(), algorithm, res.TotalEats, stepsPerMeal, res.MeanWaitSteps, stats.JainIndex(res.EatsBy))
+	// Watch the scenarios stream in as workers finish (completion order).
+	count := 0
+	for res, err := range sweep.Stream(context.Background()) {
+		if err != nil {
+			log.Fatal(err)
 		}
+		count++
+		fmt.Printf("done %2d/20: %-22s %-5s meals %.1f\n", count, res.Topology, res.Algorithm, res.MeanEats)
 	}
+
+	// The deterministic matrix, in grid order.
+	fmt.Println()
+	matrix, err := sweep.Matrix(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(matrix.Text())
 
 	fmt.Println()
 	fmt.Println("All four algorithms are live under a benign random scheduler; the adversarial")

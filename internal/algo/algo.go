@@ -21,9 +21,9 @@ package algo
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/registry"
 	"repro/internal/sim"
 )
 
@@ -158,42 +158,48 @@ func (o Options) nrRange(topo *graph.Topology) int {
 	return m
 }
 
-// Registry lists the implemented algorithms by name.
-//
-// New constructs a fresh program for the given options; programs are
+// Ctor constructs a fresh program for the given options; programs are
 // stateless between runs (all run state lives in the World), so a single
 // instance may be reused across runs, but constructing per run is cheapest to
 // reason about.
-var registry = map[string]func(Options) sim.Program{
-	"LR1":              func(o Options) sim.Program { return NewLR1(o) },
-	"LR2":              func(o Options) sim.Program { return NewLR2(o) },
-	"GDP1":             func(o Options) sim.Program { return NewGDP1(o) },
-	"GDP2":             func(o Options) sim.Program { return NewGDP2(o) },
-	"ordered-forks":    func(o Options) sim.Program { return NewOrderedForks() },
-	"colored":          func(o Options) sim.Program { return NewColored() },
-	"naive-left-first": func(o Options) sim.Program { return NewNaive() },
-	"central-monitor":  func(o Options) sim.Program { return NewCentralMonitor() },
-	"ticket-box":       func(o Options) sim.Program { return NewTicketBox(0) },
-}
+type Ctor func(Options) sim.Program
+
+// The algorithm registry maps names to constructors. The nine implementations
+// of this package self-register in init below; external algorithms plug in
+// through Register (typically via the public facade's RegisterAlgorithm) and
+// become available to every consumer — the CLI tools, the experiment suite
+// and the model checker — without touching this package.
+var reg = registry.New[Ctor]("algo", "algorithm")
+
+// Register registers a named algorithm constructor. It panics if the name is
+// empty, the constructor is nil, or the name is already registered:
+// registration happens at init time, where a collision is a programming bug
+// that must not be silently resolved by load order.
+func Register(name string, ctor Ctor) { reg.Register(name, ctor) }
 
 // New returns the named algorithm configured with opts, or an error listing
-// the available names.
+// the registered names.
 func New(name string, opts Options) (sim.Program, error) {
-	ctor, ok := registry[name]
-	if !ok {
-		return nil, fmt.Errorf("algo: unknown algorithm %q (available: %v)", name, Names())
+	ctor, err := reg.Lookup(name)
+	if err != nil {
+		return nil, err
 	}
 	return ctor(opts), nil
 }
 
 // Names returns the registered algorithm names in sorted order.
-func Names() []string {
-	names := make([]string, 0, len(registry))
-	for name := range registry {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
+func Names() []string { return reg.Names() }
+
+func init() {
+	Register("LR1", func(o Options) sim.Program { return NewLR1(o) })
+	Register("LR2", func(o Options) sim.Program { return NewLR2(o) })
+	Register("GDP1", func(o Options) sim.Program { return NewGDP1(o) })
+	Register("GDP2", func(o Options) sim.Program { return NewGDP2(o) })
+	Register("ordered-forks", func(Options) sim.Program { return NewOrderedForks() })
+	Register("colored", func(Options) sim.Program { return NewColored() })
+	Register("naive-left-first", func(Options) sim.Program { return NewNaive() })
+	Register("central-monitor", func(Options) sim.Program { return NewCentralMonitor() })
+	Register("ticket-box", func(Options) sim.Program { return NewTicketBox(0) })
 }
 
 // PaperAlgorithms returns the four algorithms of the paper's tables, in table

@@ -1,0 +1,182 @@
+// Package cli is the shared flag-to-engine plumbing of the cmd tools: one
+// Config struct registers the flags a tool opts into, validates the values
+// against the public registries, and assembles the v2 dining engine. The
+// four tools previously each re-implemented this; keeping it here means a
+// newly registered topology, algorithm or scheduler shows up in every tool's
+// -help text and error messages automatically.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"slices"
+	"strings"
+
+	"repro/dining"
+)
+
+// Flags selects which flags a tool registers.
+type Flags uint
+
+const (
+	// FlagTopology registers -topology and -n.
+	FlagTopology Flags = 1 << iota
+	// FlagAlgorithm registers -algorithm.
+	FlagAlgorithm
+	// FlagScheduler registers -scheduler.
+	FlagScheduler
+	// FlagSteps registers -steps.
+	FlagSteps
+	// FlagTrials registers -trials.
+	FlagTrials
+	// FlagSeed registers -seed.
+	FlagSeed
+	// FlagWorkers registers -workers.
+	FlagWorkers
+	// FlagM registers -m (the GDP number range).
+	FlagM
+	// FlagJSON registers -json.
+	FlagJSON
+)
+
+// Config holds the shared tool configuration. Populate the fields with a
+// tool's defaults, call Register to expose them as flags, then (after
+// flag.Parse) Validate / Topology / Engine.
+type Config struct {
+	// Topology and N select and size the topology.
+	Topology string
+	N        int
+	// Algorithm and Scheduler are registry names.
+	Algorithm string
+	Scheduler string
+	// Steps bounds each run; Trials is the Monte-Carlo trial count.
+	Steps  int64
+	Trials int
+	// Seed is the base random seed.
+	Seed uint64
+	// Workers bounds trial goroutines (0 = one per CPU; results identical).
+	Workers int
+	// M is the GDP number range (0 = number of forks).
+	M int
+	// JSON selects machine-readable output.
+	JSON bool
+
+	registered Flags
+}
+
+// Register declares the selected flags on fs, using the Config's current
+// values as defaults and the registries for the help text.
+func (c *Config) Register(fs *flag.FlagSet, which Flags) {
+	c.registered |= which
+	if which&FlagTopology != 0 {
+		fs.StringVar(&c.Topology, "topology", c.Topology,
+			fmt.Sprintf("topology name (registered: %s)", strings.Join(dining.Topologies(), ", ")))
+		fs.IntVar(&c.N, "n", c.N, "topology size parameter (ignored by the fixed topologies)")
+	}
+	if which&FlagAlgorithm != 0 {
+		fs.StringVar(&c.Algorithm, "algorithm", c.Algorithm,
+			fmt.Sprintf("algorithm name (registered: %s)", strings.Join(dining.Algorithms(), ", ")))
+	}
+	if which&FlagScheduler != 0 {
+		fs.StringVar(&c.Scheduler, "scheduler", c.Scheduler,
+			fmt.Sprintf("scheduler name (registered: %s)", strings.Join(dining.Schedulers(), ", ")))
+	}
+	if which&FlagSteps != 0 {
+		fs.Int64Var(&c.Steps, "steps", c.Steps, "maximum atomic steps per run")
+	}
+	if which&FlagTrials != 0 {
+		fs.IntVar(&c.Trials, "trials", c.Trials, "number of independent runs")
+	}
+	if which&FlagSeed != 0 {
+		fs.Uint64Var(&c.Seed, "seed", c.Seed, "random seed")
+	}
+	if which&FlagWorkers != 0 {
+		fs.IntVar(&c.Workers, "workers", c.Workers, "trial goroutines (0 = one per CPU, 1 = sequential; results are identical)")
+	}
+	if which&FlagM != 0 {
+		fs.IntVar(&c.M, "m", c.M, "GDP number range m (0 = number of forks)")
+	}
+	if which&FlagJSON != 0 {
+		fs.BoolVar(&c.JSON, "json", c.JSON, "emit JSON instead of text")
+	}
+}
+
+// Validate checks every registered value: registry names must resolve
+// (unknown names produce the registry's one-line error listing the options)
+// and numeric parameters must be in range.
+func (c *Config) Validate() error {
+	if c.registered&FlagTopology != 0 {
+		if err := knownName("topology", c.Topology, dining.Topologies()); err != nil {
+			return err
+		}
+	}
+	if c.registered&FlagAlgorithm != 0 {
+		if err := knownName("algorithm", c.Algorithm, dining.Algorithms()); err != nil {
+			return err
+		}
+	}
+	if c.registered&FlagScheduler != 0 {
+		if err := knownName("scheduler", c.Scheduler, dining.Schedulers()); err != nil {
+			return err
+		}
+	}
+	if c.registered&FlagSteps != 0 && c.Steps < 0 {
+		return fmt.Errorf("-steps must be >= 0, got %d", c.Steps)
+	}
+	if c.registered&FlagTrials != 0 && c.Trials < 1 {
+		return fmt.Errorf("-trials must be >= 1, got %d", c.Trials)
+	}
+	if c.registered&FlagWorkers != 0 && c.Workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", c.Workers)
+	}
+	if c.registered&FlagM != 0 && c.M < 0 {
+		return fmt.Errorf("-m must be >= 0, got %d", c.M)
+	}
+	return nil
+}
+
+// BuildTopology validates and resolves the configured topology.
+func (c *Config) BuildTopology() (*dining.Topology, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return dining.NewTopology(c.Topology, c.N)
+}
+
+// Engine validates the configuration and assembles the engine, applying any
+// extra options after the flag-derived ones.
+func (c *Config) Engine(extra ...dining.Option) (*dining.Engine, error) {
+	topo, err := c.BuildTopology()
+	if err != nil {
+		return nil, err
+	}
+	opts := []dining.Option{
+		dining.WithSeed(c.Seed),
+		dining.WithWorkers(c.Workers),
+		dining.WithMaxSteps(c.Steps),
+		dining.WithAlgorithmOptions(dining.AlgorithmOptions{M: c.M}),
+	}
+	if c.Scheduler != "" {
+		opts = append(opts, dining.WithScheduler(c.Scheduler))
+	}
+	opts = append(opts, extra...)
+	return dining.New(topo, c.Algorithm, opts...)
+}
+
+// Fatal prints "tool: err" to stderr and exits 1 — the shared error exit of
+// the cmd tools.
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(1)
+}
+
+// knownName checks a registry name at the flag layer so the tool-level error
+// carries no internal package prefix; the format mirrors the one-line
+// unknown-name errors of the registries themselves.
+func knownName(kind, name string, names []string) error {
+	if slices.Contains(names, name) {
+		return nil
+	}
+	return fmt.Errorf("unknown %s %q (registered: %s)", kind, name, strings.Join(names, ", "))
+}

@@ -1,0 +1,83 @@
+package cli
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+func newConfig(t *testing.T, which Flags, args ...string) *Config {
+	t.Helper()
+	cfg := &Config{Topology: "ring", N: 5, Algorithm: "GDP1", Scheduler: "random", Steps: 1000, Trials: 1, Seed: 1}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg.Register(fs, which)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+const allFlags = FlagTopology | FlagAlgorithm | FlagScheduler | FlagSteps | FlagTrials | FlagSeed | FlagWorkers | FlagM | FlagJSON
+
+func TestValidateUnknownNamesListRegisteredOptions(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-topology", "moebius"}, `unknown topology "moebius"`},
+		{[]string{"-algorithm", "SHA256"}, `unknown algorithm "SHA256"`},
+		{[]string{"-scheduler", "warp"}, `unknown scheduler "warp"`},
+	}
+	for _, c := range cases {
+		cfg := newConfig(t, allFlags, c.args...)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%v: Validate accepted the unknown name", c.args)
+			continue
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, c.want) || !strings.Contains(msg, "registered:") {
+			t.Errorf("%v: want a one-line error listing the registered options, got: %v", c.args, err)
+		}
+		if strings.Contains(msg, "\n") {
+			t.Errorf("%v: error is not one line: %q", c.args, msg)
+		}
+	}
+}
+
+func TestValidateRejectsNegativeNumbers(t *testing.T) {
+	t.Parallel()
+	cases := [][]string{
+		{"-m", "-1"},
+		{"-steps", "-5"},
+		{"-trials", "0"},
+		{"-workers", "-2"},
+	}
+	for _, args := range cases {
+		cfg := newConfig(t, allFlags, args...)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate accepted %v", args)
+		}
+	}
+}
+
+func TestEngineFromFlags(t *testing.T) {
+	t.Parallel()
+	cfg := newConfig(t, allFlags, "-topology", "theta", "-n", "1", "-algorithm", "LR2", "-scheduler", "adversary", "-seed", "9")
+	eng, err := cfg.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Algorithm() != "LR2" || eng.Scheduler() != "adversary" || eng.Seed() != 9 {
+		t.Errorf("engine does not reflect the flags: %s/%s/%d", eng.Algorithm(), eng.Scheduler(), eng.Seed())
+	}
+	if eng.Topology().NumForks() != 2 {
+		t.Errorf("theta(1) should have 2 forks, got %d", eng.Topology().NumForks())
+	}
+
+	bad := newConfig(t, allFlags, "-m", "-3")
+	if _, err := bad.Engine(); err == nil {
+		t.Error("Engine accepted a negative -m")
+	}
+}

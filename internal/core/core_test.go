@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
@@ -15,7 +16,7 @@ func TestSystemSimulate(t *testing.T) {
 	sys := System{
 		Topology:  graph.Figure1A(),
 		Algorithm: "GDP1",
-		Scheduler: Random,
+		Scheduler: "random",
 		Seed:      1,
 	}
 	res, err := sys.Simulate(sim.RunOptions{MaxSteps: 20_000})
@@ -46,7 +47,7 @@ func TestSystemValidation(t *testing.T) {
 
 func TestSystemRepeatIsDeterministicPerSeed(t *testing.T) {
 	t.Parallel()
-	sys := System{Topology: graph.Ring(5), Algorithm: "LR1", Scheduler: Random, Seed: 9}
+	sys := System{Topology: graph.Ring(5), Algorithm: "LR1", Scheduler: "random", Seed: 9}
 	a, err := sys.Repeat(3, sim.RunOptions{MaxSteps: 5_000})
 	if err != nil {
 		t.Fatal(err)
@@ -67,7 +68,7 @@ func TestSystemRepeatIsDeterministicPerSeed(t *testing.T) {
 
 func TestSystemSchedulers(t *testing.T) {
 	t.Parallel()
-	for _, kind := range SchedulerKinds() {
+	for _, kind := range sched.Names() {
 		sys := System{Topology: graph.Ring(4), Algorithm: "GDP2", Scheduler: kind, Seed: 2}
 		if _, err := sys.Simulate(sim.RunOptions{MaxSteps: 3_000}); err != nil {
 			t.Errorf("scheduler %s failed: %v", kind, err)

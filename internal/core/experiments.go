@@ -119,7 +119,7 @@ func adversaryStarvationRate(topo *graph.Topology, algorithm string, opts algo.O
 			Topology:    topo,
 			Algorithm:   algorithm,
 			AlgoOptions: opts,
-			Scheduler:   Adversary,
+			Scheduler:   "adversary",
 			Protected:   protected,
 			Seed:        seed + uint64(i)*7919,
 		}
@@ -252,7 +252,7 @@ func runTheorem3(cfg ExperimentConfig) (*Table, error) {
 	trials := cfg.trials(100, 15)
 	topos := []*graph.Topology{graph.Figure1A(), graph.Figure1B(), graph.Figure1C(), graph.Figure1D(), graph.Ring(7), graph.RandomMultigraph(18, 7, 4242)}
 	for _, topo := range topos {
-		for _, kind := range []SchedulerKind{Random, RoundRobin, Adversary} {
+		for _, kind := range []string{"random", "round-robin", "adversary"} {
 			type trialResult struct {
 				progressed bool
 				firstEat   float64
@@ -276,7 +276,7 @@ func runTheorem3(cfg ExperimentConfig) (*Table, error) {
 					firstMeal.Add(tr.firstEat)
 				}
 			}
-			t.AddRow(topo.Name(), string(kind), fmt.Sprintf("%d/%d", progressed, trials), fmt.Sprintf("%.1f", firstMeal.Mean()))
+			t.AddRow(topo.Name(), kind, fmt.Sprintf("%d/%d", progressed, trials), fmt.Sprintf("%.1f", firstMeal.Mean()))
 		}
 	}
 	t.AddNote("Theorem 3 asserts progress with probability 1 under every fair scheduler; every trial of every configuration above made progress, including under the adversary that defeats LR1.")
@@ -374,7 +374,7 @@ func runEfficiency(cfg ExperimentConfig) (*Table, error) {
 				stepsPerMeal, wait, jain float64
 			}
 			perTrial, err := ParallelTrials(cfg.Workers, trials, func(i int) (trialResult, error) {
-				sys := System{Topology: topo, Algorithm: name, Scheduler: Random, Seed: cfg.Seed + uint64(i)*997}
+				sys := System{Topology: topo, Algorithm: name, Scheduler: "random", Seed: cfg.Seed + uint64(i)*997}
 				res, err := sys.Simulate(sim.RunOptions{MaxSteps: 50_000})
 				if err != nil {
 					return trialResult{}, err
@@ -427,7 +427,7 @@ func runNumberRangeSweep(cfg ExperimentConfig) (*Table, error) {
 				Topology:    topo,
 				Algorithm:   "GDP1",
 				AlgoOptions: algo.Options{M: m},
-				Scheduler:   Adversary,
+				Scheduler:   "adversary",
 				Seed:        cfg.Seed + uint64(i)*313,
 			}
 			res, err := sys.Simulate(sim.RunOptions{MaxSteps: 60_000, StopAfterTotalEats: 1})

@@ -6,21 +6,21 @@ import (
 )
 
 // Table is one reproduced artifact: a titled table of results plus free-form
-// notes, rendered to Markdown for EXPERIMENTS.md and to plain text for the
-// CLI.
+// notes, rendered to Markdown for EXPERIMENTS.md, to plain text for the CLI,
+// or to JSON (the field names below are a stable output format).
 type Table struct {
 	// ID is the experiment identifier from DESIGN.md (for example "E-T3").
-	ID string
+	ID string `json:"id"`
 	// Title is a one-line description.
-	Title string
+	Title string `json:"title"`
 	// Reproduces names the paper artifact being reproduced.
-	Reproduces string
+	Reproduces string `json:"reproduces,omitempty"`
 	// Header holds the column names.
-	Header []string
+	Header []string `json:"header"`
 	// Rows holds the table body.
-	Rows [][]string
+	Rows [][]string `json:"rows"`
 	// Notes carries additional observations (bounds, deviations, caveats).
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // AddRow appends a row built from the stringified cells.

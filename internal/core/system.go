@@ -20,31 +20,8 @@ import (
 	"repro/internal/sim"
 )
 
-// SchedulerKind names the available schedulers/adversaries.
-type SchedulerKind string
-
-// The scheduler kinds accepted by System.
-const (
-	// RoundRobin cycles through the philosophers.
-	RoundRobin SchedulerKind = "round-robin"
-	// Random schedules a uniformly random philosopher each step.
-	Random SchedulerKind = "random"
-	// Sticky gives each philosopher bursts of consecutive steps.
-	Sticky SchedulerKind = "sticky"
-	// HungryFirst prefers philosophers in their trying section.
-	HungryFirst SchedulerKind = "hungry-first"
-	// Adversary is the greedy livelock adversary wrapped in a fixed
-	// fairness window (the Section 3 / Theorem 1 / Theorem 2 scheduler).
-	Adversary SchedulerKind = "adversary"
-	// StubbornAdversary is the same adversary wrapped in the paper's growing
-	// stubbornness construction.
-	StubbornAdversary SchedulerKind = "stubborn-adversary"
-)
-
-// SchedulerKinds lists every scheduler kind.
-func SchedulerKinds() []SchedulerKind {
-	return []SchedulerKind{RoundRobin, Random, Sticky, HungryFirst, Adversary, StubbornAdversary}
-}
+// DefaultScheduler is the scheduler used when System.Scheduler is empty.
+const DefaultScheduler = "random"
 
 // System is one configured generalized dining-philosopher system: a topology,
 // an algorithm, a scheduler and a seed. The zero value is not usable;
@@ -57,8 +34,9 @@ type System struct {
 	Algorithm string
 	// AlgoOptions tunes the algorithm (optional).
 	AlgoOptions algo.Options
-	// Scheduler selects the scheduler kind (default Random).
-	Scheduler SchedulerKind
+	// Scheduler is the scheduler name as registered in package sched
+	// (default DefaultScheduler).
+	Scheduler string
 	// Protected restricts the adversary's target set (nil = all).
 	Protected []graph.PhilID
 	// FairnessWindow is the bounded-fair adversary's window (0 = default).
@@ -67,29 +45,18 @@ type System struct {
 	Seed uint64
 }
 
-// NewScheduler constructs the scheduler described by the system
-// configuration, using rng for any randomized scheduler.
+// NewScheduler constructs the scheduler named by the system configuration
+// from the sched registry, using rng for any randomized scheduler.
 func (s *System) NewScheduler(rng *prng.Source) (sim.Scheduler, error) {
 	kind := s.Scheduler
 	if kind == "" {
-		kind = Random
+		kind = DefaultScheduler
 	}
-	switch kind {
-	case RoundRobin:
-		return sched.NewRoundRobin(), nil
-	case Random:
-		return sched.NewUniformRandom(rng), nil
-	case Sticky:
-		return sched.NewSticky(4), nil
-	case HungryFirst:
-		return sched.NewHungryFirst(rng), nil
-	case Adversary:
-		return sched.NewBoundedFair(sched.NewGreedyLivelock(s.Protected...), s.FairnessWindow), nil
-	case StubbornAdversary:
-		return sched.NewStubborn(sched.NewGreedyLivelock(s.Protected...)), nil
-	default:
-		return nil, fmt.Errorf("core: unknown scheduler kind %q (available: %v)", kind, SchedulerKinds())
-	}
+	return sched.New(kind, sched.Config{
+		RNG:            rng,
+		Protected:      s.Protected,
+		FairnessWindow: s.FairnessWindow,
+	})
 }
 
 // program constructs the algorithm program.
@@ -194,41 +161,12 @@ func (s *System) RunConcurrent(ctx context.Context, duration time.Duration, targ
 	})
 }
 
-// Topologies returns the named topology constructors exposed to the CLI and
-// the public facade.
-func Topologies() map[string]func(n int) *graph.Topology {
-	return map[string]func(n int) *graph.Topology{
-		"ring":            func(n int) *graph.Topology { return graph.Ring(defaultN(n, 5)) },
-		"doubled-polygon": func(n int) *graph.Topology { return graph.DoubledPolygon(defaultN(n, 3)) },
-		"ring-chord":      func(n int) *graph.Topology { return graph.RingWithChord(defaultN(n, 6), defaultN(n, 6)/2) },
-		"ring-pendant":    func(n int) *graph.Topology { return graph.RingWithPendant(defaultN(n, 5)) },
-		"theta":           func(n int) *graph.Topology { return graph.Theta(1, 1, defaultN(n, 1)) },
-		"star":            func(n int) *graph.Topology { return graph.Star(defaultN(n, 5)) },
-		"grid":            func(n int) *graph.Topology { g := defaultN(n, 3); return graph.Grid(g, g) },
-		"figure1a":        func(int) *graph.Topology { return graph.Figure1A() },
-		"figure1b":        func(int) *graph.Topology { return graph.Figure1B() },
-		"figure1c":        func(int) *graph.Topology { return graph.Figure1C() },
-		"figure1d":        func(int) *graph.Topology { return graph.Figure1D() },
-	}
-}
-
 // BuildTopology resolves a topology by name with a size parameter (ignored by
 // the fixed Figure 1 topologies).
+//
+// Deprecated: it is a shim over the graph registry, kept so that old callers
+// keep compiling; new code should use graph.NewTopology (or the public
+// facade's registry) directly.
 func BuildTopology(name string, n int) (*graph.Topology, error) {
-	ctor, ok := Topologies()[name]
-	if !ok {
-		names := make([]string, 0, len(Topologies()))
-		for k := range Topologies() {
-			names = append(names, k)
-		}
-		return nil, fmt.Errorf("core: unknown topology %q (available: %v)", name, names)
-	}
-	return ctor(n), nil
-}
-
-func defaultN(n, fallback int) int {
-	if n <= 0 {
-		return fallback
-	}
-	return n
+	return graph.NewTopology(name, n)
 }

@@ -83,7 +83,7 @@ func TestParallelTrialsMatchSequential(t *testing.T) {
 
 func TestRepeatParallelMatchesSequentialResults(t *testing.T) {
 	t.Parallel()
-	sys := System{Topology: graph.Ring(5), Algorithm: "GDP2", Scheduler: Random, Seed: 7}
+	sys := System{Topology: graph.Ring(5), Algorithm: "GDP2", Scheduler: "random", Seed: 7}
 	results, err := sys.Repeat(12, sim.RunOptions{MaxSteps: 5_000})
 	if err != nil {
 		t.Fatal(err)

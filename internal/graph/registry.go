@@ -1,0 +1,61 @@
+package graph
+
+import (
+	"repro/internal/registry"
+)
+
+// TopologyCtor builds a topology from a size parameter n. Constructors must
+// accept any n and substitute a sensible default when n <= 0 (fixed
+// topologies such as the Figure 1 reconstructions ignore n entirely).
+type TopologyCtor func(n int) *Topology
+
+// The topology registry maps names to constructors. The builders of this
+// package self-register in init below; external packages (custom topologies,
+// experiments) add their own through RegisterTopology, typically from the
+// public facade's RegisterTopology.
+var topoReg = registry.New[TopologyCtor]("graph", "topology")
+
+// RegisterTopology registers a named topology constructor. It panics if the
+// name is empty, the constructor is nil, or the name is already registered:
+// registration happens at init time, where a collision is a programming bug
+// that must not be silently resolved by load order.
+func RegisterTopology(name string, ctor TopologyCtor) { topoReg.Register(name, ctor) }
+
+// NewTopology builds the named registered topology with size parameter n
+// (n <= 0 selects the constructor's default size; fixed topologies ignore n).
+func NewTopology(name string, n int) (*Topology, error) {
+	ctor, err := topoReg.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return ctor(n), nil
+}
+
+// TopologyNames returns every registered topology name in sorted order.
+func TopologyNames() []string { return topoReg.Names() }
+
+// sized substitutes fallback when the caller passed no size.
+func sized(n, fallback int) int {
+	if n <= 0 {
+		return fallback
+	}
+	return n
+}
+
+func init() {
+	RegisterTopology("ring", func(n int) *Topology { return Ring(sized(n, 5)) })
+	RegisterTopology("doubled-polygon", func(n int) *Topology { return DoubledPolygon(sized(n, 3)) })
+	RegisterTopology("ring-chord", func(n int) *Topology { k := sized(n, 6); return RingWithChord(k, k/2) })
+	RegisterTopology("ring-pendant", func(n int) *Topology { return RingWithPendant(sized(n, 5)) })
+	RegisterTopology("theta", func(n int) *Topology { return Theta(1, 1, sized(n, 1)) })
+	RegisterTopology("star", func(n int) *Topology { return Star(sized(n, 5)) })
+	RegisterTopology("path", func(n int) *Topology { return Path(sized(n, 5)) })
+	RegisterTopology("grid", func(n int) *Topology { g := sized(n, 3); return Grid(g, g) })
+	RegisterTopology("complete", func(n int) *Topology { return CompleteForkGraph(sized(n, 4)) })
+	RegisterTopology("theorem1-minimal", func(int) *Topology { return Theorem1Minimal() })
+	RegisterTopology("theorem2-minimal", func(int) *Topology { return Theorem2Minimal() })
+	RegisterTopology("figure1a", func(int) *Topology { return Figure1A() })
+	RegisterTopology("figure1b", func(int) *Topology { return Figure1B() })
+	RegisterTopology("figure1c", func(int) *Topology { return Figure1C() })
+	RegisterTopology("figure1d", func(int) *Topology { return Figure1D() })
+}

@@ -47,18 +47,24 @@ type Options struct {
 	// on large instances the per-state key copies dominate the exploration's
 	// memory footprint, and the analyses never need them.
 	KeepKeys bool
+	// Interrupt is polled periodically during exploration when non-nil; a
+	// non-nil return aborts Explore with that error. It is how context
+	// cancellation reaches the exploration loop.
+	Interrupt func() error
 }
 
 // DefaultMaxStates bounds explorations when Options.MaxStates is zero.
 const DefaultMaxStates = 2_000_000
 
-// transition is one (state, philosopher) action with its probabilistic
-// outcomes.
+// transition is one (state, philosopher) action: a window into the state
+// space's shared succs/probs backing arrays. Storing offsets instead of
+// per-action slices keeps the whole MDP in three flat allocations instead of
+// ~2·NumPhils+1 small ones per state.
 type transition struct {
-	// succ[i] is the state index reached by outcome i.
-	succ []int32
-	// probs[i] is the probability of outcome i.
-	probs []float64
+	// off is the offset of the action's first outcome in succs/probs.
+	off int32
+	// n is the number of outcomes.
+	n int32
 }
 
 // StateSpace is the explored MDP.
@@ -68,8 +74,14 @@ type StateSpace struct {
 
 	// NumPhils is the number of philosophers (actions per state).
 	NumPhils int
-	// trans[s][a] is the transition of philosopher a from state s.
-	trans [][]transition
+	// trans holds NumPhils consecutive transitions per state: the transition
+	// of philosopher a from state s is trans[s*NumPhils+a].
+	trans []transition
+	// succs and probs are the flat backing arrays shared by every
+	// transition: succs[t.off+i] is the state reached by outcome i and
+	// probs[t.off+i] its probability.
+	succs []int32
+	probs []float64
 	// bad[s] reports whether a protected philosopher is eating in state s.
 	bad []bool
 	// anyEating[s] reports whether any philosopher is eating in state s.
@@ -90,7 +102,22 @@ type StateSpace struct {
 }
 
 // NumStates returns the number of distinct states explored.
-func (ss *StateSpace) NumStates() int { return len(ss.trans) }
+func (ss *StateSpace) NumStates() int { return len(ss.bad) }
+
+// succsOf returns the successor states of philosopher a's action from state
+// s. The returned slice aliases the shared backing array and must not be
+// modified.
+func (ss *StateSpace) succsOf(s, a int) []int32 {
+	t := ss.trans[s*ss.NumPhils+a]
+	return ss.succs[t.off : t.off+t.n]
+}
+
+// probsOf returns the outcome probabilities of philosopher a's action from
+// state s, aligned with succsOf.
+func (ss *StateSpace) probsOf(s, a int) []float64 {
+	t := ss.trans[s*ss.NumPhils+a]
+	return ss.probs[t.off : t.off+t.n]
+}
 
 // KeyOf returns the canonical key of state s, or "" when the exploration did
 // not retain keys (Options.KeepKeys).
@@ -102,13 +129,7 @@ func (ss *StateSpace) KeyOf(s int) string {
 }
 
 // NumTransitions returns the total number of (state, philosopher) actions.
-func (ss *StateSpace) NumTransitions() int {
-	total := 0
-	for _, ts := range ss.trans {
-		total += len(ts)
-	}
-	return total
-}
+func (ss *StateSpace) NumTransitions() int { return len(ss.trans) }
 
 // NumBadStates returns the number of states in which a protected philosopher
 // is eating.
@@ -176,14 +197,19 @@ func Explore(topo *graph.Topology, prog sim.Program, opts Options) (*StateSpace,
 		return src.CloneProtocolInto(spare)
 	}
 
+	// zeroTrans is the reusable blank transition row appended for each newly
+	// interned state; append copies it, so every state gets fresh slots from
+	// the shared backing array without a per-state allocation.
+	zeroTrans := make([]transition, ss.NumPhils)
+
 	intern := func(w *sim.World) (int32, bool) {
 		keyBuf = w.AppendKey(keyBuf[:0])
 		if id, ok := index[string(keyBuf)]; ok {
 			return id, false
 		}
-		id := int32(len(ss.trans))
+		id := int32(len(ss.bad))
 		index[string(keyBuf)] = id
-		ss.trans = append(ss.trans, nil)
+		ss.trans = append(ss.trans, zeroTrans...)
 		ss.expanded = append(ss.expanded, false)
 		if opts.KeepKeys {
 			ss.keys = append(ss.keys, string(keyBuf))
@@ -209,11 +235,18 @@ func Explore(topo *graph.Topology, prog sim.Program, opts Options) (*StateSpace,
 	frontier = append(frontier, frontierEntry{id: id, w: w0})
 
 	var obuf, sbuf []sim.Outcome
+	var expandedCount int
 	for len(frontier) > 0 {
+		if opts.Interrupt != nil && expandedCount%interruptCheckInterval == 0 {
+			if err := opts.Interrupt(); err != nil {
+				return nil, err
+			}
+		}
+		expandedCount++
 		entry := frontier[len(frontier)-1]
 		frontier = frontier[:len(frontier)-1]
 
-		transitions := make([]transition, ss.NumPhils)
+		base := int(entry.id) * ss.NumPhils
 		for a := 0; a < ss.NumPhils; a++ {
 			pid := graph.PhilID(a)
 			// Outcomes must not mutate the world they are computed from, so
@@ -221,10 +254,7 @@ func Explore(topo *graph.Topology, prog sim.Program, opts Options) (*StateSpace,
 			// is then applied to its own clone.
 			outcomes := prog.Outcomes(entry.w, pid, obuf[:0])
 			obuf = outcomes
-			tr := transition{
-				succ:  make([]int32, len(outcomes)),
-				probs: make([]float64, len(outcomes)),
-			}
+			off := int32(len(ss.succs))
 			for i := range outcomes {
 				succWorld := clone(entry.w, spare)
 				spare = nil
@@ -236,10 +266,10 @@ func Explore(topo *graph.Topology, prog sim.Program, opts Options) (*StateSpace,
 				succOutcomes[i].Do(succWorld, pid)
 				succWorld.Step++
 				succID, isNew := intern(succWorld)
-				tr.succ[i] = succID
-				tr.probs[i] = outcomes[i].Prob
+				ss.succs = append(ss.succs, succID)
+				ss.probs = append(ss.probs, outcomes[i].Prob)
 				if isNew {
-					if len(ss.trans) > maxStates {
+					if ss.NumStates() > maxStates {
 						ss.Truncated = true
 						// Keep the partially built transition for consistency
 						// but stop expanding new states.
@@ -251,28 +281,32 @@ func Explore(topo *graph.Topology, prog sim.Program, opts Options) (*StateSpace,
 					spare = succWorld
 				}
 			}
-			transitions[a] = tr
+			ss.trans[base+a] = transition{off: off, n: int32(len(outcomes))}
 		}
-		ss.trans[entry.id] = transitions
 		ss.expanded[entry.id] = true
 		if ss.Truncated {
 			break
 		}
 	}
 
-	// States left unexpanded (nil transitions) get self-loops so that the
-	// analyses remain well defined on truncated spaces.
-	for s := range ss.trans {
-		if ss.trans[s] == nil {
-			ts := make([]transition, ss.NumPhils)
-			for a := range ts {
-				ts[a] = transition{succ: []int32{int32(s)}, probs: []float64{1}}
-			}
-			ss.trans[s] = ts
+	// States left unexpanded (zero-width transitions) get self-loops so that
+	// the analyses remain well defined on truncated spaces.
+	for s := 0; s < ss.NumStates(); s++ {
+		if ss.expanded[s] {
+			continue
+		}
+		for a := 0; a < ss.NumPhils; a++ {
+			ss.trans[s*ss.NumPhils+a] = transition{off: int32(len(ss.succs)), n: 1}
+			ss.succs = append(ss.succs, int32(s))
+			ss.probs = append(ss.probs, 1)
 		}
 	}
 	return ss, nil
 }
+
+// interruptCheckInterval is how often (in expanded states) Options.Interrupt
+// is polled.
+const interruptCheckInterval = 1024
 
 // Reachable returns the set of states reachable from the initial state using
 // any actions and any outcomes, as a boolean slice indexed by state.
@@ -283,8 +317,8 @@ func (ss *StateSpace) Reachable() []bool {
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, tr := range ss.trans[s] {
-			for _, succ := range tr.succ {
+		for a := 0; a < ss.NumPhils; a++ {
+			for _, succ := range ss.succsOf(s, a) {
 				if !seen[succ] {
 					seen[succ] = true
 					stack = append(stack, int(succ))
@@ -326,16 +360,13 @@ func (ss *StateSpace) DeadRegionStates() []int {
 			if canReach[s] {
 				continue
 			}
-			for _, tr := range ss.trans[s] {
-				for _, succ := range tr.succ {
+			for a := 0; a < ss.NumPhils && !canReach[s]; a++ {
+				for _, succ := range ss.succsOf(s, a) {
 					if canReach[succ] {
 						canReach[s] = true
 						changed = true
 						break
 					}
-				}
-				if canReach[s] {
-					break
 				}
 			}
 		}
@@ -361,15 +392,12 @@ func (ss *StateSpace) DeadlockStates() []int {
 			continue
 		}
 		stuck := true
-		for _, tr := range ss.trans[s] {
-			for _, succ := range tr.succ {
+		for a := 0; a < ss.NumPhils && stuck; a++ {
+			for _, succ := range ss.succsOf(s, a) {
 				if int(succ) != s {
 					stuck = false
 					break
 				}
-			}
-			if !stuck {
-				break
 			}
 		}
 		if stuck {

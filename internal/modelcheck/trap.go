@@ -81,7 +81,7 @@ func (ss *StateSpace) FindStarvationTrap() Trap {
 			anyAllowed := false
 			for a := 0; a < ss.NumPhils; a++ {
 				ok := true
-				for _, succ := range ss.trans[s][a].succ {
+				for _, succ := range ss.succsOf(s, a) {
 					if !inS[succ] {
 						ok = false
 						break
@@ -142,7 +142,7 @@ func (ss *StateSpace) FindStarvationTrap() Trap {
 					continue
 				}
 				ok := true
-				for _, succ := range ss.trans[s][a].succ {
+				for _, succ := range ss.succsOf(s, a) {
 					if !inEC[succ] || comp[succ] != comp[s] {
 						ok = false
 						break
@@ -246,7 +246,7 @@ func (ss *StateSpace) stronglyConnected(inSet []bool, act [][]bool, comp []int) 
 			if !act[v][a] {
 				continue
 			}
-			for _, s := range ss.trans[v][a].succ {
+			for _, s := range ss.succsOf(v, a) {
 				if inSet[s] {
 					out = append(out, s)
 				}

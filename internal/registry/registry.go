@@ -1,0 +1,89 @@
+// Package registry provides the generic, concurrency-safe name→constructor
+// registry behind the algorithm, scheduler and topology registries. It is a
+// leaf package (standard library only) so that algo, sched and graph can all
+// share one implementation of the registration contract: panic on empty
+// name, nil constructor or duplicate registration (init-time wiring bugs
+// must not be resolved silently by load order), sorted enumeration, and
+// one-line unknown-name errors listing the registered options.
+package registry
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a name→value map with the registration contract above. Create
+// one with New; the zero value is not usable.
+type Registry[T any] struct {
+	pkg  string // owning package, prefixed to panics and errors ("algo")
+	kind string // human-readable entry kind ("algorithm")
+	mu   sync.RWMutex
+	m    map[string]T
+}
+
+// New returns an empty registry. pkg and kind appear in panic and error
+// messages ("algo: unknown algorithm ...").
+func New[T any](pkg, kind string) *Registry[T] {
+	return &Registry[T]{pkg: pkg, kind: kind, m: map[string]T{}}
+}
+
+// Register registers a named entry. It panics if the name is empty, the
+// value is nil, or the name is already registered.
+func (r *Registry[T]) Register(name string, v T) {
+	if name == "" {
+		panic(fmt.Sprintf("%s: register %s with empty name", r.pkg, r.kind))
+	}
+	if isNil(v) {
+		panic(fmt.Sprintf("%s: register %s %q with nil constructor", r.pkg, r.kind, name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.m[name]; dup {
+		panic(fmt.Sprintf("%s: %s %q registered twice", r.pkg, r.kind, name))
+	}
+	r.m[name] = v
+}
+
+// Lookup returns the named entry, or a one-line error listing the registered
+// names.
+func (r *Registry[T]) Lookup(name string) (T, error) {
+	r.mu.RLock()
+	v, ok := r.m[name]
+	r.mu.RUnlock()
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("%s: unknown %s %q (registered: %s)",
+			r.pkg, r.kind, name, strings.Join(r.Names(), ", "))
+	}
+	return v, nil
+}
+
+// Names returns every registered name in sorted order.
+func (r *Registry[T]) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.m))
+	for name := range r.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// isNil reports whether v is a nil function/pointer/interface value; the
+// stored T is typically a constructor func, which cannot be compared to nil
+// through the type parameter directly.
+func isNil(v any) bool {
+	if v == nil {
+		return true
+	}
+	rv := reflect.ValueOf(v)
+	switch rv.Kind() {
+	case reflect.Func, reflect.Pointer, reflect.Interface, reflect.Map, reflect.Slice, reflect.Chan:
+		return rv.IsNil()
+	}
+	return false
+}

@@ -1,0 +1,58 @@
+package sched
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/prng"
+	"repro/internal/sim"
+)
+
+func TestSchedulerRegistryNamesSortedAndConstructible(t *testing.T) {
+	t.Parallel()
+	names := Names()
+	if len(names) < 6 {
+		t.Fatalf("expected the six built-in schedulers, got %v", names)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names not sorted: %v", names)
+	}
+	for _, name := range names {
+		if strings.HasPrefix(name, "test-") {
+			continue // registered by other tests
+		}
+		s, err := New(name, Config{RNG: prng.New(1)})
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if s == nil || s.Name() == "" {
+			t.Errorf("New(%q) returned an unusable scheduler", name)
+		}
+	}
+}
+
+func TestSchedulerRegistryUnknownName(t *testing.T) {
+	t.Parallel()
+	_, err := New("warp", Config{})
+	if err == nil {
+		t.Fatal("New accepted an unknown scheduler")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "registered:") || !strings.Contains(msg, "round-robin") || strings.Contains(msg, "\n") {
+		t.Errorf("want a one-line error listing the registered options, got: %v", err)
+	}
+}
+
+func TestSchedulerRegistryDuplicatePanics(t *testing.T) {
+	t.Parallel()
+	ctor := func(Config) sim.Scheduler { return NewRoundRobin() }
+	Register("test-sched-dup", ctor)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register("test-sched-dup", ctor)
+}

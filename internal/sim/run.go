@@ -50,6 +50,11 @@ type RunOptions struct {
 	StopWhenPhilEats bool
 	// StopPhil is the philosopher watched by StopWhenPhilEats.
 	StopPhil graph.PhilID
+	// Stop is polled every StopCheckInterval steps when non-nil; a true
+	// return ends the run with reason StopCancelled. It is how context
+	// cancellation reaches the step loop without threading a Context (and a
+	// per-step branch) through the hot path.
+	Stop func() bool
 	// Hunger overrides the default AlwaysHungry workload when non-nil.
 	Hunger HungerModel
 	// Recorder receives every event when non-nil.
@@ -77,7 +82,13 @@ const (
 	StopAllAte StopReason = "all-ate"
 	// StopPhilAte means the watched philosopher ate.
 	StopPhilAte StopReason = "phil-ate"
+	// StopCancelled means RunOptions.Stop fired (typically a cancelled
+	// context).
+	StopCancelled StopReason = "cancelled"
 )
+
+// StopCheckInterval is how often (in steps) RunOptions.Stop is polled.
+const StopCheckInterval = 1024
 
 // Result summarises a run.
 type Result struct {
@@ -167,6 +178,10 @@ func RunWorld(w *World, prog Program, sched Scheduler, rng *prng.Source, opts Ru
 	// loop allocates nothing in steady state.
 	var obuf []Outcome
 	for w.Step-start < maxSteps {
+		if opts.Stop != nil && (w.Step-start)%StopCheckInterval == 0 && opts.Stop() {
+			reason = StopCancelled
+			break
+		}
 		p := sched.Next(w)
 		if int(p) < 0 || int(p) >= n {
 			return nil, fmt.Errorf("sim: scheduler %q returned invalid philosopher %d", sched.Name(), p)
