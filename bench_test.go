@@ -324,7 +324,8 @@ func BenchmarkAdversaryOverhead(b *testing.B) {
 	})
 }
 
-// BenchmarkModelCheckerScaling measures state-space exploration itself.
+// BenchmarkModelCheckerScaling measures state-space exploration itself,
+// sequentially (workers=1, the allocation-optimized path).
 func BenchmarkModelCheckerScaling(b *testing.B) {
 	cases := []struct {
 		name string
@@ -344,13 +345,39 @@ func BenchmarkModelCheckerScaling(b *testing.B) {
 			b.ReportAllocs()
 			var states int
 			for i := 0; i < b.N; i++ {
-				ss, err := modelcheck.Explore(c.topo, prog, modelcheck.Options{})
+				ss, err := modelcheck.Explore(c.topo, prog, modelcheck.Options{Workers: 1})
 				if err != nil {
 					b.Fatal(err)
 				}
 				states = ss.NumStates()
 			}
 			b.ReportMetric(float64(states), "states")
+		})
+	}
+}
+
+// BenchmarkParallelExplore compares the level-synchronous BFS at one worker
+// and at one worker per CPU on the largest model-checked instance (Theorem 1
+// on GDP1, ~64k states); the explored spaces are byte-identical, only
+// wall-clock differs.
+func BenchmarkParallelExplore(b *testing.B) {
+	prog, err := algo.New("GDP1", algo.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo := graph.Theorem1Minimal()
+	for _, workers := range []int{1, 0} {
+		name := "t1min/GDP1/workers=1"
+		if workers == 0 {
+			name = "t1min/GDP1/workers=all"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := modelcheck.Explore(topo, prog, modelcheck.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

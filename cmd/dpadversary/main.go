@@ -2,16 +2,23 @@
 // each algorithm on the Section 3 topology (Figure 1a — six philosophers,
 // three forks) against the fair livelock adversary, prints periodic state
 // snapshots in the figures' arrow notation, and summarises who managed to
-// eat.
+// eat. With -props (or -json) it additionally runs the property checker on
+// the same instance through Engine.Check, printing the machine-checked
+// verdicts and — for failing exhaustive properties — the replayable
+// counterexample trace, the exhaustive twin of the walk it just showed.
 //
 // Usage:
 //
 //	dpadversary                         # Section 3 walk on figure1a
 //	dpadversary -topology theta -n 1    # Theorem 2 walk on the theta graph
 //	dpadversary -steps 30000 -snapshots 6
+//	dpadversary -topology theta -props starvation-trap     # walk + verdicts
+//	dpadversary -topology theta -json                      # verdicts as JSON
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 
@@ -23,22 +30,42 @@ import (
 	"repro/internal/trace"
 )
 
+// walkAlgorithms are the four algorithms the walk and the check section run.
+var walkAlgorithms = []string{dining.LR1, dining.LR2, dining.GDP1, dining.GDP2}
+
 func main() {
 	cfg := cli.Config{Topology: "figure1a", Steps: 30_000, Seed: 3}
-	cfg.Register(flag.CommandLine, cli.FlagTopology|cli.FlagSteps|cli.FlagSeed)
+	cfg.Register(flag.CommandLine, cli.FlagTopology|cli.FlagSteps|cli.FlagSeed|cli.FlagProps|cli.FlagJSON|cli.FlagWorkers)
 	var (
 		window    = flag.Int64("window", 512, "fairness window of the adversary")
 		snapshots = flag.Int64("snapshots", 6, "number of state snapshots to print for the first algorithm")
+		maxStates = flag.Int("max-states", 500_000, "state cap of the -props property checks (0 = default)")
 	)
 	flag.Parse()
+	if err := cfg.Validate(); err != nil {
+		cli.Fatal("dpadversary", err)
+	}
 
 	topo, err := cfg.BuildTopology()
 	if err != nil {
 		cli.Fatal("dpadversary", err)
 	}
+
+	if cfg.JSON {
+		// Machine-readable mode: only the property verdicts, in the stable
+		// PropertyResult wire format.
+		results := checkProperties(topo, &cfg, *maxStates)
+		out, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			cli.Fatal("dpadversary", err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+
 	fmt.Printf("Adversarial walk on %s (fairness window %d, %d steps)\n\n", topo, *window, cfg.Steps)
 
-	for i, name := range []string{dining.LR1, dining.LR2, dining.GDP1, dining.GDP2} {
+	for i, name := range walkAlgorithms {
 		prog, err := dining.NewAlgorithm(name, dining.AlgorithmOptions{})
 		if err != nil {
 			cli.Fatal("dpadversary", err)
@@ -106,4 +133,42 @@ func main() {
 			fmt.Printf("LR2 guest books empty after the livelocked run: %v (the proof of Theorem 2 predicts they stay empty forever)\n", empty)
 		}
 	}
+
+	if len(cfg.PropertyNames()) > 0 {
+		fmt.Println()
+		fmt.Println("Exhaustive property verdicts (Engine.Check):")
+		for _, r := range checkProperties(topo, &cfg, *maxStates) {
+			verdict := "PASS"
+			if !r.Passed {
+				verdict = "FAIL"
+			}
+			if r.Truncated {
+				verdict += "*"
+			}
+			fmt.Printf("%-6s %-22s %-6s %s\n", r.Algorithm, r.Property, verdict, r.Detail)
+			if r.Counterexample != nil {
+				fmt.Print(r.Counterexample)
+			}
+		}
+	}
+}
+
+// checkProperties runs the -props selection for every walk algorithm on topo
+// and returns the flattened results.
+func checkProperties(topo *dining.Topology, cfg *cli.Config, maxStates int) []dining.PropertyResult {
+	var all []dining.PropertyResult
+	for _, name := range walkAlgorithms {
+		eng, err := dining.New(topo, name,
+			dining.WithMaxStates(maxStates),
+			dining.WithWorkers(cfg.Workers))
+		if err != nil {
+			cli.Fatal("dpadversary", err)
+		}
+		results, err := eng.CheckAll(context.Background(), cfg.PropertyNames()...)
+		if err != nil {
+			cli.Fatal("dpadversary", err)
+		}
+		all = append(all, results...)
+	}
+	return all
 }

@@ -2,18 +2,19 @@
 // experiment engine for the generalized dining-philosophers systems of
 // Herescu & Palamidessi (PODC 2001).
 //
-// The v2 API has three layers:
+// The v3 API has four layers:
 //
 // # Registries
 //
-// Topologies, algorithms and schedulers are open, name-indexed registries.
-// The nine built-in algorithms, the six built-in schedulers/adversaries and
-// every builder topology self-register at init time; new implementations plug
-// in with [RegisterAlgorithm], [RegisterScheduler] and [RegisterTopology] and
-// immediately become available to every consumer — the engine, the sweep
-// matrix, the experiment suite and the command-line tools. [Algorithms],
-// [Schedulers] and [Topologies] enumerate the registered names in sorted
-// order.
+// Topologies, algorithms, schedulers and properties are open, name-indexed
+// registries. The nine built-in algorithms, the six built-in
+// schedulers/adversaries, every builder topology and the six built-in
+// properties self-register at init time; new implementations plug in with
+// [RegisterAlgorithm], [RegisterScheduler], [RegisterTopology] and
+// [RegisterProperty] and immediately become available to every consumer —
+// the engine, the sweep matrix, the experiment suite and the command-line
+// tools. [Algorithms], [Schedulers], [Topologies] and [Properties] enumerate
+// the registered names in sorted order.
 //
 // # Engine
 //
@@ -29,9 +30,30 @@
 //
 // Every run path takes a [context.Context] and honours cancellation:
 // [Engine.Run] executes one simulation, [Engine.Repeat] runs n deterministic
-// Monte-Carlo trials in index order, [Engine.ModelCheck] explores the full
-// state space, and [Engine.RunConcurrent] executes the system on real
-// goroutines.
+// Monte-Carlo trials in index order, [Engine.Check] verifies properties,
+// [Engine.ModelCheck] builds the legacy aggregate report, and
+// [Engine.RunConcurrent] executes the system on real goroutines.
+//
+// # Properties
+//
+// The paper's claims are first-class checks. [Engine.Check] resolves
+// property names against the registry, explores the state space once — a
+// parallel breadth-first search whose result is byte-identical for every
+// [WithWorkers] value — and streams one [PropertyResult] per property:
+//
+//	eng, _ := dining.New(dining.Theorem2Minimal(), dining.LR2)
+//	for res, err := range eng.Check(ctx, dining.StarvationTrap, dining.Progress) {
+//		...
+//	}
+//
+// The four exhaustive built-ins ([DeadlockFreedom], [Progress],
+// [LockoutFreedom], [StarvationTrap]) are checked on the explored space and
+// attach a replayable counterexample [Trace] to every failure — the exact
+// scheduler-choice path into the violating region, verifiable with
+// [Engine.ReplayTrace]; the statistical built-ins ([StatisticalProgress],
+// [StatisticalLockout]) wrap the Monte-Carlo checks for instances too large
+// to explore. Custom properties implement [Property] (or wrap a function in
+// [PropertyFunc]) and register with [RegisterProperty].
 //
 // # Streams
 //
@@ -40,7 +62,7 @@
 // nevertheless bit-identical for any worker count (each trial derives all
 // randomness from its index). [Sweep] crosses topology × algorithm ×
 // scheduler grids into a streamed scenario matrix with the same determinism
-// guarantee.
+// guarantee; [Engine.Check] streams property verdicts the same way.
 //
 // See the examples directory for complete programs and cmd/dpsim, dpbench,
 // dpcheck, dpadversary for the command-line tools.
@@ -172,7 +194,10 @@ type SimResult = sim.Result
 // ConcurrentMetrics is the outcome of a goroutine-runtime run.
 type ConcurrentMetrics = runtime.Metrics
 
-// CheckReport is the outcome of an exhaustive model check.
+// CheckReport is the outcome of an exhaustive model check — the legacy
+// aggregate of the analyses that Engine.Check now runs as selectable
+// properties with counterexample traces (see the v2→v3 migration table in
+// CHANGES.md).
 type CheckReport = modelcheck.Report
 
 // Table is a titled result table (the sweep matrix and experiment-suite

@@ -31,6 +31,7 @@ type config struct {
 	workers        int
 	maxSteps       int64
 	maxStates      int
+	trials         int
 	recorder       sim.Recorder
 }
 
@@ -71,9 +72,13 @@ func WithFairnessWindow(window int64) Option {
 	return func(c *config) { c.fairnessWindow = window }
 }
 
-// WithMaxStates caps the state count of ModelCheck explorations
+// WithMaxStates caps the state count of ModelCheck and Check explorations
 // (0 = the model-checker default).
 func WithMaxStates(n int) Option { return func(c *config) { c.maxStates = n } }
+
+// WithTrials sets the Monte-Carlo trial count used by the statistical
+// properties of Check (0 = each check's default).
+func WithTrials(n int) Option { return func(c *config) { c.trials = n } }
 
 // WithRecorder attaches an event recorder to Run. A recorder observes a
 // single event stream, so Trials and Repeat reject engines that have one
@@ -127,6 +132,9 @@ func New(topo *Topology, algorithm string, opts ...Option) (*Engine, error) {
 	}
 	if c.maxStates < 0 {
 		return nil, fmt.Errorf("dining: WithMaxStates(%d) is negative", c.maxStates)
+	}
+	if c.trials < 0 {
+		return nil, fmt.Errorf("dining: WithTrials(%d) is negative", c.trials)
 	}
 	return &Engine{topo: topo, alg: algorithm, cfg: c}, nil
 }
@@ -324,9 +332,12 @@ func (e *Engine) Repeat(ctx context.Context, n int) ([]*SimResult, error) {
 }
 
 // ModelCheck exhaustively explores the system's state space (small instances
-// only) and returns the analysis report. The scheduler configuration is
-// irrelevant here: the model checker quantifies over all schedulers.
-// Cancelling ctx aborts the exploration.
+// only) and returns the legacy aggregate analysis report. The scheduler
+// configuration is irrelevant here: the model checker quantifies over all
+// schedulers. Cancelling ctx aborts the exploration. New code should prefer
+// Check, which runs the same analyses as selectable properties, streams
+// per-property verdicts and attaches replayable counterexample traces to
+// failures; see the v2→v3 migration table in CHANGES.md.
 func (e *Engine) ModelCheck(ctx context.Context) (*CheckReport, error) {
 	ctx = orBackground(ctx)
 	if err := ctx.Err(); err != nil {
@@ -336,7 +347,7 @@ func (e *Engine) ModelCheck(ctx context.Context) (*CheckReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	return checkWithContext(ctx, e.topo, prog, e.cfg.maxStates, e.cfg.protected)
+	return checkWithContext(ctx, e.topo, prog, e.cfg.maxStates, e.cfg.protected, e.cfg.workers)
 }
 
 // RunConcurrent executes the system on the goroutine runtime for the given
@@ -348,8 +359,8 @@ func (e *Engine) RunConcurrent(ctx context.Context, duration time.Duration, targ
 
 // checkWithContext runs the model checker with ctx cancellation wired into
 // the exploration loop.
-func checkWithContext(ctx context.Context, topo *graph.Topology, prog sim.Program, maxStates int, protected []graph.PhilID) (*CheckReport, error) {
-	opts := modelcheck.Options{MaxStates: maxStates, Protected: protected}
+func checkWithContext(ctx context.Context, topo *graph.Topology, prog sim.Program, maxStates int, protected []graph.PhilID, workers int) (*CheckReport, error) {
+	opts := modelcheck.Options{MaxStates: maxStates, Protected: protected, Workers: workers}
 	if ctx.Done() != nil {
 		opts.Interrupt = ctx.Err
 	}

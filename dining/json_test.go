@@ -58,8 +58,44 @@ func TestJSONStableFieldNames(t *testing.T) {
 		Notes:      []string{"a note"},
 	}
 
+	// The PropertyResult wire format emitted by dpcheck -json and
+	// dpadversary -json, including a counterexample trace.
+	props := []dining.PropertyResult{
+		{
+			Property:    dining.StarvationTrap,
+			Kind:        dining.ExhaustiveProperty,
+			Topology:    "theta-[1 1 1]",
+			Algorithm:   "LR2",
+			Protected:   []dining.PhilID{0},
+			Passed:      false,
+			Detail:      "a fair adversary can starve the protected set forever",
+			States:      12830,
+			Transitions: 38490,
+			TrapStates:  48,
+			Counterexample: &dining.Trace{
+				Property:   dining.StarvationTrap,
+				Topology:   "theta-[1 1 1]",
+				Algorithm:  "LR2",
+				Steps:      []dining.TraceStep{{Phil: 0, Outcome: 0, Label: "become hungry", Prob: 1}, {Phil: 0, Outcome: 1, Label: "commit right", Prob: 0.5}},
+				FinalKey:   "0201",
+				FinalState: "step 2\n",
+			},
+		},
+		{
+			Property:  dining.StatisticalProgress,
+			Kind:      dining.StatisticalProperty,
+			Topology:  "ring-3",
+			Algorithm: "GDP1",
+			Scheduler: "adversary",
+			Passed:    true,
+			Detail:    "progress in 100/100 trials",
+			Trials:    100,
+		},
+	}
+
 	checkGolden(t, "trialresult.golden.json", trials)
 	checkGolden(t, "table.golden.json", table)
+	checkGolden(t, "propertyresult.golden.json", props)
 }
 
 func checkGolden(t *testing.T, name string, v any) {

@@ -1,0 +1,529 @@
+package dining
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"repro/internal/algo"
+	"repro/internal/modelcheck"
+	"repro/internal/par"
+	"repro/internal/prng"
+	"repro/internal/registry"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/verify"
+)
+
+// This file is the property layer: the paper's claims (deadlock-freedom,
+// progress, lockout-freedom, starvation traps — Theorems 1–4) as first-class,
+// pluggable checks. Properties live in the fourth open registry next to
+// topologies, algorithms and schedulers; Engine.Check resolves names against
+// it, explores the state space once (in parallel) when any exhaustive
+// property is requested, and streams one PropertyResult per property. Every
+// exhaustive failure carries a replayable counterexample Trace.
+
+// PropertyKind classifies how a property is checked.
+type PropertyKind string
+
+const (
+	// ExhaustiveProperty marks properties decided on the fully explored
+	// state space (PropertyInput.Space). Their verdicts are proofs for the
+	// explored instance, and their failures carry counterexample traces.
+	ExhaustiveProperty PropertyKind = "exhaustive"
+	// StatisticalProperty marks Monte-Carlo properties that sample runs
+	// through the engine's scheduler instead of exploring exhaustively.
+	StatisticalProperty PropertyKind = "statistical"
+)
+
+// Names of the built-in properties (see the property registry).
+const (
+	// DeadlockFreedom: no reachable state in which every action of every
+	// philosopher is a self-loop.
+	DeadlockFreedom = "deadlock-freedom"
+	// Progress: from every reachable state a meal remains reachable
+	// (eat-reachable-from-everywhere); a failure exhibits a true dead end.
+	Progress = "progress"
+	// LockoutFreedom: no philosopher in the protected set (all of them when
+	// the set is empty) can be individually starved forever by a fair
+	// adversary.
+	LockoutFreedom = "lockout-freedom"
+	// StarvationTrap: no fair adversary can confine the system to a region
+	// in which no protected philosopher ever eats — the machine-checked form
+	// of Theorems 1–4. The property FAILS when such a trap exists.
+	StarvationTrap = "starvation-trap"
+	// StatisticalProgress is the Monte-Carlo progress check of
+	// internal/verify: every sampled run must reach a first meal.
+	StatisticalProgress = "statistical-progress"
+	// StatisticalLockout is the Monte-Carlo lockout-freedom check: every
+	// sampled run must serve every philosopher at least once.
+	StatisticalLockout = "statistical-lockout"
+)
+
+// StateSpace is the explored MDP an exhaustive property is decided on. See
+// internal/modelcheck for the analyses it offers.
+type StateSpace = modelcheck.StateSpace
+
+// Trace is a replayable counterexample: the scheduler-choice path from the
+// initial state to a property-violating state, with a stable JSON wire
+// format. Engine.ReplayTrace re-executes one and verifies where it lands.
+type Trace = trace.Trace
+
+// TraceStep is one scheduler choice of a Trace.
+type TraceStep = trace.Step
+
+// PropertyInput is what a property check receives: the engine under check
+// and, for exhaustive properties, the explored state space (shared by every
+// exhaustive property of one Engine.Check call).
+type PropertyInput struct {
+	// Engine is the engine being checked (always set).
+	Engine *Engine
+	// Space is the explored state space; set iff the property is exhaustive.
+	Space *StateSpace
+}
+
+// Property is a checkable claim about a system. Implementations register
+// through RegisterProperty and become selectable by name in Engine.Check and
+// the -props flag of the CLI tools. A Property must be stateless and safe
+// for concurrent use: one instance serves every engine and every check.
+type Property interface {
+	// Name returns the registered property name ("deadlock-freedom").
+	Name() string
+	// Kind reports how the property is checked; it decides whether Check
+	// receives an explored state space.
+	Kind() PropertyKind
+	// Check decides the property. A failed property is NOT an error: it
+	// returns a PropertyResult with Passed false (ideally with a
+	// counterexample). The error return is for infrastructure failures —
+	// context cancellation, truncated exploration a check cannot tolerate,
+	// simulation errors.
+	Check(ctx context.Context, in PropertyInput) (PropertyResult, error)
+}
+
+// PropertyResult is the verdict of one property on one engine: the stable
+// JSON wire format emitted by dpcheck -json and dpadversary -json.
+type PropertyResult struct {
+	// Property and Kind identify the check.
+	Property string       `json:"property"`
+	Kind     PropertyKind `json:"kind"`
+	// Topology, Algorithm and (for statistical checks) Scheduler identify
+	// the system.
+	Topology  string `json:"topology"`
+	Algorithm string `json:"algorithm"`
+	Scheduler string `json:"scheduler,omitempty"`
+	// Protected is the engine's protected set (empty = all philosophers).
+	Protected []PhilID `json:"protected,omitempty"`
+	// Passed is the verdict; Detail explains it in one line.
+	Passed bool   `json:"passed"`
+	Detail string `json:"detail"`
+	// States, Transitions and Truncated describe the explored space
+	// (exhaustive properties only). A truncated exploration proves nothing
+	// beyond the explored fragment.
+	States      int  `json:"states,omitempty"`
+	Transitions int  `json:"transitions,omitempty"`
+	Truncated   bool `json:"truncated,omitempty"`
+	// TrapStates is the size of the starvation trap found (trap-based
+	// failures only).
+	TrapStates int `json:"trap_states,omitempty"`
+	// Trials and Failures summarise statistical checks.
+	Trials   int `json:"trials,omitempty"`
+	Failures int `json:"failures,omitempty"`
+	// Counterexample is the replayable path to a violating state, present on
+	// exhaustive failures.
+	Counterexample *Trace `json:"counterexample,omitempty"`
+}
+
+// PropertyFunc adapts a function to the Property interface — the quickest
+// way to register a custom property:
+//
+//	dining.RegisterProperty(dining.PropertyFunc{
+//		PropName: "my-invariant",
+//		PropKind: dining.ExhaustiveProperty,
+//		Func:     func(ctx context.Context, in dining.PropertyInput) (dining.PropertyResult, error) { ... },
+//	})
+type PropertyFunc struct {
+	PropName string
+	PropKind PropertyKind
+	Func     func(ctx context.Context, in PropertyInput) (PropertyResult, error)
+}
+
+// Name implements Property.
+func (f PropertyFunc) Name() string { return f.PropName }
+
+// Kind implements Property.
+func (f PropertyFunc) Kind() PropertyKind { return f.PropKind }
+
+// Check implements Property.
+func (f PropertyFunc) Check(ctx context.Context, in PropertyInput) (PropertyResult, error) {
+	return f.Func(ctx, in)
+}
+
+// properties is the fourth open registry, next to topologies, algorithms and
+// schedulers.
+var properties = registry.New[Property]("dining", "property")
+
+// RegisterProperty registers a property under p.Name(). The name becomes
+// valid everywhere a property name is accepted: Engine.Check, CheckAll and
+// the -props flag of the CLI tools. Like the other registries it panics on
+// an empty name, a nil property or a duplicate name — registration is
+// init-time wiring whose collisions must not be resolved silently.
+func RegisterProperty(p Property) {
+	if p == nil {
+		panic("dining: RegisterProperty(nil)")
+	}
+	properties.Register(p.Name(), p)
+}
+
+// Properties returns every registered property name in sorted order.
+func Properties() []string { return properties.Names() }
+
+// LookupProperty returns the named registered property. Unknown names
+// produce a one-line error listing the registered options.
+func LookupProperty(name string) (Property, error) { return properties.Lookup(name) }
+
+// ExhaustiveProperties returns the names of the four exhaustive built-ins —
+// the default property set of Engine.Check — in check order.
+func ExhaustiveProperties() []string {
+	return []string{DeadlockFreedom, Progress, LockoutFreedom, StarvationTrap}
+}
+
+func init() {
+	RegisterProperty(PropertyFunc{DeadlockFreedom, ExhaustiveProperty, checkDeadlockFreedom})
+	RegisterProperty(PropertyFunc{Progress, ExhaustiveProperty, checkProgress})
+	RegisterProperty(PropertyFunc{LockoutFreedom, ExhaustiveProperty, checkLockoutFreedom})
+	RegisterProperty(PropertyFunc{StarvationTrap, ExhaustiveProperty, checkStarvationTrap})
+	RegisterProperty(PropertyFunc{StatisticalProgress, StatisticalProperty, checkStatisticalProgress})
+	RegisterProperty(PropertyFunc{StatisticalLockout, StatisticalProperty, checkStatisticalLockout})
+}
+
+// Check resolves the named properties against the registry — no names
+// selects the four exhaustive built-ins — explores the state space once (in
+// parallel across WithWorkers goroutines) when any exhaustive property is
+// requested, and streams one PropertyResult per property as its check
+// completes. The stream stops at the first error (an unknown property name,
+// a cancelled context, a failed check infrastructure), yielding that error
+// last; a property that merely FAILS is a regular result with Passed false
+// and, for exhaustive properties, a replayable counterexample trace.
+func (e *Engine) Check(ctx context.Context, props ...string) iter.Seq2[PropertyResult, error] {
+	ctx = orBackground(ctx)
+	return func(yield func(PropertyResult, error) bool) {
+		list, err := resolveProperties(props)
+		if err != nil {
+			yield(PropertyResult{}, err)
+			return
+		}
+		var ss *StateSpace
+		for _, p := range list {
+			if p.Kind() == ExhaustiveProperty {
+				if ss, err = e.explore(ctx); err != nil {
+					yield(PropertyResult{}, err)
+					return
+				}
+				break
+			}
+		}
+		for s := range par.Stream(ctx, e.cfg.workers, len(list), func(i int) (PropertyResult, error) {
+			in := PropertyInput{Engine: e}
+			if list[i].Kind() == ExhaustiveProperty {
+				in.Space = ss
+			}
+			return list[i].Check(ctx, in)
+		}) {
+			if s.Err != nil {
+				yield(PropertyResult{}, s.Err)
+				return
+			}
+			if !yield(s.Value, nil) {
+				return
+			}
+		}
+	}
+}
+
+// CheckAll runs Check and returns the results in property order — the
+// blocking counterpart of the Check stream.
+func (e *Engine) CheckAll(ctx context.Context, props ...string) ([]PropertyResult, error) {
+	list, err := resolveProperties(props)
+	if err != nil {
+		return nil, err
+	}
+	// Results stream in completion order; map each back to its position in
+	// the request. A name requested twice owns two positions (its checks are
+	// identical, so which result lands where is immaterial).
+	positions := make(map[string][]int, len(list))
+	for i, p := range list {
+		positions[p.Name()] = append(positions[p.Name()], i)
+	}
+	results := make([]PropertyResult, len(list))
+	for res, err := range e.Check(ctx, props...) {
+		if err != nil {
+			return nil, err
+		}
+		at := positions[res.Property]
+		results[at[0]] = res
+		positions[res.Property] = at[1:]
+	}
+	return results, nil
+}
+
+// ReplayTrace re-executes a counterexample trace against this engine's
+// topology and algorithm and verifies that it lands in the exact state the
+// trace reports (the hex-encoded canonical key). It is the public form of
+// the replay check the trace tests pin.
+func (e *Engine) ReplayTrace(t *Trace) error {
+	prog, err := algo.New(e.alg, e.cfg.algoOpts)
+	if err != nil {
+		return err
+	}
+	_, err = trace.Replay(e.topo, prog, nil, t)
+	return err
+}
+
+// resolveProperties maps names to registered properties; no names selects
+// the exhaustive built-ins.
+func resolveProperties(names []string) ([]Property, error) {
+	if len(names) == 0 {
+		names = ExhaustiveProperties()
+	}
+	list := make([]Property, len(names))
+	for i, name := range names {
+		p, err := LookupProperty(name)
+		if err != nil {
+			return nil, err
+		}
+		list[i] = p
+	}
+	return list, nil
+}
+
+// explore builds the engine's state space with the engine's worker count,
+// wiring ctx cancellation into the exploration loop.
+func (e *Engine) explore(ctx context.Context) (*StateSpace, error) {
+	prog, err := algo.New(e.alg, e.cfg.algoOpts)
+	if err != nil {
+		return nil, err
+	}
+	opts := modelcheck.Options{
+		MaxStates: e.cfg.maxStates,
+		Protected: e.cfg.protected,
+		Workers:   e.cfg.workers,
+	}
+	if ctx.Done() != nil {
+		opts.Interrupt = ctx.Err
+	}
+	return modelcheck.Explore(e.topo, prog, opts)
+}
+
+// newResult seeds a PropertyResult with the identity of the check.
+func (in PropertyInput) newResult(name string, kind PropertyKind) PropertyResult {
+	e := in.Engine
+	r := PropertyResult{
+		Property:  name,
+		Kind:      kind,
+		Topology:  e.topo.Name(),
+		Algorithm: e.alg,
+		Protected: append([]PhilID(nil), e.cfg.protected...),
+	}
+	if in.Space != nil {
+		r.States = in.Space.NumStates()
+		r.Transitions = in.Space.NumTransitions()
+		r.Truncated = in.Space.Truncated
+	}
+	if kind == StatisticalProperty {
+		r.Scheduler = e.cfg.scheduler
+	}
+	return r
+}
+
+// --- Exhaustive built-ins ---
+
+func checkDeadlockFreedom(_ context.Context, in PropertyInput) (PropertyResult, error) {
+	res := in.newResult(DeadlockFreedom, ExhaustiveProperty)
+	dead := in.Space.DeadlockStates()
+	if len(dead) == 0 {
+		res.Passed = true
+		res.Detail = "no reachable deadlock state"
+		return res, nil
+	}
+	res.Detail = fmt.Sprintf("%d reachable deadlock state(s): every philosopher's every action is a self-loop", len(dead))
+	cx, err := in.Space.CounterexampleTo(DeadlockFreedom, dead[0])
+	if err != nil {
+		return res, err
+	}
+	res.Counterexample = cx
+	return res, nil
+}
+
+func checkProgress(_ context.Context, in PropertyInput) (PropertyResult, error) {
+	res := in.newResult(Progress, ExhaustiveProperty)
+	dead := in.Space.DeadRegionStates()
+	if len(dead) == 0 {
+		res.Passed = true
+		res.Detail = "a meal remains reachable from every reachable state"
+		return res, nil
+	}
+	res.Detail = fmt.Sprintf("%d reachable state(s) from which no meal is reachable under any scheduling", len(dead))
+	cx, err := in.Space.CounterexampleTo(Progress, dead[0])
+	if err != nil {
+		return res, err
+	}
+	res.Counterexample = cx
+	return res, nil
+}
+
+func checkStarvationTrap(_ context.Context, in PropertyInput) (PropertyResult, error) {
+	res := in.newResult(StarvationTrap, ExhaustiveProperty)
+	trap := in.Space.FindStarvationTrap()
+	phils := in.Engine.topo.NumPhilosophers()
+	if !trap.Exists || !trap.Reachable {
+		res.Passed = true
+		res.Detail = fmt.Sprintf("no fair starvation trap (safe region %d states, best coverage %d/%d philosophers)",
+			trap.SafeRegionStates, len(trap.CoveredPhilosophers), phils)
+		return res, nil
+	}
+	res.TrapStates = trap.States
+	res.Detail = fmt.Sprintf("a fair adversary can starve the protected set forever: trap of %d states inside a %d-state safe region",
+		trap.States, trap.SafeRegionStates)
+	cx, err := in.Space.CounterexampleTo(StarvationTrap, trap.WitnessState)
+	if err != nil {
+		return res, err
+	}
+	res.Counterexample = cx
+	return res, nil
+}
+
+func checkLockoutFreedom(ctx context.Context, in PropertyInput) (PropertyResult, error) {
+	res := in.newResult(LockoutFreedom, ExhaustiveProperty)
+	phils := in.Engine.cfg.protected
+	if len(phils) == 0 {
+		phils = make([]PhilID, in.Engine.topo.NumPhilosophers())
+		for i := range phils {
+			phils[i] = PhilID(i)
+		}
+	}
+	for _, p := range phils {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		trap, err := in.Space.FindStarvationTrapAgainst([]PhilID{p})
+		if err != nil {
+			return res, err
+		}
+		if trap.Exists && trap.Reachable {
+			res.TrapStates = trap.States
+			res.Detail = fmt.Sprintf("a fair adversary can starve philosopher %d forever: trap of %d states", p, trap.States)
+			cx, err := in.Space.CounterexampleTo(LockoutFreedom, trap.WitnessState)
+			if err != nil {
+				return res, err
+			}
+			res.Counterexample = cx
+			return res, nil
+		}
+	}
+	res.Passed = true
+	res.Detail = fmt.Sprintf("no individual starvation trap against any of %d philosopher(s)", len(phils))
+	return res, nil
+}
+
+// --- Statistical built-ins (Monte-Carlo wrappers over internal/verify) ---
+
+// schedulerFactory adapts the engine's scheduler configuration to the
+// per-trial constructor the verify checks expect.
+func (e *Engine) schedulerFactory() verify.SchedulerFactory {
+	return func(rng *prng.Source) sim.Scheduler {
+		s, err := sched.New(e.cfg.scheduler, sched.Config{
+			RNG:            rng,
+			Protected:      e.cfg.protected,
+			FairnessWindow: e.cfg.fairnessWindow,
+		})
+		if err != nil {
+			// New validated the scheduler name eagerly; reaching this means
+			// the registry entry was removed at runtime, a programming error.
+			panic(err)
+		}
+		return s
+	}
+}
+
+// stopFunc adapts ctx cancellation to the polling hook of the verify checks.
+func stopFunc(ctx context.Context) func() bool {
+	if ctx.Done() == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
+}
+
+func checkStatisticalProgress(ctx context.Context, in PropertyInput) (PropertyResult, error) {
+	e := in.Engine
+	res := in.newResult(StatisticalProgress, StatisticalProperty)
+	prog, err := algo.New(e.alg, e.cfg.algoOpts)
+	if err != nil {
+		return res, err
+	}
+	check := verify.ProgressCheck{
+		Topology:  e.topo,
+		Algorithm: prog,
+		Scheduler: e.schedulerFactory(),
+		Trials:    e.cfg.trials,
+		MaxSteps:  e.cfg.maxSteps,
+		Seed:      e.cfg.seed,
+		Workers:   e.cfg.workers,
+		Stop:      stopFunc(ctx),
+	}
+	pr, err := check.Run()
+	if err != nil {
+		return res, err
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	res.Trials = int(pr.Proportion.Trials())
+	res.Failures = len(pr.Failures)
+	res.Passed = pr.Passed()
+	if res.Passed {
+		res.Detail = fmt.Sprintf("progress in %d/%d trials (mean steps to first meal %.1f)",
+			pr.Proportion.Successes(), pr.Proportion.Trials(), pr.StepsToFirstMeal.Mean())
+	} else {
+		res.Detail = fmt.Sprintf("no progress in %d/%d trials (first failing seed %d)",
+			res.Failures, pr.Proportion.Trials(), pr.Failures[0])
+	}
+	return res, nil
+}
+
+func checkStatisticalLockout(ctx context.Context, in PropertyInput) (PropertyResult, error) {
+	e := in.Engine
+	res := in.newResult(StatisticalLockout, StatisticalProperty)
+	prog, err := algo.New(e.alg, e.cfg.algoOpts)
+	if err != nil {
+		return res, err
+	}
+	check := verify.LockoutCheck{
+		Topology:  e.topo,
+		Algorithm: prog,
+		Scheduler: e.schedulerFactory(),
+		Trials:    e.cfg.trials,
+		MaxSteps:  e.cfg.maxSteps,
+		Seed:      e.cfg.seed,
+		Workers:   e.cfg.workers,
+		Stop:      stopFunc(ctx),
+	}
+	lr, err := check.Run()
+	if err != nil {
+		return res, err
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	res.Trials = int(lr.Proportion.Trials())
+	res.Failures = len(lr.Failures)
+	res.Passed = lr.Passed()
+	if res.Passed {
+		res.Detail = fmt.Sprintf("every philosopher served in %d/%d trials (worst Jain index %.3f)",
+			lr.Proportion.Successes(), lr.Proportion.Trials(), lr.WorstJainIndex)
+	} else {
+		res.Detail = fmt.Sprintf("a philosopher went unserved in %d/%d trials (first failing seed %d)",
+			res.Failures, lr.Proportion.Trials(), lr.Failures[0])
+	}
+	return res, nil
+}

@@ -1,0 +1,313 @@
+package dining_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/dining"
+)
+
+func mustEngine(t *testing.T, topo *dining.Topology, alg string, opts ...dining.Option) *dining.Engine {
+	t.Helper()
+	eng, err := dining.New(topo, alg, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func checkOne(t *testing.T, eng *dining.Engine, prop string) dining.PropertyResult {
+	t.Helper()
+	results, err := eng.CheckAll(context.Background(), prop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Property != prop {
+		t.Fatalf("CheckAll(%s) returned %+v", prop, results)
+	}
+	if results[0].Truncated {
+		t.Fatalf("%s on %s: exploration truncated; the instance is supposed to fit", eng.Algorithm(), eng.Topology())
+	}
+	return results[0]
+}
+
+func TestPropertyRegistry(t *testing.T) {
+	t.Parallel()
+	names := dining.Properties()
+	for _, want := range []string{
+		dining.DeadlockFreedom, dining.Progress, dining.LockoutFreedom, dining.StarvationTrap,
+		dining.StatisticalProgress, dining.StatisticalLockout,
+	} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("built-in property %q not registered (have %v)", want, names)
+		}
+	}
+	if _, err := dining.LookupProperty("nope"); err == nil {
+		t.Error("LookupProperty accepted an unknown name")
+	} else if !strings.Contains(err.Error(), "registered:") {
+		t.Errorf("unknown-property error should list the registered options, got: %v", err)
+	}
+
+	p, err := dining.LookupProperty(dining.Progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind() != dining.ExhaustiveProperty {
+		t.Errorf("progress should be exhaustive, got %q", p.Kind())
+	}
+}
+
+func TestEngineCheckUnknownProperty(t *testing.T) {
+	t.Parallel()
+	eng := mustEngine(t, dining.Ring(3), dining.LR1)
+	if _, err := eng.CheckAll(context.Background(), "warp-freedom"); err == nil {
+		t.Error("CheckAll accepted an unknown property name")
+	} else if !strings.Contains(err.Error(), "registered:") {
+		t.Errorf("unknown-property error should list the registered options, got: %v", err)
+	}
+	sawErr := false
+	for _, err := range eng.Check(context.Background(), "warp-freedom") {
+		if err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Error("Check stream swallowed the unknown property name")
+	}
+}
+
+// TestEngineCheckReproducesTheorems replays every verdict of the internal
+// model-checker test suite (Theorems 1–4 and their boundary cases) through
+// the public property layer: the starvation-trap, progress, deadlock-freedom
+// and lockout-freedom built-ins on the paper's minimal instances.
+func TestEngineCheckReproducesTheorems(t *testing.T) {
+	t.Parallel()
+	ring3 := []dining.PhilID{0, 1, 2}
+	theta := dining.Theorem2Minimal()
+	t1min := dining.Theorem1Minimal()
+
+	type tc struct {
+		name      string
+		topo      *dining.Topology
+		algorithm string
+		opts      dining.AlgorithmOptions
+		protected []dining.PhilID
+		prop      string
+		wantPass  bool
+		big       bool
+	}
+	cases := []tc{
+		// Theorem 1: a fair adversary defeats LR1 once a ring fork is shared.
+		{"T1 LR1 trap", t1min, dining.LR1, dining.AlgorithmOptions{}, ring3, dining.StarvationTrap, false, false},
+		{"T1 LR1 global", t1min, dining.LR1, dining.AlgorithmOptions{}, nil, dining.StarvationTrap, false, false},
+		{"T1 pendant LR1", dining.RingWithPendant(3), dining.LR1, dining.AlgorithmOptions{}, ring3, dining.StarvationTrap, false, false},
+		// Lehmann-Rabin 1981: no trap for LR1 on the classic ring.
+		{"LR1 classic ring", dining.Ring(3), dining.LR1, dining.AlgorithmOptions{}, nil, dining.StarvationTrap, true, false},
+		// Theorem 2: the theta graph defeats LR1 and LR2 even for global progress.
+		{"T2 LR1", theta, dining.LR1, dining.AlgorithmOptions{}, nil, dining.StarvationTrap, false, false},
+		{"T2 LR2", theta, dining.LR2, dining.AlgorithmOptions{}, nil, dining.StarvationTrap, false, false},
+		// Theorem 3: GDP1 has no progress trap anywhere.
+		{"T3 GDP1 theta", theta, dining.GDP1, dining.AlgorithmOptions{}, nil, dining.StarvationTrap, true, false},
+		{"T3 GDP1 t1min", t1min, dining.GDP1, dining.AlgorithmOptions{}, nil, dining.StarvationTrap, true, true},
+		{"T3 GDP1 ring", dining.Ring(3), dining.GDP1, dining.AlgorithmOptions{}, nil, dining.StarvationTrap, true, false},
+		// GDP1 is not lockout-free (Section 5 motivation).
+		{"GDP1 lockout", theta, dining.GDP1, dining.AlgorithmOptions{}, []dining.PhilID{0}, dining.LockoutFreedom, false, false},
+		// Theorem 4: GDP2 is lockout-free on the minimal generalized instance.
+		{"T4 GDP2", theta, dining.GDP2, dining.AlgorithmOptions{}, []dining.PhilID{0}, dining.LockoutFreedom, true, false},
+		// LR2 is lockout-free on the classic ring; LR1 is not.
+		{"LR2 ring lockout", dining.Ring(3), dining.LR2, dining.AlgorithmOptions{}, []dining.PhilID{0}, dining.LockoutFreedom, true, false},
+		{"LR1 ring lockout", dining.Ring(3), dining.LR1, dining.AlgorithmOptions{}, []dining.PhilID{0}, dining.LockoutFreedom, false, false},
+		// The paper's algorithms never wedge; the naive baseline deadlocks.
+		{"GDP2 deadlock-free", theta, dining.GDP2, dining.AlgorithmOptions{}, nil, dining.DeadlockFreedom, true, false},
+		{"GDP2 progress", theta, dining.GDP2, dining.AlgorithmOptions{}, nil, dining.Progress, true, false},
+		{"naive deadlocks", dining.Ring(3), dining.NaiveLeftFirst, dining.AlgorithmOptions{}, nil, dining.DeadlockFreedom, false, false},
+		{"naive dead region", dining.Ring(3), dining.NaiveLeftFirst, dining.AlgorithmOptions{}, nil, dining.Progress, false, false},
+		// E-T4 courtesy gap: first-fork-only courtesy admits an individual
+		// trap on the classic ring; both-forks courtesy removes it.
+		{"GDP2 courtesy gap", dining.Ring(3), dining.GDP2, dining.AlgorithmOptions{}, []dining.PhilID{0}, dining.LockoutFreedom, false, true},
+		{"GDP2 strengthened", dining.Ring(3), dining.GDP2, dining.AlgorithmOptions{CourtesyOnBothForks: true}, []dining.PhilID{0}, dining.LockoutFreedom, true, true},
+	}
+	for _, c := range cases {
+		if testing.Short() && c.big {
+			continue
+		}
+		eng := mustEngine(t, c.topo, c.algorithm,
+			dining.WithAlgorithmOptions(c.opts), dining.WithProtected(c.protected...))
+		res := checkOne(t, eng, c.prop)
+		if res.Passed != c.wantPass {
+			t.Errorf("%s: %s on %s (protected %v): passed=%v, want %v — %s",
+				c.name, c.algorithm, c.topo.Name(), c.protected, res.Passed, c.wantPass, res.Detail)
+			continue
+		}
+		if !res.Passed {
+			// Every exhaustive failure must carry a replayable counterexample.
+			if res.Counterexample == nil {
+				t.Errorf("%s: failed without a counterexample trace", c.name)
+				continue
+			}
+			if err := eng.ReplayTrace(res.Counterexample); err != nil {
+				t.Errorf("%s: counterexample does not replay: %v", c.name, err)
+			}
+		}
+	}
+}
+
+// TestCounterexampleTraceGolden pins the exact counterexample traces of the
+// two headline negative results — Theorem 1 (LR1 on the ring with an extra
+// arc) and Theorem 2 (LR2 on the theta graph) — as JSON golden files: the
+// scheduler-choice path, the outcome labels and probabilities, the rendered
+// final state and the canonical final key are all part of the stable wire
+// format. The traces are deterministic because the BFS state numbering and
+// the path search are, for every worker count.
+func TestCounterexampleTraceGolden(t *testing.T) {
+	t.Parallel()
+	ring3 := []dining.PhilID{0, 1, 2}
+	cases := []struct {
+		golden    string
+		topo      *dining.Topology
+		algorithm string
+		protected []dining.PhilID
+	}{
+		{"trace_theorem1_lr1.golden.json", dining.Theorem1Minimal(), dining.LR1, ring3},
+		{"trace_theorem2_lr2.golden.json", dining.Theorem2Minimal(), dining.LR2, nil},
+	}
+	for _, c := range cases {
+		eng := mustEngine(t, c.topo, c.algorithm, dining.WithProtected(c.protected...))
+		res := checkOne(t, eng, dining.StarvationTrap)
+		if res.Passed {
+			t.Fatalf("%s on %s: expected the starvation trap of the theorem", c.algorithm, c.topo.Name())
+		}
+		if res.Counterexample == nil {
+			t.Fatalf("%s on %s: trap reported without a counterexample", c.algorithm, c.topo.Name())
+		}
+		// The replay test: re-execute the trace and land in the reported state.
+		if err := eng.ReplayTrace(res.Counterexample); err != nil {
+			t.Errorf("%s: counterexample replay: %v", c.golden, err)
+		}
+		checkGolden(t, c.golden, res.Counterexample)
+	}
+}
+
+func TestEngineCheckWorkersYieldIdenticalResults(t *testing.T) {
+	t.Parallel()
+	ring3 := []dining.PhilID{0, 1, 2}
+	base := mustEngine(t, dining.Theorem1Minimal(), dining.LR1,
+		dining.WithProtected(ring3...), dining.WithWorkers(1))
+	want, err := base.CheckAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5} {
+		eng := mustEngine(t, dining.Theorem1Minimal(), dining.LR1,
+			dining.WithProtected(ring3...), dining.WithWorkers(workers))
+		got, err := eng.CheckAll(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Passed != want[i].Passed || got[i].Detail != want[i].Detail ||
+				got[i].States != want[i].States || got[i].TrapStates != want[i].TrapStates {
+				t.Errorf("workers=%d: result %s differs:\n got  %+v\n want %+v",
+					workers, got[i].Property, got[i], want[i])
+			}
+			gotCx, wantCx := got[i].Counterexample, want[i].Counterexample
+			if (gotCx == nil) != (wantCx == nil) {
+				t.Errorf("workers=%d: %s counterexample presence differs", workers, got[i].Property)
+				continue
+			}
+			if gotCx != nil && (gotCx.FinalKey != wantCx.FinalKey || len(gotCx.Steps) != len(wantCx.Steps)) {
+				t.Errorf("workers=%d: %s counterexample differs", workers, got[i].Property)
+			}
+		}
+	}
+}
+
+func TestCheckAllToleratesDuplicateNames(t *testing.T) {
+	t.Parallel()
+	eng := mustEngine(t, dining.Ring(3), dining.LR1)
+	results, err := eng.CheckAll(context.Background(), dining.Progress, dining.Progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results for two requests", len(results))
+	}
+	for i, r := range results {
+		if r.Property != dining.Progress || !r.Passed {
+			t.Errorf("result %d: %+v; want a passing progress verdict", i, r)
+		}
+	}
+}
+
+func TestEngineCheckStatisticalProperties(t *testing.T) {
+	t.Parallel()
+	eng := mustEngine(t, dining.Theorem2Minimal(), dining.GDP1,
+		dining.WithTrials(5), dining.WithMaxSteps(50_000), dining.WithSeed(7))
+	results, err := eng.CheckAll(context.Background(), dining.StatisticalProgress, dining.StatisticalLockout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Kind != dining.StatisticalProperty {
+			t.Errorf("%s: kind %q", r.Property, r.Kind)
+		}
+		if !r.Passed {
+			t.Errorf("%s failed for GDP1 on the theta graph: %s", r.Property, r.Detail)
+		}
+		if r.Trials != 5 {
+			t.Errorf("%s: WithTrials(5) not honoured, ran %d trials", r.Property, r.Trials)
+		}
+		if r.Scheduler == "" {
+			t.Errorf("%s: statistical results must name the scheduler", r.Property)
+		}
+		if r.States != 0 {
+			t.Errorf("%s: statistical results must not claim an explored space", r.Property)
+		}
+	}
+}
+
+func TestEngineCheckContextCancellation(t *testing.T) {
+	t.Parallel()
+	eng := mustEngine(t, dining.Ring(3), dining.GDP2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.CheckAll(ctx); err == nil {
+		t.Error("CheckAll ignored a cancelled context")
+	}
+}
+
+func TestRegisterCustomProperty(t *testing.T) {
+	t.Parallel()
+	// A custom exhaustive property plugs into the registry and rides the
+	// shared exploration of Engine.Check.
+	dining.RegisterProperty(dining.PropertyFunc{
+		PropName: "test-has-states",
+		PropKind: dining.ExhaustiveProperty,
+		Func: func(ctx context.Context, in dining.PropertyInput) (dining.PropertyResult, error) {
+			return dining.PropertyResult{
+				Property: "test-has-states",
+				Kind:     dining.ExhaustiveProperty,
+				Passed:   in.Space.NumStates() > 0,
+				Detail:   "custom",
+			}, nil
+		},
+	})
+	eng := mustEngine(t, dining.Ring(3), dining.LR1)
+	results, err := eng.CheckAll(context.Background(), "test-has-states")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || !results[0].Passed {
+		t.Errorf("custom property did not run: %+v", results)
+	}
+}

@@ -6,21 +6,32 @@
 // runtime, an exhaustive model checker for the paper's theorems, and the
 // experiment harness that regenerates every reproduced artifact.
 //
-// The public entry point for library users is package dining — a v2
-// streaming experiment engine built on three open registries (topologies,
-// algorithms, schedulers), functional-options construction
+// The public entry point for library users is package dining — a v3
+// streaming experiment engine built on four open registries (topologies,
+// algorithms, schedulers, properties), functional-options construction
 // (dining.New(topo, algo, dining.WithScheduler(...), ...)) and incremental
 // result streams (Engine.Trials yields per-trial results as workers finish;
 // Sweep crosses topology × algorithm × scheduler grids into a streamed
-// scenario matrix). New algorithms, adversaries and topologies plug in with
-// dining.RegisterAlgorithm / RegisterScheduler / RegisterTopology without
-// touching the core packages.
+// scenario matrix). New algorithms, adversaries, topologies and properties
+// plug in with dining.RegisterAlgorithm / RegisterScheduler /
+// RegisterTopology / RegisterProperty without touching the core packages.
+//
+// The property layer is the v3 centerpiece: the paper's claims — deadlock-
+// freedom, progress, lockout-freedom, starvation traps (Theorems 1–4) — are
+// first-class named checks. Engine.Check(ctx, props...) explores the state
+// space once (a parallel breadth-first search whose result is byte-identical
+// for every worker count) and streams one PropertyResult per property; every
+// exhaustive failure carries a replayable counterexample Trace — the exact
+// scheduler-choice path from the initial state into the violating region,
+// rendered in the paper's arrow notation and verifiable with
+// Engine.ReplayTrace. Statistical built-ins (statistical-progress,
+// statistical-lockout) cover instances too large to explore.
 //
 // The command-line tools live under cmd (dpsim, dpbench, dpcheck,
-// dpadversary; dpsim and dpbench speak JSON with -json) and share the
-// internal/cli config layer, so registered extensions appear in every tool's
-// flags and error messages. The reproduction experiments are described in
-// DESIGN.md and their results in EXPERIMENTS.md. The benchmark suite in
-// bench_test.go has one benchmark per reproduced table or figure of the
-// paper.
+// dpadversary; all speak JSON with -json, and dpcheck/dpadversary select
+// properties with -props) and share the internal/cli config layer, so
+// registered extensions appear in every tool's flags and error messages. The
+// reproduction experiments are described in DESIGN.md and their results in
+// EXPERIMENTS.md. The benchmark suite in bench_test.go has one benchmark per
+// reproduced table or figure of the paper.
 package repro

@@ -52,16 +52,33 @@ func main() {
 	fmt.Println("explicit scheduler; the adaptive adversary here does much better. GDP1 makes")
 	fmt.Println("progress in every run, as Theorem 3 guarantees for every fair scheduler.")
 
-	// The exhaustive verdict on the minimal instances (a few thousand states).
+	// The exhaustive verdict on the minimal instances (a few thousand
+	// states), through the property layer: the starvation-trap property is
+	// the machine-checked form of the theorems, and its failure for LR1
+	// carries a replayable scheduler path into the trap region.
 	fmt.Println()
-	lr1, err := dining.ModelCheck(ctx, dining.Theta(1, 1, 1), dining.LR1)
-	if err != nil {
-		log.Fatal(err)
+	for _, algorithm := range []string{dining.LR1, dining.GDP1} {
+		eng, err := dining.New(dining.Theta(1, 1, 1), algorithm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results, err := eng.CheckAll(ctx, dining.StarvationTrap, dining.Progress)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range results {
+			verdict := "holds"
+			if !r.Passed {
+				verdict = "FAILS"
+			}
+			fmt.Printf("theta graph, %-5s %-16s %s — %s\n", algorithm+":", r.Property, verdict, r.Detail)
+			if r.Counterexample != nil {
+				if err := eng.ReplayTrace(r.Counterexample); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("  (replayable counterexample: %d scheduler choices into the trap, verified by replay)\n",
+					r.Counterexample.Len())
+			}
+		}
 	}
-	gdp1, err := dining.ModelCheck(ctx, dining.Theta(1, 1, 1), dining.GDP1)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("model checker, theta graph: LR1 trap=%v, GDP1 trap=%v\n",
-		lr1.FairAdversaryWins(), gdp1.FairAdversaryWins())
 }

@@ -38,6 +38,8 @@ const (
 	FlagM
 	// FlagJSON registers -json.
 	FlagJSON
+	// FlagProps registers -props (property selection for Engine.Check).
+	FlagProps
 )
 
 // Config holds the shared tool configuration. Populate the fields with a
@@ -61,6 +63,9 @@ type Config struct {
 	M int
 	// JSON selects machine-readable output.
 	JSON bool
+	// Props is the comma-separated property selection for Engine.Check
+	// (empty = the four exhaustive built-ins).
+	Props string
 
 	registered Flags
 }
@@ -100,6 +105,11 @@ func (c *Config) Register(fs *flag.FlagSet, which Flags) {
 	if which&FlagJSON != 0 {
 		fs.BoolVar(&c.JSON, "json", c.JSON, "emit JSON instead of text")
 	}
+	if which&FlagProps != 0 {
+		fs.StringVar(&c.Props, "props", c.Props,
+			fmt.Sprintf("comma-separated properties to check (registered: %s; empty = %s)",
+				strings.Join(dining.Properties(), ", "), strings.Join(dining.ExhaustiveProperties(), ", ")))
+	}
 }
 
 // Validate checks every registered value: registry names must resolve
@@ -133,7 +143,26 @@ func (c *Config) Validate() error {
 	if c.registered&FlagM != 0 && c.M < 0 {
 		return fmt.Errorf("-m must be >= 0, got %d", c.M)
 	}
+	if c.registered&FlagProps != 0 {
+		for _, name := range c.PropertyNames() {
+			if err := knownName("property", name, dining.Properties()); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// PropertyNames parses the -props selection into a name list (nil when the
+// flag is empty, selecting Engine.Check's exhaustive defaults).
+func (c *Config) PropertyNames() []string {
+	var names []string
+	for _, part := range strings.Split(c.Props, ",") {
+		if name := strings.TrimSpace(part); name != "" {
+			names = append(names, name)
+		}
+	}
+	return names
 }
 
 // BuildTopology validates and resolves the configured topology.

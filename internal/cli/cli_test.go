@@ -62,6 +62,36 @@ func TestValidateRejectsNegativeNumbers(t *testing.T) {
 	}
 }
 
+func TestPropsFlag(t *testing.T) {
+	t.Parallel()
+	cfg := newConfig(t, FlagProps, "-props", "progress, starvation-trap")
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate rejected known properties: %v", err)
+	}
+	names := cfg.PropertyNames()
+	if len(names) != 2 || names[0] != "progress" || names[1] != "starvation-trap" {
+		t.Errorf("PropertyNames = %v", names)
+	}
+
+	empty := newConfig(t, FlagProps)
+	if err := empty.Validate(); err != nil {
+		t.Fatalf("Validate rejected the empty default selection: %v", err)
+	}
+	if names := empty.PropertyNames(); names != nil {
+		t.Errorf("empty -props should select the defaults (nil), got %v", names)
+	}
+
+	bad := newConfig(t, FlagProps, "-props", "progress,warp-freedom")
+	err := bad.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted an unknown property")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown property "warp-freedom"`) || !strings.Contains(msg, "registered:") {
+		t.Errorf("want a one-line error listing the registered properties, got: %v", err)
+	}
+}
+
 func TestEngineFromFlags(t *testing.T) {
 	t.Parallel()
 	cfg := newConfig(t, allFlags, "-topology", "theta", "-n", "1", "-algorithm", "LR2", "-scheduler", "adversary", "-seed", "9")

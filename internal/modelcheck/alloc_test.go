@@ -1,0 +1,51 @@
+package modelcheck
+
+import (
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/graph"
+)
+
+// TestExploreAllocsPerState is the allocation-regression guard for the
+// sequential exploration path. The intern-key byte-arena (one amortized
+// chunk instead of one string copy per state) and the frontier world
+// free-list (revisit clones and expanded frontier worlds recycle their
+// backing slices) brought Explore from ~6 allocations per state down to
+// under 2; this test pins that budget so a refactor that reintroduces
+// per-state copies shows up immediately.
+func TestExploreAllocsPerState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting skipped in -short mode")
+	}
+	const maxAllocsPerState = 2.5
+	for _, tc := range []struct {
+		topo *graph.Topology
+		alg  string
+	}{
+		{graph.Ring(3), "LR1"},
+		{graph.Theorem2Minimal(), "LR1"},
+		{graph.Theorem2Minimal(), "GDP1"},
+	} {
+		prog, err := algo.New(tc.alg, algo.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, err := Explore(tc.topo, prog, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		states := float64(ss.NumStates())
+		allocs := testing.AllocsPerRun(3, func() {
+			if _, err := Explore(tc.topo, prog, Options{Workers: 1}); err != nil {
+				t.Fatal(err)
+			}
+		})
+		perState := allocs / states
+		t.Logf("%s on %s: %.0f states, %.0f allocs, %.2f allocs/state", tc.alg, tc.topo.Name(), states, allocs, perState)
+		if perState > maxAllocsPerState {
+			t.Errorf("%s on %s: %.2f allocs/state exceeds the %.1f budget",
+				tc.alg, tc.topo.Name(), perState, maxAllocsPerState)
+		}
+	}
+}

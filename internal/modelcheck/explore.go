@@ -18,10 +18,25 @@
 // (fairness), so its existence is exactly the negative result, and its
 // absence on every reachable part of the state space certifies the positive
 // result for the explored instance. FindStarvationTrap computes it.
+//
+// # Exploration order and parallelism
+//
+// Explore is a level-synchronous breadth-first search. The states of one BFS
+// level are expanded — in parallel across Options.Workers goroutines — and
+// their successors are then interned in a single deterministic merge pass
+// that walks the level in frontier order, each state's actions in
+// philosopher order and each action's outcomes in outcome order. New states
+// receive ids in that first-encounter order, so the explored space (state
+// numbering, transition tables, probabilities) is byte-identical for every
+// worker count; the sequential path is simply the same order executed
+// inline.
 package modelcheck
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"unsafe"
 
 	"repro/internal/graph"
 	"repro/internal/sim"
@@ -51,10 +66,19 @@ type Options struct {
 	// non-nil return aborts Explore with that error. It is how context
 	// cancellation reaches the exploration loop.
 	Interrupt func() error
+	// Workers bounds the exploration goroutines (0 = one per CPU,
+	// 1 = sequential). The explored space is byte-identical for every value;
+	// only wall-clock changes.
+	Workers int
 }
 
 // DefaultMaxStates bounds explorations when Options.MaxStates is zero.
 const DefaultMaxStates = 2_000_000
+
+// maskablePhils is the philosopher-count ceiling for the per-state eating
+// bitmasks behind FindStarvationTrapAgainst. Instances beyond it (far larger
+// than anything exhaustively explorable) simply skip the masks.
+const maskablePhils = 64
 
 // transition is one (state, philosopher) action: a window into the state
 // space's shared succs/probs backing arrays. Storing offsets instead of
@@ -69,8 +93,9 @@ type transition struct {
 
 // StateSpace is the explored MDP.
 type StateSpace struct {
-	topo *graph.Topology
-	prog sim.Program
+	topo   *graph.Topology
+	prog   sim.Program
+	hunger sim.HungerModel
 
 	// NumPhils is the number of philosophers (actions per state).
 	NumPhils int
@@ -86,6 +111,9 @@ type StateSpace struct {
 	bad []bool
 	// anyEating[s] reports whether any philosopher is eating in state s.
 	anyEating []bool
+	// eating[s] is the bitmask of philosophers eating in state s, backing
+	// FindStarvationTrapAgainst; nil when NumPhils > maskablePhils.
+	eating []uint64
 	// initial is the index of the initial state.
 	initial int
 	// Truncated reports whether MaxStates was hit; analyses on a truncated
@@ -143,6 +171,157 @@ func (ss *StateSpace) NumBadStates() int {
 	return n
 }
 
+// byteArena interns byte strings into large shared chunks: the returned
+// string views the arena's backing array directly, so interning a key costs
+// an amortized chunk allocation instead of one string copy per state. A
+// chunk is never reallocated once strings point into it (growth switches to
+// a fresh chunk), so the returned strings stay valid for the lifetime of
+// whatever retains them.
+type byteArena struct {
+	buf []byte
+}
+
+// arenaChunkSize is the allocation unit of byteArena.
+const arenaChunkSize = 1 << 16
+
+// intern copies b into the arena and returns a stable string view of it.
+func (a *byteArena) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if cap(a.buf)-len(a.buf) < len(b) {
+		size := arenaChunkSize
+		if len(b) > size {
+			size = len(b)
+		}
+		a.buf = make([]byte, 0, size)
+	}
+	off := len(a.buf)
+	a.buf = append(a.buf, b...)
+	return unsafe.String(&a.buf[off], len(b))
+}
+
+// scratch is the reusable per-worker expansion state: key and outcome
+// buffers, a world free-list, and — for the parallel path — the recorded
+// expansion of the worker's chunk awaiting the deterministic merge.
+type scratch struct {
+	keyBuf     []byte
+	obuf, sbuf []sim.Outcome
+	// free recycles protocol-clone worlds: revisited successors and expanded
+	// frontier worlds go back here and their backing slices are reused by the
+	// next clone. Disabled (noRecycle) under a custom hunger model, whose
+	// full clones carry metric slices the protocol-clone path must not reuse.
+	free      []*sim.World
+	noRecycle bool
+
+	// Parallel expansion record, flattened in (state, action, outcome) order.
+	counts  []int32   // per (state, action): number of outcomes
+	probs   []float64 // per outcome: probability
+	refs    []int32   // per outcome: >= 0 global state id, else ^pendingIdx
+	pkeys   []string  // per pending (locally new) state: canonical key
+	pworlds []*sim.World
+	local   map[string]int32 // canonical key -> pending index, this level only
+	resolve []int32          // merge scratch: pending index -> assigned id
+	err     error
+}
+
+func newScratch(noRecycle bool) *scratch {
+	return &scratch{noRecycle: noRecycle, local: make(map[string]int32)}
+}
+
+func (s *scratch) takeFree() *sim.World {
+	if n := len(s.free); n > 0 {
+		w := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return w
+	}
+	return nil
+}
+
+func (s *scratch) putFree(w *sim.World) {
+	if !s.noRecycle {
+		s.free = append(s.free, w)
+	}
+}
+
+// explorer carries the shared state of one Explore call.
+type explorer struct {
+	ss        *StateSpace
+	opts      Options
+	maxStates int
+	protected map[graph.PhilID]bool
+
+	// index dedupes states by canonical key. During a parallel expansion
+	// phase the map is strictly read-only (workers probe it concurrently with
+	// the no-copy string(buf) idiom); all writes happen in the sequential
+	// merge between levels.
+	index map[string]int32
+	// arena interns the sequential path's map keys in large chunks, so the
+	// per-state key string of the old explorer disappears. The parallel path
+	// uses the pending keys the workers already materialised.
+	arena byteArena
+	// zeroTrans is the reusable blank transition row appended per new state.
+	zeroTrans []transition
+
+	// frontW holds the worlds of the current BFS level (sequentially: of
+	// every state, indexed by id, consumed in place); nextW collects the next
+	// level during a merge. Level ids are contiguous, so only the worlds are
+	// stored — the id of frontW[i] is levelStart+i.
+	frontW []*sim.World
+	nextW  []*sim.World
+}
+
+// isProtected reports whether p's meals count as "bad".
+func (e *explorer) isProtected(p graph.PhilID) bool {
+	return len(e.protected) == 0 || e.protected[p]
+}
+
+// clone copies src for one explored transition, reusing spare when possible.
+// With a custom hunger model the clones must carry run metrics (the model
+// may read them, e.g. NeverHungryAgainAfter reads EatsBy), so fall back to
+// full Clone and skip recycling.
+func (e *explorer) clone(src, spare *sim.World) *sim.World {
+	if e.opts.Hunger != nil {
+		return src.Clone()
+	}
+	return src.CloneProtocolInto(spare)
+}
+
+// addState interns a newly discovered state. key must be a stable string
+// (arena-interned or heap-allocated); w is the state's world. It returns the
+// assigned id.
+func (e *explorer) addState(key string, w *sim.World) int32 {
+	ss := e.ss
+	id := int32(len(ss.bad))
+	e.index[key] = id
+	ss.trans = append(ss.trans, e.zeroTrans...)
+	ss.expanded = append(ss.expanded, false)
+	if e.opts.KeepKeys {
+		ss.keys = append(ss.keys, key)
+	}
+	badHere := false
+	eatingHere := false
+	var mask uint64
+	for p := range w.Phils {
+		if w.Phils[p].Phase == sim.Eating {
+			eatingHere = true
+			if p < maskablePhils {
+				mask |= 1 << uint(p)
+			}
+			if e.isProtected(graph.PhilID(p)) {
+				badHere = true
+			}
+		}
+	}
+	ss.bad = append(ss.bad, badHere)
+	ss.anyEating = append(ss.anyEating, eatingHere)
+	if ss.NumPhils <= maskablePhils {
+		ss.eating = append(ss.eating, mask)
+	}
+	return id
+}
+
 // Explore builds the complete reachable state space of prog on topo.
 func Explore(topo *graph.Topology, prog sim.Program, opts Options) (*StateSpace, error) {
 	if topo == nil || prog == nil {
@@ -152,18 +331,29 @@ func Explore(topo *graph.Topology, prog sim.Program, opts Options) (*StateSpace,
 	if maxStates <= 0 {
 		maxStates = DefaultMaxStates
 	}
-	protected := make(map[graph.PhilID]bool)
-	for _, p := range opts.Protected {
-		protected[p] = true
-	}
-	isProtected := func(p graph.PhilID) bool {
-		return len(protected) == 0 || protected[p]
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 
 	ss := &StateSpace{
 		topo:     topo,
 		prog:     prog,
+		hunger:   opts.Hunger,
 		NumPhils: topo.NumPhilosophers(),
+	}
+	e := &explorer{
+		ss:        ss,
+		opts:      opts,
+		maxStates: maxStates,
+		index:     make(map[string]int32),
+		zeroTrans: make([]transition, ss.NumPhils),
+	}
+	if len(opts.Protected) > 0 {
+		e.protected = make(map[graph.PhilID]bool, len(opts.Protected))
+		for _, p := range opts.Protected {
+			e.protected[p] = true
+		}
 	}
 
 	initial := sim.NewWorld(topo)
@@ -172,121 +362,19 @@ func Explore(topo *graph.Topology, prog sim.Program, opts Options) (*StateSpace,
 	}
 	prog.Init(initial)
 
-	// index dedupes states by canonical key. Lookups use the string(keyBuf)
-	// no-copy idiom: the compiler elides the []byte→string conversion for a
-	// map read, so probing a seen state allocates nothing; only genuinely new
-	// states pay for one string copy (the retained map key).
-	index := make(map[string]int32)
-	type frontierEntry struct {
-		id int32
-		w  *sim.World
+	w0 := e.clone(initial, nil)
+	e.addState(e.arena.intern(w0.AppendKey(nil)), w0)
+	ss.initial = 0
+	e.frontW = append(e.frontW, w0)
+
+	var err error
+	if workers == 1 {
+		err = e.exploreSequential()
+	} else {
+		err = e.exploreParallel(workers)
 	}
-	var frontier []frontierEntry
-	var keyBuf []byte
-	// spare receives protocol clones that turned out to be already-interned
-	// states, so the dominant revisit case recycles one world's backing
-	// slices instead of allocating fresh ones per probed outcome.
-	var spare *sim.World
-	// With a custom hunger model the clones must carry run metrics (the
-	// model may read them, e.g. NeverHungryAgainAfter reads EatsBy), so fall
-	// back to full Clone and skip the spare-recycling fast path.
-	clone := func(src, spare *sim.World) *sim.World {
-		if opts.Hunger != nil {
-			return src.Clone()
-		}
-		return src.CloneProtocolInto(spare)
-	}
-
-	// zeroTrans is the reusable blank transition row appended for each newly
-	// interned state; append copies it, so every state gets fresh slots from
-	// the shared backing array without a per-state allocation.
-	zeroTrans := make([]transition, ss.NumPhils)
-
-	intern := func(w *sim.World) (int32, bool) {
-		keyBuf = w.AppendKey(keyBuf[:0])
-		if id, ok := index[string(keyBuf)]; ok {
-			return id, false
-		}
-		id := int32(len(ss.bad))
-		index[string(keyBuf)] = id
-		ss.trans = append(ss.trans, zeroTrans...)
-		ss.expanded = append(ss.expanded, false)
-		if opts.KeepKeys {
-			ss.keys = append(ss.keys, string(keyBuf))
-		}
-		badHere := false
-		eatingHere := false
-		for p := range w.Phils {
-			if w.Phils[p].Phase == sim.Eating {
-				eatingHere = true
-				if isProtected(graph.PhilID(p)) {
-					badHere = true
-				}
-			}
-		}
-		ss.bad = append(ss.bad, badHere)
-		ss.anyEating = append(ss.anyEating, eatingHere)
-		return id, true
-	}
-
-	w0 := clone(initial, nil)
-	id, _ := intern(w0)
-	ss.initial = int(id)
-	frontier = append(frontier, frontierEntry{id: id, w: w0})
-
-	var obuf, sbuf []sim.Outcome
-	var expandedCount int
-	for len(frontier) > 0 {
-		if opts.Interrupt != nil && expandedCount%interruptCheckInterval == 0 {
-			if err := opts.Interrupt(); err != nil {
-				return nil, err
-			}
-		}
-		expandedCount++
-		entry := frontier[len(frontier)-1]
-		frontier = frontier[:len(frontier)-1]
-
-		base := int(entry.id) * ss.NumPhils
-		for a := 0; a < ss.NumPhils; a++ {
-			pid := graph.PhilID(a)
-			// Outcomes must not mutate the world they are computed from, so
-			// the shared frontier world can be probed directly; each outcome
-			// is then applied to its own clone.
-			outcomes := prog.Outcomes(entry.w, pid, obuf[:0])
-			obuf = outcomes
-			off := int32(len(ss.succs))
-			for i := range outcomes {
-				succWorld := clone(entry.w, spare)
-				spare = nil
-				succOutcomes := prog.Outcomes(succWorld, pid, sbuf[:0])
-				sbuf = succOutcomes
-				if len(succOutcomes) != len(outcomes) {
-					return nil, fmt.Errorf("modelcheck: %s produced unstable outcome sets for P%d", prog.Name(), pid)
-				}
-				succOutcomes[i].Do(succWorld, pid)
-				succWorld.Step++
-				succID, isNew := intern(succWorld)
-				ss.succs = append(ss.succs, succID)
-				ss.probs = append(ss.probs, outcomes[i].Prob)
-				if isNew {
-					if ss.NumStates() > maxStates {
-						ss.Truncated = true
-						// Keep the partially built transition for consistency
-						// but stop expanding new states.
-						frontier = nil
-					} else {
-						frontier = append(frontier, frontierEntry{id: succID, w: succWorld})
-					}
-				} else {
-					spare = succWorld
-				}
-			}
-			ss.trans[base+a] = transition{off: off, n: int32(len(outcomes))}
-		}
-		ss.expanded[entry.id] = true
-		if ss.Truncated {
-			break
-		}
+	if err != nil {
+		return nil, err
 	}
 
 	// States left unexpanded (zero-width transitions) get self-loops so that
@@ -307,6 +395,237 @@ func Explore(topo *graph.Topology, prog sim.Program, opts Options) (*StateSpace,
 // interruptCheckInterval is how often (in expanded states) Options.Interrupt
 // is polled.
 const interruptCheckInterval = 1024
+
+// exploreSequential runs the BFS inline. frontW doubles as the FIFO queue:
+// new states are appended in id order, so the world of state id sits at
+// frontW[id] until the state is expanded.
+func (e *explorer) exploreSequential() error {
+	ss := e.ss
+	s := newScratch(e.opts.Hunger != nil)
+	for head := 0; head < len(e.frontW); head++ {
+		if e.opts.Interrupt != nil && head%interruptCheckInterval == 0 {
+			if err := e.opts.Interrupt(); err != nil {
+				return err
+			}
+		}
+		w := e.frontW[head]
+		e.frontW[head] = nil
+		id := int32(head)
+
+		base := int(id) * ss.NumPhils
+		for a := 0; a < ss.NumPhils; a++ {
+			pid := graph.PhilID(a)
+			// Outcomes must not mutate the world they are computed from, so
+			// the shared frontier world can be probed directly; each outcome
+			// is then applied to its own clone.
+			outcomes := ss.prog.Outcomes(w, pid, s.obuf[:0])
+			s.obuf = outcomes
+			off := int32(len(ss.succs))
+			for i := range outcomes {
+				succ := e.clone(w, s.takeFree())
+				succOut := ss.prog.Outcomes(succ, pid, s.sbuf[:0])
+				s.sbuf = succOut
+				if len(succOut) != len(outcomes) {
+					return fmt.Errorf("modelcheck: %s produced unstable outcome sets for P%d", ss.prog.Name(), pid)
+				}
+				succOut[i].Do(succ, pid)
+				succ.Step++
+				s.keyBuf = succ.AppendKey(s.keyBuf[:0])
+				var sid int32
+				// The string(keyBuf) map probe is the no-copy idiom: probing
+				// a seen state allocates nothing; genuinely new states intern
+				// their key into the shared arena.
+				if gid, ok := e.index[string(s.keyBuf)]; ok {
+					sid = gid
+					s.putFree(succ)
+				} else {
+					sid = e.addState(e.arena.intern(s.keyBuf), succ)
+					e.frontW = append(e.frontW, succ)
+				}
+				ss.succs = append(ss.succs, sid)
+				ss.probs = append(ss.probs, outcomes[i].Prob)
+			}
+			ss.trans[base+a] = transition{off: off, n: int32(len(outcomes))}
+		}
+		ss.expanded[id] = true
+		s.putFree(w)
+		if ss.NumStates() > e.maxStates {
+			ss.Truncated = true
+			return nil
+		}
+	}
+	return nil
+}
+
+// exploreParallel runs the BFS level by level: workers expand disjoint
+// contiguous chunks of the current level against the read-only intern table,
+// then a sequential merge replays every chunk in frontier order and assigns
+// ids — exactly the order exploreSequential would have used.
+func (e *explorer) exploreParallel(workers int) error {
+	ss := e.ss
+	scratches := make([]*scratch, workers)
+	for i := range scratches {
+		scratches[i] = newScratch(e.opts.Hunger != nil)
+	}
+	levelStart := int32(0)
+	for len(e.frontW) > 0 && !ss.Truncated {
+		if e.opts.Interrupt != nil {
+			if err := e.opts.Interrupt(); err != nil {
+				return err
+			}
+		}
+		n := len(e.frontW)
+		chunk := (n + workers - 1) / workers
+		active := 0
+		var wg sync.WaitGroup
+		chunkLo := make([]int, 0, workers)
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			s := scratches[active]
+			chunkLo = append(chunkLo, lo)
+			active++
+			wg.Add(1)
+			go func(s *scratch, worlds []*sim.World) {
+				defer wg.Done()
+				e.expandChunk(s, worlds)
+			}(s, e.frontW[lo:hi])
+		}
+		wg.Wait()
+		// The first error in worker order keeps error reporting deterministic
+		// (each chunk's contents are deterministic, so so is its error).
+		for _, s := range scratches[:active] {
+			if s.err != nil {
+				return s.err
+			}
+		}
+
+		e.nextW = e.nextW[:0]
+		for wi, s := range scratches[:active] {
+			if !e.mergeChunk(s, levelStart+int32(chunkLo[wi])) {
+				break // state cap hit; drop the rest of the level
+			}
+		}
+		levelStart = int32(ss.NumStates() - len(e.nextW))
+		e.frontW, e.nextW = e.nextW, e.frontW
+	}
+	return nil
+}
+
+// expandChunk computes the outcome record of one contiguous chunk of the
+// current level. It only reads shared state (the intern table, the program,
+// the frontier worlds of its own chunk) and writes the worker-local scratch.
+func (e *explorer) expandChunk(s *scratch, worlds []*sim.World) {
+	ss := e.ss
+	s.counts = s.counts[:0]
+	s.probs = s.probs[:0]
+	s.refs = s.refs[:0]
+	s.pkeys = s.pkeys[:0]
+	s.pworlds = s.pworlds[:0]
+	clear(s.local)
+	s.err = nil
+	for k, w := range worlds {
+		if e.opts.Interrupt != nil && k%interruptCheckInterval == 0 {
+			if err := e.opts.Interrupt(); err != nil {
+				s.err = err
+				return
+			}
+		}
+		for a := 0; a < ss.NumPhils; a++ {
+			pid := graph.PhilID(a)
+			outcomes := ss.prog.Outcomes(w, pid, s.obuf[:0])
+			s.obuf = outcomes
+			s.counts = append(s.counts, int32(len(outcomes)))
+			for i := range outcomes {
+				succ := e.clone(w, s.takeFree())
+				succOut := ss.prog.Outcomes(succ, pid, s.sbuf[:0])
+				s.sbuf = succOut
+				if len(succOut) != len(outcomes) {
+					s.err = fmt.Errorf("modelcheck: %s produced unstable outcome sets for P%d", ss.prog.Name(), pid)
+					return
+				}
+				succOut[i].Do(succ, pid)
+				succ.Step++
+				s.keyBuf = succ.AppendKey(s.keyBuf[:0])
+				s.probs = append(s.probs, outcomes[i].Prob)
+				if gid, ok := e.index[string(s.keyBuf)]; ok {
+					s.refs = append(s.refs, gid)
+					s.putFree(succ)
+				} else if li, ok := s.local[string(s.keyBuf)]; ok {
+					s.refs = append(s.refs, ^li)
+					s.putFree(succ)
+				} else {
+					li := int32(len(s.pworlds))
+					key := string(s.keyBuf)
+					s.local[key] = li
+					s.pkeys = append(s.pkeys, key)
+					s.pworlds = append(s.pworlds, succ)
+					s.refs = append(s.refs, ^li)
+				}
+			}
+		}
+		s.putFree(w) // the frontier world is fully expanded
+	}
+}
+
+// mergeChunk replays one expansion record into the global space. id is the
+// global id of the chunk's first state. Pending successors are resolved in
+// first-encounter order — states a worker deduplicated locally, or that two
+// workers discovered independently, land on one id. It returns false when
+// the state cap was crossed; the chunk's current state is then complete (its
+// successors are all interned), matching the sequential stop point.
+func (e *explorer) mergeChunk(s *scratch, id int32) bool {
+	ss := e.ss
+	s.resolve = s.resolve[:0]
+	for range s.pworlds {
+		s.resolve = append(s.resolve, -1)
+	}
+	ri, ci := 0, 0
+	nStates := len(s.counts) / ss.NumPhils
+	for k := 0; k < nStates; k++ {
+		base := int(id) * ss.NumPhils
+		for a := 0; a < ss.NumPhils; a++ {
+			n := s.counts[ci]
+			ci++
+			off := int32(len(ss.succs))
+			for j := int32(0); j < n; j++ {
+				sid := s.refs[ri]
+				prob := s.probs[ri]
+				ri++
+				if sid < 0 {
+					li := ^sid
+					if s.resolve[li] >= 0 {
+						sid = s.resolve[li]
+					} else {
+						key := s.pkeys[li]
+						w := s.pworlds[li]
+						s.pworlds[li] = nil
+						if gid, ok := e.index[key]; ok {
+							sid = gid
+							s.putFree(w)
+						} else {
+							sid = e.addState(key, w)
+							e.nextW = append(e.nextW, w)
+						}
+						s.resolve[li] = sid
+					}
+				}
+				ss.succs = append(ss.succs, sid)
+				ss.probs = append(ss.probs, prob)
+			}
+			ss.trans[base+a] = transition{off: off, n: n}
+		}
+		ss.expanded[id] = true
+		id++
+		if ss.NumStates() > e.maxStates {
+			ss.Truncated = true
+			return false
+		}
+	}
+	return true
+}
 
 // Reachable returns the set of states reachable from the initial state using
 // any actions and any outcomes, as a boolean slice indexed by state.
@@ -345,9 +664,13 @@ func (ss *StateSpace) DeadRegionStates() []int {
 	n := ss.NumStates()
 	// Backward reachability from eating states over the "some action/outcome"
 	// relation: build reverse adjacency implicitly by iterating forward.
+	// States never expanded (possible only when Truncated) count as able to
+	// reach a meal: their artificial self-loops say nothing about the real
+	// system, and truncation must never fabricate a violation — on a
+	// truncated space the analysis under-approximates, like findTrap.
 	canReach := make([]bool, n)
 	for s := 0; s < n; s++ {
-		if ss.anyEating[s] {
+		if ss.anyEating[s] || !ss.expanded[s] {
 			canReach[s] = true
 		}
 	}
@@ -388,7 +711,10 @@ func (ss *StateSpace) DeadlockStates() []int {
 	reachable := ss.Reachable()
 	var out []int
 	for s := 0; s < ss.NumStates(); s++ {
-		if !reachable[s] {
+		// Unexpanded states (possible only when Truncated) carry artificial
+		// self-loops; treating them as deadlocks would fabricate violations
+		// out of the truncation itself.
+		if !reachable[s] || !ss.expanded[s] {
 			continue
 		}
 		stuck := true

@@ -1,6 +1,7 @@
 package modelcheck
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/algo"
@@ -94,4 +95,74 @@ func TestExplorationGolden(t *testing.T) {
 				in.algorithm, in.topo.Name(), in.protected, in.opts, got, in.want)
 		}
 	}
+}
+
+// assertSameSpace compares two explorations field by field: state numbering,
+// transition tables, outcome probabilities, labels, masks and keys must all
+// be identical — the contract that makes the parallel explorer a drop-in
+// replacement for the sequential one.
+func assertSameSpace(t *testing.T, label string, a, b *StateSpace) {
+	t.Helper()
+	if a.NumStates() != b.NumStates() || a.initial != b.initial || a.Truncated != b.Truncated {
+		t.Fatalf("%s: shape differs: %d vs %d states, initial %d vs %d, truncated %v vs %v",
+			label, a.NumStates(), b.NumStates(), a.initial, b.initial, a.Truncated, b.Truncated)
+	}
+	for name, pair := range map[string][2]any{
+		"trans":     {a.trans, b.trans},
+		"succs":     {a.succs, b.succs},
+		"probs":     {a.probs, b.probs},
+		"bad":       {a.bad, b.bad},
+		"anyEating": {a.anyEating, b.anyEating},
+		"eating":    {a.eating, b.eating},
+		"expanded":  {a.expanded, b.expanded},
+		"keys":      {a.keys, b.keys},
+	} {
+		if !reflect.DeepEqual(pair[0], pair[1]) {
+			t.Fatalf("%s: %s differs between worker counts", label, name)
+		}
+	}
+}
+
+// TestExplorationParallelMatchesSequential pins the determinism contract of
+// the level-synchronous parallel BFS: for every worker count the explored
+// space is byte-identical to the sequential exploration — same state
+// numbering, same flat transition arrays, same keys. It covers every
+// algorithm family (free choice, request lists + guest books, nr draws,
+// globals) and a truncated exploration, whose stop point must also agree.
+func TestExplorationParallelMatchesSequential(t *testing.T) {
+	t.Parallel()
+	for _, alg := range []string{"LR1", "LR2", "GDP1", "GDP2", "naive-left-first", "central-monitor"} {
+		prog, err := algo.New(alg, algo.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := Explore(graph.Theorem2Minimal(), prog, Options{Workers: 1, KeepKeys: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 7} {
+			par, err := Explore(graph.Theorem2Minimal(), prog, Options{Workers: workers, KeepKeys: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameSpace(t, alg, seq, par)
+		}
+	}
+
+	prog, err := algo.New("LR1", algo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Explore(graph.Ring(4), prog, Options{Workers: 1, MaxStates: 50, KeepKeys: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Explore(graph.Ring(4), prog, Options{Workers: 5, MaxStates: 50, KeepKeys: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Truncated || !par.Truncated {
+		t.Fatal("MaxStates 50 on Ring(4) should truncate at any worker count")
+	}
+	assertSameSpace(t, "truncated LR1", seq, par)
 }

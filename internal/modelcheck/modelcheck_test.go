@@ -1,12 +1,14 @@
 package modelcheck
 
 import (
+	"encoding/hex"
 	"strings"
 	"testing"
 
 	"repro/internal/algo"
 	"repro/internal/graph"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 func mustProg(t *testing.T, name string, opts algo.Options) sim.Program {
@@ -93,11 +95,18 @@ func TestExploreTruncation(t *testing.T) {
 	if !ss.Truncated {
 		t.Error("exploration with MaxStates 50 should truncate on Ring(4)")
 	}
-	// Truncated explorations must not fabricate traps out of unexpanded
-	// states: whatever the verdict, the analysis must not panic and any trap
-	// reported must consist of expanded states only.
+	// Truncated explorations must not fabricate violations out of unexpanded
+	// states: the unexpanded frontier carries artificial self-loops, which
+	// must not read as traps, deadlocks or dead regions. LR1 on Ring(4) has
+	// none of the three.
 	trap := ss.FindStarvationTrap()
 	_ = trap
+	if dead := ss.DeadlockStates(); len(dead) != 0 {
+		t.Errorf("truncation fabricated %d deadlock states for LR1, which never wedges", len(dead))
+	}
+	if dead := ss.DeadRegionStates(); len(dead) != 0 {
+		t.Errorf("truncation fabricated %d dead-region states for LR1, which always keeps meals reachable", len(dead))
+	}
 }
 
 func TestNoDeadlocksForPaperAlgorithms(t *testing.T) {
@@ -246,6 +255,107 @@ func TestLR2LockoutFreeOnClassicRing(t *testing.T) {
 	lr1 := runCheck(t, graph.Ring(3), "LR1", algo.Options{}, []graph.PhilID{0})
 	if !lr1.FairAdversaryWins() {
 		t.Errorf("LR1 is not lockout-free even on the classic ring; expected an individual trap:\n%s", lr1)
+	}
+}
+
+func TestPathToFindsReplayableCounterexamples(t *testing.T) {
+	t.Parallel()
+	// The naive hold-and-wait baseline deadlocks on the ring; the path to the
+	// deadlock state must replay to exactly that state.
+	prog := mustProg(t, "naive-left-first", algo.Options{})
+	ss, err := Explore(graph.Ring(3), prog, Options{KeepKeys: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if path, ok := ss.PathTo(ss.initial); !ok || len(path) != 0 {
+		t.Errorf("PathTo(initial) = %v, %v; want an empty path", path, ok)
+	}
+	if _, ok := ss.PathTo(ss.NumStates()); ok {
+		t.Error("PathTo accepted an out-of-range state")
+	}
+
+	dead := ss.DeadlockStates()
+	if len(dead) == 0 {
+		t.Fatal("expected a deadlock state for the naive baseline on Ring(3)")
+	}
+	path, ok := ss.PathTo(dead[0])
+	if !ok {
+		t.Fatal("deadlock state unreachable; DeadlockStates only returns reachable states")
+	}
+	if len(path) == 0 {
+		t.Fatal("the deadlock is not the initial state; expected a non-empty path")
+	}
+
+	cx, err := ss.CounterexampleTo("deadlock-freedom", dead[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cx.Steps) != len(path) {
+		t.Errorf("trace has %d steps, path has %d choices", len(cx.Steps), len(path))
+	}
+	for i, s := range cx.Steps {
+		if s.Label == "" {
+			t.Errorf("step %d missing its outcome label", i)
+		}
+	}
+	if cx.FinalKey != hex.EncodeToString([]byte(ss.KeyOf(dead[0]))) {
+		t.Errorf("trace final key %s does not match the target state's canonical key", cx.FinalKey)
+	}
+	w, err := trace.Replay(graph.Ring(3), prog, nil, cx)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if w == nil {
+		t.Fatal("replay returned no world")
+	}
+
+	// A tampered trace must be rejected.
+	bad := *cx
+	bad.FinalKey = "00"
+	if _, err := trace.Replay(graph.Ring(3), prog, nil, &bad); err == nil {
+		t.Error("Replay accepted a trace with a corrupted final key")
+	}
+}
+
+func TestFindStarvationTrapAgainstMatchesConfiguredSet(t *testing.T) {
+	t.Parallel()
+	// Re-running the trap analysis against an explicit protected set via the
+	// eating bitmasks must agree with an exploration configured with that
+	// protected set — same trap size, same safe region.
+	prog := mustProg(t, "GDP1", algo.Options{})
+	ss, err := Explore(graph.Theorem2Minimal(), prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	configured, err := Explore(graph.Theorem2Minimal(), prog, Options{Protected: []graph.PhilID{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := configured.FindStarvationTrap()
+	got, err := ss.FindStarvationTrapAgainst([]graph.PhilID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Exists != want.Exists || got.States != want.States || got.SafeRegionStates != want.SafeRegionStates {
+		t.Errorf("trap against {0}: got %+v, want %+v", got, want)
+	}
+	if !got.Exists || got.WitnessState < 0 {
+		t.Errorf("GDP1 is not lockout-free on the theta graph; expected a trap with a witness state, got %+v", got)
+	}
+
+	// The empty set means everyone — equivalent to the default analysis.
+	all, err := ss.FindStarvationTrapAgainst(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := ss.FindStarvationTrap()
+	if all.Exists != def.Exists || all.States != def.States || all.SafeRegionStates != def.SafeRegionStates {
+		t.Errorf("trap against nil: got %+v, want the default analysis %+v", all, def)
+	}
+
+	if _, err := ss.FindStarvationTrapAgainst([]graph.PhilID{99}); err == nil {
+		t.Error("FindStarvationTrapAgainst accepted an out-of-range philosopher")
 	}
 }
 

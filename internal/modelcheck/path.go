@@ -1,0 +1,86 @@
+package modelcheck
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/trace"
+)
+
+// Choice is one move along a counterexample path: the adversary schedules
+// Phil and the probabilistic draw resolves to the outcome with index Outcome
+// (within the outcome set of Phil's action in the state the choice executes
+// in). A sequence of Choices is exactly the information needed to replay an
+// exploration path on a fresh world.
+type Choice struct {
+	// Phil is the scheduled philosopher.
+	Phil graph.PhilID
+	// Outcome is the index of the outcome taken.
+	Outcome int
+}
+
+// PathTo returns a shortest scheduler-choice path from the initial state to
+// target, and whether target is reachable. The search visits states in index
+// order, actions in philosopher order and outcomes in outcome order, so the
+// returned path is deterministic — the same for every exploration worker
+// count, since the state numbering itself is.
+func (ss *StateSpace) PathTo(target int) ([]Choice, bool) {
+	if target < 0 || target >= ss.NumStates() {
+		return nil, false
+	}
+	if target == ss.initial {
+		return nil, true
+	}
+	n := ss.NumStates()
+	prevState := make([]int32, n)
+	prevChoice := make([]Choice, n)
+	for i := range prevState {
+		prevState[i] = -1
+	}
+	start := int32(ss.initial)
+	prevState[start] = start
+	queue := make([]int32, 0, 64)
+	queue = append(queue, start)
+	for head := 0; head < len(queue); head++ {
+		s := queue[head]
+		for a := 0; a < ss.NumPhils; a++ {
+			succs := ss.succsOf(int(s), a)
+			for oi, succ := range succs {
+				if prevState[succ] != -1 {
+					continue
+				}
+				prevState[succ] = s
+				prevChoice[succ] = Choice{Phil: graph.PhilID(a), Outcome: oi}
+				if int(succ) == target {
+					// Reconstruct backwards, then reverse.
+					var path []Choice
+					for at := succ; at != start; at = prevState[at] {
+						path = append(path, prevChoice[at])
+					}
+					for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+						path[i], path[j] = path[j], path[i]
+					}
+					return path, true
+				}
+				queue = append(queue, succ)
+			}
+		}
+	}
+	return nil, false
+}
+
+// CounterexampleTo builds a replayable counterexample trace from the initial
+// state to target: a shortest scheduler-choice path completed (labels,
+// probabilities, rendered final state, canonical final key) by re-executing
+// it on a fresh world. property names the property the trace refutes.
+func (ss *StateSpace) CounterexampleTo(property string, target int) (*trace.Trace, error) {
+	choices, ok := ss.PathTo(target)
+	if !ok {
+		return nil, fmt.Errorf("modelcheck: state %d is not reachable from the initial state", target)
+	}
+	steps := make([]trace.Step, len(choices))
+	for i, c := range choices {
+		steps[i] = trace.Step{Phil: int(c.Phil), Outcome: c.Outcome}
+	}
+	return trace.Build(ss.topo, ss.prog, ss.hunger, property, steps)
+}

@@ -1,6 +1,7 @@
 package modelcheck
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/graph"
@@ -31,6 +32,10 @@ type Trap struct {
 	// adversary has at least one move that surely avoids an immediate meal
 	// forever (the greatest safe region of the safety game).
 	SafeRegionStates int
+	// WitnessState is the index of one state inside the trap, or -1 when no
+	// trap exists. It is the anchor for counterexample extraction
+	// (StateSpace.CounterexampleTo).
+	WitnessState int
 	// WitnessKey is the canonical key of one state inside the trap (empty
 	// when none exists or when the exploration did not retain keys — see
 	// Options.KeepKeys); useful for debugging and for replaying the pattern.
@@ -58,6 +63,39 @@ type Trap struct {
 //     least one retained action, so remaining inside it forever is compatible
 //     with fairness.
 func (ss *StateSpace) FindStarvationTrap() Trap {
+	return ss.findTrap(ss.bad)
+}
+
+// FindStarvationTrapAgainst re-runs the trap analysis against an arbitrary
+// protected set — nil or empty means every philosopher — using the per-state
+// eating bitmasks recorded during exploration. It is what the lockout-freedom
+// property uses to test each philosopher individually without re-exploring.
+// It returns an error on instances with more than 64 philosophers (which
+// carry no masks) or an out-of-range philosopher.
+func (ss *StateSpace) FindStarvationTrapAgainst(protected []graph.PhilID) (Trap, error) {
+	if ss.eating == nil {
+		return Trap{}, fmt.Errorf("modelcheck: per-set trap analysis needs the eating bitmasks, which cover at most %d philosophers (topology has %d)", maskablePhils, ss.NumPhils)
+	}
+	var mask uint64
+	if len(protected) == 0 {
+		mask = ^uint64(0) >> (maskablePhils - ss.NumPhils)
+	} else {
+		for _, p := range protected {
+			if int(p) < 0 || int(p) >= ss.NumPhils {
+				return Trap{}, fmt.Errorf("modelcheck: protected philosopher %d out of range [0, %d)", p, ss.NumPhils)
+			}
+			mask |= 1 << uint(p)
+		}
+	}
+	bad := make([]bool, ss.NumStates())
+	for s, m := range ss.eating {
+		bad[s] = m&mask != 0
+	}
+	return ss.findTrap(bad), nil
+}
+
+// findTrap is the trap analysis against an explicit bad-state labelling.
+func (ss *StateSpace) findTrap(bad []bool) Trap {
 	n := ss.NumStates()
 	reachable := ss.Reachable()
 
@@ -66,7 +104,7 @@ func (ss *StateSpace) FindStarvationTrap() Trap {
 	// their artificial self-loops must not be mistaken for safe behaviour.
 	inS := make([]bool, n)
 	for s := 0; s < n; s++ {
-		inS[s] = reachable[s] && !ss.bad[s] && ss.expanded[s]
+		inS[s] = reachable[s] && !bad[s] && ss.expanded[s]
 	}
 	allowed := make([][]bool, n)
 	for s := range allowed {
@@ -105,7 +143,7 @@ func (ss *StateSpace) FindStarvationTrap() Trap {
 		}
 	}
 
-	trap := Trap{SafeRegionStates: safeCount}
+	trap := Trap{SafeRegionStates: safeCount, WitnessState: -1}
 	if safeCount == 0 {
 		return trap
 	}
@@ -205,6 +243,7 @@ func (ss *StateSpace) FindStarvationTrap() Trap {
 			if fully {
 				trap.Exists = true
 				trap.States = len(states)
+				trap.WitnessState = states[0]
 				trap.WitnessKey = ss.KeyOf(states[0])
 				// Reachability of the trap (the safe region is already
 				// restricted to reachable states, so any member works).

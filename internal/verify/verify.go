@@ -43,6 +43,10 @@ type ProgressCheck struct {
 	// Workers bounds the trial goroutines (0 = one per CPU, 1 = sequential);
 	// the result is identical for every value.
 	Workers int
+	// Stop is polled by every trial's step loop when non-nil; a true return
+	// ends the trial early. It is how context cancellation reaches a running
+	// check (the caller should treat a stopped check's result as invalid).
+	Stop func() bool
 }
 
 // ProgressResult summarises a ProgressCheck.
@@ -78,6 +82,7 @@ func (c ProgressCheck) Run() (*ProgressResult, error) {
 		res, err := sim.Run(c.Topology, c.Algorithm, c.Scheduler(rng.Split()), rng, sim.RunOptions{
 			MaxSteps:           c.MaxSteps,
 			StopAfterTotalEats: 1,
+			Stop:               c.Stop,
 		})
 		if err != nil {
 			return trialResult{}, fmt.Errorf("verify: progress trial %d: %w", i, err)
@@ -114,6 +119,9 @@ type LockoutCheck struct {
 	// Workers bounds the trial goroutines (0 = one per CPU, 1 = sequential);
 	// the result is identical for every value.
 	Workers int
+	// Stop is polled by every trial's step loop when non-nil; a true return
+	// ends the trial early (see ProgressCheck.Stop).
+	Stop func() bool
 }
 
 // LockoutResult summarises a LockoutCheck.
@@ -150,6 +158,7 @@ func (c LockoutCheck) Run() (*LockoutResult, error) {
 		rng := prng.New(seed)
 		res, err := sim.Run(c.Topology, c.Algorithm, c.Scheduler(rng.Split()), rng, sim.RunOptions{
 			MaxSteps: c.MaxSteps,
+			Stop:     c.Stop,
 		})
 		if err != nil {
 			return trialResult{}, fmt.Errorf("verify: lockout trial %d: %w", i, err)
