@@ -356,25 +356,31 @@ func BenchmarkModelCheckerScaling(b *testing.B) {
 	}
 }
 
-// BenchmarkParallelExplore compares the level-synchronous BFS at one worker
-// and at one worker per CPU on the largest model-checked instance (Theorem 1
-// on GDP1, ~64k states); the explored spaces are byte-identical, only
-// wall-clock differs.
+// BenchmarkParallelExplore compares the level-synchronous BFS on the largest
+// model-checked instance (Theorem 1 on GDP1, ~64k states) across the
+// (workers, shards) grid: the sequential single-shard baseline, the parallel
+// expansion funneled through one shard, and the fully sharded configuration
+// in which interning and row-writing are parallel per shard too. The dense
+// view of every explored space is identical; only wall-clock differs.
 func BenchmarkParallelExplore(b *testing.B) {
 	prog, err := algo.New("GDP1", algo.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
 	topo := graph.Theorem1Minimal()
-	for _, workers := range []int{1, 0} {
-		name := "t1min/GDP1/workers=1"
-		if workers == 0 {
-			name = "t1min/GDP1/workers=all"
-		}
-		b.Run(name, func(b *testing.B) {
+	for _, cfg := range []struct {
+		name            string
+		workers, shards int
+	}{
+		{"t1min/GDP1/workers=1/shards=1", 1, 1},
+		{"t1min/GDP1/workers=all/shards=1", 0, 1},
+		{"t1min/GDP1/workers=all/shards=all", 0, 0},
+		{"t1min/GDP1/workers=all/shards=64", 0, 64},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := modelcheck.Explore(topo, prog, modelcheck.Options{Workers: workers}); err != nil {
+				if _, err := modelcheck.Explore(topo, prog, modelcheck.Options{Workers: cfg.workers, Shards: cfg.shards}); err != nil {
 					b.Fatal(err)
 				}
 			}

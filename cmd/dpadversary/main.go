@@ -35,7 +35,7 @@ var walkAlgorithms = []string{dining.LR1, dining.LR2, dining.GDP1, dining.GDP2}
 
 func main() {
 	cfg := cli.Config{Topology: "figure1a", Steps: 30_000, Seed: 3}
-	cfg.Register(flag.CommandLine, cli.FlagTopology|cli.FlagSteps|cli.FlagSeed|cli.FlagProps|cli.FlagJSON|cli.FlagWorkers)
+	cfg.Register(flag.CommandLine, cli.FlagTopology|cli.FlagSteps|cli.FlagSeed|cli.FlagProps|cli.FlagJSON|cli.FlagWorkers|cli.FlagShards)
 	var (
 		window    = flag.Int64("window", 512, "fairness window of the adversary")
 		snapshots = flag.Int64("snapshots", 6, "number of state snapshots to print for the first algorithm")
@@ -160,7 +160,8 @@ func checkProperties(topo *dining.Topology, cfg *cli.Config, maxStates int) []di
 	for _, name := range walkAlgorithms {
 		eng, err := dining.New(topo, name,
 			dining.WithMaxStates(maxStates),
-			dining.WithWorkers(cfg.Workers))
+			dining.WithWorkers(cfg.Workers),
+			dining.WithShards(cfg.Shards))
 		if err != nil {
 			cli.Fatal("dpadversary", err)
 		}

@@ -10,6 +10,8 @@
 //	dpcheck -topology theta -n 1 -algorithm LR2            # one custom instance
 //	dpcheck -topology ring -n 3 -props progress,lockout-freedom
 //	dpcheck -topology theta -algorithm LR2 -json           # stable JSON verdicts
+//	dpcheck -workers 8 -shards 8                           # sharded parallel exploration
+//	dpcheck -full -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Exit status: in table mode dpcheck exits non-zero when any verdict
 // contradicts the paper's expectation; in custom-instance mode it exits
@@ -42,7 +44,7 @@ type checkCase struct {
 
 func main() {
 	cfg := cli.Config{Algorithm: "GDP1"}
-	cfg.Register(flag.CommandLine, cli.FlagAlgorithm|cli.FlagWorkers|cli.FlagJSON|cli.FlagProps)
+	cfg.Register(flag.CommandLine, cli.FlagAlgorithm|cli.FlagWorkers|cli.FlagShards|cli.FlagJSON|cli.FlagProps|cli.FlagProfile)
 	var (
 		full      = flag.Bool("full", false, "include the larger, slower instances")
 		topology  = flag.String("topology", "", "check a single custom topology instead of the standard table")
@@ -53,15 +55,25 @@ func main() {
 	if err := cfg.Validate(); err != nil {
 		cli.Fatal("dpcheck", err)
 	}
+	stopProfiling, err := cfg.StartProfiling()
+	if err != nil {
+		cli.Fatal("dpcheck", err)
+	}
 	ctx := context.Background()
 
-	if *topology != "" {
-		os.Exit(checkCustom(ctx, &cfg, *topology, *n, *maxStates))
-	}
-	if len(cfg.PropertyNames()) > 0 {
+	var code int
+	switch {
+	case *topology != "":
+		code = checkCustom(ctx, &cfg, *topology, *n, *maxStates)
+	case len(cfg.PropertyNames()) > 0:
 		cli.Fatal("dpcheck", errors.New("-props requires -topology: the standard table always checks starvation-trap"))
+	default:
+		code = checkTable(ctx, &cfg, *full, *maxStates)
 	}
-	os.Exit(checkTable(ctx, &cfg, *full, *maxStates))
+	if err := stopProfiling(); err != nil {
+		cli.Fatal("dpcheck", err)
+	}
+	os.Exit(code)
 }
 
 // checkCustom checks the -props selection (default: the exhaustive
@@ -74,7 +86,8 @@ func checkCustom(ctx context.Context, cfg *cli.Config, topology string, n, maxSt
 	}
 	eng, err := dining.New(topo, cfg.Algorithm,
 		dining.WithMaxStates(maxStates),
-		dining.WithWorkers(cfg.Workers))
+		dining.WithWorkers(cfg.Workers),
+		dining.WithShards(cfg.Shards))
 	if err != nil {
 		cli.Fatal("dpcheck", err)
 	}
@@ -155,7 +168,8 @@ func checkTable(ctx context.Context, cfg *cli.Config, full bool, maxStates int) 
 			dining.WithAlgorithmOptions(c.opts),
 			dining.WithProtected(c.protected...),
 			dining.WithMaxStates(maxStates),
-			dining.WithWorkers(cfg.Workers))
+			dining.WithWorkers(cfg.Workers),
+			dining.WithShards(cfg.Shards))
 		if err != nil {
 			cli.Fatal("dpcheck", err)
 		}

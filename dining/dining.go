@@ -38,8 +38,9 @@
 //
 // The paper's claims are first-class checks. [Engine.Check] resolves
 // property names against the registry, explores the state space once — a
-// parallel breadth-first search whose result is byte-identical for every
-// [WithWorkers] value — and streams one [PropertyResult] per property:
+// parallel breadth-first search over hash-sharded state stores whose result
+// is byte-identical for every [WithWorkers] and [WithShards] value — and
+// streams one [PropertyResult] per property:
 //
 //	eng, _ := dining.New(dining.Theorem2Minimal(), dining.LR2)
 //	for res, err := range eng.Check(ctx, dining.StarvationTrap, dining.Progress) {

@@ -29,6 +29,7 @@ type config struct {
 	fairnessWindow int64
 	seed           uint64
 	workers        int
+	shards         int
 	maxSteps       int64
 	maxStates      int
 	trials         int
@@ -50,6 +51,14 @@ func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
 // Sweep (0 = one per CPU, 1 = sequential). Results are identical for every
 // value.
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithShards splits the state-space store of Check and ModelCheck
+// explorations into 2^k independently-owned shards, so exploration workers
+// intern and append states without a sequential per-level merge (rounded up
+// to a power of two; 0 = match the worker count). Results — state counts,
+// verdicts, counterexample traces — are identical for every value; only
+// wall-clock and memory layout change.
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
 
 // WithMaxSteps bounds the number of atomic steps per simulation run
 // (0 = the simulator default).
@@ -130,6 +139,9 @@ func New(topo *Topology, algorithm string, opts ...Option) (*Engine, error) {
 	if c.workers < 0 {
 		return nil, fmt.Errorf("dining: WithWorkers(%d) is negative (0 means one per CPU)", c.workers)
 	}
+	if c.shards < 0 {
+		return nil, fmt.Errorf("dining: WithShards(%d) is negative (0 means match the worker count)", c.shards)
+	}
 	if c.maxStates < 0 {
 		return nil, fmt.Errorf("dining: WithMaxStates(%d) is negative", c.maxStates)
 	}
@@ -153,6 +165,9 @@ func (e *Engine) Seed() uint64 { return e.cfg.seed }
 
 // Workers returns the engine's worker bound (0 = one per CPU).
 func (e *Engine) Workers() int { return e.cfg.workers }
+
+// Shards returns the engine's exploration shard count (0 = match workers).
+func (e *Engine) Shards() int { return e.cfg.shards }
 
 // system assembles the internal system for one run with the given seed.
 func (e *Engine) system(seed uint64) core.System {
@@ -347,7 +362,7 @@ func (e *Engine) ModelCheck(ctx context.Context) (*CheckReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	return checkWithContext(ctx, e.topo, prog, e.cfg.maxStates, e.cfg.protected, e.cfg.workers)
+	return checkWithContext(ctx, e.topo, prog, e.cfg.maxStates, e.cfg.protected, e.cfg.workers, e.cfg.shards)
 }
 
 // RunConcurrent executes the system on the goroutine runtime for the given
@@ -359,8 +374,8 @@ func (e *Engine) RunConcurrent(ctx context.Context, duration time.Duration, targ
 
 // checkWithContext runs the model checker with ctx cancellation wired into
 // the exploration loop.
-func checkWithContext(ctx context.Context, topo *graph.Topology, prog sim.Program, maxStates int, protected []graph.PhilID, workers int) (*CheckReport, error) {
-	opts := modelcheck.Options{MaxStates: maxStates, Protected: protected, Workers: workers}
+func checkWithContext(ctx context.Context, topo *graph.Topology, prog sim.Program, maxStates int, protected []graph.PhilID, workers, shards int) (*CheckReport, error) {
+	opts := modelcheck.Options{MaxStates: maxStates, Protected: protected, Workers: workers, Shards: shards}
 	if ctx.Done() != nil {
 		opts.Interrupt = ctx.Err
 	}

@@ -308,6 +308,7 @@ func (e *Engine) explore(ctx context.Context) (*StateSpace, error) {
 		MaxStates: e.cfg.maxStates,
 		Protected: e.cfg.protected,
 		Workers:   e.cfg.workers,
+		Shards:    e.cfg.shards,
 	}
 	if ctx.Done() != nil {
 		opts.Interrupt = ctx.Err
@@ -402,24 +403,43 @@ func checkLockoutFreedom(ctx context.Context, in PropertyInput) (PropertyResult,
 			phils[i] = PhilID(i)
 		}
 	}
-	for _, p := range phils {
-		if err := ctx.Err(); err != nil {
-			return res, err
+	// One trap analysis per protected philosopher, fanned across the
+	// engine's workers: the analyses are pure reads of the shared state
+	// space, so they run concurrently, and both the verdict and the reported
+	// philosopher are chosen in index order afterwards — identical to the
+	// sequential loop for every worker count. With one worker the fan-out
+	// buys nothing, so the stream is consumed with an early break the moment
+	// the verdict-deciding (lowest-index) trap appears; par.Stream yields
+	// inline in index order at workers == 1, so later philosophers are never
+	// analysed — the old sequential loop's short-circuit.
+	workers := in.Engine.cfg.workers
+	traps := make([]modelcheck.Trap, len(phils))
+	errs := make([]error, len(phils))
+	for s := range par.Stream(ctx, workers, len(phils), func(i int) (modelcheck.Trap, error) {
+		return in.Space.FindStarvationTrapAgainst([]PhilID{phils[i]})
+	}) {
+		traps[s.Index], errs[s.Index] = s.Value, s.Err
+		if workers == 1 && (s.Err != nil || (s.Value.Exists && s.Value.Reachable)) {
+			break
 		}
-		trap, err := in.Space.FindStarvationTrapAgainst([]PhilID{p})
+	}
+	for _, err := range errs {
 		if err != nil {
 			return res, err
 		}
-		if trap.Exists && trap.Reachable {
-			res.TrapStates = trap.States
-			res.Detail = fmt.Sprintf("a fair adversary can starve philosopher %d forever: trap of %d states", p, trap.States)
-			cx, err := in.Space.CounterexampleTo(LockoutFreedom, trap.WitnessState)
-			if err != nil {
-				return res, err
-			}
-			res.Counterexample = cx
-			return res, nil
+	}
+	for i, trap := range traps {
+		if !trap.Exists || !trap.Reachable {
+			continue
 		}
+		res.TrapStates = trap.States
+		res.Detail = fmt.Sprintf("a fair adversary can starve philosopher %d forever: trap of %d states", phils[i], trap.States)
+		cx, err := in.Space.CounterexampleTo(LockoutFreedom, trap.WitnessState)
+		if err != nil {
+			return res, err
+		}
+		res.Counterexample = cx
+		return res, nil
 	}
 	res.Passed = true
 	res.Detail = fmt.Sprintf("no individual starvation trap against any of %d philosopher(s)", len(phils))

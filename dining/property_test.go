@@ -2,11 +2,28 @@ package dining_test
 
 import (
 	"context"
+	"encoding/json"
+	"slices"
 	"strings"
 	"testing"
 
 	"repro/dining"
 )
+
+// mustCheckJSON runs CheckAll and returns the results in their stable JSON
+// wire form — the deep-equality currency of the determinism tests below.
+func mustCheckJSON(t *testing.T, eng *dining.Engine, props ...string) string {
+	t.Helper()
+	results, err := eng.CheckAll(context.Background(), props...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
 
 func mustEngine(t *testing.T, topo *dining.Topology, alg string, opts ...dining.Option) *dining.Engine {
 	t.Helper()
@@ -289,19 +306,22 @@ func TestEngineCheckContextCancellation(t *testing.T) {
 func TestRegisterCustomProperty(t *testing.T) {
 	t.Parallel()
 	// A custom exhaustive property plugs into the registry and rides the
-	// shared exploration of Engine.Check.
-	dining.RegisterProperty(dining.PropertyFunc{
-		PropName: "test-has-states",
-		PropKind: dining.ExhaustiveProperty,
-		Func: func(ctx context.Context, in dining.PropertyInput) (dining.PropertyResult, error) {
-			return dining.PropertyResult{
-				Property: "test-has-states",
-				Kind:     dining.ExhaustiveProperty,
-				Passed:   in.Space.NumStates() > 0,
-				Detail:   "custom",
-			}, nil
-		},
-	})
+	// shared exploration of Engine.Check. The registry is process-global and
+	// -cpu reruns the test in one process, so register only once.
+	if !slices.Contains(dining.Properties(), "test-has-states") {
+		dining.RegisterProperty(dining.PropertyFunc{
+			PropName: "test-has-states",
+			PropKind: dining.ExhaustiveProperty,
+			Func: func(ctx context.Context, in dining.PropertyInput) (dining.PropertyResult, error) {
+				return dining.PropertyResult{
+					Property: "test-has-states",
+					Kind:     dining.ExhaustiveProperty,
+					Passed:   in.Space.NumStates() > 0,
+					Detail:   "custom",
+				}, nil
+			},
+		})
+	}
 	eng := mustEngine(t, dining.Ring(3), dining.LR1)
 	results, err := eng.CheckAll(context.Background(), "test-has-states")
 	if err != nil {
@@ -309,5 +329,60 @@ func TestRegisterCustomProperty(t *testing.T) {
 	}
 	if len(results) != 1 || !results[0].Passed {
 		t.Errorf("custom property did not run: %+v", results)
+	}
+}
+
+// TestLockoutFreedomStreamedMatchesSequential pins the determinism of the
+// parallelized lockout-freedom check: the per-philosopher trap analyses run
+// concurrently over par.Stream, but the verdict — including which
+// philosopher is reported starvable and the exact counterexample trace —
+// must match the sequential loop for every worker count. GDP1 on the theta
+// graph fails the check (it guarantees progress but not lockout-freedom), so
+// both the failing and the trace-selection paths are exercised; GDP2 passes,
+// covering the all-philosophers-survive path.
+func TestLockoutFreedomStreamedMatchesSequential(t *testing.T) {
+	t.Parallel()
+	for _, alg := range []string{dining.GDP1, dining.GDP2} {
+		seq := mustCheckJSON(t,
+			mustEngine(t, dining.Theorem2Minimal(), alg, dining.WithWorkers(1)),
+			dining.LockoutFreedom)
+		for _, workers := range []int{2, 3, 5} {
+			got := mustCheckJSON(t,
+				mustEngine(t, dining.Theorem2Minimal(), alg, dining.WithWorkers(workers)),
+				dining.LockoutFreedom)
+			if got != seq {
+				t.Errorf("%s: lockout-freedom with %d workers diverged from the sequential loop:\n got  %s\n want %s",
+					alg, workers, got, seq)
+			}
+		}
+	}
+}
+
+// TestEngineCheckShardsYieldIdenticalResults pins the shard-count
+// determinism contract at the property layer: the sharded state-space
+// stores change only the internal memory layout, so every verdict, state
+// count and counterexample trace is identical for any WithShards value —
+// including the default (match workers).
+func TestEngineCheckShardsYieldIdenticalResults(t *testing.T) {
+	t.Parallel()
+	ring3 := []dining.PhilID{0, 1, 2}
+	want := mustCheckJSON(t, mustEngine(t, dining.Theorem1Minimal(), dining.LR1,
+		dining.WithProtected(ring3...), dining.WithWorkers(1), dining.WithShards(1)))
+	for _, cfg := range []struct{ workers, shards int }{
+		{1, 4}, {3, 0}, {3, 8}, {5, 64},
+	} {
+		got := mustCheckJSON(t, mustEngine(t, dining.Theorem1Minimal(), dining.LR1,
+			dining.WithProtected(ring3...), dining.WithWorkers(cfg.workers), dining.WithShards(cfg.shards)))
+		if got != want {
+			t.Errorf("workers=%d shards=%d: results diverged from the sequential single-shard run",
+				cfg.workers, cfg.shards)
+		}
+	}
+}
+
+func TestWithShardsRejectsNegative(t *testing.T) {
+	t.Parallel()
+	if _, err := dining.New(dining.Ring(3), dining.LR1, dining.WithShards(-1)); err == nil {
+		t.Error("New accepted WithShards(-1)")
 	}
 }

@@ -2,11 +2,16 @@ package dining_test
 
 import (
 	"context"
+	"slices"
 	"sort"
 	"testing"
 
 	"repro/dining"
 )
+
+// The registries are process-global and panic on duplicate registration, and
+// go test -cpu reruns every test in one process — so the tests below only
+// register a name the first time around and rely on the registry keeping it.
 
 func TestRegistriesEnumerateSorted(t *testing.T) {
 	t.Parallel()
@@ -38,7 +43,9 @@ func TestRegisterDuplicatePanics(t *testing.T) {
 		p, _ := dining.NewAlgorithm(dining.GDP1, dining.AlgorithmOptions{})
 		return p
 	}
-	dining.RegisterAlgorithm("test-dup-algo", ctor)
+	if !slices.Contains(dining.Algorithms(), "test-dup-algo") {
+		dining.RegisterAlgorithm("test-dup-algo", ctor)
+	}
 	mustPanic("duplicate RegisterAlgorithm", func() { dining.RegisterAlgorithm("test-dup-algo", ctor) })
 	mustPanic("empty RegisterAlgorithm name", func() { dining.RegisterAlgorithm("", ctor) })
 	mustPanic("nil RegisterAlgorithm ctor", func() { dining.RegisterAlgorithm("test-nil-algo", nil) })
@@ -47,7 +54,9 @@ func TestRegisterDuplicatePanics(t *testing.T) {
 		s, _ := dining.NewScheduler(dining.RoundRobin, cfg)
 		return s
 	}
-	dining.RegisterScheduler("test-dup-sched", schedCtor)
+	if !slices.Contains(dining.Schedulers(), "test-dup-sched") {
+		dining.RegisterScheduler("test-dup-sched", schedCtor)
+	}
 	mustPanic("duplicate RegisterScheduler", func() { dining.RegisterScheduler("test-dup-sched", schedCtor) })
 
 	topoCtor := func(n int) *dining.Topology {
@@ -56,7 +65,9 @@ func TestRegisterDuplicatePanics(t *testing.T) {
 		}
 		return dining.Ring(n)
 	}
-	dining.RegisterTopology("test-dup-topo", topoCtor)
+	if !slices.Contains(dining.Topologies(), "test-dup-topo") {
+		dining.RegisterTopology("test-dup-topo", topoCtor)
+	}
 	mustPanic("duplicate RegisterTopology", func() { dining.RegisterTopology("test-dup-topo", topoCtor) })
 }
 
@@ -65,26 +76,32 @@ func TestRegisterDuplicatePanics(t *testing.T) {
 // open-registry contract of the v2 API.
 func TestRegisteredPluginsAreUsableEverywhere(t *testing.T) {
 	t.Parallel()
-	dining.RegisterAlgorithm("test-gdp1-alias", func(o dining.AlgorithmOptions) dining.Program {
-		p, err := dining.NewAlgorithm(dining.GDP1, o)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return p
-	})
-	dining.RegisterScheduler("test-round-robin-alias", func(cfg dining.SchedulerConfig) dining.Scheduler {
-		s, err := dining.NewScheduler(dining.RoundRobin, cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return s
-	})
-	dining.RegisterTopology("test-ring", func(n int) *dining.Topology {
-		if n <= 0 {
-			n = 5
-		}
-		return dining.Ring(n)
-	})
+	if !slices.Contains(dining.Algorithms(), "test-gdp1-alias") {
+		dining.RegisterAlgorithm("test-gdp1-alias", func(o dining.AlgorithmOptions) dining.Program {
+			p, err := dining.NewAlgorithm(dining.GDP1, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		})
+	}
+	if !slices.Contains(dining.Schedulers(), "test-round-robin-alias") {
+		dining.RegisterScheduler("test-round-robin-alias", func(cfg dining.SchedulerConfig) dining.Scheduler {
+			s, err := dining.NewScheduler(dining.RoundRobin, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		})
+	}
+	if !slices.Contains(dining.Topologies(), "test-ring") {
+		dining.RegisterTopology("test-ring", func(n int) *dining.Topology {
+			if n <= 0 {
+				n = 5
+			}
+			return dining.Ring(n)
+		})
+	}
 
 	topo, err := dining.NewTopology("test-ring", 0)
 	if err != nil {

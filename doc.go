@@ -27,6 +27,38 @@
 // Engine.ReplayTrace. Statistical built-ins (statistical-progress,
 // statistical-lockout) cover instances too large to explore.
 //
+// # Architecture
+//
+// The verification stack is layered; each layer only sees the one below:
+//
+//	sharded store  →  exploration  →  graphalg analyses  →  properties  →  CLI
+//
+// At the bottom, internal/modelcheck stores the explored MDP in 2^k
+// independently-owned shards (dining.WithShards, -shards; 0 = match the
+// worker count). Each shard holds its own intern table, key arena and flat
+// transition arrays; a state lives in the shard selected by a deterministic
+// FNV-1a hash of its canonical key, addressed by the packed id
+// shard<<25 | local. The level-synchronous parallel BFS writes every shard
+// from exactly one goroutine per phase — expansion and frontier assembly are
+// parallel over chunks, interning and row-writing are parallel over shards —
+// so there are no locks and no sequential per-level merge. On top of the
+// shards sits the dense view: states renumbered in breadth-first discovery
+// order, which is provably the same numbering for every (workers, shards)
+// combination, so state counts, verdicts, witnesses and counterexample
+// traces never depend on how the exploration was parallelized.
+//
+// The analyses — reachability, deadlock detection, the safety game and
+// maximal-end-component computation behind the starvation-trap theorems,
+// SCCs, shortest counterexample paths — live in internal/graphalg as pure
+// functions of a read-only StateView interface (NumStates/NumActions/
+// Succs/Probs/Bad), with no dependency on the store layout. Because they
+// are pure reads, independent analyses run concurrently: lockout-freedom
+// fans one trap analysis per protected philosopher across the engine's
+// workers. internal/trace turns analysis witnesses into replayable
+// counterexample traces, the dining property layer packages the analyses as
+// registered properties, and the CLI tools plumb -workers/-shards (and
+// -cpuprofile/-memprofile on dpcheck and dpbench) down the stack.
+//
 // The command-line tools live under cmd (dpsim, dpbench, dpcheck,
 // dpadversary; all speak JSON with -json, and dpcheck/dpadversary select
 // properties with -props) and share the internal/cli config layer, so

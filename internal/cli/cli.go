@@ -10,6 +10,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"slices"
 	"strings"
 
@@ -40,6 +42,10 @@ const (
 	FlagJSON
 	// FlagProps registers -props (property selection for Engine.Check).
 	FlagProps
+	// FlagShards registers -shards (state-space shards for explorations).
+	FlagShards
+	// FlagProfile registers -cpuprofile and -memprofile.
+	FlagProfile
 )
 
 // Config holds the shared tool configuration. Populate the fields with a
@@ -66,6 +72,13 @@ type Config struct {
 	// Props is the comma-separated property selection for Engine.Check
 	// (empty = the four exhaustive built-ins).
 	Props string
+	// Shards is the exploration shard count (0 = match workers; results are
+	// identical for every value).
+	Shards int
+	// CPUProfile and MemProfile are output paths for runtime/pprof profiles
+	// (empty = no profile).
+	CPUProfile string
+	MemProfile string
 
 	registered Flags
 }
@@ -110,6 +123,14 @@ func (c *Config) Register(fs *flag.FlagSet, which Flags) {
 			fmt.Sprintf("comma-separated properties to check (registered: %s; empty = %s)",
 				strings.Join(dining.Properties(), ", "), strings.Join(dining.ExhaustiveProperties(), ", ")))
 	}
+	if which&FlagShards != 0 {
+		fs.IntVar(&c.Shards, "shards", c.Shards,
+			"state-space shards for explorations, rounded up to a power of two (0 = match -workers; results are identical)")
+	}
+	if which&FlagProfile != 0 {
+		fs.StringVar(&c.CPUProfile, "cpuprofile", c.CPUProfile, "write a CPU profile to this file")
+		fs.StringVar(&c.MemProfile, "memprofile", c.MemProfile, "write a heap profile to this file on exit")
+	}
 }
 
 // Validate checks every registered value: registry names must resolve
@@ -142,6 +163,9 @@ func (c *Config) Validate() error {
 	}
 	if c.registered&FlagM != 0 && c.M < 0 {
 		return fmt.Errorf("-m must be >= 0, got %d", c.M)
+	}
+	if c.registered&FlagShards != 0 && c.Shards < 0 {
+		return fmt.Errorf("-shards must be >= 0, got %d", c.Shards)
 	}
 	if c.registered&FlagProps != 0 {
 		for _, name := range c.PropertyNames() {
@@ -186,6 +210,9 @@ func (c *Config) Engine(extra ...dining.Option) (*dining.Engine, error) {
 		dining.WithMaxSteps(c.Steps),
 		dining.WithAlgorithmOptions(dining.AlgorithmOptions{M: c.M}),
 	}
+	if c.registered&FlagShards != 0 {
+		opts = append(opts, dining.WithShards(c.Shards))
+	}
 	if c.Scheduler != "" {
 		opts = append(opts, dining.WithScheduler(c.Scheduler))
 	}
@@ -193,10 +220,71 @@ func (c *Config) Engine(extra ...dining.Option) (*dining.Engine, error) {
 	return dining.New(topo, c.Algorithm, opts...)
 }
 
-// Fatal prints "tool: err" to stderr and exits 1 — the shared error exit of
-// the cmd tools.
+// fatalCleanups are best-effort finishers (profile flushes) that Fatal runs
+// before exiting, so error exits anywhere in a tool never leave a truncated
+// CPU profile behind. Each cleanup is idempotent; the tools are
+// single-goroutine at the points that register and fire these.
+var fatalCleanups []func()
+
+// StartProfiling starts the profiles selected by -cpuprofile/-memprofile and
+// returns a stop function that finishes them (stops the CPU profile, then
+// writes the heap profile after a GC). stop is idempotent and also
+// registered to run on any cli.Fatal exit; tools still call it on their
+// success paths — including before os.Exit, where deferred calls do not run
+// — so the usual shape is: code := run(); stop(); os.Exit(code). With
+// neither flag set, both StartProfiling and stop are no-ops.
+func (c *Config) StartProfiling() (stop func() error, err error) {
+	var cpuFile *os.File
+	if c.CPUProfile != "" {
+		cpuFile, err = os.Create(c.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	stopped := false
+	stop = func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			firstErr = cpuFile.Close()
+		}
+		if c.MemProfile != "" {
+			f, err := os.Create(c.MemProfile)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return firstErr
+			}
+			runtime.GC() // materialize the final live heap
+			if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	fatalCleanups = append(fatalCleanups, func() { _ = stop() })
+	return stop, nil
+}
+
+// Fatal prints "tool: err" to stderr, flushes any registered best-effort
+// outputs (profiles), and exits 1 — the shared error exit of the cmd tools.
 func Fatal(tool string, err error) {
 	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	for _, cleanup := range fatalCleanups {
+		cleanup()
+	}
 	os.Exit(1)
 }
 

@@ -2,6 +2,8 @@ package cli
 
 import (
 	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -17,7 +19,7 @@ func newConfig(t *testing.T, which Flags, args ...string) *Config {
 	return cfg
 }
 
-const allFlags = FlagTopology | FlagAlgorithm | FlagScheduler | FlagSteps | FlagTrials | FlagSeed | FlagWorkers | FlagM | FlagJSON
+const allFlags = FlagTopology | FlagAlgorithm | FlagScheduler | FlagSteps | FlagTrials | FlagSeed | FlagWorkers | FlagM | FlagJSON | FlagShards
 
 func TestValidateUnknownNamesListRegisteredOptions(t *testing.T) {
 	t.Parallel()
@@ -53,6 +55,7 @@ func TestValidateRejectsNegativeNumbers(t *testing.T) {
 		{"-steps", "-5"},
 		{"-trials", "0"},
 		{"-workers", "-2"},
+		{"-shards", "-1"},
 	}
 	for _, args := range cases {
 		cfg := newConfig(t, allFlags, args...)
@@ -109,5 +112,51 @@ func TestEngineFromFlags(t *testing.T) {
 	bad := newConfig(t, allFlags, "-m", "-3")
 	if _, err := bad.Engine(); err == nil {
 		t.Error("Engine accepted a negative -m")
+	}
+}
+
+func TestShardsFlagReachesEngine(t *testing.T) {
+	t.Parallel()
+	cfg := newConfig(t, allFlags, "-shards", "8")
+	eng, err := cfg.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Shards() != 8 {
+		t.Errorf("engine shards = %d, want 8", eng.Shards())
+	}
+}
+
+func TestStartProfilingWritesProfiles(t *testing.T) {
+	// Not parallel: the process-wide CPU profiler admits one client at a time.
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	cfg := newConfig(t, FlagProfile, "-cpuprofile", cpu, "-memprofile", mem)
+	stop, err := cfg.StartProfiling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("profile %s not written: %v", path, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+	// With no flags set, both start and stop are no-ops.
+	idle := newConfig(t, FlagProfile)
+	stop, err = idle.StartProfiling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,214 @@
+// Package graphalg holds the graph and game algorithms the model checker
+// runs over an explored Markov decision process: forward and backward
+// reachability, deadlock detection, the safety game and maximal-end-component
+// computation behind the starvation-trap analysis, strongly connected
+// components, and shortest scheduler-choice path extraction.
+//
+// The package is a leaf: it depends on nothing but the read-only StateView
+// interface, so the analyses are decoupled from how the state space is stored
+// (the sharded stores of internal/modelcheck, a test fixture, or any future
+// backend). Everything here is a pure function of the view — no analysis
+// mutates or caches anything on it — so independent analyses can safely run
+// concurrently over one shared view, which is how the lockout-freedom
+// property fans its per-philosopher trap analyses across workers.
+//
+// # Determinism
+//
+// Every function visits states in increasing index order, actions in
+// increasing action order and outcomes in outcome order, so for a fixed view
+// the results (including witness states and tie-breaks) are deterministic.
+// Views whose numbering is itself deterministic — the model checker's
+// exploration order is, for every worker and shard count — therefore get
+// deterministic analyses end to end.
+package graphalg
+
+// StateView is the read-only interface the analyses operate on: a finite MDP
+// with NumStates states, NumActions actions per state, and for each
+// (state, action) a set of successor states with probabilities.
+//
+// Implementations must be safe for concurrent readers, and the slices
+// returned by Succs and Probs must stay valid (and unmodified) for the
+// lifetime of the view — the analyses alias them freely and never write
+// through them.
+type StateView interface {
+	// NumStates returns the number of states; states are indexed 0..NumStates-1.
+	NumStates() int
+	// NumActions returns the number of actions available in every state.
+	NumActions() int
+	// Initial returns the index of the initial state.
+	Initial() int
+	// Succs returns the successor states of action a in state s. The slice
+	// must not be modified.
+	Succs(s, a int) []int32
+	// Probs returns the outcome probabilities of action a in state s, aligned
+	// with Succs. The slice must not be modified.
+	Probs(s, a int) []float64
+	// Bad reports the default "bad" labelling of state s (for the dining
+	// MDP: a protected philosopher is eating). Analyses that test other
+	// labellings take an explicit predicate instead.
+	Bad(s int) bool
+	// Expanded reports whether state s had its outgoing transitions fully
+	// computed. States discovered but not expanded (possible only on
+	// truncated explorations) carry artificial self-loops; the analyses
+	// exclude them so truncation can never fabricate a violation.
+	Expanded(s int) bool
+}
+
+// Reachable returns the set of states reachable from the initial state using
+// any actions and any outcomes, as a boolean slice indexed by state.
+func Reachable(v StateView) []bool {
+	seen := make([]bool, v.NumStates())
+	stack := []int{v.Initial()}
+	seen[v.Initial()] = true
+	nActions := v.NumActions()
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for a := 0; a < nActions; a++ {
+			for _, succ := range v.Succs(s, a) {
+				if !seen[succ] {
+					seen[succ] = true
+					stack = append(stack, int(succ))
+				}
+			}
+		}
+	}
+	return seen
+}
+
+// DeadlockStates returns the reachable, expanded states in which every
+// action is a self-loop: the system can never change state again.
+func DeadlockStates(v StateView) []int {
+	reachable := Reachable(v)
+	nActions := v.NumActions()
+	var out []int
+	for s := 0; s < v.NumStates(); s++ {
+		// Unexpanded states (possible only on truncated explorations) carry
+		// artificial self-loops; treating them as deadlocks would fabricate
+		// violations out of the truncation itself.
+		if !reachable[s] || !v.Expanded(s) {
+			continue
+		}
+		stuck := true
+		for a := 0; a < nActions && stuck; a++ {
+			for _, succ := range v.Succs(s, a) {
+				if int(succ) != s {
+					stuck = false
+					break
+				}
+			}
+		}
+		if stuck {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// DeadRegionStates returns the reachable states from which no goal state is
+// reachable under any action and any outcome. States that were never
+// expanded count as able to reach a goal: their artificial self-loops say
+// nothing about the real system, and truncation must never fabricate a
+// violation — on a truncated view the analysis under-approximates, like
+// MaximalTrap.
+func DeadRegionStates(v StateView, goal func(s int) bool) []int {
+	n := v.NumStates()
+	nActions := v.NumActions()
+	// Backward reachability from goal states over the "some action/outcome"
+	// relation, iterated to fixpoint (the state graphs are small enough for
+	// the quadratic worst case; typical convergence is a few passes).
+	canReach := make([]bool, n)
+	for s := 0; s < n; s++ {
+		if goal(s) || !v.Expanded(s) {
+			canReach[s] = true
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for s := 0; s < n; s++ {
+			if canReach[s] {
+				continue
+			}
+			for a := 0; a < nActions && !canReach[s]; a++ {
+				for _, succ := range v.Succs(s, a) {
+					if canReach[succ] {
+						canReach[s] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	reachable := Reachable(v)
+	var dead []int
+	for s := 0; s < n; s++ {
+		if reachable[s] && !canReach[s] {
+			dead = append(dead, s)
+		}
+	}
+	return dead
+}
+
+// Choice is one move along a scheduler-choice path: the adversary picks
+// Action and the probabilistic draw resolves to the outcome with index
+// Outcome within that action's outcome set.
+type Choice struct {
+	// Action is the chosen action.
+	Action int
+	// Outcome is the index of the outcome taken.
+	Outcome int
+}
+
+// PathTo returns a shortest scheduler-choice path from the initial state to
+// target, and whether target is reachable. The search visits states in
+// breadth-first order, actions in action order and outcomes in outcome
+// order, so the returned path is deterministic for a fixed view — and, since
+// the recorded choices are (action, outcome) pairs, invariant under any
+// renumbering of the states.
+func PathTo(v StateView, target int) ([]Choice, bool) {
+	if target < 0 || target >= v.NumStates() {
+		return nil, false
+	}
+	start := int32(v.Initial())
+	if target == int(start) {
+		return nil, true
+	}
+	n := v.NumStates()
+	nActions := v.NumActions()
+	prevState := make([]int32, n)
+	prevChoice := make([]Choice, n)
+	for i := range prevState {
+		prevState[i] = -1
+	}
+	prevState[start] = start
+	queue := make([]int32, 0, 64)
+	queue = append(queue, start)
+	for head := 0; head < len(queue); head++ {
+		s := queue[head]
+		for a := 0; a < nActions; a++ {
+			succs := v.Succs(int(s), a)
+			for oi, succ := range succs {
+				if prevState[succ] != -1 {
+					continue
+				}
+				prevState[succ] = s
+				prevChoice[succ] = Choice{Action: a, Outcome: oi}
+				if int(succ) == target {
+					// Reconstruct backwards, then reverse.
+					var path []Choice
+					for at := succ; at != start; at = prevState[at] {
+						path = append(path, prevChoice[at])
+					}
+					for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+						path[i], path[j] = path[j], path[i]
+					}
+					return path, true
+				}
+				queue = append(queue, succ)
+			}
+		}
+	}
+	return nil, false
+}

@@ -8,12 +8,12 @@ import (
 )
 
 // TestExploreAllocsPerState is the allocation-regression guard for the
-// sequential exploration path. The intern-key byte-arena (one amortized
-// chunk instead of one string copy per state) and the frontier world
-// free-list (revisit clones and expanded frontier worlds recycle their
-// backing slices) brought Explore from ~6 allocations per state down to
-// under 2; this test pins that budget so a refactor that reintroduces
-// per-state copies shows up immediately.
+// sequential (workers=1, shards=1) exploration path. The intern-key
+// byte-arena (one amortized chunk instead of one string copy per state) and
+// the frontier world free-list (revisit clones and expanded frontier worlds
+// recycle their backing slices) brought Explore from ~6 allocations per
+// state down to under 2; this test pins that budget so a refactor that
+// reintroduces per-state copies shows up immediately.
 func TestExploreAllocsPerState(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation counting skipped in -short mode")
@@ -31,13 +31,13 @@ func TestExploreAllocsPerState(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ss, err := Explore(tc.topo, prog, Options{Workers: 1})
+		ss, err := Explore(tc.topo, prog, Options{Workers: 1, Shards: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
 		states := float64(ss.NumStates())
 		allocs := testing.AllocsPerRun(3, func() {
-			if _, err := Explore(tc.topo, prog, Options{Workers: 1}); err != nil {
+			if _, err := Explore(tc.topo, prog, Options{Workers: 1, Shards: 1}); err != nil {
 				t.Fatal(err)
 			}
 		})

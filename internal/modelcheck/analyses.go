@@ -1,0 +1,40 @@
+package modelcheck
+
+import "repro/internal/graphalg"
+
+// This file binds the generic analyses of internal/graphalg to the explored
+// dining MDP. StateSpace implements graphalg.StateView over its dense
+// numbering (see explore.go), so every analysis here is a thin adapter; the
+// graph and game algorithms themselves have no knowledge of this package.
+// All analyses are pure reads of the state space and safe to run
+// concurrently over one shared StateSpace — the lockout-freedom property
+// exploits that by fanning its per-philosopher trap analyses across workers.
+
+// Reachable returns the set of states reachable from the initial state using
+// any actions and any outcomes, as a boolean slice indexed by state.
+func (ss *StateSpace) Reachable() []bool {
+	return graphalg.Reachable(ss)
+}
+
+// EatReachableFromEverywhere reports whether, from every reachable state, a
+// state in which some philosopher is eating remains reachable (existentially
+// over scheduling and randomness). A false answer exhibits a true dead end:
+// a region from which no meal can ever happen again under any scheduling —
+// for example the hold-and-wait deadlock of the colored-philosophers baseline
+// on an odd ring.
+func (ss *StateSpace) EatReachableFromEverywhere() bool {
+	return len(ss.DeadRegionStates()) == 0
+}
+
+// DeadRegionStates returns the reachable states from which no eating state is
+// reachable under any scheduling and any random outcomes.
+func (ss *StateSpace) DeadRegionStates() []int {
+	return graphalg.DeadRegionStates(ss, func(s int) bool { return ss.anyEating[s] })
+}
+
+// DeadlockStates returns the reachable states in which every action of every
+// philosopher is a self-loop: the system can never change state again. The
+// paper's algorithms have none; the naive hold-and-wait baselines do.
+func (ss *StateSpace) DeadlockStates() []int {
+	return graphalg.DeadlockStates(ss)
+}

@@ -17,24 +17,61 @@
 // with probability 1 while scheduling every philosopher infinitely often
 // (fairness), so its existence is exactly the negative result, and its
 // absence on every reachable part of the state space certifies the positive
-// result for the explored instance. FindStarvationTrap computes it.
+// result for the explored instance. FindStarvationTrap computes it. The
+// graph and game algorithms themselves live in internal/graphalg and operate
+// on the read-only graphalg.StateView interface, which StateSpace
+// implements; this package owns only the storage and the exploration.
+//
+// # Sharded storage
+//
+// The explored MDP is stored in 2^k independently-owned shards (Options.
+// Shards). Each shard holds its own intern table (canonical key → id), key
+// arena and flat trans/succs/probs arrays; a state belongs to the shard
+// selected by a deterministic FNV-1a hash of its canonical key, and its
+// shard-internal address is the packed id shard<<localBits | local. During
+// parallel exploration every shard is written by exactly one goroutine, so
+// interning and appending need no locks and no single sequential merge.
+//
+// On top of the shards sits the dense view: states are also numbered
+// 0..NumStates-1 in exploration (breadth-first discovery) order, which is
+// the numbering every exported method and analysis uses. The dense order is
+// identical for every (workers, shards) combination — it equals the
+// sequential exploration's numbering — so verdicts, witnesses and
+// counterexample traces never depend on how the exploration was
+// parallelized; only the internal shard layout does, and the remap test in
+// golden_test.go pins the correspondence.
 //
 // # Exploration order and parallelism
 //
-// Explore is a level-synchronous breadth-first search. The states of one BFS
-// level are expanded — in parallel across Options.Workers goroutines — and
-// their successors are then interned in a single deterministic merge pass
-// that walks the level in frontier order, each state's actions in
-// philosopher order and each action's outcomes in outcome order. New states
-// receive ids in that first-encounter order, so the explored space (state
-// numbering, transition tables, probabilities) is byte-identical for every
-// worker count; the sequential path is simply the same order executed
-// inline.
+// Explore is a level-synchronous breadth-first search. Each BFS level runs
+// four phases:
+//
+//  1. Expand: workers expand disjoint contiguous chunks of the level against
+//     the read-only shard intern tables and record, per chunk, the outcome
+//     probabilities and successor references (dense ids for known states,
+//     pending indices for locally new ones).
+//  2. Intern: one goroutine per shard replays every chunk's pending keys in
+//     (chunk, first-encounter) order and interns the ones hashing to its
+//     shard, assigning packed ids — disjoint shards, no lock, no global
+//     merge.
+//  3. Gather: workers assign the new states their dense ids — the (chunk,
+//     first-encounter) order is exactly the order the sequential exploration
+//     discovers them in — record state labels, and build the next frontier.
+//  4. Rows: one goroutine per shard writes the transition rows of the level
+//     states it owns, in frontier order, resolving pending references
+//     through the intern results.
+//
+// The sequential path (workers = 1, shards = 1) is the same order executed
+// inline with no phases. A level that could cross Options.MaxStates is
+// merged by a single goroutine in global frontier order instead, so
+// truncated explorations stop at exactly the state the sequential
+// exploration stops at; this endgame runs at most once, on the final level.
 package modelcheck
 
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 	"unsafe"
 
@@ -67,9 +104,16 @@ type Options struct {
 	// cancellation reaches the exploration loop.
 	Interrupt func() error
 	// Workers bounds the exploration goroutines (0 = one per CPU,
-	// 1 = sequential). The explored space is byte-identical for every value;
-	// only wall-clock changes.
+	// 1 = sequential). The explored space is identical for every value; only
+	// wall-clock changes.
 	Workers int
+	// Shards is the number of independently-owned state stores (rounded up
+	// to a power of two, capped at MaxShards; 0 = match the resolved worker
+	// count). Workers intern and append into disjoint shards, removing the
+	// sequential per-level merge; the dense state numbering — and therefore
+	// every analysis, verdict and counterexample — is identical for every
+	// value. Negative values are an error.
+	Shards int
 }
 
 // DefaultMaxStates bounds explorations when Options.MaxStates is zero.
@@ -80,10 +124,21 @@ const DefaultMaxStates = 2_000_000
 // than anything exhaustively explorable) simply skip the masks.
 const maskablePhils = 64
 
-// transition is one (state, philosopher) action: a window into the state
-// space's shared succs/probs backing arrays. Storing offsets instead of
-// per-action slices keeps the whole MDP in three flat allocations instead of
-// ~2·NumPhils+1 small ones per state.
+const (
+	// localBits is the width of the shard-local index inside a packed state
+	// id: packed = shard<<localBits | local.
+	localBits = 25
+	// localMask extracts the shard-local index from a packed id.
+	localMask = 1<<localBits - 1
+	// MaxShards is the shard-count ceiling. MaxShards<<localBits is exactly
+	// 1<<31, so every packed id fits an int32.
+	MaxShards = 64
+)
+
+// transition is one (state, philosopher) action: a window into the owning
+// shard's succs/probs backing arrays. Storing offsets instead of per-action
+// slices keeps each shard's MDP fragment in three flat allocations instead
+// of ~2·NumPhils+1 small ones per state.
 type transition struct {
 	// off is the offset of the action's first outcome in succs/probs.
 	off int32
@@ -91,7 +146,34 @@ type transition struct {
 	n int32
 }
 
-// StateSpace is the explored MDP.
+// shardStore is one independently-owned fragment of the explored MDP. All
+// per-state arrays are indexed by the shard-local index of the packed id;
+// succs holds dense state ids, so reading a transition row never needs a
+// cross-shard translation.
+type shardStore struct {
+	// index dedupes states by canonical key; the value is the packed id.
+	// During a parallel expansion phase the map is strictly read-only
+	// (workers probe it concurrently with the no-copy string(buf) idiom);
+	// all writes happen in the per-shard intern phase between levels.
+	index map[string]int32
+	// dense maps the shard-local index to the state's dense id.
+	dense []int32
+	// trans holds NumPhils consecutive transitions per state: the transition
+	// of philosopher a from local state l is trans[l*NumPhils+a].
+	trans []transition
+	// succs and probs are the flat backing arrays shared by every transition
+	// of this shard: succs[t.off+i] is the dense id of the state reached by
+	// outcome i and probs[t.off+i] its probability.
+	succs []int32
+	probs []float64
+	// keys holds the canonical key of every state (local-index-aligned).
+	// Retained only when Options.KeepKeys is set; nil otherwise.
+	keys []string
+}
+
+// StateSpace is the explored MDP: 2^k shard stores plus the dense
+// exploration-order view over them. It implements graphalg.StateView; all
+// exported state indices are dense ids.
 type StateSpace struct {
 	topo   *graph.Topology
 	prog   sim.Program
@@ -99,65 +181,93 @@ type StateSpace struct {
 
 	// NumPhils is the number of philosophers (actions per state).
 	NumPhils int
-	// trans holds NumPhils consecutive transitions per state: the transition
-	// of philosopher a from state s is trans[s*NumPhils+a].
-	trans []transition
-	// succs and probs are the flat backing arrays shared by every
-	// transition: succs[t.off+i] is the state reached by outcome i and
-	// probs[t.off+i] its probability.
-	succs []int32
-	probs []float64
-	// bad[s] reports whether a protected philosopher is eating in state s.
+	// shards are the per-shard stores; len(shards) is a power of two.
+	shards []shardStore
+	// shardMask is len(shards)-1, the mask applied to the key hash.
+	shardMask uint32
+	// order maps dense ids to packed ids — the remap between the analysis
+	// view and the sharded storage.
+	order []int32
+	// bad[s] reports whether a protected philosopher is eating in dense
+	// state s.
 	bad []bool
 	// anyEating[s] reports whether any philosopher is eating in state s.
 	anyEating []bool
 	// eating[s] is the bitmask of philosophers eating in state s, backing
 	// FindStarvationTrapAgainst; nil when NumPhils > maskablePhils.
 	eating []uint64
-	// initial is the index of the initial state.
-	initial int
-	// Truncated reports whether MaxStates was hit; analyses on a truncated
-	// space are only valid for the explored fragment.
-	Truncated bool
 	// expanded[s] reports whether state s had its outgoing transitions fully
 	// computed. States discovered but not expanded (possible only when
 	// Truncated) are excluded from the safety analyses so that truncation can
 	// never fabricate a trap.
 	expanded []bool
-	// keys holds the canonical key of every state (index-aligned). Retained
-	// only when Options.KeepKeys is set; nil otherwise.
-	keys []string
+	// hasKeys records whether the exploration retained canonical keys.
+	hasKeys bool
+	// initial is the dense index of the initial state (always 0).
+	initial int
+	// Truncated reports whether MaxStates was hit; analyses on a truncated
+	// space are only valid for the explored fragment.
+	Truncated bool
 }
 
 // NumStates returns the number of distinct states explored.
 func (ss *StateSpace) NumStates() int { return len(ss.bad) }
 
-// succsOf returns the successor states of philosopher a's action from state
-// s. The returned slice aliases the shared backing array and must not be
-// modified.
-func (ss *StateSpace) succsOf(s, a int) []int32 {
-	t := ss.trans[s*ss.NumPhils+a]
-	return ss.succs[t.off : t.off+t.n]
+// NumActions returns the number of actions per state (one per philosopher).
+// It implements graphalg.StateView.
+func (ss *StateSpace) NumActions() int { return ss.NumPhils }
+
+// Initial returns the dense index of the initial state.
+func (ss *StateSpace) Initial() int { return ss.initial }
+
+// NumShards returns the number of shard stores the space is split into.
+func (ss *StateSpace) NumShards() int { return len(ss.shards) }
+
+// locate resolves a dense id to its owning shard store and local index.
+func (ss *StateSpace) locate(s int) (*shardStore, int32) {
+	p := ss.order[s]
+	return &ss.shards[p>>localBits], p & localMask
 }
 
-// probsOf returns the outcome probabilities of philosopher a's action from
-// state s, aligned with succsOf.
-func (ss *StateSpace) probsOf(s, a int) []float64 {
-	t := ss.trans[s*ss.NumPhils+a]
-	return ss.probs[t.off : t.off+t.n]
+// Succs returns the dense ids of the successor states of philosopher a's
+// action from dense state s. The returned slice aliases the owning shard's
+// backing array and must not be modified. It implements graphalg.StateView.
+func (ss *StateSpace) Succs(s, a int) []int32 {
+	st, l := ss.locate(s)
+	t := st.trans[int(l)*ss.NumPhils+a]
+	return st.succs[t.off : t.off+t.n]
 }
+
+// Probs returns the outcome probabilities of philosopher a's action from
+// dense state s, aligned with Succs. The returned slice aliases the owning
+// shard's backing array and must not be modified.
+func (ss *StateSpace) Probs(s, a int) []float64 {
+	st, l := ss.locate(s)
+	t := st.trans[int(l)*ss.NumPhils+a]
+	return st.probs[t.off : t.off+t.n]
+}
+
+// Bad reports whether a protected philosopher is eating in state s. It
+// implements graphalg.StateView.
+func (ss *StateSpace) Bad(s int) bool { return ss.bad[s] }
+
+// Expanded reports whether state s had its outgoing transitions fully
+// computed (false only on truncated explorations). It implements
+// graphalg.StateView.
+func (ss *StateSpace) Expanded(s int) bool { return ss.expanded[s] }
 
 // KeyOf returns the canonical key of state s, or "" when the exploration did
 // not retain keys (Options.KeepKeys).
 func (ss *StateSpace) KeyOf(s int) string {
-	if ss.keys == nil {
+	if !ss.hasKeys {
 		return ""
 	}
-	return ss.keys[s]
+	st, l := ss.locate(s)
+	return st.keys[l]
 }
 
 // NumTransitions returns the total number of (state, philosopher) actions.
-func (ss *StateSpace) NumTransitions() int { return len(ss.trans) }
+func (ss *StateSpace) NumTransitions() int { return ss.NumStates() * ss.NumPhils }
 
 // NumBadStates returns the number of states in which a protected philosopher
 // is eating.
@@ -170,6 +280,29 @@ func (ss *StateSpace) NumBadStates() int {
 	}
 	return n
 }
+
+// fnvShard hashes a canonical key with FNV-1a — a fixed, seedless hash, so
+// the shard layout is deterministic across runs and processes (unlike Go's
+// randomized map hash). One generic body serves both key representations;
+// exploration hashes the scratch []byte, tests and tools the interned
+// string.
+func fnvShard[T ~string | ~[]byte](key T, mask uint32) uint32 {
+	if mask == 0 {
+		return 0
+	}
+	const prime = 16777619
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * prime
+	}
+	return h & mask
+}
+
+// shardOf returns the owning shard of a canonical key.
+func (ss *StateSpace) shardOf(key []byte) uint32 { return fnvShard(key, ss.shardMask) }
+
+// shardOfString is shardOf for an already-materialized key string.
+func (ss *StateSpace) shardOfString(key string) uint32 { return fnvShard(key, ss.shardMask) }
 
 // byteArena interns byte strings into large shared chunks: the returned
 // string views the arena's backing array directly, so interning a key costs
@@ -201,9 +334,17 @@ func (a *byteArena) intern(b []byte) string {
 	return unsafe.String(&a.buf[off], len(b))
 }
 
+// frontEntry is one state of the current BFS level: its world and its packed
+// id. The dense id is implicit — the level's states are dense-contiguous, so
+// the dense id of front[i] is levelStart+i.
+type frontEntry struct {
+	w      *sim.World
+	packed int32
+}
+
 // scratch is the reusable per-worker expansion state: key and outcome
 // buffers, a world free-list, and — for the parallel path — the recorded
-// expansion of the worker's chunk awaiting the deterministic merge.
+// expansion of the worker's chunk awaiting the per-shard merge phases.
 type scratch struct {
 	keyBuf     []byte
 	obuf, sbuf []sim.Outcome
@@ -215,13 +356,19 @@ type scratch struct {
 	noRecycle bool
 
 	// Parallel expansion record, flattened in (state, action, outcome) order.
-	counts  []int32   // per (state, action): number of outcomes
-	probs   []float64 // per outcome: probability
-	refs    []int32   // per outcome: >= 0 global state id, else ^pendingIdx
-	pkeys   []string  // per pending (locally new) state: canonical key
-	pworlds []*sim.World
+	counts []int32   // per (state, action): number of outcomes
+	probs  []float64 // per outcome: probability
+	refs   []int32   // per outcome: >= 0 dense state id, else ^pendingIdx
+	// Pending (locally new) states, in first-encounter order.
+	pkeys   []string     // canonical keys
+	pworlds []*sim.World // successor worlds
+	pshard  []uint8      // owning shard (hash computed once, at expansion)
+	created []bool       // set by the intern phase: this entry created its state
+	// resolve is the pending-index resolution scratch: the intern phase
+	// stores packed ids here; the sequential truncation endgame stores dense
+	// ids instead (only one of the two runs per level).
+	resolve []int32
 	local   map[string]int32 // canonical key -> pending index, this level only
-	resolve []int32          // merge scratch: pending index -> assigned id
 	err     error
 }
 
@@ -245,6 +392,15 @@ func (s *scratch) putFree(w *sim.World) {
 	}
 }
 
+// shardScratch is the per-shard merge-phase state.
+type shardScratch struct {
+	// newPerChunk[ci] counts the states this shard created from chunk ci's
+	// pendings in the last intern phase; the gather phase prefix-sums these
+	// into dense-id bases.
+	newPerChunk []int32
+	err         error
+}
+
 // explorer carries the shared state of one Explore call.
 type explorer struct {
 	ss        *StateSpace
@@ -252,11 +408,6 @@ type explorer struct {
 	maxStates int
 	protected map[graph.PhilID]bool
 
-	// index dedupes states by canonical key. During a parallel expansion
-	// phase the map is strictly read-only (workers probe it concurrently with
-	// the no-copy string(buf) idiom); all writes happen in the sequential
-	// merge between levels.
-	index map[string]int32
 	// arena interns the sequential path's map keys in large chunks, so the
 	// per-state key string of the old explorer disappears. The parallel path
 	// uses the pending keys the workers already materialised.
@@ -264,12 +415,12 @@ type explorer struct {
 	// zeroTrans is the reusable blank transition row appended per new state.
 	zeroTrans []transition
 
-	// frontW holds the worlds of the current BFS level (sequentially: of
-	// every state, indexed by id, consumed in place); nextW collects the next
-	// level during a merge. Level ids are contiguous, so only the worlds are
-	// stored — the id of frontW[i] is levelStart+i.
-	frontW []*sim.World
-	nextW  []*sim.World
+	// front holds the current BFS level in discovery order (sequentially: the
+	// whole queue, consumed in place); nextFront collects the next level
+	// during the merge phases. levelStart is the dense id of front[0].
+	front      []frontEntry
+	nextFront  []frontEntry
+	levelStart int
 }
 
 // isProtected reports whether p's meals count as "bad".
@@ -288,44 +439,74 @@ func (e *explorer) clone(src, spare *sim.World) *sim.World {
 	return src.CloneProtocolInto(spare)
 }
 
-// addState interns a newly discovered state. key must be a stable string
-// (arena-interned or heap-allocated); w is the state's world. It returns the
-// assigned id.
-func (e *explorer) addState(key string, w *sim.World) int32 {
-	ss := e.ss
-	id := int32(len(ss.bad))
-	e.index[key] = id
-	ss.trans = append(ss.trans, e.zeroTrans...)
-	ss.expanded = append(ss.expanded, false)
-	if e.opts.KeepKeys {
-		ss.keys = append(ss.keys, key)
-	}
-	badHere := false
-	eatingHere := false
-	var mask uint64
+// stateFlags computes the per-state labels recorded at intern time.
+func (e *explorer) stateFlags(w *sim.World) (bad, eat bool, mask uint64) {
 	for p := range w.Phils {
 		if w.Phils[p].Phase == sim.Eating {
-			eatingHere = true
+			eat = true
 			if p < maskablePhils {
 				mask |= 1 << uint(p)
 			}
 			if e.isProtected(graph.PhilID(p)) {
-				badHere = true
+				bad = true
 			}
 		}
 	}
-	ss.bad = append(ss.bad, badHere)
-	ss.anyEating = append(ss.anyEating, eatingHere)
+	return bad, eat, mask
+}
+
+// addState interns a newly discovered state into shard g and appends its
+// dense-view entries. key must be a stable string (arena-interned or
+// heap-allocated); w is the state's world. It returns the packed and dense
+// ids. It is used by the sequential path and the truncation endgame; the
+// parallel phases split the same work between internShard and gatherChunk.
+func (e *explorer) addState(g uint32, key string, w *sim.World) (packed, dense int32, err error) {
+	ss := e.ss
+	st := &ss.shards[g]
+	local := int32(len(st.dense))
+	if local > localMask {
+		return 0, 0, fmt.Errorf("modelcheck: shard %d overflowed %d states; raise Options.Shards", g, localMask+1)
+	}
+	packed = int32(g)<<localBits | local
+	dense = int32(len(ss.bad))
+	st.index[key] = packed
+	st.dense = append(st.dense, dense)
+	st.trans = append(st.trans, e.zeroTrans...)
+	if e.opts.KeepKeys {
+		st.keys = append(st.keys, key)
+	}
+	ss.order = append(ss.order, packed)
+	ss.expanded = append(ss.expanded, false)
+	bad, eat, mask := e.stateFlags(w)
+	ss.bad = append(ss.bad, bad)
+	ss.anyEating = append(ss.anyEating, eat)
 	if ss.NumPhils <= maskablePhils {
 		ss.eating = append(ss.eating, mask)
 	}
-	return id
+	return packed, dense, nil
+}
+
+// resolveShards normalizes an Options.Shards value against the resolved
+// worker count: 0 matches workers, everything is rounded up to a power of
+// two and capped at MaxShards.
+func resolveShards(shards, workers int) int {
+	if shards <= 0 {
+		shards = workers
+	}
+	k := 1
+	for k < shards && k < MaxShards {
+		k <<= 1
+	}
+	return k
 }
 
 // Explore builds the complete reachable state space of prog on topo.
 func Explore(topo *graph.Topology, prog sim.Program, opts Options) (*StateSpace, error) {
 	if topo == nil || prog == nil {
 		return nil, fmt.Errorf("modelcheck: Explore requires a topology and a program")
+	}
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("modelcheck: Options.Shards must be >= 0, got %d", opts.Shards)
 	}
 	maxStates := opts.MaxStates
 	if maxStates <= 0 {
@@ -335,18 +516,24 @@ func Explore(topo *graph.Topology, prog sim.Program, opts Options) (*StateSpace,
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	shards := resolveShards(opts.Shards, workers)
 
 	ss := &StateSpace{
-		topo:     topo,
-		prog:     prog,
-		hunger:   opts.Hunger,
-		NumPhils: topo.NumPhilosophers(),
+		topo:      topo,
+		prog:      prog,
+		hunger:    opts.Hunger,
+		NumPhils:  topo.NumPhilosophers(),
+		shards:    make([]shardStore, shards),
+		shardMask: uint32(shards - 1),
+		hasKeys:   opts.KeepKeys,
+	}
+	for i := range ss.shards {
+		ss.shards[i].index = make(map[string]int32)
 	}
 	e := &explorer{
 		ss:        ss,
 		opts:      opts,
 		maxStates: maxStates,
-		index:     make(map[string]int32),
 		zeroTrans: make([]transition, ss.NumPhils),
 	}
 	if len(opts.Protected) > 0 {
@@ -363,15 +550,18 @@ func Explore(topo *graph.Topology, prog sim.Program, opts Options) (*StateSpace,
 	prog.Init(initial)
 
 	w0 := e.clone(initial, nil)
-	e.addState(e.arena.intern(w0.AppendKey(nil)), w0)
+	keyBytes := w0.AppendKey(nil)
+	packed0, _, err := e.addState(ss.shardOf(keyBytes), e.arena.intern(keyBytes), w0)
+	if err != nil {
+		return nil, err
+	}
 	ss.initial = 0
-	e.frontW = append(e.frontW, w0)
+	e.front = append(e.front, frontEntry{w: w0, packed: packed0})
 
-	var err error
-	if workers == 1 {
+	if workers == 1 && shards == 1 {
 		err = e.exploreSequential()
 	} else {
-		err = e.exploreParallel(workers)
+		err = e.exploreSharded(workers)
 	}
 	if err != nil {
 		return nil, err
@@ -383,10 +573,12 @@ func Explore(topo *graph.Topology, prog sim.Program, opts Options) (*StateSpace,
 		if ss.expanded[s] {
 			continue
 		}
+		st, l := ss.locate(s)
+		base := int(l) * ss.NumPhils
 		for a := 0; a < ss.NumPhils; a++ {
-			ss.trans[s*ss.NumPhils+a] = transition{off: int32(len(ss.succs)), n: 1}
-			ss.succs = append(ss.succs, int32(s))
-			ss.probs = append(ss.probs, 1)
+			st.trans[base+a] = transition{off: int32(len(st.succs)), n: 1}
+			st.succs = append(st.succs, int32(s))
+			st.probs = append(st.probs, 1)
 		}
 	}
 	return ss, nil
@@ -396,20 +588,23 @@ func Explore(topo *graph.Topology, prog sim.Program, opts Options) (*StateSpace,
 // is polled.
 const interruptCheckInterval = 1024
 
-// exploreSequential runs the BFS inline. frontW doubles as the FIFO queue:
-// new states are appended in id order, so the world of state id sits at
-// frontW[id] until the state is expanded.
+// exploreSequential runs the BFS inline on a single shard. front doubles as
+// the FIFO queue: new states are appended in id order, so the world of state
+// id sits at front[id] until the state is expanded. With one shard the
+// packed, local and dense ids of a state coincide, which is what makes this
+// path free of any translation work.
 func (e *explorer) exploreSequential() error {
 	ss := e.ss
+	st := &ss.shards[0]
 	s := newScratch(e.opts.Hunger != nil)
-	for head := 0; head < len(e.frontW); head++ {
+	for head := 0; head < len(e.front); head++ {
 		if e.opts.Interrupt != nil && head%interruptCheckInterval == 0 {
 			if err := e.opts.Interrupt(); err != nil {
 				return err
 			}
 		}
-		w := e.frontW[head]
-		e.frontW[head] = nil
+		w := e.front[head].w
+		e.front[head].w = nil
 		id := int32(head)
 
 		base := int(id) * ss.NumPhils
@@ -420,7 +615,7 @@ func (e *explorer) exploreSequential() error {
 			// is then applied to its own clone.
 			outcomes := ss.prog.Outcomes(w, pid, s.obuf[:0])
 			s.obuf = outcomes
-			off := int32(len(ss.succs))
+			off := int32(len(st.succs))
 			for i := range outcomes {
 				succ := e.clone(w, s.takeFree())
 				succOut := ss.prog.Outcomes(succ, pid, s.sbuf[:0])
@@ -435,17 +630,20 @@ func (e *explorer) exploreSequential() error {
 				// The string(keyBuf) map probe is the no-copy idiom: probing
 				// a seen state allocates nothing; genuinely new states intern
 				// their key into the shared arena.
-				if gid, ok := e.index[string(s.keyBuf)]; ok {
+				if gid, ok := st.index[string(s.keyBuf)]; ok {
 					sid = gid
 					s.putFree(succ)
 				} else {
-					sid = e.addState(e.arena.intern(s.keyBuf), succ)
-					e.frontW = append(e.frontW, succ)
+					var err error
+					if _, sid, err = e.addState(0, e.arena.intern(s.keyBuf), succ); err != nil {
+						return err
+					}
+					e.front = append(e.front, frontEntry{w: succ, packed: sid})
 				}
-				ss.succs = append(ss.succs, sid)
-				ss.probs = append(ss.probs, outcomes[i].Prob)
+				st.succs = append(st.succs, sid)
+				st.probs = append(st.probs, outcomes[i].Prob)
 			}
-			ss.trans[base+a] = transition{off: off, n: int32(len(outcomes))}
+			st.trans[base+a] = transition{off: off, n: int32(len(outcomes))}
 		}
 		ss.expanded[id] = true
 		s.putFree(w)
@@ -457,44 +655,59 @@ func (e *explorer) exploreSequential() error {
 	return nil
 }
 
-// exploreParallel runs the BFS level by level: workers expand disjoint
-// contiguous chunks of the current level against the read-only intern table,
-// then a sequential merge replays every chunk in frontier order and assigns
-// ids — exactly the order exploreSequential would have used.
-func (e *explorer) exploreParallel(workers int) error {
+// grown extends s by n zeroed elements, amortizing reallocation.
+func grown[T any](s []T, n int) []T {
+	s = slices.Grow(s, n)
+	s = s[:len(s)+n]
+	clear(s[len(s)-n:])
+	return s
+}
+
+// exploreSharded runs the BFS level by level through the four phases
+// described in the package comment. Every phase is parallel — over chunks
+// (expand, gather) or over shards (intern, rows) — and every write target is
+// owned by exactly one goroutine, so the only synchronization is the barrier
+// between phases. A level that could cross the state cap falls back to
+// mergeLevelSequential, preserving the sequential truncation point exactly.
+func (e *explorer) exploreSharded(workers int) error {
 	ss := e.ss
 	scratches := make([]*scratch, workers)
 	for i := range scratches {
 		scratches[i] = newScratch(e.opts.Hunger != nil)
 	}
-	levelStart := int32(0)
-	for len(e.frontW) > 0 && !ss.Truncated {
+	shardScr := make([]*shardScratch, len(ss.shards))
+	for g := range shardScr {
+		shardScr[g] = &shardScratch{}
+	}
+	chunkLo := make([]int, 0, workers)
+	chunkBase := make([]int, 0, workers)
+	var wg sync.WaitGroup
+
+	for len(e.front) > 0 {
 		if e.opts.Interrupt != nil {
 			if err := e.opts.Interrupt(); err != nil {
 				return err
 			}
 		}
-		n := len(e.frontW)
+
+		// Phase 1: expand disjoint chunks of the level in parallel.
+		n := len(e.front)
 		chunk := (n + workers - 1) / workers
 		active := 0
-		var wg sync.WaitGroup
-		chunkLo := make([]int, 0, workers)
+		chunkLo = chunkLo[:0]
 		for lo := 0; lo < n; lo += chunk {
-			hi := lo + chunk
-			if hi > n {
-				hi = n
-			}
+			hi := min(lo+chunk, n)
 			s := scratches[active]
 			chunkLo = append(chunkLo, lo)
 			active++
 			wg.Add(1)
-			go func(s *scratch, worlds []*sim.World) {
+			go func(s *scratch, entries []frontEntry) {
 				defer wg.Done()
-				e.expandChunk(s, worlds)
-			}(s, e.frontW[lo:hi])
+				e.expandChunk(s, entries)
+			}(s, e.front[lo:hi])
 		}
 		wg.Wait()
-		// The first error in worker order keeps error reporting deterministic
+		// The first error in chunk order keeps error reporting deterministic
 		// (each chunk's contents are deterministic, so so is its error).
 		for _, s := range scratches[:active] {
 			if s.err != nil {
@@ -502,37 +715,115 @@ func (e *explorer) exploreParallel(workers int) error {
 			}
 		}
 
-		e.nextW = e.nextW[:0]
-		for wi, s := range scratches[:active] {
-			if !e.mergeChunk(s, levelStart+int32(chunkLo[wi])) {
-				break // state cap hit; drop the rest of the level
+		// Truncation endgame: if this level could cross the state cap
+		// (totalPending over-counts cross-chunk duplicates, so the trigger
+		// errs on the safe side), merge it in global frontier order on one
+		// goroutine so the exploration stops at exactly the state the
+		// sequential exploration stops at. This runs at most on the final
+		// level of a capped run — never on the steady-state path.
+		totalPending := 0
+		for _, s := range scratches[:active] {
+			totalPending += len(s.pkeys)
+		}
+		d0 := ss.NumStates()
+		if d0+totalPending > e.maxStates {
+			if err := e.mergeLevelSequential(scratches[:active], chunkLo); err != nil {
+				return err
+			}
+			if ss.Truncated {
+				return nil
+			}
+			e.front, e.nextFront = e.nextFront, e.front[:0]
+			e.levelStart = d0
+			continue
+		}
+
+		// Phase 2: intern pending states, one goroutine per shard.
+		for g := range ss.shards {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				e.internShard(uint32(g), shardScr[g], scratches[:active])
+			}(g)
+		}
+		wg.Wait()
+		for _, sc := range shardScr {
+			if sc.err != nil {
+				return sc.err
 			}
 		}
-		levelStart = int32(ss.NumStates() - len(e.nextW))
-		e.frontW, e.nextW = e.nextW, e.frontW
+
+		// Dense-id bases: chunk ci's creations become dense ids
+		// d0+chunkBase[ci].. in pending order — the global first-encounter
+		// order, which is exactly the sequential discovery order.
+		chunkBase = chunkBase[:0]
+		totalCreated := 0
+		for ci := 0; ci < active; ci++ {
+			chunkBase = append(chunkBase, totalCreated)
+			for _, sc := range shardScr {
+				totalCreated += int(sc.newPerChunk[ci])
+			}
+		}
+		ss.order = grown(ss.order, totalCreated)
+		ss.bad = grown(ss.bad, totalCreated)
+		ss.anyEating = grown(ss.anyEating, totalCreated)
+		ss.expanded = grown(ss.expanded, totalCreated)
+		if ss.NumPhils <= maskablePhils {
+			ss.eating = grown(ss.eating, totalCreated)
+		}
+		e.nextFront = grown(e.nextFront[:0], totalCreated)
+
+		// Phase 3: assign dense ids, record labels and build the next
+		// frontier, one goroutine per chunk (disjoint dense-id ranges).
+		for ci := 0; ci < active; ci++ {
+			wg.Add(1)
+			go func(s *scratch, base int) {
+				defer wg.Done()
+				e.gatherChunk(s, d0, base)
+			}(scratches[ci], chunkBase[ci])
+		}
+		wg.Wait()
+
+		// Phase 4: write transition rows, one goroutine per shard.
+		for g := range ss.shards {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				e.writeRows(uint32(g), scratches[:active], chunkLo)
+			}(g)
+		}
+		wg.Wait()
+
+		e.front, e.nextFront = e.nextFront, e.front[:0]
+		e.levelStart = d0
 	}
 	return nil
 }
 
 // expandChunk computes the outcome record of one contiguous chunk of the
-// current level. It only reads shared state (the intern table, the program,
-// the frontier worlds of its own chunk) and writes the worker-local scratch.
-func (e *explorer) expandChunk(s *scratch, worlds []*sim.World) {
+// current level. It only reads shared state (the shard intern tables, the
+// program, the frontier worlds of its own chunk) and writes the worker-local
+// scratch.
+func (e *explorer) expandChunk(s *scratch, entries []frontEntry) {
 	ss := e.ss
 	s.counts = s.counts[:0]
 	s.probs = s.probs[:0]
 	s.refs = s.refs[:0]
 	s.pkeys = s.pkeys[:0]
 	s.pworlds = s.pworlds[:0]
+	s.pshard = s.pshard[:0]
+	s.created = s.created[:0]
+	s.resolve = s.resolve[:0]
 	clear(s.local)
 	s.err = nil
-	for k, w := range worlds {
+	for k := range entries {
 		if e.opts.Interrupt != nil && k%interruptCheckInterval == 0 {
 			if err := e.opts.Interrupt(); err != nil {
 				s.err = err
 				return
 			}
 		}
+		w := entries[k].w
 		for a := 0; a < ss.NumPhils; a++ {
 			pid := graph.PhilID(a)
 			outcomes := ss.prog.Outcomes(w, pid, s.obuf[:0])
@@ -550,8 +841,10 @@ func (e *explorer) expandChunk(s *scratch, worlds []*sim.World) {
 				succ.Step++
 				s.keyBuf = succ.AppendKey(s.keyBuf[:0])
 				s.probs = append(s.probs, outcomes[i].Prob)
-				if gid, ok := e.index[string(s.keyBuf)]; ok {
-					s.refs = append(s.refs, gid)
+				g := ss.shardOf(s.keyBuf)
+				st := &ss.shards[g]
+				if gid, ok := st.index[string(s.keyBuf)]; ok {
+					s.refs = append(s.refs, st.dense[gid&localMask])
 					s.putFree(succ)
 				} else if li, ok := s.local[string(s.keyBuf)]; ok {
 					s.refs = append(s.refs, ^li)
@@ -562,6 +855,9 @@ func (e *explorer) expandChunk(s *scratch, worlds []*sim.World) {
 					s.local[key] = li
 					s.pkeys = append(s.pkeys, key)
 					s.pworlds = append(s.pworlds, succ)
+					s.pshard = append(s.pshard, uint8(g))
+					s.created = append(s.created, false)
+					s.resolve = append(s.resolve, -1)
 					s.refs = append(s.refs, ^li)
 				}
 			}
@@ -570,165 +866,183 @@ func (e *explorer) expandChunk(s *scratch, worlds []*sim.World) {
 	}
 }
 
-// mergeChunk replays one expansion record into the global space. id is the
-// global id of the chunk's first state. Pending successors are resolved in
-// first-encounter order — states a worker deduplicated locally, or that two
-// workers discovered independently, land on one id. It returns false when
-// the state cap was crossed; the chunk's current state is then complete (its
-// successors are all interned), matching the sequential stop point.
-func (e *explorer) mergeChunk(s *scratch, id int32) bool {
+// internShard interns, into shard g, every pending state hashing to g, in
+// (chunk, first-encounter) order — the restriction of the sequential
+// discovery order to this shard, so shard-local numbering is deterministic
+// for every worker count. Dense ids are left to the gather phase; resolve
+// receives the packed id of every pending entry owned by g.
+func (e *explorer) internShard(g uint32, sc *shardScratch, scratches []*scratch) {
 	ss := e.ss
-	s.resolve = s.resolve[:0]
-	for range s.pworlds {
-		s.resolve = append(s.resolve, -1)
-	}
-	ri, ci := 0, 0
-	nStates := len(s.counts) / ss.NumPhils
-	for k := 0; k < nStates; k++ {
-		base := int(id) * ss.NumPhils
-		for a := 0; a < ss.NumPhils; a++ {
-			n := s.counts[ci]
-			ci++
-			off := int32(len(ss.succs))
-			for j := int32(0); j < n; j++ {
-				sid := s.refs[ri]
-				prob := s.probs[ri]
-				ri++
-				if sid < 0 {
-					li := ^sid
-					if s.resolve[li] >= 0 {
-						sid = s.resolve[li]
-					} else {
-						key := s.pkeys[li]
-						w := s.pworlds[li]
-						s.pworlds[li] = nil
-						if gid, ok := e.index[key]; ok {
-							sid = gid
-							s.putFree(w)
-						} else {
-							sid = e.addState(key, w)
-							e.nextW = append(e.nextW, w)
-						}
-						s.resolve[li] = sid
-					}
-				}
-				ss.succs = append(ss.succs, sid)
-				ss.probs = append(ss.probs, prob)
-			}
-			ss.trans[base+a] = transition{off: off, n: n}
-		}
-		ss.expanded[id] = true
-		id++
-		if ss.NumStates() > e.maxStates {
-			ss.Truncated = true
-			return false
-		}
-	}
-	return true
-}
-
-// Reachable returns the set of states reachable from the initial state using
-// any actions and any outcomes, as a boolean slice indexed by state.
-func (ss *StateSpace) Reachable() []bool {
-	seen := make([]bool, ss.NumStates())
-	stack := []int{ss.initial}
-	seen[ss.initial] = true
-	for len(stack) > 0 {
-		s := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for a := 0; a < ss.NumPhils; a++ {
-			for _, succ := range ss.succsOf(s, a) {
-				if !seen[succ] {
-					seen[succ] = true
-					stack = append(stack, int(succ))
-				}
-			}
-		}
-	}
-	return seen
-}
-
-// EatReachableFromEverywhere reports whether, from every reachable state, a
-// state in which some philosopher is eating remains reachable (existentially
-// over scheduling and randomness). A false answer exhibits a true dead end:
-// a region from which no meal can ever happen again under any scheduling —
-// for example the hold-and-wait deadlock of the colored-philosophers baseline
-// on an odd ring.
-func (ss *StateSpace) EatReachableFromEverywhere() bool {
-	return len(ss.DeadRegionStates()) == 0
-}
-
-// DeadRegionStates returns the reachable states from which no eating state is
-// reachable under any scheduling and any random outcomes.
-func (ss *StateSpace) DeadRegionStates() []int {
-	n := ss.NumStates()
-	// Backward reachability from eating states over the "some action/outcome"
-	// relation: build reverse adjacency implicitly by iterating forward.
-	// States never expanded (possible only when Truncated) count as able to
-	// reach a meal: their artificial self-loops say nothing about the real
-	// system, and truncation must never fabricate a violation — on a
-	// truncated space the analysis under-approximates, like findTrap.
-	canReach := make([]bool, n)
-	for s := 0; s < n; s++ {
-		if ss.anyEating[s] || !ss.expanded[s] {
-			canReach[s] = true
-		}
-	}
-	// Iterate to fixpoint (the state graph is small enough for the quadratic
-	// worst case; typical convergence is a few passes).
-	changed := true
-	for changed {
-		changed = false
-		for s := 0; s < n; s++ {
-			if canReach[s] {
+	st := &ss.shards[g]
+	sc.newPerChunk = grown(sc.newPerChunk[:0], len(scratches))
+	sc.err = nil
+	for ci, s := range scratches {
+		created := int32(0)
+		for li, key := range s.pkeys {
+			if uint32(s.pshard[li]) != g {
 				continue
 			}
-			for a := 0; a < ss.NumPhils && !canReach[s]; a++ {
-				for _, succ := range ss.succsOf(s, a) {
-					if canReach[succ] {
-						canReach[s] = true
-						changed = true
-						break
-					}
-				}
+			if pid, ok := st.index[key]; ok {
+				s.resolve[li] = pid
+				continue
 			}
+			local := int32(len(st.dense))
+			if local > localMask {
+				sc.err = fmt.Errorf("modelcheck: shard %d overflowed %d states; raise Options.Shards", g, localMask+1)
+				return
+			}
+			packed := int32(g)<<localBits | local
+			st.index[key] = packed
+			st.dense = append(st.dense, -1) // assigned in the gather phase
+			st.trans = append(st.trans, e.zeroTrans...)
+			if e.opts.KeepKeys {
+				st.keys = append(st.keys, key)
+			}
+			s.resolve[li] = packed
+			s.created[li] = true
+			created++
 		}
+		sc.newPerChunk[ci] = created
 	}
-	reachable := ss.Reachable()
-	var dead []int
-	for s := 0; s < n; s++ {
-		if reachable[s] && !canReach[s] {
-			dead = append(dead, s)
-		}
-	}
-	return dead
 }
 
-// DeadlockStates returns the reachable states in which every action of every
-// philosopher is a self-loop: the system can never change state again. The
-// paper's algorithms have none; the naive hold-and-wait baselines do.
-func (ss *StateSpace) DeadlockStates() []int {
-	reachable := ss.Reachable()
-	var out []int
-	for s := 0; s < ss.NumStates(); s++ {
-		// Unexpanded states (possible only when Truncated) carry artificial
-		// self-loops; treating them as deadlocks would fabricate violations
-		// out of the truncation itself.
-		if !reachable[s] || !ss.expanded[s] {
+// gatherChunk walks one chunk's pendings in first-encounter order and, for
+// each entry that created its state, assigns the next dense id, records the
+// state labels and frontier entry, and completes the shard's local→dense
+// map. Entries that lost the intern race to an earlier chunk recycle their
+// worlds. Chunks write disjoint dense-id ranges, so the phase is parallel.
+func (e *explorer) gatherChunk(s *scratch, d0, base int) {
+	ss := e.ss
+	d := d0 + base
+	nf := e.nextFront[base:]
+	j := 0
+	for li := range s.pkeys {
+		w := s.pworlds[li]
+		s.pworlds[li] = nil
+		if !s.created[li] {
+			s.putFree(w)
 			continue
 		}
-		stuck := true
-		for a := 0; a < ss.NumPhils && stuck; a++ {
-			for _, succ := range ss.succsOf(s, a) {
-				if int(succ) != s {
-					stuck = false
-					break
-				}
-			}
+		packed := s.resolve[li]
+		st := &ss.shards[packed>>localBits]
+		st.dense[packed&localMask] = int32(d)
+		ss.order[d] = packed
+		bad, eat, mask := e.stateFlags(w)
+		ss.bad[d] = bad
+		ss.anyEating[d] = eat
+		if ss.eating != nil {
+			ss.eating[d] = mask
 		}
-		if stuck {
-			out = append(out, s)
+		nf[j] = frontEntry{w: w, packed: packed}
+		j++
+		d++
+	}
+}
+
+// writeRows replays every chunk's record in frontier order and appends the
+// transition rows of the level states owned by shard g into g's flat arrays,
+// resolving pending successor references through the intern results. Rows
+// land in deterministic (frontier, philosopher, outcome) order per shard.
+func (e *explorer) writeRows(g uint32, scratches []*scratch, chunkLo []int) {
+	ss := e.ss
+	st := &ss.shards[g]
+	for ci, s := range scratches {
+		ri, kk := 0, 0
+		nStates := len(s.counts) / ss.NumPhils
+		for k := 0; k < nStates; k++ {
+			fe := e.front[chunkLo[ci]+k]
+			if uint32(fe.packed)>>localBits != g {
+				// Skip the state's record: it belongs to another shard.
+				for a := 0; a < ss.NumPhils; a++ {
+					ri += int(s.counts[kk])
+					kk++
+				}
+				continue
+			}
+			base := int(fe.packed&localMask) * ss.NumPhils
+			for a := 0; a < ss.NumPhils; a++ {
+				cnt := s.counts[kk]
+				kk++
+				off := int32(len(st.succs))
+				for j := int32(0); j < cnt; j++ {
+					sid := s.refs[ri]
+					prob := s.probs[ri]
+					ri++
+					if sid < 0 {
+						li := ^sid
+						packed := s.resolve[li]
+						sid = ss.shards[packed>>localBits].dense[packed&localMask]
+					}
+					st.succs = append(st.succs, sid)
+					st.probs = append(st.probs, prob)
+				}
+				st.trans[base+a] = transition{off: off, n: cnt}
+			}
+			ss.expanded[e.levelStart+chunkLo[ci]+k] = true
 		}
 	}
-	return out
+}
+
+// mergeLevelSequential is the truncation endgame: it replays every chunk's
+// record in global frontier order on one goroutine, interning new states
+// into their shards at first encounter — the same shard-local and dense
+// numbering the parallel phases would produce — and stops the moment the
+// state cap is crossed, exactly where the sequential exploration stops. The
+// rest of the level is dropped; discovered-but-unexpanded states keep their
+// blank rows for the post-pass self-loops.
+func (e *explorer) mergeLevelSequential(scratches []*scratch, chunkLo []int) error {
+	ss := e.ss
+	for ci, s := range scratches {
+		ri, kk := 0, 0
+		nStates := len(s.counts) / ss.NumPhils
+		for k := 0; k < nStates; k++ {
+			fe := e.front[chunkLo[ci]+k]
+			st := &ss.shards[uint32(fe.packed)>>localBits]
+			base := int(fe.packed&localMask) * ss.NumPhils
+			for a := 0; a < ss.NumPhils; a++ {
+				cnt := s.counts[kk]
+				kk++
+				off := int32(len(st.succs))
+				for j := int32(0); j < cnt; j++ {
+					sid := s.refs[ri]
+					prob := s.probs[ri]
+					ri++
+					if sid < 0 {
+						li := ^sid
+						// resolve caches dense ids on this path.
+						if s.resolve[li] >= 0 {
+							sid = s.resolve[li]
+						} else {
+							key := s.pkeys[li]
+							w := s.pworlds[li]
+							s.pworlds[li] = nil
+							g := uint32(s.pshard[li])
+							if pid, ok := ss.shards[g].index[key]; ok {
+								// Interned by an earlier chunk of this level.
+								sid = ss.shards[g].dense[pid&localMask]
+								s.putFree(w)
+							} else {
+								packed, dense, err := e.addState(g, key, w)
+								if err != nil {
+									return err
+								}
+								e.nextFront = append(e.nextFront, frontEntry{w: w, packed: packed})
+								sid = dense
+							}
+							s.resolve[li] = sid
+						}
+					}
+					st.succs = append(st.succs, sid)
+					st.probs = append(st.probs, prob)
+				}
+				st.trans[base+a] = transition{off: off, n: cnt}
+			}
+			ss.expanded[e.levelStart+chunkLo[ci]+k] = true
+			if ss.NumStates() > e.maxStates {
+				ss.Truncated = true
+				return nil
+			}
+		}
+	}
+	return nil
 }

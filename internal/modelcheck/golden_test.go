@@ -12,9 +12,10 @@ import (
 // transition counts, bad/deadlock/dead-region counts, safe-region sizes and
 // trap sizes) of the instances the experiment suite model-checks. The values
 // were captured from the original fmt-keyed, per-fork-slice implementation;
-// the binary AppendKey encoder, the flattened World layout and the
-// protocol-only cloning of Explore must keep every one of them byte-identical
-// — a refactor that merges or splits states shows up here immediately.
+// the binary AppendKey encoder, the flattened World layout, the
+// protocol-only cloning of Explore and the sharded state stores must keep
+// every one of them byte-identical — a refactor that merges or splits states
+// shows up here immediately.
 //
 // Larger instances (ring-3 GDP2, theorem1-minimal GDP1) are skipped in -short
 // mode; the small ones still cover every algorithm and key feature (guest
@@ -97,25 +98,30 @@ func TestExplorationGolden(t *testing.T) {
 	}
 }
 
-// assertSameSpace compares two explorations field by field: state numbering,
-// transition tables, outcome probabilities, labels, masks and keys must all
-// be identical — the contract that makes the parallel explorer a drop-in
-// replacement for the sequential one.
+// assertSameSpace compares two single-shard explorations field by field:
+// state numbering, transition tables, outcome probabilities, labels, masks
+// and keys must all be identical — the contract that makes the parallel
+// explorer at Shards: 1 a drop-in replacement for the sequential one.
 func assertSameSpace(t *testing.T, label string, a, b *StateSpace) {
 	t.Helper()
+	if a.NumShards() != 1 || b.NumShards() != 1 {
+		t.Fatalf("%s: assertSameSpace wants single-shard spaces, got %d and %d shards", label, a.NumShards(), b.NumShards())
+	}
 	if a.NumStates() != b.NumStates() || a.initial != b.initial || a.Truncated != b.Truncated {
 		t.Fatalf("%s: shape differs: %d vs %d states, initial %d vs %d, truncated %v vs %v",
 			label, a.NumStates(), b.NumStates(), a.initial, b.initial, a.Truncated, b.Truncated)
 	}
 	for name, pair := range map[string][2]any{
-		"trans":     {a.trans, b.trans},
-		"succs":     {a.succs, b.succs},
-		"probs":     {a.probs, b.probs},
+		"trans":     {a.shards[0].trans, b.shards[0].trans},
+		"succs":     {a.shards[0].succs, b.shards[0].succs},
+		"probs":     {a.shards[0].probs, b.shards[0].probs},
+		"dense":     {a.shards[0].dense, b.shards[0].dense},
+		"keys":      {a.shards[0].keys, b.shards[0].keys},
+		"order":     {a.order, b.order},
 		"bad":       {a.bad, b.bad},
 		"anyEating": {a.anyEating, b.anyEating},
 		"eating":    {a.eating, b.eating},
 		"expanded":  {a.expanded, b.expanded},
-		"keys":      {a.keys, b.keys},
 	} {
 		if !reflect.DeepEqual(pair[0], pair[1]) {
 			t.Fatalf("%s: %s differs between worker counts", label, name)
@@ -123,10 +129,66 @@ func assertSameSpace(t *testing.T, label string, a, b *StateSpace) {
 	}
 }
 
-// TestExplorationParallelMatchesSequential pins the determinism contract of
-// the level-synchronous parallel BFS: for every worker count the explored
-// space is byte-identical to the sequential exploration — same state
-// numbering, same flat transition arrays, same keys. It covers every
+// assertEquivalentSpace verifies that a sharded exploration is the
+// sequential space under the shard-id remap. The dense view — state
+// numbering, labels, transition rows, keys — must be identical outright
+// (dense ids are assigned in sequential discovery order for every worker and
+// shard count), and the shard layout must be a consistent bijection: every
+// state's key hashes to its owning shard, packed ids round-trip through the
+// order/dense maps, and the shard sizes add up.
+func assertEquivalentSpace(t *testing.T, label string, seq, sh *StateSpace) {
+	t.Helper()
+	if seq.NumStates() != sh.NumStates() || seq.initial != sh.initial || seq.Truncated != sh.Truncated {
+		t.Fatalf("%s: shape differs: %d vs %d states, initial %d vs %d, truncated %v vs %v",
+			label, seq.NumStates(), sh.NumStates(), seq.initial, sh.initial, seq.Truncated, sh.Truncated)
+	}
+	n := seq.NumStates()
+	for s := 0; s < n; s++ {
+		if seq.KeyOf(s) != sh.KeyOf(s) {
+			t.Fatalf("%s: state %d has different canonical keys — the dense numbering diverged", label, s)
+		}
+		if seq.bad[s] != sh.bad[s] || seq.anyEating[s] != sh.anyEating[s] || seq.expanded[s] != sh.expanded[s] {
+			t.Fatalf("%s: state %d labels differ", label, s)
+		}
+		if seq.eating != nil && seq.eating[s] != sh.eating[s] {
+			t.Fatalf("%s: state %d eating mask differs", label, s)
+		}
+		for a := 0; a < seq.NumPhils; a++ {
+			if !reflect.DeepEqual(seq.Succs(s, a), sh.Succs(s, a)) {
+				t.Fatalf("%s: successors of (state %d, phil %d) differ: %v vs %v",
+					label, s, a, seq.Succs(s, a), sh.Succs(s, a))
+			}
+			if !reflect.DeepEqual(seq.Probs(s, a), sh.Probs(s, a)) {
+				t.Fatalf("%s: probabilities of (state %d, phil %d) differ", label, s, a)
+			}
+		}
+	}
+	// Shard-layout invariants of the sharded space.
+	total := 0
+	for g := range sh.shards {
+		st := &sh.shards[g]
+		total += len(st.dense)
+		for l, d := range st.dense {
+			packed := int32(g)<<localBits | int32(l)
+			if sh.order[d] != packed {
+				t.Fatalf("%s: order[%d] = %d, want packed id %d (shard %d, local %d)",
+					label, d, sh.order[d], packed, g, l)
+			}
+			if key := st.keys[l]; sh.shardOfString(key) != uint32(g) {
+				t.Fatalf("%s: state (shard %d, local %d) has a key hashing to shard %d",
+					label, g, l, sh.shardOfString(key))
+			}
+		}
+	}
+	if total != n {
+		t.Fatalf("%s: shard sizes sum to %d, want %d", label, total, n)
+	}
+}
+
+// TestExplorationParallelMatchesSequential pins the strongest form of the
+// determinism contract on a single shard: for every worker count the
+// explored space is byte-identical to the sequential exploration — same
+// state numbering, same flat transition arrays, same keys. It covers every
 // algorithm family (free choice, request lists + guest books, nr draws,
 // globals) and a truncated exploration, whose stop point must also agree.
 func TestExplorationParallelMatchesSequential(t *testing.T) {
@@ -136,12 +198,12 @@ func TestExplorationParallelMatchesSequential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		seq, err := Explore(graph.Theorem2Minimal(), prog, Options{Workers: 1, KeepKeys: true})
+		seq, err := Explore(graph.Theorem2Minimal(), prog, Options{Workers: 1, Shards: 1, KeepKeys: true})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, workers := range []int{2, 3, 7} {
-			par, err := Explore(graph.Theorem2Minimal(), prog, Options{Workers: workers, KeepKeys: true})
+			par, err := Explore(graph.Theorem2Minimal(), prog, Options{Workers: workers, Shards: 1, KeepKeys: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -153,11 +215,11 @@ func TestExplorationParallelMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := Explore(graph.Ring(4), prog, Options{Workers: 1, MaxStates: 50, KeepKeys: true})
+	seq, err := Explore(graph.Ring(4), prog, Options{Workers: 1, Shards: 1, MaxStates: 50, KeepKeys: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Explore(graph.Ring(4), prog, Options{Workers: 5, MaxStates: 50, KeepKeys: true})
+	par, err := Explore(graph.Ring(4), prog, Options{Workers: 5, Shards: 1, MaxStates: 50, KeepKeys: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,4 +227,95 @@ func TestExplorationParallelMatchesSequential(t *testing.T) {
 		t.Fatal("MaxStates 50 on Ring(4) should truncate at any worker count")
 	}
 	assertSameSpace(t, "truncated LR1", seq, par)
+}
+
+// TestExplorationShardedEquivalentToSequential pins the sharded-store
+// contract: for every (workers, shards) combination the explored space is
+// the sequential space under the shard-id remap — identical dense view
+// (numbering, rows, labels, keys) plus a consistent shard layout. The grid
+// covers every algorithm family; a truncated run must stop at the exact
+// sequential stop point too.
+func TestExplorationShardedEquivalentToSequential(t *testing.T) {
+	t.Parallel()
+	for _, alg := range []string{"LR1", "LR2", "GDP1", "GDP2", "naive-left-first", "central-monitor"} {
+		prog, err := algo.New(alg, algo.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := Explore(graph.Theorem2Minimal(), prog, Options{Workers: 1, Shards: 1, KeepKeys: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range []struct{ workers, shards int }{
+			{1, 2}, {1, 8}, {2, 2}, {3, 4}, {7, 8}, {4, 64},
+		} {
+			sh, err := Explore(graph.Theorem2Minimal(), prog, Options{
+				Workers: cfg.workers, Shards: cfg.shards, KeepKeys: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := resolveShards(cfg.shards, cfg.workers); sh.NumShards() != want {
+				t.Fatalf("%s: NumShards = %d, want %d", alg, sh.NumShards(), want)
+			}
+			label := alg
+			assertEquivalentSpace(t, label, seq, sh)
+		}
+	}
+
+	// Truncated runs: the sharded exploration must stop at the exact state
+	// the sequential exploration stops at, for every (workers, shards) pair.
+	prog, err := algo.New("LR1", algo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, maxStates := range []int{50, 500} {
+		seq, err := Explore(graph.Ring(4), prog, Options{Workers: 1, Shards: 1, MaxStates: maxStates, KeepKeys: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seq.Truncated {
+			t.Fatalf("MaxStates %d on Ring(4) should truncate", maxStates)
+		}
+		for _, cfg := range []struct{ workers, shards int }{
+			{1, 4}, {3, 2}, {5, 8},
+		} {
+			sh, err := Explore(graph.Ring(4), prog, Options{
+				Workers: cfg.workers, Shards: cfg.shards, MaxStates: maxStates, KeepKeys: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertEquivalentSpace(t, "truncated LR1", seq, sh)
+		}
+	}
+}
+
+// TestExplorationShardsDefaultAndValidation pins the Shards normalization:
+// negative values error, zero matches the worker count, and everything is
+// rounded up to a power of two capped at MaxShards.
+func TestExplorationShardsDefaultAndValidation(t *testing.T) {
+	t.Parallel()
+	prog, err := algo.New("LR1", algo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Explore(graph.Ring(3), prog, Options{Shards: -1}); err == nil {
+		t.Error("Explore accepted negative Shards")
+	}
+	for _, tc := range []struct{ workers, shards, want int }{
+		{1, 0, 1},
+		{3, 0, 4},
+		{2, 3, 4},
+		{1, 1000, MaxShards},
+	} {
+		ss, err := Explore(graph.Ring(3), prog, Options{Workers: tc.workers, Shards: tc.shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ss.NumShards() != tc.want {
+			t.Errorf("workers %d, shards %d: NumShards = %d, want %d",
+				tc.workers, tc.shards, ss.NumShards(), tc.want)
+		}
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/graphalg"
 	"repro/internal/trace"
 )
 
@@ -20,53 +21,21 @@ type Choice struct {
 }
 
 // PathTo returns a shortest scheduler-choice path from the initial state to
-// target, and whether target is reachable. The search visits states in index
-// order, actions in philosopher order and outcomes in outcome order, so the
-// returned path is deterministic — the same for every exploration worker
-// count, since the state numbering itself is.
+// target, and whether target is reachable. The breadth-first search lives in
+// graphalg.PathTo: it visits actions in philosopher order and outcomes in
+// outcome order, so the returned path is deterministic — the same for every
+// exploration worker and shard count, since the dense state numbering itself
+// is.
 func (ss *StateSpace) PathTo(target int) ([]Choice, bool) {
-	if target < 0 || target >= ss.NumStates() {
+	choices, ok := graphalg.PathTo(ss, target)
+	if !ok {
 		return nil, false
 	}
-	if target == ss.initial {
-		return nil, true
+	path := make([]Choice, len(choices))
+	for i, c := range choices {
+		path[i] = Choice{Phil: graph.PhilID(c.Action), Outcome: c.Outcome}
 	}
-	n := ss.NumStates()
-	prevState := make([]int32, n)
-	prevChoice := make([]Choice, n)
-	for i := range prevState {
-		prevState[i] = -1
-	}
-	start := int32(ss.initial)
-	prevState[start] = start
-	queue := make([]int32, 0, 64)
-	queue = append(queue, start)
-	for head := 0; head < len(queue); head++ {
-		s := queue[head]
-		for a := 0; a < ss.NumPhils; a++ {
-			succs := ss.succsOf(int(s), a)
-			for oi, succ := range succs {
-				if prevState[succ] != -1 {
-					continue
-				}
-				prevState[succ] = s
-				prevChoice[succ] = Choice{Phil: graph.PhilID(a), Outcome: oi}
-				if int(succ) == target {
-					// Reconstruct backwards, then reverse.
-					var path []Choice
-					for at := succ; at != start; at = prevState[at] {
-						path = append(path, prevChoice[at])
-					}
-					for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-						path[i], path[j] = path[j], path[i]
-					}
-					return path, true
-				}
-				queue = append(queue, succ)
-			}
-		}
-	}
-	return nil, false
+	return path, true
 }
 
 // CounterexampleTo builds a replayable counterexample trace from the initial

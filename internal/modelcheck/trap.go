@@ -2,9 +2,9 @@ package modelcheck
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/graphalg"
 )
 
 // Trap describes a "starvation trap": an end component of the sub-MDP in
@@ -19,6 +19,9 @@ import (
 // no fair adversary can starve the protected set forever on this instance
 // with positive probability by staying in a fixed recurrent pattern — the
 // structure behind Theorems 3 and 4.
+//
+// Trap is the dining-flavoured form of graphalg.Trap: actions are named as
+// philosophers and the witness carries its canonical key when available.
 type Trap struct {
 	// Exists reports whether a fully covered end component exists within the
 	// reachable safe region.
@@ -47,31 +50,21 @@ type Trap struct {
 }
 
 // FindStarvationTrap analyses the explored state space for a starvation trap
-// against the protected set that was configured at exploration time.
-//
-// The computation proceeds in three standard steps:
-//
-//  1. Safety game: compute the greatest set S of non-bad states such that in
-//     every state of S the adversary has at least one philosopher whose every
-//     outcome stays in S ("allowed" actions). Outside S, every scheduling
-//     choice risks a protected meal no matter what the adversary does later.
-//  2. End components: within (S, allowed) compute maximal end components —
-//     sets of states closed under the retained actions and strongly connected
-//     by them. Inside an end component the adversary can remain forever with
-//     probability 1 and can take every retained action infinitely often.
-//  3. Coverage: a trap is an end component in which every philosopher has at
-//     least one retained action, so remaining inside it forever is compatible
-//     with fairness.
+// against the protected set that was configured at exploration time. The
+// three-step computation (safety game, maximal end components, philosopher
+// coverage) lives in graphalg.MaximalTrap; see its documentation.
 func (ss *StateSpace) FindStarvationTrap() Trap {
-	return ss.findTrap(ss.bad)
+	return ss.trapFrom(graphalg.MaximalTrap(ss, ss.Bad))
 }
 
 // FindStarvationTrapAgainst re-runs the trap analysis against an arbitrary
 // protected set — nil or empty means every philosopher — using the per-state
 // eating bitmasks recorded during exploration. It is what the lockout-freedom
-// property uses to test each philosopher individually without re-exploring.
-// It returns an error on instances with more than 64 philosophers (which
-// carry no masks) or an out-of-range philosopher.
+// property uses to test each philosopher individually without re-exploring;
+// the analyses are pure reads, so the per-philosopher calls may run
+// concurrently over one shared StateSpace. It returns an error on instances
+// with more than 64 philosophers (which carry no masks) or an out-of-range
+// philosopher.
 func (ss *StateSpace) FindStarvationTrapAgainst(protected []graph.PhilID) (Trap, error) {
 	if ss.eating == nil {
 		return Trap{}, fmt.Errorf("modelcheck: per-set trap analysis needs the eating bitmasks, which cover at most %d philosophers (topology has %d)", maskablePhils, ss.NumPhils)
@@ -87,272 +80,28 @@ func (ss *StateSpace) FindStarvationTrapAgainst(protected []graph.PhilID) (Trap,
 			mask |= 1 << uint(p)
 		}
 	}
-	bad := make([]bool, ss.NumStates())
-	for s, m := range ss.eating {
-		bad[s] = m&mask != 0
-	}
-	return ss.findTrap(bad), nil
+	bad := func(s int) bool { return ss.eating[s]&mask != 0 }
+	return ss.trapFrom(graphalg.MaximalTrap(ss, bad)), nil
 }
 
-// findTrap is the trap analysis against an explicit bad-state labelling.
-func (ss *StateSpace) findTrap(bad []bool) Trap {
-	n := ss.NumStates()
-	reachable := ss.Reachable()
-
-	// Step 1: greatest safe region S and allowed actions. States that were
-	// never expanded (possible only on truncated explorations) are excluded:
-	// their artificial self-loops must not be mistaken for safe behaviour.
-	inS := make([]bool, n)
-	for s := 0; s < n; s++ {
-		inS[s] = reachable[s] && !bad[s] && ss.expanded[s]
+// trapFrom converts a generic graphalg trap into the dining form, attaching
+// the witness key when the exploration retained keys.
+func (ss *StateSpace) trapFrom(t graphalg.Trap) Trap {
+	out := Trap{
+		Exists:           t.Exists,
+		Reachable:        t.Reachable,
+		States:           t.States,
+		SafeRegionStates: t.SafeRegionStates,
+		WitnessState:     t.WitnessState,
 	}
-	allowed := make([][]bool, n)
-	for s := range allowed {
-		allowed[s] = make([]bool, ss.NumPhils)
-	}
-	for changed := true; changed; {
-		changed = false
-		for s := 0; s < n; s++ {
-			if !inS[s] {
-				continue
-			}
-			anyAllowed := false
-			for a := 0; a < ss.NumPhils; a++ {
-				ok := true
-				for _, succ := range ss.succsOf(s, a) {
-					if !inS[succ] {
-						ok = false
-						break
-					}
-				}
-				allowed[s][a] = ok
-				if ok {
-					anyAllowed = true
-				}
-			}
-			if !anyAllowed {
-				inS[s] = false
-				changed = true
-			}
+	if len(t.CoveredActions) > 0 {
+		out.CoveredPhilosophers = make([]graph.PhilID, len(t.CoveredActions))
+		for i, a := range t.CoveredActions {
+			out.CoveredPhilosophers[i] = graph.PhilID(a)
 		}
 	}
-	safeCount := 0
-	for s := 0; s < n; s++ {
-		if inS[s] {
-			safeCount++
-		}
+	if t.Exists {
+		out.WitnessKey = ss.KeyOf(t.WitnessState)
 	}
-
-	trap := Trap{SafeRegionStates: safeCount, WitnessState: -1}
-	if safeCount == 0 {
-		return trap
-	}
-
-	// Step 2: maximal end components of (S, allowed): repeatedly compute
-	// SCCs of the graph restricted to allowed actions, and drop actions whose
-	// outcomes leave their SCC (and states left with no actions), until
-	// stable.
-	inEC := make([]bool, n)
-	copy(inEC, inS)
-	act := make([][]bool, n)
-	for s := range act {
-		act[s] = make([]bool, ss.NumPhils)
-		copy(act[s], allowed[s])
-	}
-	comp := make([]int, n)
-
-	for {
-		// SCCs (iterative Tarjan) over states with at least one action.
-		for i := range comp {
-			comp[i] = -1
-		}
-		sccCount := ss.stronglyConnected(inEC, act, comp)
-		_ = sccCount
-
-		changed := false
-		for s := 0; s < n; s++ {
-			if !inEC[s] {
-				continue
-			}
-			anyAct := false
-			for a := 0; a < ss.NumPhils; a++ {
-				if !act[s][a] {
-					continue
-				}
-				ok := true
-				for _, succ := range ss.succsOf(s, a) {
-					if !inEC[succ] || comp[succ] != comp[s] {
-						ok = false
-						break
-					}
-				}
-				if !ok {
-					act[s][a] = false
-					changed = true
-				} else {
-					anyAct = true
-				}
-			}
-			if !anyAct {
-				inEC[s] = false
-				changed = true
-			}
-		}
-		if !changed {
-			break
-		}
-	}
-
-	// Step 3: group remaining states by component and check philosopher
-	// coverage. Components are visited in sorted index order so that the
-	// reported best-coverage tie-break is deterministic.
-	groups := make(map[int][]int)
-	for s := 0; s < n; s++ {
-		if inEC[s] {
-			groups[comp[s]] = append(groups[comp[s]], s)
-		}
-	}
-	compIDs := make([]int, 0, len(groups))
-	for id := range groups {
-		compIDs = append(compIDs, id)
-	}
-	sort.Ints(compIDs)
-	bestCovered := 0
-	for _, id := range compIDs {
-		states := groups[id]
-		covered := make([]bool, ss.NumPhils)
-		for _, s := range states {
-			for a := 0; a < ss.NumPhils; a++ {
-				if act[s][a] {
-					covered[a] = true
-				}
-			}
-		}
-		count := 0
-		var coveredIDs []graph.PhilID
-		for a, c := range covered {
-			if c {
-				count++
-				coveredIDs = append(coveredIDs, graph.PhilID(a))
-			}
-		}
-		fully := count == ss.NumPhils
-		if count > bestCovered || (fully && trap.States < len(states)) {
-			bestCovered = count
-			trap.CoveredPhilosophers = coveredIDs
-			if fully {
-				trap.Exists = true
-				trap.States = len(states)
-				trap.WitnessState = states[0]
-				trap.WitnessKey = ss.KeyOf(states[0])
-				// Reachability of the trap (the safe region is already
-				// restricted to reachable states, so any member works).
-				trap.Reachable = true
-			}
-		}
-	}
-	sort.Slice(trap.CoveredPhilosophers, func(i, j int) bool {
-		return trap.CoveredPhilosophers[i] < trap.CoveredPhilosophers[j]
-	})
-	return trap
-}
-
-// stronglyConnected computes SCC indices (into comp) of the directed graph
-// whose nodes are the states with inSet true and whose edges are all outcomes
-// of retained actions. It returns the number of components. States not in the
-// set keep comp = -1.
-func (ss *StateSpace) stronglyConnected(inSet []bool, act [][]bool, comp []int) int {
-	n := ss.NumStates()
-	const unvisited = -1
-	index := make([]int, n)
-	low := make([]int, n)
-	onStack := make([]bool, n)
-	for i := range index {
-		index[i] = unvisited
-	}
-	var stack []int
-	var callStack []struct {
-		v    int
-		edge int
-		succ []int32
-	}
-	nextIndex := 0
-	compCount := 0
-
-	successors := func(v int) []int32 {
-		var out []int32
-		for a := 0; a < ss.NumPhils; a++ {
-			if !act[v][a] {
-				continue
-			}
-			for _, s := range ss.succsOf(v, a) {
-				if inSet[s] {
-					out = append(out, s)
-				}
-			}
-		}
-		return out
-	}
-
-	for root := 0; root < n; root++ {
-		if !inSet[root] || index[root] != unvisited {
-			continue
-		}
-		callStack = callStack[:0]
-		callStack = append(callStack, struct {
-			v    int
-			edge int
-			succ []int32
-		}{v: root, edge: 0, succ: successors(root)})
-		index[root] = nextIndex
-		low[root] = nextIndex
-		nextIndex++
-		stack = append(stack, root)
-		onStack[root] = true
-
-		for len(callStack) > 0 {
-			frame := &callStack[len(callStack)-1]
-			if frame.edge < len(frame.succ) {
-				wn := int(frame.succ[frame.edge])
-				frame.edge++
-				if index[wn] == unvisited {
-					index[wn] = nextIndex
-					low[wn] = nextIndex
-					nextIndex++
-					stack = append(stack, wn)
-					onStack[wn] = true
-					callStack = append(callStack, struct {
-						v    int
-						edge int
-						succ []int32
-					}{v: wn, edge: 0, succ: successors(wn)})
-				} else if onStack[wn] && index[wn] < low[frame.v] {
-					low[frame.v] = index[wn]
-				}
-				continue
-			}
-			// Finished v.
-			v := frame.v
-			callStack = callStack[:len(callStack)-1]
-			if len(callStack) > 0 {
-				parent := &callStack[len(callStack)-1]
-				if low[v] < low[parent.v] {
-					low[parent.v] = low[v]
-				}
-			}
-			if low[v] == index[v] {
-				for {
-					w := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					onStack[w] = false
-					comp[w] = compCount
-					if w == v {
-						break
-					}
-				}
-				compCount++
-			}
-		}
-	}
-	return compCount
+	return out
 }
