@@ -22,6 +22,8 @@ import (
 	"repro/internal/algo"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/graphalg"
+	"repro/internal/graphalg/graphalgtest"
 	"repro/internal/modelcheck"
 	"repro/internal/prng"
 	"repro/internal/sched"
@@ -352,6 +354,109 @@ func BenchmarkModelCheckerScaling(b *testing.B) {
 				states = ss.NumStates()
 			}
 			b.ReportMetric(float64(states), "states")
+		})
+	}
+}
+
+// BenchmarkAnalyses measures the worklist graph-analysis engine against the
+// retained reference sweeps on the Theorem 1 instances: the safety-game/trap
+// analysis, the dead-region analysis and the SCC decomposition, each as
+//
+//   - sweep: the pre-worklist whole-state-space fixpoint iteration
+//     (graphalgtest oracles — the PR-4 baseline),
+//   - cold:  worklist including a one-shot predecessor-index build,
+//   - warm:  worklist over the shared cached index (the steady state of
+//     Engine.Check, where every property and every per-philosopher lockout
+//     labelling reuses one index).
+//
+// The exploration is outside the timed region; one op is one analysis.
+func BenchmarkAnalyses(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		alg  string
+	}{
+		{"t1min-LR1", "LR1"},
+		{"t1min-GDP1", "GDP1"},
+	} {
+		prog, err := algo.New(c.alg, algo.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ss, err := modelcheck.Explore(graph.Theorem1Minimal(), prog, modelcheck.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm := ss.PredecessorIndex()
+		warm.MaximalTrap(ss.Bad) // prime the scratch pool
+
+		b.Run("trap/"+c.name+"/sweep", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				graphalgtest.MaximalTrap(ss, ss.Bad)
+			}
+		})
+		b.Run("trap/"+c.name+"/cold", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				graphalg.NewPredecessorIndex(ss, 1).MaximalTrap(ss.Bad)
+			}
+		})
+		b.Run("trap/"+c.name+"/warm", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				warm.MaximalTrap(ss.Bad)
+			}
+		})
+
+		b.Run("deadregion/"+c.name+"/sweep", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				graphalgtest.DeadRegionStates(ss, ss.Bad)
+			}
+		})
+		b.Run("deadregion/"+c.name+"/cold", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				graphalg.NewPredecessorIndex(ss, 1).DeadRegionStates(ss.Bad)
+			}
+		})
+		b.Run("deadregion/"+c.name+"/warm", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				warm.DeadRegionStates(ss.Bad)
+			}
+		})
+
+		// SCC decomposition over the full reachable space with every action
+		// retained: reference (per-visited-state successor slices) versus the
+		// live in-place cursor enumeration.
+		inSet := warm.Reachable()
+		act := make([][]bool, ss.NumStates())
+		for s := range act {
+			row := make([]bool, ss.NumActions())
+			for a := range row {
+				row[a] = true
+			}
+			act[s] = row
+		}
+		comp := make([]int, ss.NumStates())
+		b.Run("scc/"+c.name+"/sweep", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				graphalgtest.StronglyConnected(ss, inSet, act, comp)
+			}
+		})
+		b.Run("scc/"+c.name+"/cold", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				graphalg.StronglyConnected(ss, inSet, act, comp)
+			}
+		})
+		b.Run("scc/"+c.name+"/warm", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				warm.StronglyConnected(inSet, act, comp)
+			}
 		})
 	}
 }

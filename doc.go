@@ -49,12 +49,28 @@
 //
 // The analyses — reachability, deadlock detection, the safety game and
 // maximal-end-component computation behind the starvation-trap theorems,
-// SCCs, shortest counterexample paths — live in internal/graphalg as pure
-// functions of a read-only StateView interface (NumStates/NumActions/
-// Succs/Probs/Bad), with no dependency on the store layout. Because they
-// are pure reads, independent analyses run concurrently: lockout-freedom
-// fans one trap analysis per protected philosopher across the engine's
-// workers. internal/trace turns analysis witnesses into replayable
+// SCCs, shortest counterexample paths — live in internal/graphalg behind a
+// read-only StateView interface (NumStates/NumActions/Succs/Probs/Bad), with
+// no dependency on the store layout. Between the view and the analyses sits
+// the predecessor-index/worklist layer: a graphalg.PredecessorIndex is the
+// CSR form of the explored graph in both directions (flat forward successor
+// rows, reverse (pred, action) edge occurrences, per-(state, action)
+// successor counts), built once in O(E) — in parallel over state chunks —
+// and cached on the StateSpace, so every property of one Engine.Check run
+// shares it. Over that index every fixpoint analysis is a worklist
+// algorithm: dead regions are a reverse BFS, the safety game is a
+// counter-decrement attractor (remove a state, decrement exactly its
+// predecessors' counters), the maximal-end-component loop re-checks only the
+// states whose edges were removed, and SCCs are an iterative Tarjan that
+// enumerates edges in place. Analyses draw their mutable state from a
+// scratch pool on the index, so they run concurrently with zero per-state
+// allocations: lockout-freedom fans one trap analysis per protected
+// philosopher across the engine's workers over the one shared index. The
+// pre-worklist whole-state-space sweeps are retained verbatim in
+// internal/graphalg/graphalgtest as reference oracles; an equivalence grid
+// pins that verdicts, witness keys and counterexample traces are
+// byte-identical across every topology × algorithm cell, truncated runs
+// included. internal/trace turns analysis witnesses into replayable
 // counterexample traces, the dining property layer packages the analyses as
 // registered properties, and the CLI tools plumb -workers/-shards (and
 // -cpuprofile/-memprofile on dpcheck and dpbench) down the stack.

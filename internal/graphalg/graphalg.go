@@ -4,22 +4,39 @@
 // computation behind the starvation-trap analysis, strongly connected
 // components, and shortest scheduler-choice path extraction.
 //
-// The package is a leaf: it depends on nothing but the read-only StateView
-// interface, so the analyses are decoupled from how the state space is stored
-// (the sharded stores of internal/modelcheck, a test fixture, or any future
-// backend). Everything here is a pure function of the view — no analysis
-// mutates or caches anything on it — so independent analyses can safely run
-// concurrently over one shared view, which is how the lockout-freedom
-// property fans its per-philosopher trap analyses across workers.
+// The package is a leaf (it imports only internal/par): it depends on
+// nothing but the read-only StateView interface, so the analyses are
+// decoupled from how the state space is stored (the sharded stores of
+// internal/modelcheck, a test fixture, or any future backend).
+//
+// # The predecessor index
+//
+// The analyses run over a PredecessorIndex: the CSR form of the view's
+// transition graph in both directions — flat forward successor rows, reverse
+// (predecessor, action) edge occurrences, per-(state, action) successor
+// counts — built once in O(E), in parallel over contiguous state chunks.
+// Over the index every fixpoint computation is a worklist algorithm instead
+// of a whole-state-space sweep: dead regions are a reverse BFS, the safety
+// game is a counter-decrement attractor, the maximal-end-component loop
+// re-checks only the states whose edges were removed, and SCCs are an
+// iterative Tarjan enumerating edges in place. The index is immutable and
+// never mutated by an analysis; mutable per-call state comes from an
+// internal scratch pool, so independent analyses run concurrently over one
+// shared index with zero per-state heap allocations once the pool is warm —
+// which is how the lockout-freedom property fans its per-philosopher trap
+// analyses across workers. The package-level functions are one-shot
+// conveniences that build a throwaway index; the pre-worklist sweeps are
+// retained in graphalgtest as test-only reference oracles.
 //
 // # Determinism
 //
-// Every function visits states in increasing index order, actions in
+// Every analysis visits states in increasing index order, actions in
 // increasing action order and outcomes in outcome order, so for a fixed view
-// the results (including witness states and tie-breaks) are deterministic.
-// Views whose numbering is itself deterministic — the model checker's
-// exploration order is, for every worker and shard count — therefore get
-// deterministic analyses end to end.
+// the results (including witness states and tie-breaks) are deterministic —
+// and identical to the retained reference sweeps, as pinned by the
+// equivalence grid in internal/modelcheck. Views whose numbering is itself
+// deterministic — the model checker's exploration order is, for every worker
+// and shard count — therefore get deterministic analyses end to end.
 package graphalg
 
 // StateView is the read-only interface the analyses operate on: a finite MDP
@@ -110,45 +127,11 @@ func DeadlockStates(v StateView) []int {
 // expanded count as able to reach a goal: their artificial self-loops say
 // nothing about the real system, and truncation must never fabricate a
 // violation — on a truncated view the analysis under-approximates, like
-// MaximalTrap.
+// MaximalTrap. It is the one-shot form of
+// PredecessorIndex.DeadRegionStates; callers running several analyses should
+// build the index once and share it.
 func DeadRegionStates(v StateView, goal func(s int) bool) []int {
-	n := v.NumStates()
-	nActions := v.NumActions()
-	// Backward reachability from goal states over the "some action/outcome"
-	// relation, iterated to fixpoint (the state graphs are small enough for
-	// the quadratic worst case; typical convergence is a few passes).
-	canReach := make([]bool, n)
-	for s := 0; s < n; s++ {
-		if goal(s) || !v.Expanded(s) {
-			canReach[s] = true
-		}
-	}
-	changed := true
-	for changed {
-		changed = false
-		for s := 0; s < n; s++ {
-			if canReach[s] {
-				continue
-			}
-			for a := 0; a < nActions && !canReach[s]; a++ {
-				for _, succ := range v.Succs(s, a) {
-					if canReach[succ] {
-						canReach[s] = true
-						changed = true
-						break
-					}
-				}
-			}
-		}
-	}
-	reachable := Reachable(v)
-	var dead []int
-	for s := 0; s < n; s++ {
-		if reachable[s] && !canReach[s] {
-			dead = append(dead, s)
-		}
-	}
-	return dead
+	return NewPredecessorIndex(v, 1).DeadRegionStates(goal)
 }
 
 // Choice is one move along a scheduler-choice path: the adversary picks

@@ -1,7 +1,5 @@
 package graphalg
 
-import "sort"
-
 // Trap describes a "trap" of the safety game: a maximal end component of the
 // sub-MDP in which no bad state is ever entered, offering an allowed action
 // of every index. For the dining MDP this is a starvation trap — a region in
@@ -31,174 +29,13 @@ type Trap struct {
 }
 
 // MaximalTrap analyses the view for a trap against the given bad-state
-// labelling (pass v.Bad for the view's default labelling).
-//
-// The computation proceeds in three standard steps:
-//
-//  1. Safety game: compute the greatest set S of non-bad states such that in
-//     every state of S at least one action keeps every outcome inside S
-//     ("allowed" actions). Outside S, every choice risks a bad state no
-//     matter what the adversary does later.
-//  2. End components: within (S, allowed) compute maximal end components —
-//     sets of states closed under the retained actions and strongly
-//     connected by them. Inside an end component the adversary can remain
-//     forever with probability 1 and can take every retained action
-//     infinitely often.
-//  3. Coverage: a trap is an end component in which every action index has
-//     at least one retained action, so remaining inside it forever is
-//     compatible with fairness.
+// labelling (pass v.Bad for the view's default labelling). It is the
+// one-shot form of PredecessorIndex.MaximalTrap — the index is built, used
+// once and discarded; callers running several analyses (or the same analysis
+// against several labellings, like the lockout-freedom property) should build
+// the index once and share it.
 func MaximalTrap(v StateView, bad func(s int) bool) Trap {
-	n := v.NumStates()
-	nActions := v.NumActions()
-	reachable := Reachable(v)
-
-	// Step 1: greatest safe region S and allowed actions. States that were
-	// never expanded (possible only on truncated explorations) are excluded:
-	// their artificial self-loops must not be mistaken for safe behaviour.
-	inS := make([]bool, n)
-	for s := 0; s < n; s++ {
-		inS[s] = reachable[s] && !bad(s) && v.Expanded(s)
-	}
-	allowed := make([][]bool, n)
-	for s := range allowed {
-		allowed[s] = make([]bool, nActions)
-	}
-	for changed := true; changed; {
-		changed = false
-		for s := 0; s < n; s++ {
-			if !inS[s] {
-				continue
-			}
-			anyAllowed := false
-			for a := 0; a < nActions; a++ {
-				ok := true
-				for _, succ := range v.Succs(s, a) {
-					if !inS[succ] {
-						ok = false
-						break
-					}
-				}
-				allowed[s][a] = ok
-				if ok {
-					anyAllowed = true
-				}
-			}
-			if !anyAllowed {
-				inS[s] = false
-				changed = true
-			}
-		}
-	}
-	safeCount := 0
-	for s := 0; s < n; s++ {
-		if inS[s] {
-			safeCount++
-		}
-	}
-
-	trap := Trap{SafeRegionStates: safeCount, WitnessState: -1}
-	if safeCount == 0 {
-		return trap
-	}
-
-	// Step 2: maximal end components of (S, allowed): repeatedly compute
-	// SCCs of the graph restricted to allowed actions, and drop actions whose
-	// outcomes leave their SCC (and states left with no actions), until
-	// stable.
-	inEC := make([]bool, n)
-	copy(inEC, inS)
-	act := make([][]bool, n)
-	for s := range act {
-		act[s] = make([]bool, nActions)
-		copy(act[s], allowed[s])
-	}
-	comp := make([]int, n)
-
-	for {
-		StronglyConnected(v, inEC, act, comp)
-
-		changed := false
-		for s := 0; s < n; s++ {
-			if !inEC[s] {
-				continue
-			}
-			anyAct := false
-			for a := 0; a < nActions; a++ {
-				if !act[s][a] {
-					continue
-				}
-				ok := true
-				for _, succ := range v.Succs(s, a) {
-					if !inEC[succ] || comp[succ] != comp[s] {
-						ok = false
-						break
-					}
-				}
-				if !ok {
-					act[s][a] = false
-					changed = true
-				} else {
-					anyAct = true
-				}
-			}
-			if !anyAct {
-				inEC[s] = false
-				changed = true
-			}
-		}
-		if !changed {
-			break
-		}
-	}
-
-	// Step 3: group remaining states by component and check action coverage.
-	// Components are visited in sorted index order so that the reported
-	// best-coverage tie-break is deterministic.
-	groups := make(map[int][]int)
-	for s := 0; s < n; s++ {
-		if inEC[s] {
-			groups[comp[s]] = append(groups[comp[s]], s)
-		}
-	}
-	compIDs := make([]int, 0, len(groups))
-	for id := range groups {
-		compIDs = append(compIDs, id)
-	}
-	sort.Ints(compIDs)
-	bestCovered := 0
-	for _, id := range compIDs {
-		states := groups[id]
-		covered := make([]bool, nActions)
-		for _, s := range states {
-			for a := 0; a < nActions; a++ {
-				if act[s][a] {
-					covered[a] = true
-				}
-			}
-		}
-		count := 0
-		var coveredIDs []int
-		for a, c := range covered {
-			if c {
-				count++
-				coveredIDs = append(coveredIDs, a)
-			}
-		}
-		fully := count == nActions
-		if count > bestCovered || (fully && trap.States < len(states)) {
-			bestCovered = count
-			trap.CoveredActions = coveredIDs
-			if fully {
-				trap.Exists = true
-				trap.States = len(states)
-				trap.WitnessState = states[0]
-				// Reachability of the trap (the safe region is already
-				// restricted to reachable states, so any member works).
-				trap.Reachable = true
-			}
-		}
-	}
-	return trap
+	return NewPredecessorIndex(v, 1).MaximalTrap(bad)
 }
 
 // StronglyConnected computes SCC indices (into comp) of the directed graph
@@ -209,96 +46,11 @@ func MaximalTrap(v StateView, bad func(s int) bool) Trap {
 // state.
 //
 // The implementation is an iterative Tarjan, so deeply recurrent state
-// graphs cannot blow the goroutine stack.
+// graphs cannot blow the goroutine stack, and it enumerates successors in
+// place through per-frame (action, outcome) cursors instead of materializing
+// a successor slice per visited state. It is the one-shot form of
+// PredecessorIndex.StronglyConnected — callers decomposing the same view
+// repeatedly should build the index once and share it.
 func StronglyConnected(v StateView, inSet []bool, act [][]bool, comp []int) int {
-	n := v.NumStates()
-	nActions := v.NumActions()
-	const unvisited = -1
-	for i := range comp[:n] {
-		comp[i] = -1
-	}
-	index := make([]int, n)
-	low := make([]int, n)
-	onStack := make([]bool, n)
-	for i := range index {
-		index[i] = unvisited
-	}
-	var stack []int
-	type frame struct {
-		v    int
-		edge int
-		succ []int32
-	}
-	var callStack []frame
-	nextIndex := 0
-	compCount := 0
-
-	successors := func(s int) []int32 {
-		var out []int32
-		for a := 0; a < nActions; a++ {
-			if !act[s][a] {
-				continue
-			}
-			for _, succ := range v.Succs(s, a) {
-				if inSet[succ] {
-					out = append(out, succ)
-				}
-			}
-		}
-		return out
-	}
-
-	for root := 0; root < n; root++ {
-		if !inSet[root] || index[root] != unvisited {
-			continue
-		}
-		callStack = callStack[:0]
-		callStack = append(callStack, frame{v: root, edge: 0, succ: successors(root)})
-		index[root] = nextIndex
-		low[root] = nextIndex
-		nextIndex++
-		stack = append(stack, root)
-		onStack[root] = true
-
-		for len(callStack) > 0 {
-			fr := &callStack[len(callStack)-1]
-			if fr.edge < len(fr.succ) {
-				wn := int(fr.succ[fr.edge])
-				fr.edge++
-				if index[wn] == unvisited {
-					index[wn] = nextIndex
-					low[wn] = nextIndex
-					nextIndex++
-					stack = append(stack, wn)
-					onStack[wn] = true
-					callStack = append(callStack, frame{v: wn, edge: 0, succ: successors(wn)})
-				} else if onStack[wn] && index[wn] < low[fr.v] {
-					low[fr.v] = index[wn]
-				}
-				continue
-			}
-			// Finished v.
-			fv := fr.v
-			callStack = callStack[:len(callStack)-1]
-			if len(callStack) > 0 {
-				parent := &callStack[len(callStack)-1]
-				if low[fv] < low[parent.v] {
-					low[parent.v] = low[fv]
-				}
-			}
-			if low[fv] == index[fv] {
-				for {
-					w := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					onStack[w] = false
-					comp[w] = compCount
-					if w == fv {
-						break
-					}
-				}
-				compCount++
-			}
-		}
-	}
-	return compCount
+	return NewPredecessorIndex(v, 1).StronglyConnected(inSet, act, comp)
 }

@@ -7,6 +7,64 @@ import (
 	"repro/internal/graph"
 )
 
+// TestAnalysesAllocBudget asserts that every graphalg analysis performs zero
+// per-state heap allocations on a warm predecessor index: the index is built
+// once, each analysis runs once to warm the scratch pool, and the measured
+// allocations per run must then not scale with the state count — only the
+// O(1) result slices and pool bookkeeping remain. This subsumes the old
+// SCC successor-enumeration complaint (one slice per visited state) and
+// guards the worklist layer against regressing into per-state garbage.
+func TestAnalysesAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("sync.Pool randomizes caching under the race detector, so allocation counts are meaningless")
+	}
+	// 0.02 allocs/state on the smallest instance (376 states) allows ~7
+	// allocations per analysis — result slices, pool Get bookkeeping, the
+	// Tarjan closure — while any per-state allocation blows the budget.
+	const maxAllocsPerState = 0.02
+	for _, tc := range []struct {
+		topo *graph.Topology
+		alg  string
+	}{
+		{graph.Theorem2Minimal(), "LR1"},
+		{graph.Theorem1Minimal(), "LR1"},
+		{graph.Theorem2Minimal(), "LR2"},
+	} {
+		prog, err := algo.New(tc.alg, algo.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, err := Explore(tc.topo, prog, Options{Workers: 1, Shards: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix := ss.PredecessorIndex()
+		states := float64(ss.NumStates())
+		for _, an := range []struct {
+			name string
+			run  func()
+		}{
+			{"Reachable", func() { ix.Reachable() }},
+			{"DeadlockStates", func() { ix.DeadlockStates() }},
+			{"DeadRegionStates", func() { ix.DeadRegionStates(ss.Bad) }},
+			{"MaximalTrap", func() { ix.MaximalTrap(ss.Bad) }},
+		} {
+			an.run() // warm the scratch pool
+			allocs := testing.AllocsPerRun(5, an.run)
+			perState := allocs / states
+			t.Logf("%s on %s: %s: %.1f allocs over %.0f states (%.4f allocs/state)",
+				tc.alg, tc.topo.Name(), an.name, allocs, states, perState)
+			if perState > maxAllocsPerState {
+				t.Errorf("%s on %s: %s allocates %.4f per state, over the %.2f budget — a per-state allocation crept back in",
+					tc.alg, tc.topo.Name(), an.name, perState, maxAllocsPerState)
+			}
+		}
+	}
+}
+
 // TestExploreAllocsPerState is the allocation-regression guard for the
 // sequential (workers=1, shards=1) exploration path. The intern-key
 // byte-arena (one amortized chunk instead of one string copy per state) and

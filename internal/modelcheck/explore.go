@@ -76,6 +76,7 @@ import (
 	"unsafe"
 
 	"repro/internal/graph"
+	"repro/internal/graphalg"
 	"repro/internal/sim"
 )
 
@@ -205,9 +206,29 @@ type StateSpace struct {
 	hasKeys bool
 	// initial is the dense index of the initial state (always 0).
 	initial int
+	// workers is the resolved exploration worker count; the lazily built
+	// predecessor index reuses it for its parallel construction.
+	workers int
+	// predOnce/pred cache the reverse-CSR predecessor index shared by every
+	// analysis of this space (see PredecessorIndex).
+	predOnce sync.Once
+	pred     *graphalg.PredecessorIndex
 	// Truncated reports whether MaxStates was hit; analyses on a truncated
 	// space are only valid for the explored fragment.
 	Truncated bool
+}
+
+// PredecessorIndex returns the reverse-CSR predecessor index of the explored
+// MDP, building it on first use (in parallel over state chunks, with the
+// exploration's worker count) and caching it on the space — all worklist
+// analyses of one space, including every property of one Engine.Check run
+// and the per-philosopher trap checks of lockout-freedom, share the one
+// index. The index is immutable and safe for concurrent use.
+func (ss *StateSpace) PredecessorIndex() *graphalg.PredecessorIndex {
+	ss.predOnce.Do(func() {
+		ss.pred = graphalg.NewPredecessorIndex(ss, ss.workers)
+	})
+	return ss.pred
 }
 
 // NumStates returns the number of distinct states explored.
@@ -526,6 +547,7 @@ func Explore(topo *graph.Topology, prog sim.Program, opts Options) (*StateSpace,
 		shards:    make([]shardStore, shards),
 		shardMask: uint32(shards - 1),
 		hasKeys:   opts.KeepKeys,
+		workers:   workers,
 	}
 	for i := range ss.shards {
 		ss.shards[i].index = make(map[string]int32)

@@ -1,0 +1,6 @@
+//go:build !race
+
+package modelcheck
+
+// raceEnabled reports whether this test binary runs under the race detector.
+const raceEnabled = false

@@ -52,19 +52,21 @@ type Trap struct {
 // FindStarvationTrap analyses the explored state space for a starvation trap
 // against the protected set that was configured at exploration time. The
 // three-step computation (safety game, maximal end components, philosopher
-// coverage) lives in graphalg.MaximalTrap; see its documentation.
+// coverage) runs as worklist algorithms over the space's cached predecessor
+// index; see graphalg.PredecessorIndex.MaximalTrap.
 func (ss *StateSpace) FindStarvationTrap() Trap {
-	return ss.trapFrom(graphalg.MaximalTrap(ss, ss.Bad))
+	return ss.trapFrom(ss.PredecessorIndex().MaximalTrap(ss.Bad))
 }
 
 // FindStarvationTrapAgainst re-runs the trap analysis against an arbitrary
 // protected set — nil or empty means every philosopher — using the per-state
 // eating bitmasks recorded during exploration. It is what the lockout-freedom
-// property uses to test each philosopher individually without re-exploring;
-// the analyses are pure reads, so the per-philosopher calls may run
-// concurrently over one shared StateSpace. It returns an error on instances
-// with more than 64 philosophers (which carry no masks) or an out-of-range
-// philosopher.
+// property uses to test each philosopher individually without re-exploring:
+// every call shares the space's one cached predecessor index and draws its
+// mutable state from the index's scratch pool, so the per-philosopher calls
+// may run concurrently over one shared StateSpace without rebuilding any
+// per-analysis state. It returns an error on instances with more than 64
+// philosophers (which carry no masks) or an out-of-range philosopher.
 func (ss *StateSpace) FindStarvationTrapAgainst(protected []graph.PhilID) (Trap, error) {
 	if ss.eating == nil {
 		return Trap{}, fmt.Errorf("modelcheck: per-set trap analysis needs the eating bitmasks, which cover at most %d philosophers (topology has %d)", maskablePhils, ss.NumPhils)
@@ -81,7 +83,7 @@ func (ss *StateSpace) FindStarvationTrapAgainst(protected []graph.PhilID) (Trap,
 		}
 	}
 	bad := func(s int) bool { return ss.eating[s]&mask != 0 }
-	return ss.trapFrom(graphalg.MaximalTrap(ss, bad)), nil
+	return ss.trapFrom(ss.PredecessorIndex().MaximalTrap(bad)), nil
 }
 
 // trapFrom converts a generic graphalg trap into the dining form, attaching

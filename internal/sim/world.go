@@ -221,6 +221,27 @@ func (w *World) EnsureMetrics() {
 	}
 }
 
+// ResetMetrics zeroes the run metrics in place, so a recycled world (see
+// CloneProtocolInto) starts its next run with the bookkeeping of a freshly
+// built one. On a protocol-only world it allocates the metric slices like
+// EnsureMetrics.
+func (w *World) ResetMetrics() {
+	w.TotalEats = 0
+	w.FirstEatStep = -1
+	w.TotalWait = 0
+	if w.EatsBy == nil {
+		w.EnsureMetrics()
+		return
+	}
+	for p := range w.EatsBy {
+		w.EatsBy[p] = 0
+		w.FirstEatBy[p] = -1
+		w.HungrySince[p] = -1
+		w.ScheduledCount[p] = 0
+		w.LastScheduled[p] = -1
+	}
+}
+
 // ForkReq returns the request-list entries of fork f, indexed by adjacency
 // slot (graph.Topology.Slot). The returned slice aliases the world's state.
 func (w *World) ForkReq(f graph.ForkID) []bool {

@@ -9,6 +9,7 @@ package verify
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/algo"
 	"repro/internal/graph"
@@ -28,6 +29,38 @@ type SchedulerFactory func(rng *prng.Source) sim.Scheduler
 func forEachTrial[T any](workers, trials int, run func(trial int) (T, error)) ([]T, error) {
 	return par.Trials(workers, trials, run)
 }
+
+// trialPool warm-starts Monte-Carlo trials: the initial world is built (and
+// the program initialized on it) exactly once, and every trial clones the
+// prototype's protocol state into a recycled per-worker world via
+// CloneProtocolInto instead of rebuilding phil/fork/slot arrays from the
+// topology. The prototype is read-only after construction, so concurrent
+// trial workers share it safely; the recycled worlds cycle through a
+// sync.Pool, so a steady-state trial allocates no world state at all
+// (pinned by TestTrialWarmStartAllocs).
+type trialPool struct {
+	proto *sim.World
+	pool  sync.Pool
+}
+
+// newTrialPool builds the shared prototype for topo/prog.
+func newTrialPool(topo *graph.Topology, prog sim.Program) *trialPool {
+	proto := sim.NewWorld(topo)
+	prog.Init(proto)
+	return &trialPool{proto: proto}
+}
+
+// get returns a world in the exact state a fresh NewWorld+Init would
+// produce, recycling a pooled world when one is available.
+func (tp *trialPool) get() *sim.World {
+	w, _ := tp.pool.Get().(*sim.World)
+	w = tp.proto.CloneProtocolInto(w)
+	w.ResetMetrics()
+	return w
+}
+
+// put recycles a trial's world for the next get.
+func (tp *trialPool) put(w *sim.World) { tp.pool.Put(w) }
 
 // ProgressCheck is the Monte-Carlo form of a progress statement
 // T --(F, p)--> E: starting every trial from the all-thinking initial state
@@ -65,6 +98,9 @@ func (r *ProgressResult) Passed() bool { return len(r.Failures) == 0 }
 
 // Run executes the check.
 func (c ProgressCheck) Run() (*ProgressResult, error) {
+	if c.Topology == nil || c.Algorithm == nil || c.Scheduler == nil {
+		return nil, fmt.Errorf("verify: ProgressCheck requires a topology, an algorithm and a scheduler factory")
+	}
 	if c.Trials <= 0 {
 		c.Trials = 100
 	}
@@ -76,10 +112,12 @@ func (c ProgressCheck) Run() (*ProgressResult, error) {
 		firstEat float64
 		seed     uint64
 	}
+	worlds := newTrialPool(c.Topology, c.Algorithm)
 	perTrial, err := forEachTrial(c.Workers, c.Trials, func(i int) (trialResult, error) {
 		seed := c.Seed + uint64(i)*0x9e3779b9
 		rng := prng.New(seed)
-		res, err := sim.Run(c.Topology, c.Algorithm, c.Scheduler(rng.Split()), rng, sim.RunOptions{
+		w := worlds.get()
+		res, err := sim.RunWorld(w, c.Algorithm, c.Scheduler(rng.Split()), rng, sim.RunOptions{
 			MaxSteps:           c.MaxSteps,
 			StopAfterTotalEats: 1,
 			Stop:               c.Stop,
@@ -87,7 +125,12 @@ func (c ProgressCheck) Run() (*ProgressResult, error) {
 		if err != nil {
 			return trialResult{}, fmt.Errorf("verify: progress trial %d: %w", i, err)
 		}
-		return trialResult{ok: res.Progress(), firstEat: float64(res.FirstEatStep), seed: seed}, nil
+		tr := trialResult{ok: res.Progress(), firstEat: float64(res.FirstEatStep), seed: seed}
+		// res.Final aliases the pooled world; sever it before recycling so no
+		// Result ever observes a world another trial is overwriting.
+		res.Final = nil
+		worlds.put(w)
+		return tr, nil
 	})
 	if err != nil {
 		return nil, err
@@ -139,6 +182,9 @@ func (r *LockoutResult) Passed() bool { return len(r.Failures) == 0 }
 
 // Run executes the check.
 func (c LockoutCheck) Run() (*LockoutResult, error) {
+	if c.Topology == nil || c.Algorithm == nil || c.Scheduler == nil {
+		return nil, fmt.Errorf("verify: LockoutCheck requires a topology, an algorithm and a scheduler factory")
+	}
 	if c.Trials <= 0 {
 		c.Trials = 50
 	}
@@ -153,10 +199,12 @@ func (c LockoutCheck) Run() (*LockoutResult, error) {
 		jain float64
 		seed uint64
 	}
+	worlds := newTrialPool(c.Topology, c.Algorithm)
 	perTrial, err := forEachTrial(c.Workers, c.Trials, func(i int) (trialResult, error) {
 		seed := c.Seed + uint64(i)*0x9e3779b9
 		rng := prng.New(seed)
-		res, err := sim.Run(c.Topology, c.Algorithm, c.Scheduler(rng.Split()), rng, sim.RunOptions{
+		w := worlds.get()
+		res, err := sim.RunWorld(w, c.Algorithm, c.Scheduler(rng.Split()), rng, sim.RunOptions{
 			MaxSteps: c.MaxSteps,
 			Stop:     c.Stop,
 		})
@@ -170,7 +218,12 @@ func (c LockoutCheck) Run() (*LockoutResult, error) {
 				break
 			}
 		}
-		return trialResult{ok: ok, jain: stats.JainIndex(res.EatsBy), seed: seed}, nil
+		tr := trialResult{ok: ok, jain: stats.JainIndex(res.EatsBy), seed: seed}
+		// res.Final aliases the pooled world; sever it before recycling so no
+		// Result ever observes a world another trial is overwriting.
+		res.Final = nil
+		worlds.put(w)
+		return tr, nil
 	})
 	if err != nil {
 		return nil, err

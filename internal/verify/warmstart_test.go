@@ -1,0 +1,108 @@
+package verify
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/graph"
+	"repro/internal/prng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// TestWarmStartMatchesFreshWorlds pins that the trial pool is unobservable:
+// a ProgressCheck run (whose trials clone the shared prototype world into
+// recycled per-worker worlds) produces exactly the aggregates of a manual
+// loop that rebuilds every world from the topology with the same per-trial
+// seed derivation.
+func TestWarmStartMatchesFreshWorlds(t *testing.T) {
+	t.Parallel()
+	topo := graph.Figure1A()
+	prog, err := algo.New("GDP1", algo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials, maxSteps, seed = 20, 30_000, 9
+	res, err := ProgressCheck{
+		Topology:  topo,
+		Algorithm: prog,
+		Scheduler: randomSched,
+		Trials:    trials,
+		MaxSteps:  maxSteps,
+		Seed:      seed,
+		Workers:   3,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var prop stats.Proportion
+	var firstMeal stats.Running
+	for i := 0; i < trials; i++ {
+		s := uint64(seed) + uint64(i)*0x9e3779b9
+		rng := prng.New(s)
+		r, err := sim.Run(topo, prog, randomSched(rng.Split()), rng, sim.RunOptions{
+			MaxSteps:           maxSteps,
+			StopAfterTotalEats: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prop.Add(r.Progress())
+		if r.Progress() {
+			firstMeal.Add(float64(r.FirstEatStep))
+		}
+	}
+	if res.Proportion != prop {
+		t.Errorf("proportion %+v, fresh-world loop %+v", res.Proportion, prop)
+	}
+	if math.Abs(res.StepsToFirstMeal.Mean()-firstMeal.Mean()) > 0 {
+		t.Errorf("mean steps to first meal %v, fresh-world loop %v",
+			res.StepsToFirstMeal.Mean(), firstMeal.Mean())
+	}
+	if len(res.Failures) != 0 {
+		t.Errorf("GDP1 unexpectedly failed trials %v", res.Failures)
+	}
+}
+
+// TestTrialWarmStartAllocs is the allocation-regression guard for the trial
+// pool: with the pool warm, a statistical trial must not rebuild any world
+// state from the topology — the per-trial budget covers only the run-level
+// bookkeeping (RNG, scheduler, per-run gap arrays, the Result and its metric
+// copies), so it stays flat when the topology grows.
+func TestTrialWarmStartAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("sync.Pool randomizes caching under the race detector, so allocation counts are meaningless")
+	}
+	const maxAllocsPerTrial = 40.0
+	prog, err := algo.New("GDP1", algo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, topo := range []*graph.Topology{graph.Ring(5), graph.Ring(64)} {
+		const trials = 50
+		check := ProgressCheck{
+			Topology:  topo,
+			Algorithm: prog,
+			Scheduler: randomSched,
+			Trials:    trials,
+			MaxSteps:  500,
+			Seed:      17,
+			Workers:   1,
+		}
+		allocs := testing.AllocsPerRun(3, func() {
+			if _, err := check.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		perTrial := allocs / trials
+		t.Logf("%s: %.0f allocs over %d trials, %.1f allocs/trial", topo.Name(), allocs, trials, perTrial)
+		if perTrial > maxAllocsPerTrial {
+			t.Errorf("%s: %.1f allocs/trial exceeds the %.0f budget", topo.Name(), perTrial, maxAllocsPerTrial)
+		}
+	}
+}
