@@ -21,6 +21,7 @@ import (
 	"repro/dining"
 	"repro/internal/algo"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/graphalg"
 	"repro/internal/graphalg/graphalgtest"
@@ -322,6 +323,79 @@ func BenchmarkAdversaryOverhead(b *testing.B) {
 			if _, err := sim.Run(topo, prog, adv, prng.New(uint64(i)+1), sim.RunOptions{MaxSteps: 10_000}); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkFaultInjection measures the fault layer at the Program seam.
+// "none" is the nil-fault path — no wrapper at all, the configuration that
+// must stay within noise of the pre-fault-layer engine (the crashed flag
+// rides in a previously-always-zero bit of the state key, so the only
+// candidate cost is the extra PhilState field). "zero-rate" wraps the
+// program in a rate-0 crash-rejoin model, isolating the pure wrapper
+// overhead of one passthrough delegation per outcome call; the active
+// models actually perturb the run and pay for their extra branches. The
+// explore cases measure the model checker on the perturbed state space,
+// which genuinely grows (crash/rejoin interleavings).
+func BenchmarkFaultInjection(b *testing.B) {
+	faultModel := func(spec string) fault.Model {
+		if spec == "" {
+			return nil
+		}
+		m, err := fault.NewFromSpec(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}
+	specs := []struct{ name, spec string }{
+		{"none", ""},
+		{"zero-rate", "crash-rejoin:0"},
+		{"crash-rejoin", "crash-rejoin:0.05,0.5"},
+		{"lossy-grants", "lossy-grants:0.2"},
+	}
+	b.Run("simulate", func(b *testing.B) {
+		topo := graph.Ring(9)
+		for _, c := range specs {
+			m := faultModel(c.spec)
+			b.Run(c.name, func(b *testing.B) {
+				b.ReportAllocs()
+				var meals int64
+				for i := 0; i < b.N; i++ {
+					sys := core.System{Topology: topo, Algorithm: "GDP1", Scheduler: "random", Seed: uint64(i) + 1, Faults: m}
+					res, err := sys.Simulate(sim.RunOptions{MaxSteps: 20_000})
+					if err != nil {
+						b.Fatal(err)
+					}
+					meals += res.TotalEats
+				}
+				b.ReportMetric(float64(meals)/float64(b.N), "meals/run")
+			})
+		}
+	})
+	b.Run("explore", func(b *testing.B) {
+		topo := graph.Theorem2Minimal()
+		for _, c := range specs {
+			m := faultModel(c.spec)
+			b.Run(c.name, func(b *testing.B) {
+				prog, err := algo.New("LR1", algo.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m != nil {
+					prog = m.Wrap(topo, prog)
+				}
+				b.ReportAllocs()
+				var states int
+				for i := 0; i < b.N; i++ {
+					ss, err := modelcheck.Explore(topo, prog, modelcheck.Options{Workers: 1})
+					if err != nil {
+						b.Fatal(err)
+					}
+					states = ss.NumStates()
+				}
+				b.ReportMetric(float64(states), "states")
+			})
 		}
 	})
 }

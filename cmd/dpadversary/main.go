@@ -35,7 +35,7 @@ var walkAlgorithms = []string{dining.LR1, dining.LR2, dining.GDP1, dining.GDP2}
 
 func main() {
 	cfg := cli.Config{Topology: "figure1a", Steps: 30_000, Seed: 3}
-	cfg.Register(flag.CommandLine, cli.FlagTopology|cli.FlagSteps|cli.FlagSeed|cli.FlagProps|cli.FlagJSON|cli.FlagWorkers|cli.FlagShards)
+	cfg.Register(flag.CommandLine, cli.FlagTopology|cli.FlagSteps|cli.FlagSeed|cli.FlagProps|cli.FlagJSON|cli.FlagWorkers|cli.FlagShards|cli.FlagFaults)
 	var (
 		window    = flag.Int64("window", 512, "fairness window of the adversary")
 		snapshots = flag.Int64("snapshots", 6, "number of state snapshots to print for the first algorithm")
@@ -63,12 +63,33 @@ func main() {
 		return
 	}
 
-	fmt.Printf("Adversarial walk on %s (fairness window %d, %d steps)\n\n", topo, *window, cfg.Steps)
+	// The walk injects the -faults model into each algorithm's program, so
+	// the printed snapshots show crashed philosophers and lost grants exactly
+	// as the engine-based property checks see them.
+	var faults dining.FaultModel
+	if cfg.Faults != "" {
+		faults, err = dining.NewFaultFromSpec(cfg.Faults)
+		if err == nil {
+			err = faults.Validate(topo)
+		}
+		if err != nil {
+			cli.Fatal("dpadversary", err)
+		}
+	}
+
+	fmt.Printf("Adversarial walk on %s (fairness window %d, %d steps", topo, *window, cfg.Steps)
+	if faults != nil {
+		fmt.Printf(", faults %s", faults.Spec())
+	}
+	fmt.Print(")\n\n")
 
 	for i, name := range walkAlgorithms {
 		prog, err := dining.NewAlgorithm(name, dining.AlgorithmOptions{})
 		if err != nil {
 			cli.Fatal("dpadversary", err)
+		}
+		if faults != nil {
+			prog = faults.Wrap(topo, prog)
 		}
 		adversary, err := dining.NewScheduler(dining.Adversary, dining.SchedulerConfig{FairnessWindow: *window})
 		if err != nil {
@@ -158,10 +179,15 @@ func main() {
 func checkProperties(topo *dining.Topology, cfg *cli.Config, maxStates int) []dining.PropertyResult {
 	var all []dining.PropertyResult
 	for _, name := range walkAlgorithms {
-		eng, err := dining.New(topo, name,
+		opts := []dining.Option{
 			dining.WithMaxStates(maxStates),
 			dining.WithWorkers(cfg.Workers),
-			dining.WithShards(cfg.Shards))
+			dining.WithShards(cfg.Shards),
+		}
+		if cfg.Faults != "" {
+			opts = append(opts, dining.WithFaults(cfg.Faults))
+		}
+		eng, err := dining.New(topo, name, opts...)
 		if err != nil {
 			cli.Fatal("dpadversary", err)
 		}

@@ -44,7 +44,7 @@ type checkCase struct {
 
 func main() {
 	cfg := cli.Config{Algorithm: "GDP1"}
-	cfg.Register(flag.CommandLine, cli.FlagAlgorithm|cli.FlagWorkers|cli.FlagShards|cli.FlagJSON|cli.FlagProps|cli.FlagProfile)
+	cfg.Register(flag.CommandLine, cli.FlagAlgorithm|cli.FlagWorkers|cli.FlagShards|cli.FlagJSON|cli.FlagProps|cli.FlagProfile|cli.FlagFaults)
 	var (
 		full      = flag.Bool("full", false, "include the larger, slower instances")
 		topology  = flag.String("topology", "", "check a single custom topology instead of the standard table")
@@ -67,6 +67,8 @@ func main() {
 		code = checkCustom(ctx, &cfg, *topology, *n, *maxStates)
 	case len(cfg.PropertyNames()) > 0:
 		cli.Fatal("dpcheck", errors.New("-props requires -topology: the standard table always checks starvation-trap"))
+	case cfg.Faults != "":
+		cli.Fatal("dpcheck", errors.New("-faults requires -topology: the standard table pins the paper's fault-free expectations"))
 	default:
 		code = checkTable(ctx, &cfg, *full, *maxStates)
 	}
@@ -84,10 +86,15 @@ func checkCustom(ctx context.Context, cfg *cli.Config, topology string, n, maxSt
 	if err != nil {
 		cli.Fatal("dpcheck", err)
 	}
-	eng, err := dining.New(topo, cfg.Algorithm,
+	opts := []dining.Option{
 		dining.WithMaxStates(maxStates),
 		dining.WithWorkers(cfg.Workers),
-		dining.WithShards(cfg.Shards))
+		dining.WithShards(cfg.Shards),
+	}
+	if cfg.Faults != "" {
+		opts = append(opts, dining.WithFaults(cfg.Faults))
+	}
+	eng, err := dining.New(topo, cfg.Algorithm, opts...)
 	if err != nil {
 		cli.Fatal("dpcheck", err)
 	}
@@ -104,7 +111,11 @@ func checkCustom(ctx context.Context, cfg *cli.Config, topology string, n, maxSt
 	if cfg.JSON {
 		emitJSON(results)
 	} else {
-		fmt.Printf("%s on %s\n\n", eng.Algorithm(), topo)
+		if f := eng.Faults(); f != "" {
+			fmt.Printf("%s on %s under faults %s\n\n", eng.Algorithm(), topo, f)
+		} else {
+			fmt.Printf("%s on %s\n\n", eng.Algorithm(), topo)
+		}
 		fmt.Printf("%-22s %-8s %s\n", "property", "verdict", "detail")
 		for _, r := range results {
 			verdict := "PASS"

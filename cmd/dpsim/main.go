@@ -28,7 +28,7 @@ import (
 func main() {
 	cfg := cli.Config{Topology: "ring", N: 5, Algorithm: "GDP1", Scheduler: "random", Steps: 100_000, Trials: 1, Seed: 1}
 	cfg.Register(flag.CommandLine, cli.FlagTopology|cli.FlagAlgorithm|cli.FlagScheduler|
-		cli.FlagSteps|cli.FlagTrials|cli.FlagSeed|cli.FlagWorkers|cli.FlagM|cli.FlagJSON)
+		cli.FlagSteps|cli.FlagTrials|cli.FlagSeed|cli.FlagWorkers|cli.FlagM|cli.FlagJSON|cli.FlagFaults)
 	showTrace := flag.Bool("trace", false, "print the event trace of a single run (requires -trials 1, text output)")
 	flag.Parse()
 	ctx := context.Background()
@@ -52,7 +52,11 @@ func main() {
 	topo := eng.Topology()
 
 	if !cfg.JSON {
-		fmt.Printf("%s | algorithm %s | scheduler %s | %d step budget\n", topo, eng.Algorithm(), eng.Scheduler(), cfg.Steps)
+		fmt.Printf("%s | algorithm %s | scheduler %s | %d step budget", topo, eng.Algorithm(), eng.Scheduler(), cfg.Steps)
+		if f := eng.Faults(); f != "" {
+			fmt.Printf(" | faults %s", f)
+		}
+		fmt.Println()
 	}
 
 	// Stream the trials as workers finish; keep them indexed so that every

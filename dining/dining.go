@@ -2,19 +2,20 @@
 // experiment engine for the generalized dining-philosophers systems of
 // Herescu & Palamidessi (PODC 2001).
 //
-// The v3 API has four layers:
+// The v3 API has five layers:
 //
 // # Registries
 //
-// Topologies, algorithms, schedulers and properties are open, name-indexed
-// registries. The nine built-in algorithms, the six built-in
-// schedulers/adversaries, every builder topology and the six built-in
-// properties self-register at init time; new implementations plug in with
-// [RegisterAlgorithm], [RegisterScheduler], [RegisterTopology] and
-// [RegisterProperty] and immediately become available to every consumer —
-// the engine, the sweep matrix, the experiment suite and the command-line
-// tools. [Algorithms], [Schedulers], [Topologies] and [Properties] enumerate
-// the registered names in sorted order.
+// Topologies, algorithms, schedulers, properties and fault models are open,
+// name-indexed registries. The nine built-in algorithms, the six built-in
+// schedulers/adversaries, every builder topology, the built-in properties
+// and the three built-in fault models self-register at init time; new
+// implementations plug in with [RegisterAlgorithm], [RegisterScheduler],
+// [RegisterTopology], [RegisterProperty] and [RegisterFault] and immediately
+// become available to every consumer — the engine, the sweep matrix, the
+// experiment suite and the command-line tools. [Algorithms], [Schedulers],
+// [Topologies], [Properties] and [Faults] enumerate the registered names in
+// sorted order.
 //
 // # Engine
 //
@@ -56,14 +57,35 @@
 // to explore. Custom properties implement [Property] (or wrap a function in
 // [PropertyFunc]) and register with [RegisterProperty].
 //
+// # Faults
+//
+// [WithFaults] injects a registered fault model into the engine's
+// transition system — crash-rejoin (crash, drop forks, later rejoin),
+// freeze (permanent crash) or lossy-grants (a hungry philosopher's acquire
+// step probabilistically no-ops):
+//
+//	eng, _ := dining.New(dining.Ring(5), dining.GDP2,
+//		dining.WithFaults("crash-rejoin", 0.05, 0.5))
+//
+// The model wraps the algorithm's program, so the simulator and the model
+// checker see the same perturbed MDP; [WithFaultTargets] restricts the
+// faults to named philosophers, the recoverable properties
+// ([ProgressUnderFaults], [LockoutFreedomUnderFaults]) check the paper's
+// guarantees on the perturbed space exhaustively, fault branches appear as
+// "fault: "-labelled steps in counterexample traces, and the [Sweep] Faults
+// axis crosses fault specs into the scenario matrix. Without [WithFaults]
+// the engine is byte-identical to one without the fault layer. Custom
+// models register with [RegisterFault].
+//
 // # Streams
 //
 // [Engine.Trials] yields per-trial results as workers finish — an
 // [iter.Seq2] stream in completion order whose per-index payloads are
 // nevertheless bit-identical for any worker count (each trial derives all
 // randomness from its index). [Sweep] crosses topology × algorithm ×
-// scheduler grids into a streamed scenario matrix with the same determinism
-// guarantee; [Engine.Check] streams property verdicts the same way.
+// scheduler × fault grids into a streamed scenario matrix with the same
+// determinism guarantee; [Engine.Check] streams property verdicts the same
+// way.
 //
 // See the examples directory for complete programs and cmd/dpsim, dpbench,
 // dpcheck, dpadversary for the command-line tools.

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/algo"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/modelcheck"
 	"repro/internal/par"
@@ -34,6 +35,11 @@ type config struct {
 	maxStates      int
 	trials         int
 	recorder       sim.Recorder
+
+	faultName    string
+	faultRates   []float64
+	faultTargets []graph.PhilID
+	faultModel   fault.Model // resolved by New from the three fields above
 }
 
 // Option configures an Engine at construction time.
@@ -88,6 +94,30 @@ func WithMaxStates(n int) Option { return func(c *config) { c.maxStates = n } }
 // WithTrials sets the Monte-Carlo trial count used by the statistical
 // properties of Check (0 = each check's default).
 func WithTrials(n int) Option { return func(c *config) { c.trials = n } }
+
+// WithFaults injects the named fault model into the engine's transition
+// system. The name may be a full fault spec ("crash-rejoin:0.1,0.5@2", see
+// the grammar in internal/fault); explicit rates append after the spec's.
+// Missing rates take the model's documented defaults. New validates
+// everything eagerly — an unknown model name, a rate outside [0, 1], too
+// many rates and a target philosopher the topology does not have are all
+// construction-time errors. The Monte-Carlo simulator and the exhaustive
+// model checker both run the wrapped program, so Run, Trials, Repeat, Check
+// and ModelCheck all see the same perturbed MDP; RunConcurrent rejects a
+// faulty engine (the goroutine runtime has no fault support).
+func WithFaults(name string, rates ...float64) Option {
+	return func(c *config) {
+		c.faultName = name
+		c.faultRates = append([]float64(nil), rates...)
+	}
+}
+
+// WithFaultTargets restricts the engine's fault model to the given
+// philosophers (default: all of them). It requires WithFaults; targeting
+// without a model is a construction-time error.
+func WithFaultTargets(phils ...PhilID) Option {
+	return func(c *config) { c.faultTargets = append([]PhilID(nil), phils...) }
+}
 
 // WithRecorder attaches an event recorder to Run. A recorder observes a
 // single event stream, so Trials and Repeat reject engines that have one
@@ -148,6 +178,24 @@ func New(topo *Topology, algorithm string, opts ...Option) (*Engine, error) {
 	if c.trials < 0 {
 		return nil, fmt.Errorf("dining: WithTrials(%d) is negative", c.trials)
 	}
+	if c.faultName != "" {
+		name, fcfg, err := fault.ParseSpec(c.faultName)
+		if err != nil {
+			return nil, err
+		}
+		fcfg.Rates = append(fcfg.Rates, c.faultRates...)
+		fcfg.Phils = append(fcfg.Phils, c.faultTargets...)
+		m, err := fault.New(name, fcfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Validate(topo); err != nil {
+			return nil, err
+		}
+		c.faultModel = m
+	} else if len(c.faultRates) > 0 || len(c.faultTargets) > 0 {
+		return nil, fmt.Errorf("dining: fault rates and WithFaultTargets require WithFaults")
+	}
 	return &Engine{topo: topo, alg: algorithm, cfg: c}, nil
 }
 
@@ -169,6 +217,15 @@ func (e *Engine) Workers() int { return e.cfg.workers }
 // Shards returns the engine's exploration shard count (0 = match workers).
 func (e *Engine) Shards() int { return e.cfg.shards }
 
+// Faults returns the canonical spec of the engine's fault model
+// ("crash-rejoin:0.05,0.5"), or "" when the engine injects no faults.
+func (e *Engine) Faults() string {
+	if e.cfg.faultModel == nil {
+		return ""
+	}
+	return e.cfg.faultModel.Spec()
+}
+
 // system assembles the internal system for one run with the given seed.
 func (e *Engine) system(seed uint64) core.System {
 	return core.System{
@@ -178,8 +235,21 @@ func (e *Engine) system(seed uint64) core.System {
 		Scheduler:      e.cfg.scheduler,
 		Protected:      e.cfg.protected,
 		FairnessWindow: e.cfg.fairnessWindow,
+		Faults:         e.cfg.faultModel,
 		Seed:           seed,
 	}
+}
+
+// program constructs the engine's algorithm program, wrapped by the fault
+// model when one is configured — the single assembly point that keeps the
+// simulator, the model checker and trace replay on the same (possibly
+// perturbed) transition system.
+func (e *Engine) program() (sim.Program, error) {
+	prog, err := algo.New(e.alg, e.cfg.algoOpts)
+	if err != nil || e.cfg.faultModel == nil {
+		return prog, err
+	}
+	return e.cfg.faultModel.Wrap(e.topo, prog), nil
 }
 
 // orBackground substitutes context.Background for a nil ctx so that every
@@ -358,7 +428,7 @@ func (e *Engine) ModelCheck(ctx context.Context) (*CheckReport, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	prog, err := algo.New(e.alg, e.cfg.algoOpts)
+	prog, err := e.program()
 	if err != nil {
 		return nil, err
 	}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"iter"
 
-	"repro/internal/algo"
 	"repro/internal/modelcheck"
 	"repro/internal/par"
 	"repro/internal/prng"
@@ -59,6 +58,16 @@ const (
 	// StatisticalLockout is the Monte-Carlo lockout-freedom check: every
 	// sampled run must serve every philosopher at least once.
 	StatisticalLockout = "statistical-lockout"
+	// ProgressUnderFaults is the recoverable-variant progress check: the
+	// Progress analysis run exhaustively on the fault-perturbed state space
+	// (the engine must have WithFaults). A failure means the injected faults
+	// can drive the system into a region from which no meal is ever
+	// reachable, and carries a replayable fault-labelled counterexample.
+	ProgressUnderFaults = "progress-under-faults"
+	// LockoutFreedomUnderFaults is the recoverable-variant lockout-freedom
+	// check: no fair adversary, with the injected faults at its disposal, can
+	// starve a protected philosopher forever (requires WithFaults).
+	LockoutFreedomUnderFaults = "lockout-freedom-under-faults"
 )
 
 // StateSpace is the explored MDP an exhaustive property is decided on. See
@@ -112,6 +121,11 @@ type PropertyResult struct {
 	Topology  string `json:"topology"`
 	Algorithm string `json:"algorithm"`
 	Scheduler string `json:"scheduler,omitempty"`
+	// Faults is the canonical spec of the engine's fault model, empty for
+	// unperturbed engines. When set, the verdict is about the perturbed
+	// system: exhaustive properties were decided on the fault-injected state
+	// space and statistical properties sampled fault-injected runs.
+	Faults string `json:"faults,omitempty"`
 	// Protected is the engine's protected set (empty = all philosophers).
 	Protected []PhilID `json:"protected,omitempty"`
 	// Passed is the verdict; Detail explains it in one line.
@@ -195,6 +209,8 @@ func init() {
 	RegisterProperty(PropertyFunc{StarvationTrap, ExhaustiveProperty, checkStarvationTrap})
 	RegisterProperty(PropertyFunc{StatisticalProgress, StatisticalProperty, checkStatisticalProgress})
 	RegisterProperty(PropertyFunc{StatisticalLockout, StatisticalProperty, checkStatisticalLockout})
+	RegisterProperty(PropertyFunc{ProgressUnderFaults, ExhaustiveProperty, checkProgressUnderFaults})
+	RegisterProperty(PropertyFunc{LockoutFreedomUnderFaults, ExhaustiveProperty, checkLockoutFreedomUnderFaults})
 }
 
 // Check resolves the named properties against the registry — no names
@@ -272,7 +288,7 @@ func (e *Engine) CheckAll(ctx context.Context, props ...string) ([]PropertyResul
 // trace reports (the hex-encoded canonical key). It is the public form of
 // the replay check the trace tests pin.
 func (e *Engine) ReplayTrace(t *Trace) error {
-	prog, err := algo.New(e.alg, e.cfg.algoOpts)
+	prog, err := e.program()
 	if err != nil {
 		return err
 	}
@@ -300,7 +316,7 @@ func resolveProperties(names []string) ([]Property, error) {
 // explore builds the engine's state space with the engine's worker count,
 // wiring ctx cancellation into the exploration loop.
 func (e *Engine) explore(ctx context.Context) (*StateSpace, error) {
-	prog, err := algo.New(e.alg, e.cfg.algoOpts)
+	prog, err := e.program()
 	if err != nil {
 		return nil, err
 	}
@@ -324,6 +340,7 @@ func (in PropertyInput) newResult(name string, kind PropertyKind) PropertyResult
 		Kind:      kind,
 		Topology:  e.topo.Name(),
 		Algorithm: e.alg,
+		Faults:    e.Faults(),
 		Protected: append([]PhilID(nil), e.cfg.protected...),
 	}
 	if in.Space != nil {
@@ -357,20 +374,52 @@ func checkDeadlockFreedom(_ context.Context, in PropertyInput) (PropertyResult, 
 }
 
 func checkProgress(_ context.Context, in PropertyInput) (PropertyResult, error) {
-	res := in.newResult(Progress, ExhaustiveProperty)
+	return checkProgressAs(Progress, in)
+}
+
+// checkProgressAs decides eat-reachable-from-everywhere on the explored
+// space under the given property name; Progress and ProgressUnderFaults
+// share it, since the exploration already ran on the (possibly perturbed)
+// transition system.
+func checkProgressAs(name string, in PropertyInput) (PropertyResult, error) {
+	res := in.newResult(name, ExhaustiveProperty)
 	dead := in.Space.DeadRegionStates()
 	if len(dead) == 0 {
 		res.Passed = true
 		res.Detail = "a meal remains reachable from every reachable state"
+		if res.Faults != "" {
+			res.Detail += " under " + res.Faults
+		}
 		return res, nil
 	}
 	res.Detail = fmt.Sprintf("%d reachable state(s) from which no meal is reachable under any scheduling", len(dead))
-	cx, err := in.Space.CounterexampleTo(Progress, dead[0])
+	cx, err := in.Space.CounterexampleTo(name, dead[0])
 	if err != nil {
 		return res, err
 	}
 	res.Counterexample = cx
 	return res, nil
+}
+
+// checkProgressUnderFaults is the recoverable-variant progress check: it
+// requires a fault-injected engine (the unperturbed check is Progress) and
+// decides progress on the perturbed state space.
+func checkProgressUnderFaults(_ context.Context, in PropertyInput) (PropertyResult, error) {
+	if in.Engine.cfg.faultModel == nil {
+		return PropertyResult{}, fmt.Errorf("dining: property %s requires a fault model (use WithFaults; registered: %v)",
+			ProgressUnderFaults, Faults())
+	}
+	return checkProgressAs(ProgressUnderFaults, in)
+}
+
+// checkLockoutFreedomUnderFaults is the recoverable-variant lockout-freedom
+// check; like ProgressUnderFaults it refuses unperturbed engines.
+func checkLockoutFreedomUnderFaults(ctx context.Context, in PropertyInput) (PropertyResult, error) {
+	if in.Engine.cfg.faultModel == nil {
+		return PropertyResult{}, fmt.Errorf("dining: property %s requires a fault model (use WithFaults; registered: %v)",
+			LockoutFreedomUnderFaults, Faults())
+	}
+	return checkLockoutFreedomAs(ctx, LockoutFreedomUnderFaults, in)
 }
 
 func checkStarvationTrap(_ context.Context, in PropertyInput) (PropertyResult, error) {
@@ -395,7 +444,14 @@ func checkStarvationTrap(_ context.Context, in PropertyInput) (PropertyResult, e
 }
 
 func checkLockoutFreedom(ctx context.Context, in PropertyInput) (PropertyResult, error) {
-	res := in.newResult(LockoutFreedom, ExhaustiveProperty)
+	return checkLockoutFreedomAs(ctx, LockoutFreedom, in)
+}
+
+// checkLockoutFreedomAs decides individual starvation traps on the explored
+// space under the given property name; LockoutFreedom and
+// LockoutFreedomUnderFaults share it.
+func checkLockoutFreedomAs(ctx context.Context, name string, in PropertyInput) (PropertyResult, error) {
+	res := in.newResult(name, ExhaustiveProperty)
 	phils := in.Engine.cfg.protected
 	if len(phils) == 0 {
 		phils = make([]PhilID, in.Engine.topo.NumPhilosophers())
@@ -434,7 +490,7 @@ func checkLockoutFreedom(ctx context.Context, in PropertyInput) (PropertyResult,
 		}
 		res.TrapStates = trap.States
 		res.Detail = fmt.Sprintf("a fair adversary can starve philosopher %d forever: trap of %d states", phils[i], trap.States)
-		cx, err := in.Space.CounterexampleTo(LockoutFreedom, trap.WitnessState)
+		cx, err := in.Space.CounterexampleTo(name, trap.WitnessState)
 		if err != nil {
 			return res, err
 		}
@@ -477,7 +533,7 @@ func stopFunc(ctx context.Context) func() bool {
 func checkStatisticalProgress(ctx context.Context, in PropertyInput) (PropertyResult, error) {
 	e := in.Engine
 	res := in.newResult(StatisticalProgress, StatisticalProperty)
-	prog, err := algo.New(e.alg, e.cfg.algoOpts)
+	prog, err := e.program()
 	if err != nil {
 		return res, err
 	}
@@ -514,7 +570,7 @@ func checkStatisticalProgress(ctx context.Context, in PropertyInput) (PropertyRe
 func checkStatisticalLockout(ctx context.Context, in PropertyInput) (PropertyResult, error) {
 	e := in.Engine
 	res := in.newResult(StatisticalLockout, StatisticalProperty)
-	prog, err := algo.New(e.alg, e.cfg.algoOpts)
+	prog, err := e.program()
 	if err != nil {
 		return res, err
 	}

@@ -23,6 +23,11 @@ type Sweep struct {
 	// Schedulers is the grid's scheduler axis by registered name
 	// (default: just Random).
 	Schedulers []string
+	// Faults is the grid's fault axis: fault specs in the internal/fault
+	// grammar ("crash-rejoin:0.1", "freeze:0.05@0"); the empty spec "" is the
+	// no-fault cell. Default: just the no-fault cell, so existing grids are
+	// unchanged.
+	Faults []string
 	// Trials is the number of runs per scenario (default 10).
 	Trials int
 	// MaxSteps bounds each run (0 = the simulator default).
@@ -42,13 +47,15 @@ type Sweep struct {
 // Scenario is one cell of the sweep grid.
 type Scenario struct {
 	// Index is the scenario's position in grid order (topology-major, then
-	// algorithm, then scheduler); it determines all of the scenario's
-	// randomness.
+	// algorithm, then scheduler, then faults); it determines all of the
+	// scenario's randomness.
 	Index int `json:"index"`
 	// Topology, Algorithm and Scheduler name the cell's configuration.
 	Topology  string `json:"topology"`
 	Algorithm string `json:"algorithm"`
 	Scheduler string `json:"scheduler"`
+	// Faults is the cell's fault spec ("" = no faults).
+	Faults string `json:"faults,omitempty"`
 
 	topo *Topology
 }
@@ -90,6 +97,10 @@ func (s Sweep) Scenarios() ([]Scenario, error) {
 	if len(schedulers) == 0 {
 		schedulers = []string{Random}
 	}
+	faults := s.Faults
+	if len(faults) == 0 {
+		faults = []string{""}
+	}
 	var out []Scenario
 	for _, topo := range s.Topologies {
 		if topo == nil {
@@ -97,13 +108,16 @@ func (s Sweep) Scenarios() ([]Scenario, error) {
 		}
 		for _, alg := range s.Algorithms {
 			for _, sch := range schedulers {
-				out = append(out, Scenario{
-					Index:     len(out),
-					Topology:  topo.Name(),
-					Algorithm: alg,
-					Scheduler: sch,
-					topo:      topo,
-				})
+				for _, flt := range faults {
+					out = append(out, Scenario{
+						Index:     len(out),
+						Topology:  topo.Name(),
+						Algorithm: alg,
+						Scheduler: sch,
+						Faults:    flt,
+						topo:      topo,
+					})
+				}
 			}
 		}
 	}
@@ -121,16 +135,21 @@ func (s Sweep) trials() int {
 // runScenario executes one scenario's trials sequentially (parallelism lives
 // at the scenario level) and aggregates them in trial order.
 func (s Sweep) runScenario(ctx context.Context, sc Scenario) (ScenarioResult, error) {
-	eng, err := New(sc.topo, sc.Algorithm,
+	opts := []Option{
 		WithScheduler(sc.Scheduler),
-		WithSeed(s.Seed+uint64(sc.Index)*scenarioSeedStride*seedStride),
+		WithSeed(s.Seed + uint64(sc.Index)*scenarioSeedStride*seedStride),
 		WithMaxSteps(s.MaxSteps),
 		WithAlgorithmOptions(s.AlgorithmOptions),
 		WithFairnessWindow(s.FairnessWindow),
-		WithWorkers(1))
+		WithWorkers(1),
+	}
+	if sc.Faults != "" {
+		opts = append(opts, WithFaults(sc.Faults))
+	}
+	eng, err := New(sc.topo, sc.Algorithm, opts...)
 	if err != nil {
-		return ScenarioResult{}, fmt.Errorf("dining: sweep scenario %d (%s/%s/%s): %w",
-			sc.Index, sc.Topology, sc.Algorithm, sc.Scheduler, err)
+		return ScenarioResult{}, fmt.Errorf("dining: sweep scenario %d (%s/%s/%s/%s): %w",
+			sc.Index, sc.Topology, sc.Algorithm, sc.Scheduler, orNone(sc.Faults), err)
 	}
 	res := ScenarioResult{Scenario: sc, Trials: s.trials()}
 	var eats, wait, jain, stepsPerMeal stats.Running
@@ -219,14 +238,33 @@ func (s Sweep) Matrix(ctx context.Context) (*Table, error) {
 		Title:  fmt.Sprintf("%d-scenario sweep, %d trials each", len(results), s.trials()),
 		Header: []string{"topology", "algorithm", "scheduler", "progress runs", "mean meals", "steps/meal", "mean wait", "Jain", "starved runs"},
 	}
+	// The faults column only appears when the sweep actually has a fault
+	// axis, so fault-free matrices render exactly as before.
+	withFaults := len(s.Faults) > 0
+	if withFaults {
+		t.Header = append([]string{t.Header[0], t.Header[1], t.Header[2], "faults"}, t.Header[3:]...)
+	}
 	for _, r := range results {
-		t.AddRow(r.Topology, r.Algorithm, r.Scheduler,
+		row := []any{r.Topology, r.Algorithm, r.Scheduler}
+		if withFaults {
+			row = append(row, orNone(r.Faults))
+		}
+		row = append(row,
 			fmt.Sprintf("%d/%d", r.ProgressRuns, r.Trials),
 			fmt.Sprintf("%.1f", r.MeanEats),
 			fmt.Sprintf("%.1f", r.MeanStepsPerMeal),
 			fmt.Sprintf("%.1f", r.MeanWaitSteps),
 			fmt.Sprintf("%.3f", r.MeanJain),
 			r.StarvedRuns)
+		t.AddRow(row...)
 	}
 	return t, nil
+}
+
+// orNone renders the empty fault spec as "none" in tables and error text.
+func orNone(spec string) string {
+	if spec == "" {
+		return "none"
+	}
+	return spec
 }

@@ -7,14 +7,15 @@
 // experiment harness that regenerates every reproduced artifact.
 //
 // The public entry point for library users is package dining — a v3
-// streaming experiment engine built on four open registries (topologies,
-// algorithms, schedulers, properties), functional-options construction
-// (dining.New(topo, algo, dining.WithScheduler(...), ...)) and incremental
-// result streams (Engine.Trials yields per-trial results as workers finish;
-// Sweep crosses topology × algorithm × scheduler grids into a streamed
-// scenario matrix). New algorithms, adversaries, topologies and properties
-// plug in with dining.RegisterAlgorithm / RegisterScheduler /
-// RegisterTopology / RegisterProperty without touching the core packages.
+// streaming experiment engine built on five open registries (topologies,
+// algorithms, schedulers, properties, fault models), functional-options
+// construction (dining.New(topo, algo, dining.WithScheduler(...), ...)) and
+// incremental result streams (Engine.Trials yields per-trial results as
+// workers finish; Sweep crosses topology × algorithm × scheduler × fault
+// grids into a streamed scenario matrix). New algorithms, adversaries,
+// topologies, properties and fault models plug in with
+// dining.RegisterAlgorithm / RegisterScheduler / RegisterTopology /
+// RegisterProperty / RegisterFault without touching the core packages.
 //
 // The property layer is the v3 centerpiece: the paper's claims — deadlock-
 // freedom, progress, lockout-freedom, starvation traps (Theorems 1–4) — are
@@ -27,11 +28,28 @@
 // Engine.ReplayTrace. Statistical built-ins (statistical-progress,
 // statistical-lockout) cover instances too large to explore.
 //
+// The fault layer (internal/fault) perturbs the transition system itself:
+// a registered fault model — crash-rejoin (a philosopher crashes, drops its
+// forks and later re-enters thinking), freeze (a permanent crash) or
+// lossy-grants (a hungry philosopher's acquire step probabilistically
+// no-ops) — wraps the algorithm's Program, scaling the base outcomes and
+// appending "fault: "-labelled branches into the same reused outcome
+// buffer. Because the wrapping happens at the Program seam, the Monte-Carlo
+// simulator and the exhaustive model checker see the same perturbed MDP:
+// dining.WithFaults("crash-rejoin:0.05,0.5") makes every Run, Trials and
+// Check observe identical fault semantics, the recoverable properties
+// (progress-under-faults, lockout-freedom-under-faults) check exhaustively
+// how far the paper's guarantees survive the perturbation, and failing
+// checks produce fault-labelled counterexample traces that Engine.ReplayTrace
+// verifies against the same fault spec. A crashed philosopher occupies one
+// previously-always-zero bit of the canonical state key, so a fault-free
+// engine's exploration is byte-identical to one without the fault layer.
+//
 // # Architecture
 //
 // The verification stack is layered; each layer only sees the one below:
 //
-//	sharded store  →  exploration  →  graphalg analyses  →  properties  →  CLI
+//	sharded store  →  exploration  →  graphalg analyses  →  properties  →  faults  →  CLI
 //
 // At the bottom, internal/modelcheck stores the explored MDP in 2^k
 // independently-owned shards (dining.WithShards, -shards; 0 = match the
@@ -76,9 +94,10 @@
 // -cpuprofile/-memprofile on dpcheck and dpbench) down the stack.
 //
 // The command-line tools live under cmd (dpsim, dpbench, dpcheck,
-// dpadversary; all speak JSON with -json, and dpcheck/dpadversary select
-// properties with -props) and share the internal/cli config layer, so
-// registered extensions appear in every tool's flags and error messages. The
+// dpadversary; all speak JSON with -json, dpcheck/dpadversary select
+// properties with -props, and all four inject fault models with -faults)
+// and share the internal/cli config layer, so registered extensions appear
+// in every tool's flags and error messages. The
 // reproduction experiments are described in DESIGN.md and their results in
 // EXPERIMENTS.md. The benchmark suite in bench_test.go has one benchmark per
 // reproduced table or figure of the paper.

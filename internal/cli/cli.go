@@ -46,6 +46,8 @@ const (
 	FlagShards
 	// FlagProfile registers -cpuprofile and -memprofile.
 	FlagProfile
+	// FlagFaults registers -faults (fault-model injection).
+	FlagFaults
 )
 
 // Config holds the shared tool configuration. Populate the fields with a
@@ -75,6 +77,10 @@ type Config struct {
 	// Shards is the exploration shard count (0 = match workers; results are
 	// identical for every value).
 	Shards int
+	// Faults is the fault-model spec injected into the run
+	// ("crash-rejoin:0.1", see the grammar in internal/fault; empty = no
+	// faults).
+	Faults string
 	// CPUProfile and MemProfile are output paths for runtime/pprof profiles
 	// (empty = no profile).
 	CPUProfile string
@@ -127,6 +133,11 @@ func (c *Config) Register(fs *flag.FlagSet, which Flags) {
 		fs.IntVar(&c.Shards, "shards", c.Shards,
 			"state-space shards for explorations, rounded up to a power of two (0 = match -workers; results are identical)")
 	}
+	if which&FlagFaults != 0 {
+		fs.StringVar(&c.Faults, "faults", c.Faults,
+			fmt.Sprintf("fault-model spec name[:rates][@philosophers] (registered: %s; empty = no faults)",
+				strings.Join(dining.Faults(), ", ")))
+	}
 	if which&FlagProfile != 0 {
 		fs.StringVar(&c.CPUProfile, "cpuprofile", c.CPUProfile, "write a CPU profile to this file")
 		fs.StringVar(&c.MemProfile, "memprofile", c.MemProfile, "write a heap profile to this file on exit")
@@ -174,6 +185,18 @@ func (c *Config) Validate() error {
 			}
 		}
 	}
+	if c.registered&FlagFaults != 0 && c.Faults != "" {
+		// Check the model name here so a typo gets the registry's one-line
+		// sorted-names error; rates and targets are validated against the
+		// topology when the engine is built.
+		name := c.Faults
+		if i := strings.IndexAny(name, ":@"); i >= 0 {
+			name = name[:i]
+		}
+		if err := knownName("fault model", strings.TrimSpace(name), dining.Faults()); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -215,6 +238,9 @@ func (c *Config) Engine(extra ...dining.Option) (*dining.Engine, error) {
 	}
 	if c.Scheduler != "" {
 		opts = append(opts, dining.WithScheduler(c.Scheduler))
+	}
+	if c.Faults != "" {
+		opts = append(opts, dining.WithFaults(c.Faults))
 	}
 	opts = append(opts, extra...)
 	return dining.New(topo, c.Algorithm, opts...)

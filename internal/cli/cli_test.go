@@ -95,6 +95,76 @@ func TestPropsFlag(t *testing.T) {
 	}
 }
 
+func TestFaultsFlag(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		spec    string
+		wantErr string // substring of the Validate error, "" = valid
+	}{
+		{"", ""},
+		{"crash-rejoin", ""},
+		{"crash-rejoin:0.1,0.5", ""},
+		{"freeze:0.2@0,2", ""},
+		{"lossy-grants:0.3", ""},
+		{"meteor-strike", `unknown fault model "meteor-strike" (registered: crash-rejoin, freeze, lossy-grants)`},
+		{"meteor-strike:0.5", `unknown fault model "meteor-strike"`},
+		{"meteor-strike@0,1", `unknown fault model "meteor-strike"`},
+		{" crash-rejoin :0.1", ""}, // the name is trimmed before the lookup
+	}
+	for _, c := range cases {
+		cfg := newConfig(t, allFlags|FlagFaults, "-faults", c.spec)
+		err := cfg.Validate()
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("-faults %q: Validate rejected a valid spec: %v", c.spec, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("-faults %q: Validate accepted the unknown fault model", c.spec)
+			continue
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, c.wantErr) {
+			t.Errorf("-faults %q: error = %q, want it to contain %q", c.spec, msg, c.wantErr)
+		}
+		if strings.Contains(msg, "\n") {
+			t.Errorf("-faults %q: error is not one line: %q", c.spec, msg)
+		}
+	}
+
+	// Rates and targets are beyond the flag layer's name check; the engine
+	// rejects them at construction.
+	bad := newConfig(t, allFlags|FlagFaults, "-faults", "freeze:1.5")
+	if err := bad.Validate(); err != nil {
+		t.Fatalf("Validate should defer rate checking to the engine, got: %v", err)
+	}
+	if _, err := bad.Engine(); err == nil {
+		t.Error("Engine accepted an out-of-range fault rate")
+	}
+}
+
+func TestFaultsFlagReachesEngine(t *testing.T) {
+	t.Parallel()
+	cfg := newConfig(t, allFlags|FlagFaults, "-faults", "crash-rejoin:0.1")
+	eng, err := cfg.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Faults(); got != "crash-rejoin:0.1,0.5" {
+		t.Errorf("engine faults = %q, want the canonical spec %q", got, "crash-rejoin:0.1,0.5")
+	}
+
+	plain := newConfig(t, allFlags|FlagFaults)
+	eng, err = plain.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Faults(); got != "" {
+		t.Errorf("engine without -faults reports faults %q", got)
+	}
+}
+
 func TestEngineFromFlags(t *testing.T) {
 	t.Parallel()
 	cfg := newConfig(t, allFlags, "-topology", "theta", "-n", "1", "-algorithm", "LR2", "-scheduler", "adversary", "-seed", "9")

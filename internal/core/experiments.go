@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/algo"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/prng"
 	"repro/internal/sched"
@@ -26,6 +27,12 @@ type ExperimentConfig struct {
 	// Zero means one per CPU; 1 forces sequential execution. Every table is
 	// bit-identical whatever the value (see ParallelTrials).
 	Workers int
+	// Faults is an optional fault-model spec in the internal/fault grammar
+	// (for example "crash-rejoin:0.05,0.5"); when non-empty every sequential
+	// experiment runs on the perturbed transition system, so the tables show
+	// how far the paper's guarantees survive crashes and lost grants. E-RT is
+	// skipped: the concurrent goroutine runtime rejects fault injection.
+	Faults string
 }
 
 func (c ExperimentConfig) trials(full, quick int) int {
@@ -33,6 +40,16 @@ func (c ExperimentConfig) trials(full, quick int) int {
 		return quick
 	}
 	return full
+}
+
+// faultModel resolves the Faults spec once per experiment (nil when empty);
+// per-topology target validation happens inside System when it assembles the
+// program.
+func (c ExperimentConfig) faultModel() (fault.Model, error) {
+	if c.Faults == "" {
+		return nil, nil
+	}
+	return fault.NewFromSpec(c.Faults)
 }
 
 // Experiment is one entry of the reproduction suite.
@@ -112,7 +129,7 @@ func runFigure1(ExperimentConfig) (*Table, error) {
 // adversary prevents every protected philosopher from eating. Trials fan out
 // over workers goroutines (see ParallelTrials); each trial's seed is derived
 // from its index, so the proportion is identical for every worker count.
-func adversaryStarvationRate(topo *graph.Topology, algorithm string, opts algo.Options, protected []graph.PhilID, trials, workers int, steps int64, seed uint64) (stats.Proportion, error) {
+func adversaryStarvationRate(topo *graph.Topology, algorithm string, opts algo.Options, faults fault.Model, protected []graph.PhilID, trials, workers int, steps int64, seed uint64) (stats.Proportion, error) {
 	var prop stats.Proportion
 	starvedByTrial, err := ParallelTrials(workers, trials, func(i int) (bool, error) {
 		sys := System{
@@ -122,6 +139,7 @@ func adversaryStarvationRate(topo *graph.Topology, algorithm string, opts algo.O
 			Scheduler:   "adversary",
 			Protected:   protected,
 			Seed:        seed + uint64(i)*7919,
+			Faults:      faults,
 		}
 		res, err := sys.Simulate(sim.RunOptions{MaxSteps: steps})
 		if err != nil {
@@ -152,10 +170,14 @@ func runSection3(cfg ExperimentConfig) (*Table, error) {
 	trials := cfg.trials(200, 25)
 	steps := int64(30_000)
 	topo := graph.Figure1A()
+	flt, err := cfg.faultModel()
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{Header: []string{"algorithm", "no-progress runs", "rate (Wilson 95%)", "paper bound"}}
 	bound := verify.Section3Bound(0.5)
 	for _, name := range []string{"LR1", "LR2", "GDP1", "GDP2"} {
-		prop, err := adversaryStarvationRate(topo, name, algo.Options{}, nil, trials, cfg.Workers, steps, cfg.Seed+11)
+		prop, err := adversaryStarvationRate(topo, name, algo.Options{}, flt, nil, trials, cfg.Workers, steps, cfg.Seed+11)
 		if err != nil {
 			return nil, err
 		}
@@ -175,6 +197,10 @@ func runSection3(cfg ExperimentConfig) (*Table, error) {
 
 func runTheorem1(cfg ExperimentConfig) (*Table, error) {
 	t := &Table{Header: []string{"instance", "algorithm", "protected", "method", "fair adversary wins?", "detail"}}
+	flt, err := cfg.faultModel()
+	if err != nil {
+		return nil, err
+	}
 
 	type mcCase struct {
 		topo      *graph.Topology
@@ -194,7 +220,7 @@ func runTheorem1(cfg ExperimentConfig) (*Table, error) {
 		if cfg.Quick && c.skipQuick {
 			continue
 		}
-		sys := System{Topology: c.topo, Algorithm: c.algorithm, Protected: c.protected}
+		sys := System{Topology: c.topo, Algorithm: c.algorithm, Protected: c.protected, Faults: flt}
 		rep, err := sys.ModelCheck(0)
 		if err != nil {
 			return nil, err
@@ -209,7 +235,7 @@ func runTheorem1(cfg ExperimentConfig) (*Table, error) {
 	for i := range ringIDs {
 		ringIDs[i] = graph.PhilID(i)
 	}
-	prop, err := adversaryStarvationRate(graph.Figure1D(), "LR1", algo.Options{}, ringIDs, trials, cfg.Workers, 30_000, cfg.Seed+23)
+	prop, err := adversaryStarvationRate(graph.Figure1D(), "LR1", algo.Options{}, flt, ringIDs, trials, cfg.Workers, 30_000, cfg.Seed+23)
 	if err != nil {
 		return nil, err
 	}
@@ -225,8 +251,12 @@ func runTheorem1(cfg ExperimentConfig) (*Table, error) {
 
 func runTheorem2(cfg ExperimentConfig) (*Table, error) {
 	t := &Table{Header: []string{"instance", "algorithm", "method", "fair adversary wins?", "detail"}}
+	flt, err := cfg.faultModel()
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range []string{"LR1", "LR2", "GDP1", "GDP2"} {
-		sys := System{Topology: graph.Theorem2Minimal(), Algorithm: name}
+		sys := System{Topology: graph.Theorem2Minimal(), Algorithm: name, Faults: flt}
 		rep, err := sys.ModelCheck(0)
 		if err != nil {
 			return nil, err
@@ -235,7 +265,7 @@ func runTheorem2(cfg ExperimentConfig) (*Table, error) {
 		t.AddRow(graph.Theorem2Minimal().Name(), name, "exhaustive model check", rep.FairAdversaryWins(), detail)
 	}
 	trials := cfg.trials(200, 25)
-	prop, err := adversaryStarvationRate(graph.Theorem2Minimal(), "LR2", algo.Options{}, nil, trials, cfg.Workers, 30_000, cfg.Seed+31)
+	prop, err := adversaryStarvationRate(graph.Theorem2Minimal(), "LR2", algo.Options{}, flt, nil, trials, cfg.Workers, 30_000, cfg.Seed+31)
 	if err != nil {
 		return nil, err
 	}
@@ -250,6 +280,10 @@ func runTheorem2(cfg ExperimentConfig) (*Table, error) {
 func runTheorem3(cfg ExperimentConfig) (*Table, error) {
 	t := &Table{Header: []string{"topology", "scheduler", "trials with progress", "mean steps to first meal"}}
 	trials := cfg.trials(100, 15)
+	flt, err := cfg.faultModel()
+	if err != nil {
+		return nil, err
+	}
 	topos := []*graph.Topology{graph.Figure1A(), graph.Figure1B(), graph.Figure1C(), graph.Figure1D(), graph.Ring(7), graph.RandomMultigraph(18, 7, 4242)}
 	for _, topo := range topos {
 		for _, kind := range []string{"random", "round-robin", "adversary"} {
@@ -258,7 +292,7 @@ func runTheorem3(cfg ExperimentConfig) (*Table, error) {
 				firstEat   float64
 			}
 			perTrial, err := ParallelTrials(cfg.Workers, trials, func(i int) (trialResult, error) {
-				sys := System{Topology: topo, Algorithm: "GDP1", Scheduler: kind, Seed: cfg.Seed + uint64(i)*131}
+				sys := System{Topology: topo, Algorithm: "GDP1", Scheduler: kind, Seed: cfg.Seed + uint64(i)*131, Faults: flt}
 				res, err := sys.Simulate(sim.RunOptions{MaxSteps: 60_000, StopAfterTotalEats: 1})
 				if err != nil {
 					return trialResult{}, err
@@ -287,6 +321,10 @@ func runTheorem3(cfg ExperimentConfig) (*Table, error) {
 
 func runTheorem4(cfg ExperimentConfig) (*Table, error) {
 	t := &Table{Header: []string{"instance", "variant", "method", "individual starvation possible?", "detail"}}
+	flt, err := cfg.faultModel()
+	if err != nil {
+		return nil, err
+	}
 
 	// Exhaustive check on the minimal generalized instance.
 	theta := graph.Theorem2Minimal()
@@ -297,7 +335,7 @@ func runTheorem4(cfg ExperimentConfig) (*Table, error) {
 		{"GDP2 as printed (courtesy on first fork)", algo.Options{}},
 		{"GDP2 with courtesy on both forks", algo.Options{CourtesyOnBothForks: true}},
 	} {
-		sys := System{Topology: theta, Algorithm: "GDP2", AlgoOptions: variant.opts, Protected: []graph.PhilID{0}}
+		sys := System{Topology: theta, Algorithm: "GDP2", AlgoOptions: variant.opts, Protected: []graph.PhilID{0}, Faults: flt}
 		rep, err := sys.ModelCheck(0)
 		if err != nil {
 			return nil, err
@@ -317,7 +355,7 @@ func runTheorem4(cfg ExperimentConfig) (*Table, error) {
 			if variant.label == "GDP1 (no courtesy)" {
 				name = "GDP1"
 			}
-			sys := System{Topology: graph.Ring(3), Algorithm: name, AlgoOptions: variant.opts, Protected: []graph.PhilID{0}}
+			sys := System{Topology: graph.Ring(3), Algorithm: name, AlgoOptions: variant.opts, Protected: []graph.PhilID{0}, Faults: flt}
 			rep, err := sys.ModelCheck(0)
 			if err != nil {
 				return nil, err
@@ -332,6 +370,12 @@ func runTheorem4(cfg ExperimentConfig) (*Table, error) {
 		prog, err := algo.New("GDP2", algo.Options{})
 		if err != nil {
 			return nil, err
+		}
+		if flt != nil {
+			if err := flt.Validate(topo); err != nil {
+				return nil, err
+			}
+			prog = flt.Wrap(topo, prog)
 		}
 		check := verify.LockoutCheck{
 			Topology:  topo,
@@ -361,6 +405,10 @@ func runTheorem4(cfg ExperimentConfig) (*Table, error) {
 func runEfficiency(cfg ExperimentConfig) (*Table, error) {
 	t := &Table{Header: []string{"ring size", "algorithm", "steps per meal", "mean wait (steps)", "Jain fairness"}}
 	trials := cfg.trials(10, 3)
+	flt, err := cfg.faultModel()
+	if err != nil {
+		return nil, err
+	}
 	sizes := []int{5, 11, 25}
 	if cfg.Quick {
 		sizes = []int{5, 11}
@@ -374,7 +422,7 @@ func runEfficiency(cfg ExperimentConfig) (*Table, error) {
 				stepsPerMeal, wait, jain float64
 			}
 			perTrial, err := ParallelTrials(cfg.Workers, trials, func(i int) (trialResult, error) {
-				sys := System{Topology: topo, Algorithm: name, Scheduler: "random", Seed: cfg.Seed + uint64(i)*997}
+				sys := System{Topology: topo, Algorithm: name, Scheduler: "random", Seed: cfg.Seed + uint64(i)*997, Faults: flt}
 				res, err := sys.Simulate(sim.RunOptions{MaxSteps: 50_000})
 				if err != nil {
 					return trialResult{}, err
@@ -413,6 +461,10 @@ func runEfficiency(cfg ExperimentConfig) (*Table, error) {
 func runNumberRangeSweep(cfg ExperimentConfig) (*Table, error) {
 	t := &Table{Header: []string{"topology", "m", "analytic distinct-draw bound", "measured progress trials", "mean steps to first meal"}}
 	trials := cfg.trials(60, 10)
+	flt, err := cfg.faultModel()
+	if err != nil {
+		return nil, err
+	}
 	topo := graph.Figure1A()
 	k := topo.NumForks()
 	for _, mult := range []int{1, 2, 4, 8} {
@@ -429,6 +481,7 @@ func runNumberRangeSweep(cfg ExperimentConfig) (*Table, error) {
 				AlgoOptions: algo.Options{M: m},
 				Scheduler:   "adversary",
 				Seed:        cfg.Seed + uint64(i)*313,
+				Faults:      flt,
 			}
 			res, err := sys.Simulate(sim.RunOptions{MaxSteps: 60_000, StopAfterTotalEats: 1})
 			if err != nil {
@@ -457,6 +510,10 @@ func runNumberRangeSweep(cfg ExperimentConfig) (*Table, error) {
 
 func runRuntimeThroughput(cfg ExperimentConfig) (*Table, error) {
 	t := &Table{Header: []string{"topology", "algorithm", "meals/second", "Jain fairness", "starved"}}
+	if cfg.Faults != "" {
+		t.AddNote("skipped: the concurrent goroutine runtime does not support fault injection (-faults %s); rerun without -faults to measure E-RT.", cfg.Faults)
+		return t, nil
+	}
 	duration := 400 * time.Millisecond
 	if cfg.Quick {
 		duration = 150 * time.Millisecond

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/algo"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/modelcheck"
 	"repro/internal/prng"
@@ -41,6 +42,11 @@ type System struct {
 	Protected []graph.PhilID
 	// FairnessWindow is the bounded-fair adversary's window (0 = default).
 	FairnessWindow int64
+	// Faults injects the given fault model into the transition system
+	// (nil = no faults). The simulator and the model checker both run the
+	// wrapped program, so they see the same perturbed MDP. The concurrent
+	// runtime has no fault support; RunConcurrent rejects a faulty system.
+	Faults fault.Model
 	// Seed makes runs reproducible.
 	Seed uint64
 }
@@ -59,12 +65,20 @@ func (s *System) NewScheduler(rng *prng.Source) (sim.Scheduler, error) {
 	})
 }
 
-// program constructs the algorithm program.
+// program constructs the algorithm program, wrapped by the fault model when
+// one is configured.
 func (s *System) program() (sim.Program, error) {
 	if s.Algorithm == "" {
 		return nil, fmt.Errorf("core: System.Algorithm is required (available: %v)", algo.Names())
 	}
-	return algo.New(s.Algorithm, s.AlgoOptions)
+	prog, err := algo.New(s.Algorithm, s.AlgoOptions)
+	if err != nil || s.Faults == nil {
+		return prog, err
+	}
+	if err := s.Faults.Validate(s.Topology); err != nil {
+		return nil, err
+	}
+	return s.Faults.Wrap(s.Topology, prog), nil
 }
 
 // Simulate runs the system on the step engine.
@@ -135,6 +149,9 @@ func (s *System) ModelCheck(maxStates int) (*modelcheck.Report, error) {
 func (s *System) RunConcurrent(ctx context.Context, duration time.Duration, targetMeals int64) (*runtime.Metrics, error) {
 	if s.Topology == nil {
 		return nil, fmt.Errorf("core: System.Topology is required")
+	}
+	if s.Faults != nil {
+		return nil, fmt.Errorf("core: the concurrent runtime does not support fault injection (System.Faults = %s)", s.Faults.Spec())
 	}
 	var alg runtime.Algorithm
 	switch s.Algorithm {

@@ -45,6 +45,18 @@ const (
 	EventSignedGuestBook
 	// EventAux records an algorithm-specific auxiliary action (baselines).
 	EventAux
+	// EventCrashed records a philosopher crashing: a fault model removed it
+	// from the protocol and its held forks were dropped.
+	EventCrashed
+	// EventRejoined records a crashed philosopher re-entering the protocol in
+	// the thinking section.
+	EventRejoined
+	// EventStillCrashed records a crashed philosopher being scheduled while
+	// it stays crashed (a fault-layer self-loop).
+	EventStillCrashed
+	// EventGrantLost records a hungry philosopher's scheduled step no-opping
+	// because a fault model lost its fork grant.
+	EventGrantLost
 )
 
 // String implements fmt.Stringer.
@@ -80,6 +92,14 @@ func (k EventKind) String() string {
 		return "signed-guest-book"
 	case EventAux:
 		return "aux"
+	case EventCrashed:
+		return "crashed"
+	case EventRejoined:
+		return "rejoined"
+	case EventStillCrashed:
+		return "still-crashed"
+	case EventGrantLost:
+		return "grant-lost"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}

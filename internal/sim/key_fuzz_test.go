@@ -23,6 +23,7 @@ import (
 	"testing"
 
 	"repro/internal/algo"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/sim"
 )
@@ -31,6 +32,13 @@ import (
 // aux-free states (LR1), request lists + guest books (LR2), nr draws (GDP1,
 // GDP2) and shared globals + aux registers (ticket-box).
 var fuzzAlgorithms = []string{"LR1", "LR2", "GDP1", "GDP2", "ticket-box"}
+
+// fuzzFaults optionally wraps the algorithm in a fault model (high nibble of
+// the pick byte), so the crashed bit of the flags byte gets exercised too:
+// injectivity must keep holding when crash/rejoin/lossy outcomes appear in
+// the transition system. The empty entry keeps the original fault-free
+// corpus behaviour for picks with a zero high nibble.
+var fuzzFaults = []string{"", "crash-rejoin:0.25,0.5", "freeze:0.25", "lossy-grants:0.5"}
 
 // runScript executes one scripted run: byte i schedules philosopher
 // b%numPhils and resolves its action to outcome (b>>4)%len(outcomes).
@@ -103,11 +111,26 @@ func FuzzWorldAppendKey(f *testing.F) {
 	f.Add([]byte{0, 0, 16, 32, 1, 1, 17}, []byte{2, 2, 18, 34}, byte(2))
 	f.Add([]byte{5, 21, 37, 53, 69, 85}, []byte{3, 19, 35, 51}, byte(3))
 	f.Add(bytes.Repeat([]byte{0, 1, 2, 17, 33}, 20), bytes.Repeat([]byte{2, 1, 0}, 25), byte(4))
+	// Fault-wrapped seeds: high nibble selects the fault model, so crash,
+	// rejoin and grant-lost transitions reach the encoder from the corpus.
+	f.Add([]byte{0, 1, 2, 17, 33, 49}, []byte{0, 1, 2}, byte(0x10))
+	f.Add([]byte{5, 21, 37, 53, 69, 85}, []byte{3, 19, 35, 51}, byte(0x21))
+	f.Add(bytes.Repeat([]byte{0, 16, 32, 48}, 15), bytes.Repeat([]byte{1, 17, 33}, 20), byte(0x33))
 	f.Fuzz(func(t *testing.T, scriptA, scriptB []byte, algPick byte) {
 		topo := graph.Theorem2Minimal()
-		prog, err := algo.New(fuzzAlgorithms[int(algPick)%len(fuzzAlgorithms)], algo.Options{})
+		prog, err := algo.New(fuzzAlgorithms[int(algPick&0x0f)%len(fuzzAlgorithms)], algo.Options{})
 		if err != nil {
 			t.Fatal(err)
+		}
+		if spec := fuzzFaults[int(algPick>>4)%len(fuzzFaults)]; spec != "" {
+			m, err := fault.NewFromSpec(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Validate(topo); err != nil {
+				t.Fatal(err)
+			}
+			prog = m.Wrap(topo, prog)
 		}
 		wa := runScript(t, topo, prog, scriptA)
 		wb := runScript(t, topo, prog, scriptB)

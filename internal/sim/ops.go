@@ -154,6 +154,59 @@ func (w *World) BackToThinking(p graph.PhilID, pc uint8) {
 	st.HasSecond = false
 }
 
+// --- Crash faults (package fault) ---
+
+// Crash removes philosopher p from the protocol: its held forks are released
+// (in the paper's release order), its outstanding requests are withdrawn (the
+// fork objects garbage-collect a crashed guest), its selection and volatile
+// local state are cleared, and it is parked in the thinking section with the
+// Crashed flag set. Guest books keep p's history — signatures are durable
+// fork-side state. Only fault models call Crash; it keeps every invariant of
+// CheckInvariants.
+func (w *World) Crash(p graph.PhilID) {
+	w.ReleaseAll(p)
+	for _, f := range w.Topo.Forks(p) {
+		if w.HasRequest(p, f) {
+			w.Unrequest(p, f)
+		}
+	}
+	st := &w.Phils[p]
+	st.Phase = Thinking
+	st.PC = 1
+	st.First = graph.NoFork
+	st.HasFirst = false
+	st.HasSecond = false
+	st.Aux = [2]int64{}
+	st.Crashed = true
+	if w.HungrySince != nil {
+		w.HungrySince[p] = -1
+	}
+	w.emit(EventCrashed, p, graph.NoFork, 0)
+}
+
+// Rejoin re-enters a crashed philosopher into the protocol. Crash already
+// parked it at the initial thinking state, so clearing the flag is the whole
+// recovery.
+func (w *World) Rejoin(p graph.PhilID) {
+	w.Phils[p].Crashed = false
+	w.emit(EventRejoined, p, graph.NoFork, 0)
+}
+
+// StayCrashed records a crashed philosopher being scheduled while it remains
+// crashed (the fault layer's self-loop outcome).
+func (w *World) StayCrashed(p graph.PhilID) {
+	w.emit(EventStillCrashed, p, graph.NoFork, 0)
+}
+
+// LoseGrant records a hungry philosopher's step no-opping because a fault
+// model lost its fork grant.
+func (w *World) LoseGrant(p graph.PhilID) {
+	w.emit(EventGrantLost, p, graph.NoFork, 0)
+}
+
+// IsCrashed reports whether philosopher p is currently crashed.
+func (w *World) IsCrashed(p graph.PhilID) bool { return w.Phils[p].Crashed }
+
 // --- Request lists and guest books (LR2 / GDP2) ---
 
 // slotIndex returns p's index into the flat req/used arrays for fork f.

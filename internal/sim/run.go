@@ -122,6 +122,12 @@ type Result struct {
 	Reason StopReason
 	// Final is the final world (for inspection by tests and adversaries).
 	Final *World
+
+	// lastSched and everHungry are the per-run gap/starvation scratch arrays,
+	// kept on the Result so that RunWorldInto reuses them together with the
+	// metric slices.
+	lastSched  []int64
+	everHungry []bool
 }
 
 // Progress reports whether at least one meal completed.
@@ -152,6 +158,21 @@ func Run(topo *graph.Topology, prog Program, sched Scheduler, rng *prng.Source, 
 // initialised for prog). It allows adversaries and tests to resume from
 // prepared states.
 func RunWorld(w *World, prog Program, sched Scheduler, rng *prng.Source, opts RunOptions) (*Result, error) {
+	res := &Result{}
+	if err := RunWorldInto(res, w, prog, sched, rng, opts); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunWorldInto is RunWorld writing its summary into *res instead of
+// allocating one: every field is overwritten and the metric slices (EatsBy,
+// FirstEatBy, ScheduledCount, Starved) and per-run scratch arrays are reused
+// in place, so a caller that recycles the Result across runs — the
+// Monte-Carlo trial loops of internal/verify — aggregates trials without any
+// per-trial Result allocations. The reused slices are overwritten by the next
+// run; copy them if retained.
+func RunWorldInto(res *Result, w *World, prog Program, sched Scheduler, rng *prng.Source, opts RunOptions) error {
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = DefaultMaxSteps
@@ -165,11 +186,13 @@ func RunWorld(w *World, prog Program, sched Scheduler, rng *prng.Source, opts Ru
 	w.EnsureMetrics()
 
 	n := len(w.Phils)
-	lastScheduled := make([]int64, n)
-	for i := range lastScheduled {
-		lastScheduled[i] = -1
+	lastScheduled := res.lastSched[:0]
+	everHungry := res.everHungry[:0]
+	for i := 0; i < n; i++ {
+		lastScheduled = append(lastScheduled, -1)
+		everHungry = append(everHungry, false)
 	}
-	everHungry := make([]bool, n)
+	res.lastSched, res.everHungry = lastScheduled, everHungry
 	var maxGap int64
 
 	reason := StopMaxSteps
@@ -184,7 +207,7 @@ func RunWorld(w *World, prog Program, sched Scheduler, rng *prng.Source, opts Ru
 		}
 		p := sched.Next(w)
 		if int(p) < 0 || int(p) >= n {
-			return nil, fmt.Errorf("sim: scheduler %q returned invalid philosopher %d", sched.Name(), p)
+			return fmt.Errorf("sim: scheduler %q returned invalid philosopher %d", sched.Name(), p)
 		}
 		w.emit(EventScheduled, p, graph.NoFork, 0)
 		if gap := w.Step - lastScheduled[p]; lastScheduled[p] >= 0 && gap > maxGap {
@@ -198,7 +221,7 @@ func RunWorld(w *World, prog Program, sched Scheduler, rng *prng.Source, opts Ru
 		obuf = outcomes
 		if opts.ValidateOutcomes {
 			if err := ValidateOutcomes(outcomes); err != nil {
-				return nil, fmt.Errorf("sim: %s outcomes for P%d at step %d: %w", prog.Name(), p, w.Step, err)
+				return fmt.Errorf("sim: %s outcomes for P%d at step %d: %w", prog.Name(), p, w.Step, err)
 			}
 		}
 		SampleOutcome(outcomes, rng).Do(w, p)
@@ -209,7 +232,7 @@ func RunWorld(w *World, prog Program, sched Scheduler, rng *prng.Source, opts Ru
 
 		if opts.CheckInvariants {
 			if err := w.CheckInvariants(); err != nil {
-				return nil, fmt.Errorf("sim: invariant violated after step %d of %s: %w", w.Step, prog.Name(), err)
+				return fmt.Errorf("sim: invariant violated after step %d of %s: %w", w.Step, prog.Name(), err)
 			}
 		}
 
@@ -243,29 +266,29 @@ func RunWorld(w *World, prog Program, sched Scheduler, rng *prng.Source, opts Ru
 		}
 	}
 
-	res := &Result{
-		Algorithm:      prog.Name(),
-		SchedulerName:  sched.Name(),
-		Topology:       w.Topo.Name(),
-		Steps:          w.Step - start,
-		TotalEats:      w.TotalEats,
-		EatsBy:         append([]int64(nil), w.EatsBy...),
-		FirstEatStep:   w.FirstEatStep,
-		FirstEatBy:     append([]int64(nil), w.FirstEatBy...),
-		ScheduledCount: append([]int64(nil), w.ScheduledCount...),
-		MaxScheduleGap: maxGap,
-		Reason:         reason,
-		Final:          w,
-	}
+	res.Algorithm = prog.Name()
+	res.SchedulerName = sched.Name()
+	res.Topology = w.Topo.Name()
+	res.Steps = w.Step - start
+	res.TotalEats = w.TotalEats
+	res.EatsBy = append(res.EatsBy[:0], w.EatsBy...)
+	res.FirstEatStep = w.FirstEatStep
+	res.FirstEatBy = append(res.FirstEatBy[:0], w.FirstEatBy...)
+	res.ScheduledCount = append(res.ScheduledCount[:0], w.ScheduledCount...)
+	res.MaxScheduleGap = maxGap
+	res.Reason = reason
+	res.Final = w
+	res.MeanWaitSteps = 0
 	if started := countStartedMeals(w); started > 0 {
 		res.MeanWaitSteps = float64(w.TotalWait) / float64(started)
 	}
+	res.Starved = res.Starved[:0]
 	for p := 0; p < n; p++ {
 		if everHungry[p] && w.EatsBy[p] == 0 && w.FirstEatBy[p] < 0 {
 			res.Starved = append(res.Starved, graph.PhilID(p))
 		}
 	}
-	return res, nil
+	return nil
 }
 
 // countStartedMeals returns the number of meals whose waiting time has been

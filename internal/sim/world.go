@@ -35,8 +35,8 @@
 // without allocating. The encoding is, in order:
 //
 //   - per philosopher: PC byte; one flags byte packing the Phase (2 bits),
-//     HasFirst and HasSecond; uvarint(First+1); zigzag varints of Aux[0] and
-//     Aux[1];
+//     HasFirst, HasSecond and Crashed; uvarint(First+1); zigzag varints of
+//     Aux[0] and Aux[1];
 //   - per fork: uvarint(Holder+1); uvarint(NR); the request bits packed 8 per
 //     byte; one byte per adjacency slot holding the guest-book rank+1 (0 for
 //     "never signed"), where ranks number the distinct signing times of that
@@ -105,6 +105,13 @@ type PhilState struct {
 	// HasSecond reports whether the philosopher currently holds the fork
 	// opposite to First.
 	HasSecond bool
+	// Crashed reports whether the philosopher is currently crashed (removed
+	// from the protocol by a fault model, holding nothing). It is protocol
+	// state — neighbours observe a crashed philosopher exactly as an idle
+	// thinking one, but the fault layer branches on it — and is included in
+	// Key. Always false outside fault-injected runs, so the nil-fault key
+	// encoding is unchanged.
+	Crashed bool
 	// Aux is algorithm-specific scratch state (for example the ticket held by
 	// a philosopher in the ticket-box baseline). Included in Key.
 	Aux [2]int64
@@ -346,6 +353,9 @@ func (w *World) AppendKey(buf []byte) []byte {
 		if p.HasSecond {
 			flags |= 1 << 3
 		}
+		if p.Crashed {
+			flags |= 1 << 4
+		}
 		buf = append(buf, p.PC, flags)
 		buf = appendUvarint(buf, uint64(p.First+1))
 		buf = appendVarint(buf, p.Aux[0])
@@ -571,6 +581,9 @@ func (w *World) CheckInvariants() error {
 		if st.Phase == Eating && !(st.HasFirst && st.HasSecond) {
 			return fmt.Errorf("sim: philosopher %d eating without both forks", p)
 		}
+		if st.Crashed && (st.HasFirst || st.HasSecond || st.Phase != Thinking || st.First != graph.NoFork) {
+			return fmt.Errorf("sim: crashed philosopher %d still participates in the protocol (%+v)", p, st)
+		}
 	}
 	// Every held fork's holder must acknowledge holding it.
 	for f, h := range holderSeen {
@@ -591,7 +604,11 @@ func (w *World) String() string {
 	fmt.Fprintf(&b, "step %d |", w.Step)
 	for p := range w.Phils {
 		st := &w.Phils[p]
-		fmt.Fprintf(&b, " P%d[%s pc%d", p, st.Phase, st.PC)
+		phase := st.Phase.String()
+		if st.Crashed {
+			phase = "crashed"
+		}
+		fmt.Fprintf(&b, " P%d[%s pc%d", p, phase, st.PC)
 		if st.First != graph.NoFork {
 			fmt.Fprintf(&b, " f%d", st.First)
 			if st.HasFirst {

@@ -37,6 +37,11 @@ type Trace struct {
 	// Topology and Algorithm identify the system the trace belongs to.
 	Topology  string `json:"topology"`
 	Algorithm string `json:"algorithm"`
+	// Faults is the canonical fault-model spec the trace was recorded under
+	// ("crash-rejoin:0.05,0.5"), empty for unperturbed systems. Replay
+	// verifies that the replaying program injects the same faults, and fault
+	// branches show up as "fault: "-labelled steps.
+	Faults string `json:"faults,omitempty"`
 	// Steps is the scheduler-choice path from the initial state.
 	Steps []Step `json:"steps"`
 	// FinalKey is the hex-encoded canonical key (sim.World.AppendKey) of the
@@ -54,8 +59,11 @@ func (t *Trace) Len() int { return len(t.Steps) }
 // final state.
 func (t *Trace) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "counterexample to %s: %s on %s, %d steps\n",
-		t.Property, t.Algorithm, t.Topology, len(t.Steps))
+	fmt.Fprintf(&b, "counterexample to %s: %s on %s", t.Property, t.Algorithm, t.Topology)
+	if t.Faults != "" {
+		fmt.Fprintf(&b, " under %s", t.Faults)
+	}
+	fmt.Fprintf(&b, ", %d steps\n", len(t.Steps))
 	for i, s := range t.Steps {
 		fmt.Fprintf(&b, "  %3d. P%d", i+1, s.Phil)
 		if s.Label != "" {
@@ -125,10 +133,20 @@ func Build(topo *graph.Topology, prog sim.Program, hunger sim.HungerModel, prope
 		Property:   property,
 		Topology:   topo.Name(),
 		Algorithm:  prog.Name(),
+		Faults:     faultSpec(prog),
 		Steps:      steps,
 		FinalKey:   hex.EncodeToString(w.AppendKey(nil)),
 		FinalState: RenderState(w),
 	}, nil
+}
+
+// faultSpec returns the canonical fault spec of a fault-wrapped program
+// (package fault's wrapper exposes it), or "" for plain algorithms.
+func faultSpec(prog sim.Program) string {
+	if fs, ok := prog.(interface{ FaultSpec() string }); ok {
+		return fs.FaultSpec()
+	}
+	return ""
 }
 
 // Replay re-executes a trace's scheduler choices against prog on topo (under
@@ -145,6 +163,9 @@ func Replay(topo *graph.Topology, prog sim.Program, hunger sim.HungerModel, t *T
 	}
 	if prog != nil && t.Algorithm != "" && prog.Name() != t.Algorithm {
 		return nil, fmt.Errorf("trace: trace was recorded for algorithm %q, not %q", t.Algorithm, prog.Name())
+	}
+	if prog != nil && t.Faults != faultSpec(prog) {
+		return nil, fmt.Errorf("trace: trace was recorded under faults %q, not %q", t.Faults, faultSpec(prog))
 	}
 	steps := append([]Step(nil), t.Steps...)
 	w, err := run(topo, prog, hunger, steps, false)

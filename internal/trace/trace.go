@@ -86,7 +86,11 @@ func RenderState(w *sim.World) string {
 	for p := range w.Phils {
 		pid := graph.PhilID(p)
 		st := &w.Phils[p]
-		fmt.Fprintf(&b, "    P%-3d %-8s %s\n", p, st.Phase, describeArrows(w, pid))
+		phase := st.Phase.String()
+		if st.Crashed {
+			phase = "crashed"
+		}
+		fmt.Fprintf(&b, "    P%-3d %-8s %s\n", p, phase, describeArrows(w, pid))
 	}
 	b.WriteString("  forks:\n")
 	for f := 0; f < w.Topo.NumForks(); f++ {

@@ -30,14 +30,24 @@ func forEachTrial[T any](workers, trials int, run func(trial int) (T, error)) ([
 	return par.Trials(workers, trials, run)
 }
 
+// trialSlot is the per-worker working set of one Monte-Carlo trial: the
+// recycled world and the recycled run summary. Keeping the Result in the
+// slot lets trials run through sim.RunWorldInto, which reuses the summary's
+// metric slices (EatsBy, FirstEatBy, ScheduledCount, Starved) and scratch
+// arrays in place instead of copying them per trial.
+type trialSlot struct {
+	w   *sim.World
+	res sim.Result
+}
+
 // trialPool warm-starts Monte-Carlo trials: the initial world is built (and
 // the program initialized on it) exactly once, and every trial clones the
 // prototype's protocol state into a recycled per-worker world via
 // CloneProtocolInto instead of rebuilding phil/fork/slot arrays from the
 // topology. The prototype is read-only after construction, so concurrent
-// trial workers share it safely; the recycled worlds cycle through a
-// sync.Pool, so a steady-state trial allocates no world state at all
-// (pinned by TestTrialWarmStartAllocs).
+// trial workers share it safely; the recycled world/Result slots cycle
+// through a sync.Pool, so a steady-state trial allocates neither world state
+// nor summary slices (pinned by TestTrialWarmStartAllocs).
 type trialPool struct {
 	proto *sim.World
 	pool  sync.Pool
@@ -50,17 +60,27 @@ func newTrialPool(topo *graph.Topology, prog sim.Program) *trialPool {
 	return &trialPool{proto: proto}
 }
 
-// get returns a world in the exact state a fresh NewWorld+Init would
-// produce, recycling a pooled world when one is available.
-func (tp *trialPool) get() *sim.World {
-	w, _ := tp.pool.Get().(*sim.World)
-	w = tp.proto.CloneProtocolInto(w)
-	w.ResetMetrics()
-	return w
+// get returns a slot whose world is in the exact state a fresh NewWorld+Init
+// would produce, recycling a pooled slot when one is available. The slot's
+// Result holds whatever the previous trial left; RunWorldInto overwrites
+// every field.
+func (tp *trialPool) get() *trialSlot {
+	s, _ := tp.pool.Get().(*trialSlot)
+	if s == nil {
+		s = &trialSlot{}
+	}
+	s.w = tp.proto.CloneProtocolInto(s.w)
+	s.w.ResetMetrics()
+	return s
 }
 
-// put recycles a trial's world for the next get.
-func (tp *trialPool) put(w *sim.World) { tp.pool.Put(w) }
+// put recycles a trial's slot for the next get. The Result's Final aliases
+// the pooled world; sever it so no retained Result ever observes a world
+// another trial is overwriting.
+func (tp *trialPool) put(s *trialSlot) {
+	s.res.Final = nil
+	tp.pool.Put(s)
+}
 
 // ProgressCheck is the Monte-Carlo form of a progress statement
 // T --(F, p)--> E: starting every trial from the all-thinking initial state
@@ -116,20 +136,16 @@ func (c ProgressCheck) Run() (*ProgressResult, error) {
 	perTrial, err := forEachTrial(c.Workers, c.Trials, func(i int) (trialResult, error) {
 		seed := c.Seed + uint64(i)*0x9e3779b9
 		rng := prng.New(seed)
-		w := worlds.get()
-		res, err := sim.RunWorld(w, c.Algorithm, c.Scheduler(rng.Split()), rng, sim.RunOptions{
+		s := worlds.get()
+		if err := sim.RunWorldInto(&s.res, s.w, c.Algorithm, c.Scheduler(rng.Split()), rng, sim.RunOptions{
 			MaxSteps:           c.MaxSteps,
 			StopAfterTotalEats: 1,
 			Stop:               c.Stop,
-		})
-		if err != nil {
+		}); err != nil {
 			return trialResult{}, fmt.Errorf("verify: progress trial %d: %w", i, err)
 		}
-		tr := trialResult{ok: res.Progress(), firstEat: float64(res.FirstEatStep), seed: seed}
-		// res.Final aliases the pooled world; sever it before recycling so no
-		// Result ever observes a world another trial is overwriting.
-		res.Final = nil
-		worlds.put(w)
+		tr := trialResult{ok: s.res.Progress(), firstEat: float64(s.res.FirstEatStep), seed: seed}
+		worlds.put(s)
 		return tr, nil
 	})
 	if err != nil {
@@ -203,26 +219,22 @@ func (c LockoutCheck) Run() (*LockoutResult, error) {
 	perTrial, err := forEachTrial(c.Workers, c.Trials, func(i int) (trialResult, error) {
 		seed := c.Seed + uint64(i)*0x9e3779b9
 		rng := prng.New(seed)
-		w := worlds.get()
-		res, err := sim.RunWorld(w, c.Algorithm, c.Scheduler(rng.Split()), rng, sim.RunOptions{
+		s := worlds.get()
+		if err := sim.RunWorldInto(&s.res, s.w, c.Algorithm, c.Scheduler(rng.Split()), rng, sim.RunOptions{
 			MaxSteps: c.MaxSteps,
 			Stop:     c.Stop,
-		})
-		if err != nil {
+		}); err != nil {
 			return trialResult{}, fmt.Errorf("verify: lockout trial %d: %w", i, err)
 		}
 		ok := true
-		for _, meals := range res.EatsBy {
+		for _, meals := range s.res.EatsBy {
 			if meals < c.MealsEach {
 				ok = false
 				break
 			}
 		}
-		tr := trialResult{ok: ok, jain: stats.JainIndex(res.EatsBy), seed: seed}
-		// res.Final aliases the pooled world; sever it before recycling so no
-		// Result ever observes a world another trial is overwriting.
-		res.Final = nil
-		worlds.put(w)
+		tr := trialResult{ok: ok, jain: stats.JainIndex(s.res.EatsBy), seed: seed}
+		worlds.put(s)
 		return tr, nil
 	})
 	if err != nil {
