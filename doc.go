@@ -101,4 +101,43 @@
 // reproduction experiments are described in DESIGN.md and their results in
 // EXPERIMENTS.md. The benchmark suite in bench_test.go has one benchmark per
 // reproduced table or figure of the paper.
+//
+// # Enforced invariants
+//
+// The repo-wide invariants that the determinism and allocation guarantees
+// above rest on are machine-checked by dplint (cmd/dplint, built on the
+// stdlib-only analyzer framework in internal/analysis):
+//
+//	go run ./cmd/dplint ./...
+//
+// exits non-zero with file:line diagnostics when any of its five analyzers
+// finds a violation:
+//
+//   - maporder: a map range loop must not feed iteration order into a
+//     returned or accumulated value (append, +=, last-writer-wins) unless
+//     the result is re-canonicalized — Go's randomized map order would make
+//     results run-dependent.
+//   - detsource: the deterministic core (internal/sim, algo, sched,
+//     modelcheck, graphalg, fault, verify) must not read wall-clock time
+//     (time.Now/Since), the process environment (os.Getenv/LookupEnv) or
+//     the globally seeded math/rand; randomness flows only through
+//     internal/prng sources threaded from the per-trial seed.
+//   - hotalloc: no function literals bound to sim.Outcome.Apply (outcome
+//     sets are rebuilt every step; closures would allocate per step —
+//     programs use static funcs with the Arg field) and no fmt.* formatting
+//     on non-error hot paths.
+//   - unsafeaudit: package unsafe is confined to an explicit allowlist
+//     (the model checker's intern-key arena).
+//   - registryname: names registered with the five open registries
+//     (topologies, algorithms, schedulers, properties, faults) are
+//     canonical lower-kebab-case and unique per registry.
+//
+// A deliberate exception is suppressed in place with a mandatory reason:
+//
+//	//dplint:ok <analyzer> <reason>
+//
+// on (or immediately above) the flagged line. dplint itself checks the
+// annotations: a missing reason, an unknown analyzer name, or a suppression
+// that no longer suppresses anything is a diagnostic too. CI runs dplint as
+// a blocking step of the lint job.
 package repro

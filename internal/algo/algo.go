@@ -86,6 +86,7 @@ func nrLabel(v int) string {
 	if v >= 0 && v < len(nrLabels) {
 		return nrLabels[v]
 	}
+	//dplint:ok hotalloc cold fallback: only reachable for m beyond the 256-entry precomputed label table
 	return fmt.Sprintf("nr := %d", v)
 }
 

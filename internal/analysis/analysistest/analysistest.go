@@ -1,0 +1,164 @@
+// Package analysistest runs dplint analyzers over testdata packages and
+// checks their diagnostics against "// want" comments, mirroring the
+// expectation harness of golang.org/x/tools' analysistest without the
+// dependency.
+//
+// A testdata file marks each expected diagnostic on the line it occurs:
+//
+//	for k := range m { // want `map iteration order`
+//
+// Each quoted string after "want" is a regular expression that must match
+// the message of exactly one diagnostic reported on that line; diagnostics
+// without a matching expectation, and expectations without a matching
+// diagnostic, fail the test. Lines without want comments must stay silent,
+// which is how suppressed and clean cases are asserted.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var (
+	mu        sync.Mutex
+	sharedErr error
+	shared    *analysis.Loader
+)
+
+// Loader returns the process-wide loader rooted at the enclosing module.
+// Sharing one loader across tests means the module's packages (and the
+// standard library, which the source importer type-checks from GOROOT/src)
+// are loaded once, not once per test.
+func Loader(t *testing.T) *analysis.Loader {
+	t.Helper()
+	mu.Lock()
+	defer mu.Unlock()
+	if shared == nil && sharedErr == nil {
+		root, err := analysis.FindModuleRoot(".")
+		if err != nil {
+			sharedErr = err
+		} else {
+			shared, sharedErr = analysis.NewLoader(root)
+		}
+	}
+	if sharedErr != nil {
+		t.Fatalf("analysistest: loader: %v", sharedErr)
+	}
+	return shared
+}
+
+// Load parses and type-checks the package in dir under its natural import
+// path. Path-gated analyzers are exercised by placing testdata inside the
+// gated trees (internal/sim/testdata, internal/sched/testdata): testdata
+// directories are invisible to the go tool and to the module-wide lint walk,
+// but their natural import paths still sit inside the deterministic core.
+func Load(t *testing.T, dir string) *analysis.Package {
+	t.Helper()
+	l := Loader(t)
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	pkg, err := l.LoadDirDefault(abs)
+	if err != nil {
+		t.Fatalf("analysistest: load %s: %v", dir, err)
+	}
+	return pkg
+}
+
+// Run loads the testdata package in dir, applies the analyzers, and compares
+// every diagnostic (including the driver's suppression-hygiene findings)
+// against the package's want comments.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkg := Load(t, dir)
+	diags, err := analysis.Run([]*analysis.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("analysistest: run: %v", err)
+	}
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantStrRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// parseWants extracts the expectations from every "// want" comment.
+func parseWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := wantStrRE.FindAllString(rest, -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+				}
+				for _, q := range quoted {
+					pattern, err := unquoteWant(q)
+					if err != nil {
+						t.Fatalf("%s: malformed want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %s: %v", pos, q, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func unquoteWant(q string) (string, error) {
+	if strings.HasPrefix(q, "`") {
+		return strings.Trim(q, "`"), nil
+	}
+	s, err := strconv.Unquote(q)
+	if err != nil {
+		return "", fmt.Errorf("unquote: %w", err)
+	}
+	return s, nil
+}
+
+// claim marks the first unmatched expectation covering d.
+func claim(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

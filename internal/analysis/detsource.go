@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// deterministicPkgs are the packages whose results must be reproducible from
+// a seed alone: the simulator, the algorithms, the schedulers, the model
+// checker, the graph analyses, the fault models and the statistical
+// verifier. Subpackages inherit the restriction.
+var deterministicPkgs = []string{
+	"repro/internal/sim",
+	"repro/internal/algo",
+	"repro/internal/sched",
+	"repro/internal/modelcheck",
+	"repro/internal/graphalg",
+	"repro/internal/fault",
+	"repro/internal/verify",
+}
+
+// IsDeterministicPkg reports whether the import path belongs to the
+// deterministic core (exported for the loader test).
+func IsDeterministicPkg(path string) bool {
+	for _, det := range deterministicPkgs {
+		if path == det || strings.HasPrefix(path, det+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// NewDetSource returns the detsource analyzer: deterministic packages must
+// not read wall clocks (time.Now, time.Since), process environment
+// (os.Getenv) or the global math/rand generators — every run must be a pure
+// function of its explicit seed, and all randomness flows through
+// internal/prng.
+func NewDetSource() *Analyzer {
+	a := &Analyzer{
+		Name: "detsource",
+		Doc:  "deterministic packages draw randomness only from internal/prng with explicit seeds",
+	}
+	a.Run = runDetSource
+	return a
+}
+
+// forbiddenFuncs maps package path → function names whose call sites are
+// nondeterminism leaks.
+var forbiddenFuncs = map[string]map[string]string{
+	"time": {
+		"Now":   "reads the wall clock",
+		"Since": "reads the wall clock",
+	},
+	"os": {
+		"Getenv":    "reads the process environment",
+		"LookupEnv": "reads the process environment",
+	},
+}
+
+func runDetSource(pass *Pass) error {
+	if !IsDeterministicPkg(pass.Pkg.Path) {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		// math/rand (v1 or v2) is forbidden wholesale: even a locally seeded
+		// rand.Rand bypasses the splittable, cross-version-stable stream
+		// contract of internal/prng.
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "deterministic package %s imports %s; all randomness must flow through internal/prng with explicit seeds", pass.Pkg.Path, path)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if why, ok := forbiddenFuncs[fn.Pkg().Path()][fn.Name()]; ok {
+				pass.Reportf(sel.Pos(), "%s.%s %s; deterministic package %s must be a pure function of its seed", fn.Pkg().Path(), fn.Name(), why, pass.Pkg.Path)
+			}
+			return true
+		})
+	}
+	return nil
+}

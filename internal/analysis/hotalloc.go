@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewHotAlloc returns the hotalloc analyzer, which guards the 0-alloc
+// steady state of the hot paths at the mechanism level:
+//
+//   - Outcome.Apply must hold static functions, never function literals: a
+//     literal that captures variables allocates a closure per outcome set,
+//     and the model checker's recompute-and-apply trick relies on the i-th
+//     outcome of equal protocol states being the identical function value.
+//     Function literals assigned to Apply fields, stored through .Apply
+//     selectors, or passed to Apply-typed parameters are flagged module-wide
+//     (capture-free literals still allocate nothing, but the static-func
+//     convention is what makes that reviewable, so they are flagged too).
+//
+//   - fmt.* calls (except fmt.Errorf) allocate on every call and are
+//     forbidden on the non-error paths of the hot packages (the
+//     deterministic core). Error paths remain free to format: calls inside
+//     panic arguments, inside String/Name/Error/Format/GoString/Report
+//     methods (reporting surfaces, cold by construction) and inside
+//     package-level variable initializers (one-shot init-time work) are
+//     allowed.
+func NewHotAlloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotalloc",
+		Doc:  "no closures in Outcome.Apply and no fmt on non-error hot paths",
+	}
+	a.Run = runHotAlloc
+	return a
+}
+
+// coldFuncNames are the functions whose bodies are reporting surfaces:
+// fmt there is the point, not a leak.
+var coldFuncNames = map[string]bool{
+	"String": true, "Name": true, "Error": true,
+	"Format": true, "GoString": true, "Report": true,
+}
+
+func runHotAlloc(pass *Pass) error {
+	sigs := applySignatures(pass)
+	for _, file := range pass.Pkg.Files {
+		checkApplyLiterals(pass, file, sigs)
+		if IsDeterministicPkg(pass.Pkg.Path) {
+			checkHotFmt(pass, file)
+		}
+	}
+	return nil
+}
+
+// applySignatures collects the function signature of the Apply field of
+// every Outcome struct visible to the package (its own scope and direct
+// imports), so Apply-typed parameters can be matched by type identity.
+func applySignatures(pass *Pass) []*types.Signature {
+	var sigs []*types.Signature
+	consider := func(scope *types.Scope) {
+		tn, ok := scope.Lookup("Outcome").(*types.TypeName)
+		if !ok {
+			return
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Name() != "Apply" {
+				continue
+			}
+			if sig, ok := f.Type().Underlying().(*types.Signature); ok {
+				sigs = append(sigs, sig)
+			}
+		}
+	}
+	consider(pass.Pkg.Types.Scope())
+	for _, imp := range pass.Pkg.Types.Imports() {
+		consider(imp.Scope())
+	}
+	return sigs
+}
+
+func isApplySig(sigs []*types.Signature, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for _, s := range sigs {
+		if types.Identical(s, sig) {
+			return true
+		}
+	}
+	return false
+}
+
+// isOutcomeType reports whether t (possibly a pointer) is a struct named
+// Outcome with an Apply function field.
+func isOutcomeType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Outcome" {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "Apply" {
+			_, isFn := f.Type().Underlying().(*types.Signature)
+			return isFn
+		}
+	}
+	return false
+}
+
+const applyMsg = "function literal bound to Outcome.Apply allocates a closure per outcome set; use a static func with the variable part in Arg"
+
+// checkApplyLiterals flags function literals flowing into Outcome.Apply.
+func checkApplyLiterals(pass *Pass, file *ast.File, sigs []*types.Signature) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if !isOutcomeType(pass.TypeOf(n)) {
+				return true
+			}
+			for i, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Apply" {
+						if lit, ok := ast.Unparen(kv.Value).(*ast.FuncLit); ok {
+							pass.Reportf(lit.Pos(), "%s", applyMsg)
+						}
+					}
+					continue
+				}
+				// Positional literal: match the field index.
+				if st, ok := pass.TypeOf(n).Underlying().(*types.Struct); ok && i < st.NumFields() && st.Field(i).Name() == "Apply" {
+					if lit, ok := ast.Unparen(elt).(*ast.FuncLit); ok {
+						pass.Reportf(lit.Pos(), "%s", applyMsg)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Apply" || !isOutcomeType(pass.TypeOf(sel.X)) {
+					continue
+				}
+				if i < len(n.Rhs) {
+					if lit, ok := ast.Unparen(n.Rhs[i]).(*ast.FuncLit); ok {
+						pass.Reportf(lit.Pos(), "%s", applyMsg)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			sig, ok := typeAsSignature(pass.TypeOf(n.Fun))
+			if !ok || len(sigs) == 0 {
+				return true
+			}
+			for i, arg := range n.Args {
+				lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				if isApplySig(sigs, paramTypeAt(sig, i)) {
+					pass.Reportf(lit.Pos(), "%s", applyMsg)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func typeAsSignature(t types.Type) (*types.Signature, bool) {
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+// paramTypeAt returns the type of parameter i, unrolling variadics.
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= params.Len()-1 {
+		if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// checkHotFmt flags fmt calls on non-error paths of a hot package.
+func checkHotFmt(pass *Pass, file *ast.File) {
+	var coldSpans []span // panic arguments, top-level var initializers, cold funcs
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.GenDecl:
+			if d.Tok == token.VAR {
+				coldSpans = append(coldSpans, span{d.Pos(), d.End()})
+			}
+		case *ast.FuncDecl:
+			if coldFuncNames[d.Name.Name] {
+				coldSpans = append(coldSpans, span{d.Pos(), d.End()})
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := pass.ObjectOf(id).(*types.Builtin); ok && b.Name() == "panic" {
+				coldSpans = append(coldSpans, span{call.Pos(), call.End()})
+				return true
+			}
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() == "Errorf" {
+			return true
+		}
+		for _, sp := range coldSpans {
+			if call.Pos() >= sp.lo && call.End() <= sp.hi {
+				return true
+			}
+		}
+		pass.Reportf(call.Pos(), "fmt.%s allocates on a hot path of %s; precompute, use strconv into a reused buffer, or annotate //dplint:ok hotalloc <reason> for cold paths", fn.Name(), pass.Pkg.Path)
+		return true
+	})
+}
+
+type span struct{ lo, hi token.Pos }

@@ -1,0 +1,68 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestLoaderTypechecksModule loads every package of the module through the
+// stdlib-only loader and verifies each one parsed and type-checked — the
+// loader is the foundation every analyzer result stands on, so a package it
+// silently skips is a package dplint silently ignores.
+func TestLoaderTypechecksModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	pkgs, err := analysistest.Loader(t).LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := map[string]*analysis.Package{}
+	for _, pkg := range pkgs {
+		if pkg.Types == nil || len(pkg.Files) == 0 {
+			t.Errorf("package %s loaded without types or files", pkg.Path)
+		}
+		byPath[pkg.Path] = pkg
+	}
+	// Spot-check the load covers every layer: the root facade, the public
+	// API, the deterministic core, the tools, and this package itself.
+	for _, path := range []string{
+		"repro",
+		"repro/dining",
+		"repro/internal/sim",
+		"repro/internal/algo",
+		"repro/internal/sched",
+		"repro/internal/modelcheck",
+		"repro/internal/verify",
+		"repro/internal/analysis",
+		"repro/cmd/dplint",
+	} {
+		if byPath[path] == nil {
+			t.Errorf("LoadAll missed %s (loaded %d packages)", path, len(pkgs))
+		}
+	}
+	if len(pkgs) < 25 {
+		t.Errorf("LoadAll found only %d packages, expected the whole module (>= 25)", len(pkgs))
+	}
+}
+
+// TestDeterministicPkgGate pins which packages the path-gated analyzers
+// guard.
+func TestDeterministicPkgGate(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/sim":                        true,
+		"repro/internal/sim/testdata/dplint/detsrc": true,
+		"repro/internal/sched":                      true,
+		"repro/internal/verify":                     true,
+		"repro/internal/simulate":                   false, // prefix match is per path element
+		"repro/internal/cli":                        false,
+		"repro/dining":                              false,
+		"repro":                                     false,
+	} {
+		if got := analysis.IsDeterministicPkg(path); got != want {
+			t.Errorf("IsDeterministicPkg(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewMapOrder returns the maporder analyzer: a range over a map must not
+// feed a returned or accumulated value without a sort, because Go randomizes
+// map iteration order and the repository's results are pinned byte-identical
+// across runs, worker counts and shard counts. Order-insensitive loop bodies
+// are permitted: writes into other maps (set semantics), delete, and
+// commutative integer accumulation (+=, -=, *=, |=, &=, ^= on integers).
+// Appending to a slice that is later passed to a sort/slices call in the
+// same function is the sanctioned idiom (collect, then sort). Everything
+// else needs a //dplint:ok maporder <reason> annotation.
+func NewMapOrder() *Analyzer {
+	a := &Analyzer{
+		Name: "maporder",
+		Doc:  "map iteration order must not reach returned or accumulated values without a sort",
+	}
+	a.Run = runMapOrder
+	return a
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, fn := range functionsOf(file) {
+			checkMapRanges(pass, fn)
+		}
+	}
+	return nil
+}
+
+// functionsOf returns every function body of the file: declarations and
+// literals. Each is analyzed independently so the "sorted later in the
+// enclosing function" escape looks in the right scope.
+func functionsOf(file *ast.File) []ast.Node {
+	var fns []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			fns = append(fns, n)
+		}
+		return true
+	})
+	return fns
+}
+
+func funcBody(fn ast.Node) *ast.BlockStmt {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// checkMapRanges flags the order-sensitive map ranges directly inside fn
+// (nested function literals are visited on their own).
+func checkMapRanges(pass *Pass, fn ast.Node) {
+	body := funcBody(fn)
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n != fn && isFunc(n) {
+			return false // analyzed separately
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := pass.TypeOf(rng.X); t == nil || !isMapType(t) {
+			return true
+		}
+		if sink := orderSensitiveSink(pass, rng); sink != nil {
+			if sink.accum != nil && sortedAfter(pass, body, rng, sink.accum) {
+				return true
+			}
+			pass.Reportf(rng.For, "map iteration order %s; sort before use or annotate //dplint:ok maporder <reason>", sink.what)
+		}
+		return true
+	})
+}
+
+func isFunc(n ast.Node) bool {
+	switch n.(type) {
+	case *ast.FuncDecl, *ast.FuncLit:
+		return true
+	}
+	return false
+}
+
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// mapSink describes how a map range leaks iteration order: through a return
+// statement or through accumulation into a variable declared outside the
+// loop.
+type mapSink struct {
+	what  string
+	accum types.Object // the accumulated variable, when one exists
+}
+
+// orderSensitiveSink scans the loop body for order-sensitive effects.
+func orderSensitiveSink(pass *Pass, rng *ast.RangeStmt) *mapSink {
+	loopVars := map[types.Object]bool{}
+	for _, e := range [2]ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.ObjectOf(id); obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	var sink *mapSink
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			if len(n.Results) > 0 {
+				sink = &mapSink{what: "reaches a return value"}
+			}
+		case *ast.AssignStmt:
+			sink = orderSensitiveAssign(pass, rng, loopVars, n)
+		}
+		return sink == nil
+	})
+	return sink
+}
+
+// orderSensitiveAssign decides whether one assignment inside the loop body
+// accumulates order-sensitively into a variable from outside the loop.
+func orderSensitiveAssign(pass *Pass, rng *ast.RangeStmt, loopVars map[types.Object]bool, as *ast.AssignStmt) *mapSink {
+	if as.Tok == token.DEFINE {
+		return nil
+	}
+	for i, lhs := range as.Lhs {
+		// Writes through a map index have set semantics: the final map is the
+		// same for every iteration order (one write per distinct key).
+		if idx, ok := lhs.(*ast.IndexExpr); ok {
+			if t := pass.TypeOf(idx.X); t != nil && isMapType(t) {
+				continue
+			}
+		}
+		obj := rootObject(pass, lhs)
+		if obj == nil || loopVars[obj] || declaredWithin(obj, rng) {
+			continue
+		}
+		switch {
+		case as.Tok == token.ASSIGN:
+			if i < len(as.Rhs) && isAppendOf(pass, as.Rhs[i], obj) {
+				return &mapSink{what: "is accumulated by append into " + obj.Name(), accum: obj}
+			}
+			// A plain overwrite is order-sensitive only when the written value
+			// depends on the iteration (last writer wins).
+			if i < len(as.Rhs) && mentionsAny(pass, as.Rhs[i], loopVars) {
+				return &mapSink{what: "decides the final value of " + obj.Name(), accum: obj}
+			}
+		case orderSensitiveOp(as.Tok, obj.Type()):
+			return &mapSink{what: "is accumulated into " + obj.Name() + " (non-commutative for its type)", accum: obj}
+		}
+	}
+	return nil
+}
+
+// orderSensitiveOp reports whether a compound assignment of this operator on
+// this type depends on operand order: string concatenation and floating
+// point always do (rounding), integers only for the non-commutative
+// division/shift/modulo family.
+func orderSensitiveOp(tok token.Token, t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return true // conservatively flag compound assignment of exotic types
+	}
+	info := basic.Info()
+	switch {
+	case info&types.IsString != 0:
+		return true
+	case info&(types.IsFloat|types.IsComplex) != 0:
+		return true
+	case info&types.IsInteger != 0:
+		switch tok {
+		case token.QUO_ASSIGN, token.REM_ASSIGN, token.SHL_ASSIGN, token.SHR_ASSIGN:
+			return true
+		}
+		return false
+	}
+	return true
+}
+
+// rootObject unwraps selectors, indexes, stars and parens to the base
+// identifier's object.
+func rootObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if x.Name == "_" {
+				return nil
+			}
+			return pass.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside node's span.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+// isAppendOf reports whether e is append(obj, ...).
+func isAppendOf(pass *Pass, e ast.Expr, obj types.Object) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if b, ok := pass.ObjectOf(id).(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	return rootObject(pass, call.Args[0]) == obj
+}
+
+// mentionsAny reports whether expression e references any of the objects.
+func mentionsAny(pass *Pass, e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && objs[pass.ObjectOf(id)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedAfter reports whether, after the range statement, the enclosing
+// function passes the accumulated variable to a sort.* or slices.* call —
+// the sanctioned collect-then-sort idiom.
+func sortedAfter(pass *Pass, body *ast.BlockStmt, rng *ast.RangeStmt, accum types.Object) bool {
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if rootObject(pass, arg) == accum || mentionsObj(pass, arg, accum) {
+				sorted = true
+				break
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+func mentionsObj(pass *Pass, e ast.Expr, obj types.Object) bool {
+	return mentionsAny(pass, e, map[types.Object]bool{obj: true})
+}

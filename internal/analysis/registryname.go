@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// The five open registries and their naming conventions. Every registry uses
+// lowercase-hyphen names ("round-robin", "crash-rejoin", "lockout-freedom");
+// the algorithm registry additionally admits the paper's uppercase mnemonics
+// (LR1, GDP2), which are the names the tables and theorems use.
+var (
+	lowerNameRE = regexp.MustCompile(`^[a-z0-9]+(?:-[a-z0-9]+)*$`)
+	algoNameRE  = regexp.MustCompile(`^(?:[A-Z][A-Z0-9]*|[a-z0-9]+(?:-[a-z0-9]+)*)$`)
+)
+
+// registrySpec describes one registry's conventions.
+type registrySpec struct {
+	registry string         // "topology", "algorithm", ...
+	re       *regexp.Regexp // canonical-name pattern
+	want     string         // human description of the pattern
+}
+
+var lowerSpec = func(registry string) registrySpec {
+	return registrySpec{registry: registry, re: lowerNameRE, want: "lowercase words joined by hyphens"}
+}
+
+// registrars maps the fully-qualified registration functions (internal
+// registries and their public dining facades) to the registry they feed.
+var registrars = map[string]registrySpec{
+	"repro/internal/graph.RegisterTopology": lowerSpec("topology"),
+	"repro/dining.RegisterTopology":         lowerSpec("topology"),
+	"repro/internal/algo.Register":          {registry: "algorithm", re: algoNameRE, want: "a paper mnemonic (LR1, GDP2) or lowercase words joined by hyphens"},
+	"repro/dining.RegisterAlgorithm":        {registry: "algorithm", re: algoNameRE, want: "a paper mnemonic (LR1, GDP2) or lowercase words joined by hyphens"},
+	"repro/internal/sched.Register":         lowerSpec("scheduler"),
+	"repro/dining.RegisterScheduler":        lowerSpec("scheduler"),
+	"repro/internal/fault.Register":         lowerSpec("fault"),
+	"repro/dining.RegisterFault":            lowerSpec("fault"),
+	"repro/dining.RegisterProperty":         lowerSpec("property"),
+}
+
+// nameMethodPkgs lists registry-owning package paths (prefixes) with the
+// convention their Name() methods follow: a built-in's Name() is what
+// reports print and, for properties and fault models, what registration
+// uses, so literal returns are held to the same canon.
+var nameMethodPkgs = []struct {
+	prefix string
+	spec   registrySpec
+}{
+	{"repro/internal/graph", lowerSpec("topology")},
+	{"repro/internal/algo", registrySpec{registry: "algorithm", re: algoNameRE, want: "a paper mnemonic (LR1, GDP2) or lowercase words joined by hyphens"}},
+	{"repro/internal/sched", lowerSpec("scheduler")},
+	{"repro/internal/fault", lowerSpec("fault")},
+	{"repro/dining", lowerSpec("property")},
+}
+
+// NewRegistryName returns the registryname analyzer: every statically
+// visible registration (and every literal Name() of a registry-owning
+// package) must be canonical for its registry and unique within it. The
+// registries panic on duplicates at init time; this check moves the failure
+// to lint time and catches registrations that no test happens to trigger.
+// Dynamic names (wrapper plumbing, fmt-built names) are skipped — the
+// analyzer checks what it can prove.
+func NewRegistryName() *Analyzer {
+	seen := map[string]map[string]token.Position{} // registry → name → first site
+	a := &Analyzer{
+		Name: "registryname",
+		Doc:  "registered built-in names are canonical and unique per registry",
+	}
+	a.Run = func(pass *Pass) error { return runRegistryName(pass, seen) }
+	return a
+}
+
+func runRegistryName(pass *Pass, seen map[string]map[string]token.Position) error {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkRegistration(pass, seen, n)
+			case *ast.FuncDecl:
+				checkNameMethod(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkRegistration(pass *Pass, seen map[string]map[string]token.Position, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	spec, ok := registrars[fn.Pkg().Path()+"."+fn.Name()]
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	arg := call.Args[0]
+	name, namePos, ok := registrationName(pass, spec, arg)
+	if !ok {
+		return // dynamic name: registration plumbing, checked at its literal call sites
+	}
+	if !spec.re.MatchString(name) {
+		pass.Reportf(namePos, "%s name %q is not canonical (want %s)", spec.registry, name, spec.want)
+	}
+	names := seen[spec.registry]
+	if names == nil {
+		names = map[string]token.Position{}
+		seen[spec.registry] = names
+	}
+	if first, dup := names[name]; dup {
+		pass.Reportf(namePos, "%s %q registered twice (first at %s); registry init would panic", spec.registry, name, first)
+		return
+	}
+	names[name] = pass.Pkg.Fset.Position(namePos)
+}
+
+// registrationName extracts the statically-known registered name: the
+// constant first argument, or — for RegisterProperty, whose argument is a
+// value registered under its Name() — the constant PropName of a
+// PropertyFunc composite literal.
+func registrationName(pass *Pass, spec registrySpec, arg ast.Expr) (string, token.Pos, bool) {
+	if name, ok := constString(pass, arg); ok {
+		return name, arg.Pos(), true
+	}
+	if spec.registry != "property" {
+		return "", token.NoPos, false
+	}
+	e := ast.Unparen(arg)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	cl, ok := e.(*ast.CompositeLit)
+	if !ok || len(cl.Elts) == 0 {
+		return "", token.NoPos, false
+	}
+	for _, elt := range cl.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "PropName" {
+				if name, ok := constString(pass, kv.Value); ok {
+					return name, kv.Value.Pos(), true
+				}
+			}
+			continue
+		}
+	}
+	// Positional PropertyFunc literal: the name is the first field.
+	if _, isKV := cl.Elts[0].(*ast.KeyValueExpr); !isKV {
+		if name, ok := constString(pass, cl.Elts[0]); ok {
+			return name, cl.Elts[0].Pos(), true
+		}
+	}
+	return "", token.NoPos, false
+}
+
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.ObjectOf(fun).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.ObjectOf(fun.Sel).(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// checkNameMethod holds literal Name() returns of registry-owning packages
+// to their registry's convention.
+func checkNameMethod(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Recv == nil || fd.Name.Name != "Name" || fd.Body == nil {
+		return
+	}
+	spec, ok := nameMethodSpec(pass.Pkg.Path)
+	if !ok {
+		return
+	}
+	if fd.Type.Results == nil || len(fd.Type.Results.List) != 1 {
+		return
+	}
+	if len(fd.Body.List) != 1 {
+		return
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return
+	}
+	name, ok := constString(pass, ret.Results[0])
+	if !ok {
+		return // dynamic names (fmt-built) are out of static reach
+	}
+	if !spec.re.MatchString(name) {
+		pass.Reportf(ret.Results[0].Pos(), "Name() %q is not canonical for the %s registry (want %s)", name, spec.registry, spec.want)
+	}
+}
+
+func nameMethodSpec(path string) (registrySpec, bool) {
+	for _, entry := range nameMethodPkgs {
+		prefix := entry.prefix
+		if path == prefix || len(path) > len(prefix) && path[:len(prefix)] == prefix && path[len(prefix)] == '/' {
+			return entry.spec, true
+		}
+	}
+	return registrySpec{}, false
+}

@@ -1,0 +1,26 @@
+// Package hygiene is dplint testdata for the driver's annotation checks:
+// missing reasons, unknown analyzers and stale suppressions are themselves
+// findings. Asserted programmatically (not via want comments) because the
+// expectations sit on the annotation lines themselves.
+package hygiene
+
+func missingReason(m map[string]int) []string {
+	var keys []string
+	//dplint:ok maporder
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func stale(x int) int {
+	//dplint:ok maporder there is no map here at all
+	return x + 1
+}
+
+func unknownAnalyzer(x int) int {
+	//dplint:ok nosuchcheck the analyzer name is misspelled
+	return x
+}
+
+var _ = []any{missingReason, stale, unknownAnalyzer}

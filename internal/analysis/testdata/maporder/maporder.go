@@ -1,0 +1,96 @@
+// Package maporder is dplint testdata: order-sensitive and order-safe map
+// ranges for the maporder analyzer.
+package maporder
+
+import "sort"
+
+// keysUnsorted leaks iteration order through append.
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is accumulated by append into keys`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// keysSorted is the sanctioned collect-then-sort idiom.
+func keysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// firstKey returns whichever key the runtime yields first.
+func firstKey(m map[string]int) string {
+	for k := range m { // want `map iteration order reaches a return value`
+		return k
+	}
+	return ""
+}
+
+// sumInts is commutative integer accumulation: safe.
+func sumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sumFloats accumulates floats, where addition order changes rounding.
+func sumFloats(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `map iteration order is accumulated into total`
+		total += v
+	}
+	return total
+}
+
+// concat accumulates strings, which is order-sensitive.
+func concat(m map[string]string) string {
+	s := ""
+	for k := range m { // want `map iteration order is accumulated into s`
+		s += k
+	}
+	return s
+}
+
+// lastWriter keeps whichever value iterates last.
+func lastWriter(m map[string]int) int {
+	last := 0
+	for _, v := range m { // want `map iteration order decides the final value of last`
+		last = v
+	}
+	return last
+}
+
+// setCopy writes through map indexes: set semantics, order-free.
+func setCopy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// clearAll only deletes: order-free.
+func clearAll(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// suppressed carries an annotation with a reason, so the finding is dropped.
+func suppressed(m map[string]int) []string {
+	var keys []string
+	//dplint:ok maporder callers re-canonicalize the order themselves
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+var _ = []any{keysUnsorted, keysSorted, firstKey, sumInts, sumFloats, concat, lastWriter, setCopy, clearAll, suppressed}

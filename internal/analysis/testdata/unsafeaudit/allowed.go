@@ -1,0 +1,8 @@
+package unsafeaudit
+
+import "unsafe"
+
+// view is fine here: this file is on the unsafeaudit allowlist.
+func view(b []byte) string { return unsafe.String(&b[0], uintptr(len(b))) }
+
+var _ = view

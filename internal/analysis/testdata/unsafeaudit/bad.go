@@ -1,0 +1,10 @@
+// Package unsafeaudit is dplint testdata: one file outside the allowlist,
+// one file on it (allowed.go is named in the analyzer's allowlist), one
+// suppressed.
+package unsafeaudit
+
+import "unsafe" // want `imports unsafe outside the audited allowlist`
+
+func addr(p *int) uintptr { return uintptr(unsafe.Pointer(p)) }
+
+var _ = addr

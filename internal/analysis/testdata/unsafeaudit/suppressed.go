@@ -1,0 +1,8 @@
+package unsafeaudit
+
+//dplint:ok unsafeaudit exercises the suppression path of the audit
+import "unsafe"
+
+func size(x int32) uintptr { return unsafe.Sizeof(x) }
+
+var _ = size

@@ -34,16 +34,23 @@ func splitmix64(state *uint64) uint64 {
 // seed produce identical output sequences.
 func New(seed uint64) *Source {
 	var src Source
+	src.Reseed(seed)
+	return &src
+}
+
+// Reseed reinitializes the receiver in place to the exact state New(seed)
+// produces, so a pooled Source value can be reused across trials without
+// allocating a fresh generator per trial.
+func (s *Source) Reseed(seed uint64) {
 	sm := seed
-	for i := range src.s {
-		src.s[i] = splitmix64(&sm)
+	for i := range s.s {
+		s.s[i] = splitmix64(&sm)
 	}
 	// Avoid the all-zero state (cannot occur with splitmix64, but keep the
 	// invariant explicit for anyone editing the seeding procedure).
-	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
-		src.s[0] = 1
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 1
 	}
-	return &src
 }
 
 // Uint64 returns the next pseudo-random 64-bit value.
@@ -118,7 +125,16 @@ func (s *Source) Bool(p float64) bool {
 // Split returns a new Source whose stream is statistically independent of the
 // receiver's remaining stream. The receiver is advanced.
 func (s *Source) Split() *Source {
-	return New(s.Uint64() ^ 0xa5a5a5a5deadbeef)
+	dst := new(Source)
+	s.SplitTo(dst)
+	return dst
+}
+
+// SplitTo is Split into a caller-owned destination: it advances the receiver
+// exactly as Split does and leaves dst in the exact state the Source returned
+// by Split would have, without allocating. dst may be the receiver itself.
+func (s *Source) SplitTo(dst *Source) {
+	dst.Reseed(s.Uint64() ^ 0xa5a5a5a5deadbeef)
 }
 
 // Perm returns a pseudo-random permutation of [0, n).

@@ -276,3 +276,36 @@ func BenchmarkIntn(b *testing.B) {
 		_ = src.Intn(1000)
 	}
 }
+
+func TestReseedMatchesNew(t *testing.T) {
+	t.Parallel()
+	reused := New(1)
+	for i := 0; i < 100; i++ {
+		reused.Uint64() // advance to an arbitrary interior state
+	}
+	reused.Reseed(42)
+	fresh := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := reused.Uint64(), fresh.Uint64(); got != want {
+			t.Fatalf("step %d: Reseed(42) diverged from New(42): %d vs %d", i, got, want)
+		}
+	}
+}
+
+func TestSplitToMatchesSplit(t *testing.T) {
+	t.Parallel()
+	a := New(7)
+	b := New(7)
+	split := a.Split()
+	var dst Source
+	dst.Reseed(99) // dirty the destination to prove Reseed fully overwrites it
+	b.SplitTo(&dst)
+	for i := 0; i < 1000; i++ {
+		if got, want := dst.Uint64(), split.Uint64(); got != want {
+			t.Fatalf("step %d: SplitTo destination diverged from Split result: %d vs %d", i, got, want)
+		}
+		if got, want := b.Uint64(), a.Uint64(); got != want {
+			t.Fatalf("step %d: SplitTo advanced the parent differently than Split: %d vs %d", i, got, want)
+		}
+	}
+}

@@ -57,11 +57,10 @@ func (s *BoundedFair) window() int64 {
 // Next implements sim.Scheduler.
 func (s *BoundedFair) Next(w *sim.World) graph.PhilID {
 	n := len(w.Phils)
-	if s.lastSched == nil {
-		s.lastSched = make([]int64, n)
-		for i := range s.lastSched {
-			s.lastSched[i] = -1
-		}
+	if len(s.lastSched) != n {
+		// First step after construction or Reset (which truncates the table,
+		// keeping its capacity for reuse across pooled trials).
+		s.lastSched = resizeGaps(s.lastSched, n)
 	}
 	window := s.window()
 
@@ -95,4 +94,13 @@ func (s *BoundedFair) Next(w *sim.World) graph.PhilID {
 	s.lastSched[choice] = s.step
 	s.step++
 	return choice
+}
+
+// Reset implements sim.ResettableScheduler. The wrapped Advisor needs no
+// reset: every advisor in this package recomputes its analysis from the
+// world each step and keeps only value-neutral scratch buffers.
+func (s *BoundedFair) Reset() {
+	s.lastSched = s.lastSched[:0]
+	s.step = 0
+	s.forced = 0
 }

@@ -46,6 +46,9 @@ func (s *RoundRobin) Next(w *sim.World) graph.PhilID {
 	return p
 }
 
+// Reset implements sim.ResettableScheduler.
+func (s *RoundRobin) Reset() { s.next = 0 }
+
 // UniformRandom schedules a uniformly random philosopher each step. It is
 // fair with probability 1.
 type UniformRandom struct {
@@ -64,6 +67,10 @@ func (*UniformRandom) Name() string { return "uniform-random" }
 func (s *UniformRandom) Next(w *sim.World) graph.PhilID {
 	return graph.PhilID(s.rng.Intn(len(w.Phils)))
 }
+
+// Reset implements sim.ResettableScheduler: the scheduler itself is
+// stateless beyond its RNG, which the recycling harness reseeds in place.
+func (s *UniformRandom) Reset() {}
 
 // Sticky schedules each philosopher for Burst consecutive steps before moving
 // to the next (round-robin over bursts). It models coarse time slicing and is
@@ -99,6 +106,9 @@ func (s *Sticky) Next(w *sim.World) graph.PhilID {
 	return graph.PhilID(s.pos % n)
 }
 
+// Reset implements sim.ResettableScheduler.
+func (s *Sticky) Reset() { s.pos, s.count = 0, 0 }
+
 // Priority schedules the first schedulable philosopher in a fixed preference
 // order every step. It is deliberately unfair (philosophers late in the order
 // may never run while earlier ones exist); it is used in tests of the
@@ -131,6 +141,10 @@ func (s *Priority) Next(w *sim.World) graph.PhilID {
 	return 0
 }
 
+// Reset implements sim.ResettableScheduler: the preference order is
+// configuration, not run state.
+func (s *Priority) Reset() {}
+
 // HungryFirst schedules a uniformly random hungry or eating philosopher when
 // one exists, and a uniformly random philosopher otherwise. It keeps the
 // system busy without being adversarial, and is fair with probability 1 under
@@ -160,3 +174,8 @@ func (s *HungryFirst) Next(w *sim.World) graph.PhilID {
 	}
 	return busy[s.rng.Intn(len(busy))]
 }
+
+// Reset implements sim.ResettableScheduler: busy is per-step scratch whose
+// contents never survive a Next call, so only the (externally reseeded) RNG
+// carries state.
+func (s *HungryFirst) Reset() {}

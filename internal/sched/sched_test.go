@@ -263,3 +263,43 @@ func TestGreedyLivelockReturnsValidPhilosophers(t *testing.T) {
 		t.Error("advisor names empty")
 	}
 }
+
+// TestResetMatchesFresh pins the sim.ResettableScheduler contract for every
+// resettable scheduler of this package: after consuming decisions, Reset
+// (plus reseeding the shared RNG in place, as the verify trial pool does)
+// must reproduce the decision stream of a newly constructed instance.
+func TestResetMatchesFresh(t *testing.T) {
+	t.Parallel()
+	w := sim.NewWorld(graph.Ring(6))
+	const seed, steps = 11, 200
+	cases := []struct {
+		name string
+		make func(rng *prng.Source) sim.ResettableScheduler
+	}{
+		{"round-robin", func(*prng.Source) sim.ResettableScheduler { return NewRoundRobin() }},
+		{"uniform-random", func(rng *prng.Source) sim.ResettableScheduler { return NewUniformRandom(rng) }},
+		{"sticky", func(*prng.Source) sim.ResettableScheduler { return NewSticky(3) }},
+		{"priority", func(*prng.Source) sim.ResettableScheduler { return NewPriority(2, 4) }},
+		{"hungry-first", func(rng *prng.Source) sim.ResettableScheduler { return NewHungryFirst(rng) }},
+		{"stubborn", func(*prng.Source) sim.ResettableScheduler { return NewStubborn(NewGreedyLivelock()) }},
+		{"bounded-fair", func(*prng.Source) sim.ResettableScheduler { return NewBoundedFair(NewGreedyLivelock(), 16) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rng := prng.New(seed)
+			s := c.make(rng)
+			for i := 0; i < steps; i++ {
+				s.Next(w) // consume an arbitrary prefix
+			}
+			rng.Reseed(seed)
+			s.Reset()
+			freshRNG := prng.New(seed)
+			fresh := c.make(freshRNG)
+			for i := 0; i < steps; i++ {
+				if got, want := s.Next(w), fresh.Next(w); got != want {
+					t.Fatalf("step %d: reset scheduler chose %d, fresh instance chose %d", i, got, want)
+				}
+			}
+		})
+	}
+}

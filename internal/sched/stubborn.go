@@ -87,11 +87,10 @@ func (s *Stubborn) Window() int64 {
 // Next implements sim.Scheduler.
 func (s *Stubborn) Next(w *sim.World) graph.PhilID {
 	n := len(w.Phils)
-	if s.lastSched == nil {
-		s.lastSched = make([]int64, n)
-		for i := range s.lastSched {
-			s.lastSched[i] = -1
-		}
+	if len(s.lastSched) != n {
+		// First step after construction or Reset (which truncates the table,
+		// keeping its capacity for reuse across pooled trials).
+		s.lastSched = resizeGaps(s.lastSched, n)
 		s.window = s.InitialWindow
 		if s.window <= 0 {
 			s.window = DefaultWindow
@@ -137,4 +136,28 @@ func (s *Stubborn) Next(w *sim.World) graph.PhilID {
 	s.lastSched[choice] = s.step
 	s.step++
 	return choice
+}
+
+// Reset implements sim.ResettableScheduler: the next Next call re-derives
+// the window from the configuration exactly as a fresh instance would. The
+// gap table keeps its capacity.
+func (s *Stubborn) Reset() {
+	s.lastSched = s.lastSched[:0]
+	s.window = 0
+	s.step = 0
+	s.forced = 0
+}
+
+// resizeGaps returns a length-n gap table filled with the "never scheduled"
+// sentinel, reusing prior capacity when it suffices.
+func resizeGaps(gaps []int64, n int) []int64 {
+	if cap(gaps) < n {
+		gaps = make([]int64, n)
+	} else {
+		gaps = gaps[:n]
+	}
+	for i := range gaps {
+		gaps[i] = -1
+	}
+	return gaps
 }

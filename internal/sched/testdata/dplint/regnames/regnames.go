@@ -1,0 +1,53 @@
+// Package regnames is dplint testdata: registrations against the real
+// registrars (never executed — only type-checked) plus literal Name()
+// methods. It lives under internal/sched so its Name() methods are held to
+// the scheduler registry's canon.
+package regnames
+
+import (
+	"repro/dining"
+	"repro/internal/algo"
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+func wire() {
+	sched.Register("all-random", nil) // clean: lowercase-hyphen
+	sched.Register("Bad_Name", nil)   // want `scheduler name "Bad_Name" is not canonical`
+	sched.Register("dup-sched", nil)
+	sched.Register("dup-sched", nil) // want `scheduler "dup-sched" registered twice`
+
+	algo.Register("LR9", nil)        // clean: paper mnemonic
+	algo.Register("fair-coin", nil)  // clean: lowercase-hyphen
+	algo.Register("Mixed-Case", nil) // want `algorithm name "Mixed-Case" is not canonical`
+
+	graph.RegisterTopology("Ring2", nil) // want `topology name "Ring2" is not canonical`
+
+	fault.Register("chaos monkey", nil) // want `fault name "chaos monkey" is not canonical`
+
+	dining.RegisterProperty(dining.PropertyFunc{PropName: "My Property"}) // want `property name "My Property" is not canonical`
+	dining.RegisterProperty(dining.PropertyFunc{"positional-prop", dining.ExhaustiveProperty, nil})
+
+	//dplint:ok registryname legacy name kept for replay compatibility
+	sched.Register("Legacy_V1", nil)
+
+	// Dynamic names are out of static reach and skipped.
+	sched.Register(dynamicName(), nil)
+}
+
+func dynamicName() string { return "dyn" + "-sched" }
+
+type fancy struct{}
+
+func (fancy) Name() string { return "Fancy-Sched" } // want `Name\(\) "Fancy-Sched" is not canonical for the scheduler registry`
+
+type plain struct{}
+
+func (plain) Name() string { return "plain-sched" }
+
+type dyn struct{ s string }
+
+func (d dyn) Name() string { return d.s }
+
+var _ = []any{wire, fancy{}, plain{}, dyn{}}

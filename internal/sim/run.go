@@ -21,6 +21,19 @@ type Scheduler interface {
 	Next(w *World) graph.PhilID
 }
 
+// ResettableScheduler is implemented by schedulers that can return to their
+// just-constructed state in place. Trial harnesses that recycle per-worker
+// scheduler instances (package verify's trial pool) call Reset between
+// trials instead of constructing a fresh scheduler; after Reset the
+// scheduler's decisions must be identical to those of a newly constructed
+// instance with the same configuration. Schedulers driven by a *prng.Source
+// keep the pointer across Reset — the harness reseeds the source in place.
+type ResettableScheduler interface {
+	Scheduler
+	// Reset restores the scheduler to its initial state.
+	Reset()
+}
+
 // SchedulerFunc adapts a function to the Scheduler interface.
 type SchedulerFunc struct {
 	SchedulerName string
@@ -124,10 +137,13 @@ type Result struct {
 	Final *World
 
 	// lastSched and everHungry are the per-run gap/starvation scratch arrays,
-	// kept on the Result so that RunWorldInto reuses them together with the
-	// metric slices.
+	// and obuf the step loop's outcome scratch buffer, kept on the Result so
+	// that RunWorldInto reuses them together with the metric slices (the
+	// buffer otherwise regrows to the program's largest outcome set — m
+	// entries for GDP's uniform draw — on every recycled trial).
 	lastSched  []int64
 	everHungry []bool
+	obuf       []Outcome
 }
 
 // Progress reports whether at least one meal completed.
@@ -197,9 +213,10 @@ func RunWorldInto(res *Result, w *World, prog Program, sched Scheduler, rng *prn
 
 	reason := StopMaxSteps
 	start := w.Step
-	// Scratch outcome buffer reused across steps so that the engine's hot
-	// loop allocates nothing in steady state.
-	var obuf []Outcome
+	// Scratch outcome buffer reused across steps (and, through the Result,
+	// across recycled runs) so that the engine's hot loop allocates nothing
+	// in steady state.
+	obuf := res.obuf
 	for w.Step-start < maxSteps {
 		if opts.Stop != nil && (w.Step-start)%StopCheckInterval == 0 && opts.Stop() {
 			reason = StopCancelled
@@ -250,6 +267,8 @@ func RunWorldInto(res *Result, w *World, prog Program, sched Scheduler, rng *prn
 			break
 		}
 	}
+
+	res.obuf = obuf[:0]
 
 	// Account for the trailing gap of each philosopher (including philosophers
 	// never scheduled at all), so that a scheduler that ignores somebody shows

@@ -1,0 +1,54 @@
+// Package detsource is dplint testdata. It lives under internal/sim (in a
+// testdata directory the go tool and the module-wide lint walk both skip),
+// so its natural import path puts it inside the deterministic core and the
+// detsource analyzer engages.
+package detsource
+
+import (
+	"math/rand" // want `deterministic package .* imports math/rand`
+	"os"
+	"time"
+
+	"repro/internal/prng"
+)
+
+// stamp reads the wall clock.
+func stamp() int64 {
+	t := time.Now() // want `time.Now reads the wall clock`
+	return t.UnixNano()
+}
+
+// elapsed uses time.Since; mentioning time.Duration in the signature is fine.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since reads the wall clock`
+}
+
+// env reads the process environment.
+func env() string {
+	return os.Getenv("SEED") // want `os.Getenv reads the process environment`
+}
+
+// lookup uses the two-value form.
+func lookup() (string, bool) {
+	return os.LookupEnv("SEED") // want `os.LookupEnv reads the process environment`
+}
+
+// global draws from the (already flagged) math/rand import; the import is
+// the single finding, uses are not double-reported.
+func global() int {
+	return rand.Intn(6)
+}
+
+// seeded is the sanctioned source of randomness.
+func seeded(seed uint64) float64 {
+	rng := prng.New(seed)
+	return rng.Float64()
+}
+
+// suppressed documents an accepted wall-clock read.
+func suppressed() time.Time {
+	//dplint:ok detsource process start stamp, reported only and never fed back into results
+	return time.Now()
+}
+
+var _ = []any{stamp, elapsed, env, lookup, global, seeded, suppressed}

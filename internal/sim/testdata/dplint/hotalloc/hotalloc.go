@@ -1,0 +1,81 @@
+// Package hotalloc is dplint testdata. It declares its own Outcome struct
+// shaped like sim.Outcome (the analyzer matches by name and field, not
+// import path), and it lives under internal/sim so its natural import path
+// is a hot package and the fmt rule engages.
+package hotalloc
+
+import "fmt"
+
+type World struct{ X int }
+
+type PhilID int32
+
+type Outcome struct {
+	Prob  float64
+	Label string
+	Arg   int64
+	Apply func(w *World, p PhilID, arg int64)
+}
+
+func applyStatic(w *World, p PhilID, arg int64) { w.X += int(arg) }
+
+// good binds a static function: the sanctioned form.
+func good(buf []Outcome) []Outcome {
+	return append(buf, Outcome{Prob: 1, Label: "ok", Apply: applyStatic})
+}
+
+// keyedLiteral closes over f, allocating per outcome set.
+func keyedLiteral(buf []Outcome, f int64) []Outcome {
+	return append(buf, Outcome{
+		Prob: 1,
+		Apply: func(w *World, p PhilID, arg int64) { // want `function literal bound to Outcome.Apply`
+			w.X += int(f)
+		},
+	})
+}
+
+// positionalLiteral hits the positional-field path of the check.
+func positionalLiteral() Outcome {
+	return Outcome{1, "x", 0, func(w *World, p PhilID, arg int64) {}} // want `function literal bound to Outcome.Apply`
+}
+
+// fieldAssign stores a literal through a selector.
+func fieldAssign(o *Outcome) {
+	o.Apply = func(w *World, p PhilID, arg int64) {} // want `function literal bound to Outcome.Apply`
+}
+
+func takesApply(apply func(w *World, p PhilID, arg int64)) { _ = apply }
+
+// paramLiteral passes a literal to an Apply-typed parameter.
+func paramLiteral() {
+	takesApply(func(w *World, p PhilID, arg int64) {}) // want `function literal bound to Outcome.Apply`
+}
+
+// hotFormat formats on a non-error path of a (nominally) hot package.
+func hotFormat(p PhilID) string {
+	return fmt.Sprintf("P%d", p) // want `fmt.Sprintf allocates on a hot path`
+}
+
+// errorPath may format: fmt.Errorf is always allowed.
+func errorPath(p PhilID) error {
+	return fmt.Errorf("philosopher %d missing", p)
+}
+
+// panics may format: panic arguments are a cold path.
+func panics(p PhilID) {
+	panic(fmt.Sprintf("invalid philosopher %d", p))
+}
+
+// String is a reporting surface: fmt there is the point.
+func (w *World) String() string { return fmt.Sprintf("world %d", w.X) }
+
+// Package-level variable initializers run once at init time.
+var tableInit = fmt.Sprintf("precomputed %d", 7)
+
+// suppressedFormat documents an accepted cold-path format.
+func suppressedFormat(p PhilID) string {
+	//dplint:ok hotalloc cold diagnostics helper used only by examples
+	return fmt.Sprintf("P%d", p)
+}
+
+var _ = []any{good, keyedLiteral, positionalLiteral, fieldAssign, paramLiteral, hotFormat, errorPath, panics, tableInit, suppressedFormat}

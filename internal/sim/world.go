@@ -586,6 +586,7 @@ func (w *World) CheckInvariants() error {
 		}
 	}
 	// Every held fork's holder must acknowledge holding it.
+	//dplint:ok maporder error path: any one violation's error suffices, and a valid world returns nil either way
 	for f, h := range holderSeen {
 		st := &w.Phils[h]
 		owns := (st.HasFirst && st.First == f) ||

@@ -31,13 +31,41 @@ func forEachTrial[T any](workers, trials int, run func(trial int) (T, error)) ([
 }
 
 // trialSlot is the per-worker working set of one Monte-Carlo trial: the
-// recycled world and the recycled run summary. Keeping the Result in the
-// slot lets trials run through sim.RunWorldInto, which reuses the summary's
-// metric slices (EatsBy, FirstEatBy, ScheduledCount, Starved) and scratch
-// arrays in place instead of copying them per trial.
+// recycled world, the recycled run summary, and the recycled run-level
+// bookkeeping (trial RNG, scheduler RNG, scheduler). Keeping the Result in
+// the slot lets trials run through sim.RunWorldInto, which reuses the
+// summary's metric slices (EatsBy, FirstEatBy, ScheduledCount, Starved) and
+// scratch arrays in place instead of copying them per trial; keeping the
+// RNGs as values and the scheduler instance lets prepare reseed and reset
+// them in place instead of re-deriving all three per trial.
 type trialSlot struct {
 	w   *sim.World
 	res sim.Result
+
+	rng      prng.Source
+	schedRNG prng.Source
+	sched    sim.Scheduler
+}
+
+// prepare rewinds the slot's run-level state for the trial with the given
+// seed, bit-identically to the unpooled derivation
+//
+//	rng := prng.New(seed)
+//	sched := factory(rng.Split())
+//
+// The trial RNG is reseeded in place; the scheduler RNG is re-derived with
+// SplitTo (same stream advance and same resulting state as Split); and the
+// scheduler is Reset when it supports it — its captured *prng.Source pointer
+// sees the reseeded stream — or reconstructed through the factory otherwise.
+func (s *trialSlot) prepare(factory SchedulerFactory, seed uint64) (*prng.Source, sim.Scheduler) {
+	s.rng.Reseed(seed)
+	s.rng.SplitTo(&s.schedRNG)
+	if rs, ok := s.sched.(sim.ResettableScheduler); ok {
+		rs.Reset()
+	} else {
+		s.sched = factory(&s.schedRNG)
+	}
+	return &s.rng, s.sched
 }
 
 // trialPool warm-starts Monte-Carlo trials: the initial world is built (and
@@ -135,9 +163,9 @@ func (c ProgressCheck) Run() (*ProgressResult, error) {
 	worlds := newTrialPool(c.Topology, c.Algorithm)
 	perTrial, err := forEachTrial(c.Workers, c.Trials, func(i int) (trialResult, error) {
 		seed := c.Seed + uint64(i)*0x9e3779b9
-		rng := prng.New(seed)
 		s := worlds.get()
-		if err := sim.RunWorldInto(&s.res, s.w, c.Algorithm, c.Scheduler(rng.Split()), rng, sim.RunOptions{
+		rng, sched := s.prepare(c.Scheduler, seed)
+		if err := sim.RunWorldInto(&s.res, s.w, c.Algorithm, sched, rng, sim.RunOptions{
 			MaxSteps:           c.MaxSteps,
 			StopAfterTotalEats: 1,
 			Stop:               c.Stop,
@@ -218,9 +246,9 @@ func (c LockoutCheck) Run() (*LockoutResult, error) {
 	worlds := newTrialPool(c.Topology, c.Algorithm)
 	perTrial, err := forEachTrial(c.Workers, c.Trials, func(i int) (trialResult, error) {
 		seed := c.Seed + uint64(i)*0x9e3779b9
-		rng := prng.New(seed)
 		s := worlds.get()
-		if err := sim.RunWorldInto(&s.res, s.w, c.Algorithm, c.Scheduler(rng.Split()), rng, sim.RunOptions{
+		rng, sched := s.prepare(c.Scheduler, seed)
+		if err := sim.RunWorldInto(&s.res, s.w, c.Algorithm, sched, rng, sim.RunOptions{
 			MaxSteps: c.MaxSteps,
 			Stop:     c.Stop,
 		}); err != nil {
@@ -342,6 +370,7 @@ func AuditSymmetry(topo *graph.Topology, prog sim.Program, seed uint64) Symmetry
 	for p := 1; p < len(w.Phils); p++ {
 		if w.Phils[p] != w.Phils[0] {
 			rep.IdenticalInitialStates = false
+			//dplint:ok hotalloc cold path: the symmetry audit runs once per algorithm, not per trial
 			rep.Details = append(rep.Details, fmt.Sprintf("philosopher %d starts in a different state than philosopher 0", p))
 			break
 		}
@@ -349,6 +378,7 @@ func AuditSymmetry(topo *graph.Topology, prog sim.Program, seed uint64) Symmetry
 	for f := 1; f < len(w.Forks); f++ {
 		if w.Forks[f].NR != w.Forks[0].NR || w.Forks[f].Holder != w.Forks[0].Holder {
 			rep.IdenticalInitialStates = false
+			//dplint:ok hotalloc cold path: the symmetry audit runs once per algorithm, not per trial
 			rep.Details = append(rep.Details, fmt.Sprintf("fork %d starts in a different state than fork 0", f))
 			break
 		}
