@@ -217,6 +217,28 @@ func (e *Engine) Workers() int { return e.cfg.workers }
 // Shards returns the engine's exploration shard count (0 = match workers).
 func (e *Engine) Shards() int { return e.cfg.shards }
 
+// MaxSteps returns the engine's per-run step bound (0 = simulator default).
+func (e *Engine) MaxSteps() int64 { return e.cfg.maxSteps }
+
+// MaxStates returns the engine's exploration state cap (0 = model-checker
+// default).
+func (e *Engine) MaxStates() int { return e.cfg.maxStates }
+
+// TrialCount returns the engine's statistical trial count (0 = each check's
+// default). The name avoids colliding with the Trials stream method.
+func (e *Engine) TrialCount() int { return e.cfg.trials }
+
+// FairnessWindow returns the engine's bounded-fair adversary window
+// (0 = default).
+func (e *Engine) FairnessWindow() int64 { return e.cfg.fairnessWindow }
+
+// AlgorithmOptions returns the engine's algorithm options.
+func (e *Engine) AlgorithmOptions() AlgorithmOptions { return e.cfg.algoOpts }
+
+// Protected returns a copy of the engine's protected philosopher set
+// (empty = all philosophers).
+func (e *Engine) Protected() []PhilID { return append([]PhilID(nil), e.cfg.protected...) }
+
 // Faults returns the canonical spec of the engine's fault model
 // ("crash-rejoin:0.05,0.5"), or "" when the engine injects no faults.
 func (e *Engine) Faults() string {

@@ -296,6 +296,23 @@ func (e *Engine) ReplayTrace(t *Trace) error {
 	return err
 }
 
+// Explore builds and returns the engine's explored state space — the exact
+// exploration Engine.Check runs once for its exhaustive properties, on the
+// same (possibly fault-perturbed) transition system, with the engine's
+// worker and shard configuration. The returned space is immutable and safe
+// for concurrent use (its lazily built predecessor index is constructed at
+// most once), which is what lets long-lived services cache explored spaces
+// across requests keyed by Engine.Fingerprint and hand one space to many
+// concurrent property checks: Property.Check accepts it through
+// PropertyInput.Space. Cancelling ctx aborts the exploration.
+func (e *Engine) Explore(ctx context.Context) (*StateSpace, error) {
+	ctx = orBackground(ctx)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.explore(ctx)
+}
+
 // resolveProperties maps names to registered properties; no names selects
 // the exhaustive built-ins.
 func resolveProperties(names []string) ([]Property, error) {

@@ -49,7 +49,7 @@
 //
 // The verification stack is layered; each layer only sees the one below:
 //
-//	sharded store  →  exploration  →  graphalg analyses  →  properties  →  faults  →  CLI
+//	sharded store  →  exploration  →  graphalg analyses  →  properties  →  faults  →  serve / CLI
 //
 // At the bottom, internal/modelcheck stores the explored MDP in 2^k
 // independently-owned shards (dining.WithShards, -shards; 0 = match the
@@ -93,11 +93,27 @@
 // registered properties, and the CLI tools plumb -workers/-shards (and
 // -cpuprofile/-memprofile on dpcheck and dpbench) down the stack.
 //
+// At the top of the stack sits the serve layer (internal/serve, served by
+// cmd/dpserve): a long-lived HTTP service exposing the engine's streaming
+// surfaces — property checking, Monte-Carlo trials and sweep grids — as
+// newline-delimited JSON. Its core is a fingerprint-keyed cache of explored
+// state spaces: the cache key is dining.Engine.Fingerprint(), a versioned
+// hash of the canonical engine configuration (topology structure, algorithm
+// and options, scheduler, seed, bounds, protected set, shard count, fault
+// spec — but not the worker count, whose results are pinned bit-identical),
+// so repeated and concurrent requests about the same configuration share
+// one exploration and hot verdicts are answered from the retained space and
+// its cached predecessor index. Every response line is accountable: request
+// id, the echoed engine configuration, the cache disposition and wall-clock
+// timing ride on each NDJSON event, and the wire format is golden-pinned.
+// See the internal/serve package documentation for the endpoints, schema
+// and fingerprint rules.
+//
 // The command-line tools live under cmd (dpsim, dpbench, dpcheck,
-// dpadversary; all speak JSON with -json, dpcheck/dpadversary select
-// properties with -props, and all four inject fault models with -faults)
-// and share the internal/cli config layer, so registered extensions appear
-// in every tool's flags and error messages. The
+// dpadversary, dpserve; all speak JSON with -json, dpcheck/dpadversary
+// select properties with -props, and the engine tools inject fault models
+// with -faults) and share the internal/cli config layer, so registered
+// extensions appear in every tool's flags and error messages. The
 // reproduction experiments are described in DESIGN.md and their results in
 // EXPERIMENTS.md. The benchmark suite in bench_test.go has one benchmark per
 // reproduced table or figure of the paper.
@@ -121,7 +137,10 @@
 //     modelcheck, graphalg, fault, verify) must not read wall-clock time
 //     (time.Now/Since), the process environment (os.Getenv/LookupEnv) or
 //     the globally seeded math/rand; randomness flows only through
-//     internal/prng sources threaded from the per-trial seed.
+//     internal/prng sources threaded from the per-trial seed. The gate also
+//     applies file-by-file where a deterministic core shares a package with
+//     clock-reading code: internal/serve's cache and fingerprint files are
+//     held to the rules while its handlers may stamp response timing.
 //   - hotalloc: no function literals bound to sim.Outcome.Apply (outcome
 //     sets are rebuilt every step; closures would allocate per step —
 //     programs use static funcs with the Arg field) and no fmt.* formatting

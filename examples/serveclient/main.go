@@ -1,0 +1,73 @@
+// serveclient demonstrates the dpserve checking service end to end without
+// needing a separate process: it boots the internal/serve handler on an
+// in-process listener, posts the same /v1/check configuration twice, and
+// prints the NDJSON responses side by side — the first response reports
+// "cache":"miss" and pays for the exploration, the second reports
+// "cache":"hit" and answers from the fingerprint-keyed state-space cache.
+// Every line carries the request id, the echoed engine configuration
+// (fingerprint included) and the timing fields, so any single line can be
+// logged and later reproduced.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	ts := httptest.NewServer(serve.New(serve.Options{}).Handler())
+	defer ts.Close()
+
+	body := `{"id":"demo-1","topology":"ring","n":3,"algorithm":"LR1"}`
+	fmt.Println("--- first request (cold cache) ---")
+	check(ts.URL, body)
+
+	body = `{"id":"demo-2","topology":"ring","n":3,"algorithm":"LR1"}`
+	fmt.Println("\n--- second request (same fingerprint) ---")
+	check(ts.URL, body)
+}
+
+// check posts one /v1/check request and prints a digest of each NDJSON
+// line: the accountability fields plus the verdict payloads.
+func check(baseURL, body string) {
+	resp, err := http.Post(baseURL+"/v1/check", "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		var ev serve.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			log.Fatal(err)
+		}
+		switch ev.Event {
+		case "progress":
+			fmt.Printf("%s seq=%d cache=%-6s fp=%s  %s\n",
+				ev.ID, ev.Seq, ev.Cache, ev.Config.Fingerprint, ev.Detail)
+		case "result":
+			verdict := "PASS"
+			if !ev.Result.Passed {
+				verdict = "FAIL"
+			}
+			fmt.Printf("%s seq=%d cache=%-6s %-22s %s  %s\n",
+				ev.ID, ev.Seq, ev.Cache, ev.Result.Property, verdict, ev.Result.Detail)
+		case "done":
+			fmt.Printf("%s seq=%d cache=%-6s done: %d states, %d transitions, %dms\n",
+				ev.ID, ev.Seq, ev.Cache, ev.States, ev.Transitions, ev.ElapsedMS)
+		case "error":
+			log.Fatalf("server error: %s", ev.Error)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}

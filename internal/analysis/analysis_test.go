@@ -19,6 +19,14 @@ func TestDetSourceSuite(t *testing.T) {
 	analysistest.Run(t, "../sim/testdata/dplint/detsource", analysis.NewDetSource())
 }
 
+// TestDetSourceFileGateSuite exercises the file-level gate: under
+// repro/internal/serve only cache.go and fingerprint.go are held to the
+// deterministic rules, so the testdata's cache.go reports and its
+// handlers.go — same calls, ungated filename — stays silent.
+func TestDetSourceFileGateSuite(t *testing.T) {
+	analysistest.Run(t, "../serve/testdata/dplint/detsource", analysis.NewDetSource())
+}
+
 func TestHotAllocSuite(t *testing.T) {
 	analysistest.Run(t, "../sim/testdata/dplint/hotalloc", analysis.NewHotAlloc())
 }

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"path/filepath"
 	"strings"
 )
 
@@ -31,11 +32,39 @@ func IsDeterministicPkg(path string) bool {
 	return false
 }
 
+// deterministicFileTrees extends the gate to individual files of packages
+// that are otherwise free to use the clock: import-path prefix → the base
+// filenames held to the deterministic rules. internal/serve's handlers
+// legitimately read time.Now to stamp response timing, but its cache and
+// fingerprint logic must stay a pure function of the request sequence —
+// cache dispositions and keys have to replay identically from a request
+// trace. Subtrees inherit the entry, so testdata under a gated tree is
+// checked under the same filename filter.
+var deterministicFileTrees = []struct {
+	prefix string
+	files  map[string]bool
+}{
+	{"repro/internal/serve", map[string]bool{"cache.go": true, "fingerprint.go": true}},
+}
+
+// gatedFiles returns the gated-filename set applying to the import path,
+// or nil when no file-level entry covers it.
+func gatedFiles(path string) map[string]bool {
+	for _, tree := range deterministicFileTrees {
+		if path == tree.prefix || strings.HasPrefix(path, tree.prefix+"/") {
+			return tree.files
+		}
+	}
+	return nil
+}
+
 // NewDetSource returns the detsource analyzer: deterministic packages must
 // not read wall clocks (time.Now, time.Since), process environment
 // (os.Getenv) or the global math/rand generators — every run must be a pure
 // function of its explicit seed, and all randomness flows through
-// internal/prng.
+// internal/prng. The gate applies per package (deterministicPkgs) or per
+// file (deterministicFileTrees) for packages whose deterministic core
+// shares a directory with clock-reading code.
 func NewDetSource() *Analyzer {
 	a := &Analyzer{
 		Name: "detsource",
@@ -59,10 +88,14 @@ var forbiddenFuncs = map[string]map[string]string{
 }
 
 func runDetSource(pass *Pass) error {
-	if !IsDeterministicPkg(pass.Pkg.Path) {
+	gated := gatedFiles(pass.Pkg.Path)
+	if !IsDeterministicPkg(pass.Pkg.Path) && gated == nil {
 		return nil
 	}
 	for _, file := range pass.Pkg.Files {
+		if gated != nil && !gated[filepath.Base(pass.Pkg.Fset.Position(file.Pos()).Filename)] {
+			continue
+		}
 		// math/rand (v1 or v2) is forbidden wholesale: even a locally seeded
 		// rand.Rand bypasses the splittable, cross-version-stable stream
 		// contract of internal/prng.

@@ -14,6 +14,7 @@ import (
 	"runtime/pprof"
 	"slices"
 	"strings"
+	"time"
 
 	"repro/dining"
 )
@@ -48,6 +49,8 @@ const (
 	FlagProfile
 	// FlagFaults registers -faults (fault-model injection).
 	FlagFaults
+	// FlagServe registers -addr, -cache-states and -drain (dpserve).
+	FlagServe
 )
 
 // Config holds the shared tool configuration. Populate the fields with a
@@ -85,6 +88,13 @@ type Config struct {
 	// (empty = no profile).
 	CPUProfile string
 	MemProfile string
+	// Addr is the listen address of the serving tools.
+	Addr string
+	// CacheStates bounds dpserve's state-space cache by total retained
+	// states (0 = the server default).
+	CacheStates int
+	// Drain is the graceful-shutdown drain timeout of the serving tools.
+	Drain time.Duration
 
 	registered Flags
 }
@@ -138,6 +148,12 @@ func (c *Config) Register(fs *flag.FlagSet, which Flags) {
 			fmt.Sprintf("fault-model spec name[:rates][@philosophers] (registered: %s; empty = no faults)",
 				strings.Join(dining.Faults(), ", ")))
 	}
+	if which&FlagServe != 0 {
+		fs.StringVar(&c.Addr, "addr", c.Addr, "listen address (host:port; :0 picks a free port)")
+		fs.IntVar(&c.CacheStates, "cache-states", c.CacheStates,
+			"state-space cache budget: total retained states across entries (0 = server default)")
+		fs.DurationVar(&c.Drain, "drain", c.Drain, "graceful-shutdown drain timeout on SIGINT/SIGTERM")
+	}
 	if which&FlagProfile != 0 {
 		fs.StringVar(&c.CPUProfile, "cpuprofile", c.CPUProfile, "write a CPU profile to this file")
 		fs.StringVar(&c.MemProfile, "memprofile", c.MemProfile, "write a heap profile to this file on exit")
@@ -183,6 +199,17 @@ func (c *Config) Validate() error {
 			if err := knownName("property", name, dining.Properties()); err != nil {
 				return err
 			}
+		}
+	}
+	if c.registered&FlagServe != 0 {
+		if c.Addr == "" {
+			return fmt.Errorf("-addr must not be empty")
+		}
+		if c.CacheStates < 0 {
+			return fmt.Errorf("-cache-states must be >= 0, got %d", c.CacheStates)
+		}
+		if c.Drain < 0 {
+			return fmt.Errorf("-drain must be >= 0, got %v", c.Drain)
 		}
 	}
 	if c.registered&FlagFaults != 0 && c.Faults != "" {

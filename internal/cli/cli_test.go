@@ -197,6 +197,29 @@ func TestShardsFlagReachesEngine(t *testing.T) {
 	}
 }
 
+func TestServeFlags(t *testing.T) {
+	t.Parallel()
+	cfg := newConfig(t, FlagServe, "-addr", ":0", "-cache-states", "1000", "-drain", "5s")
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate rejected valid serve flags: %v", err)
+	}
+	if cfg.Addr != ":0" || cfg.CacheStates != 1000 || cfg.Drain.Seconds() != 5 {
+		t.Errorf("serve flags not applied: %q / %d / %v", cfg.Addr, cfg.CacheStates, cfg.Drain)
+	}
+
+	cases := [][]string{
+		{"-addr", ""},
+		{"-addr", ":0", "-cache-states", "-1"},
+		{"-addr", ":0", "-drain", "-1s"},
+	}
+	for _, args := range cases {
+		bad := newConfig(t, FlagServe, args...)
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate accepted %v", args)
+		}
+	}
+}
+
 func TestStartProfilingWritesProfiles(t *testing.T) {
 	// Not parallel: the process-wide CPU profiler admits one client at a time.
 	dir := t.TempDir()

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/dining"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the NDJSON golden files")
+
+// goldenRequest posts body and compares the raw NDJSON response bytes to a
+// golden file — the serve wire format is a stable contract, like the dining
+// JSON goldens. Determinism: the test server's clock is fixed (elapsed_ms
+// 0), the request pins its id, and workers are forced to 1 so streamed
+// lines arrive in index order.
+func goldenRequest(t *testing.T, name, path string, body any) []byte {
+	t.Helper()
+	_, ts := newTestServer(t, Options{})
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	goldenPath := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./internal/serve -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: NDJSON output changed — the wire format is a stable contract.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+	return got
+}
+
+// TestGoldenCheck pins the /v1/check wire format. The configuration is
+// naive-left-first on the classic ring, which deadlocks — so the golden
+// also pins a failing verdict with an embedded counterexample trace.
+func TestGoldenCheck(t *testing.T) {
+	t.Parallel()
+	goldenRequest(t, "check.golden.ndjson", "/v1/check", Request{
+		ID:        "golden-check",
+		Topology:  "ring",
+		N:         3,
+		Algorithm: dining.NaiveLeftFirst,
+		Props:     []string{dining.DeadlockFreedom, dining.Progress},
+		Workers:   1,
+		Shards:    1,
+	})
+}
+
+// TestGoldenTrials pins the /v1/trials wire format.
+func TestGoldenTrials(t *testing.T) {
+	t.Parallel()
+	goldenRequest(t, "trials.golden.ndjson", "/v1/trials", Request{
+		ID:        "golden-trials",
+		Topology:  "ring",
+		N:         3,
+		Algorithm: dining.GDP1,
+		Trials:    3,
+		MaxSteps:  2000,
+		Seed:      7,
+		Workers:   1,
+		Shards:    1,
+	})
+}
+
+// TestGoldenSweep pins the /v1/sweep wire format.
+func TestGoldenSweep(t *testing.T) {
+	t.Parallel()
+	goldenRequest(t, "sweep.golden.ndjson", "/v1/sweep", SweepRequest{
+		ID:         "golden-sweep",
+		Topologies: []TopologySpec{{Name: "ring", N: 3}},
+		Algorithms: []string{dining.GDP1, dining.OrderedForks},
+		Trials:     2,
+		MaxSteps:   2000,
+		Seed:       7,
+		Workers:    1,
+	})
+}
+
+// TestCheckCounterexampleReplays round-trips a streamed counterexample:
+// decode the failing verdict from a /v1/check response, rebuild the engine
+// from the echoed configuration, and replay the trace step by step with
+// Engine.ReplayTrace. A trace that survives the HTTP encoding and still
+// replays proves the serve layer transports the dining wire formats intact.
+func TestCheckCounterexampleReplays(t *testing.T) {
+	t.Parallel()
+	_, ts := newTestServer(t, Options{})
+	req := Request{
+		ID:        "replay",
+		Topology:  "ring",
+		N:         3,
+		Algorithm: dining.NaiveLeftFirst,
+		Props:     []string{dining.DeadlockFreedom},
+	}
+	code, events := post(t, ts, "/v1/check", req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var failed *Event
+	for i, ev := range events {
+		if ev.Event == "result" && ev.Result != nil && !ev.Result.Passed {
+			failed = &events[i]
+			break
+		}
+	}
+	if failed == nil {
+		t.Fatal("no failing verdict in response — expected naive-left-first to deadlock on ring-3")
+	}
+	trace := failed.Result.Counterexample
+	if trace == nil {
+		t.Fatal("failing verdict carries no counterexample")
+	}
+
+	// Rebuild the engine from the line's own config echo — the
+	// accountability contract says the echo suffices to reproduce.
+	echo := failed.Config
+	topo, err := dining.NewTopology("ring", echo.Phils)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := dining.New(topo, echo.Algorithm, dining.WithSeed(echo.Seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.ReplayTrace(trace); err != nil {
+		t.Errorf("streamed counterexample does not replay: %v", err)
+	}
+}

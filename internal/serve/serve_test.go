@@ -1,0 +1,372 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/dining"
+)
+
+// newTestServer boots a serve.Server on an httptest listener with a fixed
+// clock, so elapsed_ms is deterministically zero.
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opts.Clock == nil {
+		fixed := time.Unix(1_700_000_000, 0)
+		opts.Clock = func() time.Time { return fixed }
+	}
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// post sends a JSON body and decodes the NDJSON response into events.
+func post(t *testing.T, ts *httptest.Server, path string, body any) (int, []Event) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var events []Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, events
+}
+
+// checkAccountable asserts the per-line contract of an engine endpoint:
+// every event carries the request id, a 1-based increasing sequence number
+// and the echoed engine config with a non-empty fingerprint.
+func checkAccountable(t *testing.T, events []Event, wantID string) {
+	t.Helper()
+	if len(events) == 0 {
+		t.Fatal("no response events")
+	}
+	for i, ev := range events {
+		if ev.ID != wantID {
+			t.Errorf("event %d: id = %q, want %q", i, ev.ID, wantID)
+		}
+		if ev.Seq != i+1 {
+			t.Errorf("event %d: seq = %d, want %d", i, ev.Seq, i+1)
+		}
+		if ev.Config == nil || ev.Config.Fingerprint == "" {
+			t.Errorf("event %d: missing config echo / fingerprint", i)
+		}
+	}
+	if last := events[len(events)-1]; last.Event != "done" {
+		t.Errorf("last event = %q, want done", last.Event)
+	}
+}
+
+var checkBody = Request{ID: "req-1", Topology: "ring", N: 3, Algorithm: dining.LR1}
+
+// TestCheckSecondRequestIsCacheHit is the headline acceptance criterion:
+// the same /v1/check configuration twice, the first response reporting a
+// cache miss and the second a hit, with exactly one exploration run.
+func TestCheckSecondRequestIsCacheHit(t *testing.T) {
+	t.Parallel()
+	s, ts := newTestServer(t, Options{})
+
+	code, first := post(t, ts, "/v1/check", checkBody)
+	if code != http.StatusOK {
+		t.Fatalf("first request: status %d", code)
+	}
+	checkAccountable(t, first, "req-1")
+	if first[0].Event != "progress" || first[0].Cache != StatusMiss {
+		t.Errorf("first response opens with (%q, cache=%q), want progress/miss", first[0].Event, first[0].Cache)
+	}
+
+	second := Request{ID: "req-2", Topology: "ring", N: 3, Algorithm: dining.LR1}
+	code, events := post(t, ts, "/v1/check", second)
+	if code != http.StatusOK {
+		t.Fatalf("second request: status %d", code)
+	}
+	checkAccountable(t, events, "req-2")
+	for i, ev := range events {
+		if ev.Cache != StatusHit {
+			t.Errorf("second response event %d: cache = %q, want hit on every line", i, ev.Cache)
+		}
+	}
+	if first[0].Config.Fingerprint != events[0].Config.Fingerprint {
+		t.Errorf("identical configs echoed different fingerprints: %s vs %s",
+			first[0].Config.Fingerprint, events[0].Config.Fingerprint)
+	}
+
+	// Both responses carry the same verdicts: four exhaustive built-ins.
+	for _, events := range [][]Event{first, events} {
+		results := 0
+		for _, ev := range events {
+			if ev.Event == "result" {
+				results++
+				if ev.Result == nil {
+					t.Error("result event without payload")
+				}
+			}
+		}
+		if want := len(dining.ExhaustiveProperties()); results != want {
+			t.Errorf("got %d result lines, want %d", results, want)
+		}
+	}
+
+	if st := s.CacheStats(); st.Explorations != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("cache stats = %+v, want exactly 1 exploration, 1 miss, 1 hit", st)
+	}
+}
+
+// TestCheckConcurrentIdenticalRequests fires identical /v1/check requests
+// concurrently and checks that the server ran exactly one exploration —
+// the singleflight guarantee end-to-end through HTTP. (Any interleaving
+// satisfies this: overlapping requests share the flight, later ones hit.)
+func TestCheckConcurrentIdenticalRequests(t *testing.T) {
+	t.Parallel()
+	s, ts := newTestServer(t, Options{})
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, clients)
+	for i := range clients {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := checkBody
+			req.ID = fmt.Sprintf("c%d", i)
+			code, events := post(t, ts, "/v1/check", req)
+			if code != http.StatusOK {
+				errs <- fmt.Sprintf("client %d: status %d", i, code)
+				return
+			}
+			if last := events[len(events)-1]; last.Event != "done" {
+				errs <- fmt.Sprintf("client %d: last event %q", i, last.Event)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+	if st := s.CacheStats(); st.Explorations != 1 {
+		t.Errorf("%d identical concurrent requests ran %d explorations, want exactly 1 (stats %+v)",
+			clients, st.Explorations, st)
+	}
+}
+
+// TestCheckDistinctConfigsDistinctEntries checks that a semantically
+// different request (a fault spec) misses rather than reusing the entry.
+func TestCheckDistinctConfigsDistinctEntries(t *testing.T) {
+	t.Parallel()
+	s, ts := newTestServer(t, Options{})
+	if code, _ := post(t, ts, "/v1/check", checkBody); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	faulty := Request{Topology: "ring", N: 3, Algorithm: dining.LR1, Faults: "crash-rejoin:0.1",
+		Props: []string{dining.ProgressUnderFaults}}
+	code, events := post(t, ts, "/v1/check", faulty)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if events[0].Cache != StatusMiss {
+		t.Errorf("fault-injected config served cache %q, want miss — fault specs must split the key", events[0].Cache)
+	}
+	if st := s.CacheStats(); st.Explorations != 2 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want 2 explorations and 2 entries", st)
+	}
+}
+
+// TestCheckStatisticalOnlySkipsExploration: a props list with no exhaustive
+// property must not explore (or touch the cache) at all.
+func TestCheckStatisticalOnlySkipsExploration(t *testing.T) {
+	t.Parallel()
+	s, ts := newTestServer(t, Options{})
+	req := Request{Topology: "ring", N: 3, Algorithm: dining.LR1,
+		Props: []string{dining.StatisticalProgress}, Trials: 5, MaxSteps: 2000}
+	code, events := post(t, ts, "/v1/check", req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for i, ev := range events {
+		if ev.Cache != "" {
+			t.Errorf("event %d carries cache %q, want none for statistical-only checks", i, ev.Cache)
+		}
+	}
+	if st := s.CacheStats(); st.Explorations != 0 {
+		t.Errorf("statistical-only request ran %d explorations, want 0", st.Explorations)
+	}
+}
+
+// TestTrialsEndpoint checks /v1/trials: one trial line per requested trial,
+// every line accountable, closing with done.
+func TestTrialsEndpoint(t *testing.T) {
+	t.Parallel()
+	_, ts := newTestServer(t, Options{})
+	req := Request{ID: "t-1", Topology: "ring", N: 3, Algorithm: dining.GDP1, Trials: 4, MaxSteps: 2000}
+	code, events := post(t, ts, "/v1/trials", req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	checkAccountable(t, events, "t-1")
+	trials := 0
+	for _, ev := range events {
+		if ev.Event == "trial" {
+			trials++
+			if ev.Trial == nil {
+				t.Error("trial event without payload")
+			}
+		}
+	}
+	if trials != 4 {
+		t.Errorf("got %d trial lines, want 4", trials)
+	}
+}
+
+// TestSweepEndpoint checks /v1/sweep: one scenario line per grid cell, the
+// expanded grid echoed on every line.
+func TestSweepEndpoint(t *testing.T) {
+	t.Parallel()
+	_, ts := newTestServer(t, Options{})
+	req := SweepRequest{
+		ID:         "s-1",
+		Topologies: []TopologySpec{{Name: "ring", N: 3}},
+		Algorithms: []string{dining.GDP1, dining.OrderedForks},
+		Trials:     2,
+		MaxSteps:   2000,
+	}
+	code, events := post(t, ts, "/v1/sweep", req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	scenarios := 0
+	for i, ev := range events {
+		if ev.ID != "s-1" || ev.Seq != i+1 {
+			t.Errorf("event %d: id/seq = %q/%d", i, ev.ID, ev.Seq)
+		}
+		if ev.SweepConfig == nil || ev.SweepConfig.Scenarios != 2 {
+			t.Errorf("event %d: missing or wrong sweep config echo: %+v", i, ev.SweepConfig)
+		}
+		if ev.Event == "scenario" {
+			scenarios++
+			if ev.Scenario == nil {
+				t.Error("scenario event without payload")
+			}
+		}
+	}
+	if scenarios != 2 {
+		t.Errorf("got %d scenario lines, want 2", scenarios)
+	}
+	if last := events[len(events)-1]; last.Event != "done" {
+		t.Errorf("last event = %q, want done", last.Event)
+	}
+}
+
+// TestBadRequests checks the validation path: every malformed request gets
+// a 400 with a single NDJSON error event carrying a request id.
+func TestBadRequests(t *testing.T) {
+	t.Parallel()
+	_, ts := newTestServer(t, Options{})
+	cases := []struct {
+		name string
+		path string
+		body any
+	}{
+		{"unknown topology", "/v1/check", Request{Topology: "moebius", Algorithm: dining.LR1}},
+		{"unknown algorithm", "/v1/check", Request{Topology: "ring", N: 3, Algorithm: "nope"}},
+		{"unknown property", "/v1/check", Request{Topology: "ring", N: 3, Algorithm: dining.LR1, Props: []string{"nope"}}},
+		{"unknown field", "/v1/check", map[string]any{"topology": "ring", "n": 3, "algorithm": dining.LR1, "shardz": 4}},
+		{"empty sweep", "/v1/sweep", SweepRequest{}},
+		{"unknown sweep topology", "/v1/sweep", SweepRequest{Topologies: []TopologySpec{{Name: "moebius"}}, Algorithms: []string{dining.LR1}}},
+	}
+	for _, tc := range cases {
+		code, events := post(t, ts, tc.path, tc.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, code)
+		}
+		if len(events) != 1 || events[0].Event != "error" || events[0].Error == "" || events[0].ID == "" {
+			t.Errorf("%s: response = %+v, want one accountable error event", tc.name, events)
+		}
+	}
+}
+
+// TestStatsAndHealthz checks the two GET endpoints.
+func TestStatsAndHealthz(t *testing.T) {
+	t.Parallel()
+	_, ts := newTestServer(t, Options{})
+	if code, _ := post(t, ts, "/v1/check", checkBody); code != http.StatusOK {
+		t.Fatalf("priming check: status %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st CacheStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Explorations != 1 || st.Entries != 1 || st.CapStates != DefaultCacheStates {
+		t.Errorf("/v1/stats = %+v, want 1 exploration, 1 entry, default cap", st)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 16)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body[:n])) != "ok" {
+		t.Errorf("/healthz = %d %q, want 200 ok", resp.StatusCode, body[:n])
+	}
+}
+
+// TestServerAssignsRequestIDs checks that requests without a client id get
+// distinct server-assigned ids.
+func TestServerAssignsRequestIDs(t *testing.T) {
+	t.Parallel()
+	_, ts := newTestServer(t, Options{})
+	req := Request{Topology: "ring", N: 3, Algorithm: dining.LR1}
+	_, first := post(t, ts, "/v1/check", req)
+	_, second := post(t, ts, "/v1/check", req)
+	if first[0].ID == "" || second[0].ID == "" || first[0].ID == second[0].ID {
+		t.Errorf("server-assigned ids = %q and %q, want distinct non-empty", first[0].ID, second[0].ID)
+	}
+}
+
+// TestBaseContextCancellationAbortsExploration checks the shutdown path:
+// cancelling the server's base context fails in-flight explorations.
+func TestBaseContextCancellationAbortsExploration(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: any exploration fails immediately
+	_, ts := newTestServer(t, Options{BaseContext: ctx})
+	code, events := post(t, ts, "/v1/check", checkBody)
+	if code != http.StatusOK {
+		t.Fatalf("status %d (streaming starts before the exploration fails)", code)
+	}
+	last := events[len(events)-1]
+	if last.Event != "error" || last.Error == "" {
+		t.Errorf("last event = %+v, want an error event from the cancelled exploration", last)
+	}
+}

@@ -1,0 +1,27 @@
+// Package detsource seeds the file-level detsource gate. The directory's
+// natural import path sits under repro/internal/serve, whose entry in
+// deterministicFileTrees gates only cache.go and fingerprint.go — so the
+// violations in this file are reported while the identical calls in
+// handlers.go stay silent.
+package detsource
+
+import (
+	"math/rand" // want `deterministic package .* imports math/rand`
+	"time"
+)
+
+// Evict is a gated-file violation: cache logic must not read the clock.
+func Evict() int64 {
+	return time.Now().Unix() // want `time\.Now reads the wall clock`
+}
+
+// Uptime is a suppressed finding: the annotation names the analyzer and
+// carries a reason, so the diagnostic on the line below is swallowed.
+func Uptime(start time.Time) time.Duration {
+	//dplint:ok detsource exercising the suppression path in a gated file
+	return time.Since(start)
+}
+
+// Pick keeps the math/rand import referenced; only the import line itself
+// is the finding.
+func Pick() int { return rand.Int() }

@@ -1,0 +1,11 @@
+package detsource
+
+import "time"
+
+// Stamp is clean despite reading the wall clock: handlers.go is not in the
+// gated-file set of repro/internal/serve, because response timing is
+// exactly what the serve handlers use the clock for.
+func Stamp() time.Time { return time.Now() }
+
+// Elapsed is likewise clean in an ungated file.
+func Elapsed(start time.Time) time.Duration { return time.Since(start) }
