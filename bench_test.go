@@ -535,6 +535,56 @@ func BenchmarkAnalyses(b *testing.B) {
 	}
 }
 
+// BenchmarkSymmetry measures the orbit-quotient exploration against the
+// unreduced baseline on growing rings under LR1 — side-symmetric, so the
+// full dihedral group of order 2n applies and the quotient must shrink the
+// space by at least n× (the acceptance floor; the observed factor grows
+// with n because larger rings have fewer states fixed by any symmetry).
+// Each op is one full exploration on the allocation-optimized sequential
+// path; the "states" metric is the explored count and "reduction-x" the
+// plain/quotient ratio.
+func BenchmarkSymmetry(b *testing.B) {
+	prog, err := algo.New("LR1", algo.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{3, 4, 5} {
+		topo := graph.Ring(n)
+		canon, err := graph.NewOrbitCanonicalizer(topo, graph.CanonOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var plainStates, quotStates int
+		b.Run(fmt.Sprintf("ring-%d/LR1/plain", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ss, err := modelcheck.Explore(topo, prog, modelcheck.Options{Workers: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				plainStates = ss.NumStates()
+			}
+			b.ReportMetric(float64(plainStates), "states")
+		})
+		b.Run(fmt.Sprintf("ring-%d/LR1/quotient", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ss, err := modelcheck.Explore(topo, prog, modelcheck.Options{Workers: 1, Symmetry: canon})
+				if err != nil {
+					b.Fatal(err)
+				}
+				quotStates = ss.NumStates()
+			}
+			ratio := float64(plainStates) / float64(quotStates)
+			if ratio < float64(n) {
+				b.Fatalf("ring-%d quotient reduction %.2fx < %dx floor (%d -> %d states)", n, ratio, n, plainStates, quotStates)
+			}
+			b.ReportMetric(float64(quotStates), "states")
+			b.ReportMetric(ratio, "reduction-x")
+		})
+	}
+}
+
 // BenchmarkParallelExplore compares the level-synchronous BFS on the largest
 // model-checked instance (Theorem 1 on GDP1, ~64k states) across the
 // (workers, shards) grid: the sequential single-shard baseline, the parallel

@@ -14,6 +14,7 @@
 //	dpadversary -steps 30000 -snapshots 6
 //	dpadversary -topology theta -props starvation-trap     # walk + verdicts
 //	dpadversary -topology theta -json                      # verdicts as JSON
+//	dpadversary -topology theta -json -symmetry            # orbit-quotient checks
 package main
 
 import (
@@ -35,7 +36,7 @@ var walkAlgorithms = []string{dining.LR1, dining.LR2, dining.GDP1, dining.GDP2}
 
 func main() {
 	cfg := cli.Config{Topology: "figure1a", Steps: 30_000, Seed: 3}
-	cfg.Register(flag.CommandLine, cli.FlagTopology|cli.FlagSteps|cli.FlagSeed|cli.FlagProps|cli.FlagJSON|cli.FlagWorkers|cli.FlagShards|cli.FlagFaults)
+	cfg.Register(flag.CommandLine, cli.FlagTopology|cli.FlagSteps|cli.FlagSeed|cli.FlagProps|cli.FlagJSON|cli.FlagWorkers|cli.FlagShards|cli.FlagFaults|cli.FlagSymmetry)
 	var (
 		window    = flag.Int64("window", 512, "fairness window of the adversary")
 		snapshots = flag.Int64("snapshots", 6, "number of state snapshots to print for the first algorithm")
@@ -186,6 +187,9 @@ func checkProperties(topo *dining.Topology, cfg *cli.Config, maxStates int) []di
 		}
 		if cfg.Faults != "" {
 			opts = append(opts, dining.WithFaults(cfg.Faults))
+		}
+		if cfg.Symmetry {
+			opts = append(opts, dining.WithSymmetry())
 		}
 		eng, err := dining.New(topo, name, opts...)
 		if err != nil {

@@ -11,6 +11,8 @@
 //	dpcheck -topology ring -n 3 -props progress,lockout-freedom
 //	dpcheck -topology theta -algorithm LR2 -json           # stable JSON verdicts
 //	dpcheck -workers 8 -shards 8                           # sharded parallel exploration
+//	dpcheck -topology ring -n 5 -symmetry                  # orbit-quotient exploration
+//	                                                       # (same verdicts, per-orbit state counts)
 //	dpcheck -full -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Exit status: in table mode dpcheck exits non-zero when any verdict
@@ -44,7 +46,7 @@ type checkCase struct {
 
 func main() {
 	cfg := cli.Config{Algorithm: "GDP1"}
-	cfg.Register(flag.CommandLine, cli.FlagAlgorithm|cli.FlagWorkers|cli.FlagShards|cli.FlagJSON|cli.FlagProps|cli.FlagProfile|cli.FlagFaults)
+	cfg.Register(flag.CommandLine, cli.FlagAlgorithm|cli.FlagWorkers|cli.FlagShards|cli.FlagJSON|cli.FlagProps|cli.FlagProfile|cli.FlagFaults|cli.FlagSymmetry)
 	var (
 		full      = flag.Bool("full", false, "include the larger, slower instances")
 		topology  = flag.String("topology", "", "check a single custom topology instead of the standard table")
@@ -93,6 +95,9 @@ func checkCustom(ctx context.Context, cfg *cli.Config, topology string, n, maxSt
 	}
 	if cfg.Faults != "" {
 		opts = append(opts, dining.WithFaults(cfg.Faults))
+	}
+	if cfg.Symmetry {
+		opts = append(opts, dining.WithSymmetry())
 	}
 	eng, err := dining.New(topo, cfg.Algorithm, opts...)
 	if err != nil {
@@ -175,12 +180,17 @@ func checkTable(ctx context.Context, cfg *cli.Config, full bool, maxStates int) 
 		if c.slow && !full {
 			continue
 		}
-		eng, err := dining.New(c.topo, c.algorithm,
+		opts := []dining.Option{
 			dining.WithAlgorithmOptions(c.opts),
 			dining.WithProtected(c.protected...),
 			dining.WithMaxStates(maxStates),
 			dining.WithWorkers(cfg.Workers),
-			dining.WithShards(cfg.Shards))
+			dining.WithShards(cfg.Shards),
+		}
+		if cfg.Symmetry {
+			opts = append(opts, dining.WithSymmetry())
+		}
+		eng, err := dining.New(c.topo, c.algorithm, opts...)
 		if err != nil {
 			cli.Fatal("dpcheck", err)
 		}

@@ -11,6 +11,7 @@
 //	dpserve -addr :0                 # pick a free port (printed on stdout)
 //	dpserve -cache-states 5000000    # grow the state-space cache budget
 //	dpserve -workers 8 -shards 8     # defaults for requests that leave them 0
+//	dpserve -max-request-states 200000  # admission cap: reject larger /v1/check requests (422)
 //	dpserve -drain 30s               # graceful-shutdown drain timeout
 //
 //	curl -d '{"topology":"ring","n":3,"algorithm":"LR1"}' localhost:8099/v1/check
@@ -59,10 +60,11 @@ func run(cfg *cli.Config) error {
 	defer cancelExplorations()
 
 	srv := serve.New(serve.Options{
-		CacheStates: cfg.CacheStates,
-		Workers:     cfg.Workers,
-		Shards:      cfg.Shards,
-		BaseContext: baseCtx,
+		CacheStates:      cfg.CacheStates,
+		Workers:          cfg.Workers,
+		Shards:           cfg.Shards,
+		MaxRequestStates: cfg.MaxRequestStates,
+		BaseContext:      baseCtx,
 	})
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {

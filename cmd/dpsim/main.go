@@ -10,6 +10,10 @@
 //	dpsim -topology figure1a -algorithm LR1 -scheduler adversary -trials 50
 //	dpsim -topology theta -algorithm LR2 -scheduler adversary -trace
 //	dpsim -topology ring -algorithm GDP1 -trials 20 -json
+//
+// -symmetry marks the engine for orbit-quotient exploration; it only affects
+// exhaustive surfaces (and the configuration fingerprint), never simulation
+// results.
 package main
 
 import (
@@ -28,7 +32,7 @@ import (
 func main() {
 	cfg := cli.Config{Topology: "ring", N: 5, Algorithm: "GDP1", Scheduler: "random", Steps: 100_000, Trials: 1, Seed: 1}
 	cfg.Register(flag.CommandLine, cli.FlagTopology|cli.FlagAlgorithm|cli.FlagScheduler|
-		cli.FlagSteps|cli.FlagTrials|cli.FlagSeed|cli.FlagWorkers|cli.FlagM|cli.FlagJSON|cli.FlagFaults)
+		cli.FlagSteps|cli.FlagTrials|cli.FlagSeed|cli.FlagWorkers|cli.FlagM|cli.FlagJSON|cli.FlagFaults|cli.FlagSymmetry)
 	showTrace := flag.Bool("trace", false, "print the event trace of a single run (requires -trials 1, text output)")
 	flag.Parse()
 	ctx := context.Background()

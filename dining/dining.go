@@ -77,6 +77,28 @@
 // the engine is byte-identical to one without the fault layer. Custom
 // models register with [RegisterFault].
 //
+// # Symmetry
+//
+// [WithSymmetry] quotients exhaustive exploration by the topology's
+// automorphism group: states are interned under their orbit-canonical key
+// (the lexicographically minimal image over the group), so a ring-n instance
+// stores roughly a 1/(2n)-th of the concrete states while every verdict —
+// and every counterexample trace, lifted back to concrete scheduler steps —
+// is identical to the unreduced exploration:
+//
+//	eng, _ := dining.New(dining.Ring(5), dining.LR1, dining.WithSymmetry())
+//
+// The reduction is gated for soundness, falling back to the unreduced
+// exploration whenever it could change a verdict: algorithms that break
+// philosopher symmetry (GDP1/GDP2's fork numbering, the naive left-first
+// tie-break) and targeted faults disable the quotient entirely; reflections
+// are used only for algorithms invariant under the left/right swap (LR1,
+// LR2); protected sets restrict the group to their setwise stabilizer; and
+// lockout-freedom's per-philosopher labellings are checked on an unreduced
+// twin exploration. State counts in [PropertyResult] are then per-orbit;
+// simulation and trial surfaces are never affected. [Engine.Symmetry]
+// reports the engine's setting, which also enters [Engine.Fingerprint].
+//
 // # Streams
 //
 // [Engine.Trials] yields per-trial results as workers finish — an

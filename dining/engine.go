@@ -34,6 +34,7 @@ type config struct {
 	maxSteps       int64
 	maxStates      int
 	trials         int
+	symmetry       bool
 	recorder       sim.Recorder
 
 	faultName    string
@@ -94,6 +95,22 @@ func WithMaxStates(n int) Option { return func(c *config) { c.maxStates = n } }
 // WithTrials sets the Monte-Carlo trial count used by the statistical
 // properties of Check (0 = each check's default).
 func WithTrials(n int) Option { return func(c *config) { c.trials = n } }
+
+// WithSymmetry quotients the explorations of Check and Explore by the
+// topology's automorphism group: states that are permutations of one another
+// under a declared topology symmetry (ring rotations and reflections, star
+// leaf permutations) are stored once, shrinking the state space by up to the
+// group order while preserving every exhaustive verdict. The reduction only
+// applies when it is sound — the engine's (possibly fault-wrapped) program
+// must satisfy the paper's symmetry condition (Program.Symmetric; targeted
+// faults disable it), reflections are used only for left/right-symmetric
+// programs (sim.SideSymmetricProgram), and a protected set restricts the
+// group to its setwise stabilizer. On asymmetric programs or topologies
+// without declared symmetries the option is a no-op. Counterexample traces
+// are lifted back to concrete schedules, so they replay on engines without
+// the option. Verdicts are identical with and without symmetry; reported
+// state and transition counts are per orbit, so they differ.
+func WithSymmetry() Option { return func(c *config) { c.symmetry = true } }
 
 // WithFaults injects the named fault model into the engine's transition
 // system. The name may be a full fault spec ("crash-rejoin:0.1,0.5@2", see
@@ -227,6 +244,10 @@ func (e *Engine) MaxStates() int { return e.cfg.maxStates }
 // TrialCount returns the engine's statistical trial count (0 = each check's
 // default). The name avoids colliding with the Trials stream method.
 func (e *Engine) TrialCount() int { return e.cfg.trials }
+
+// Symmetry reports whether the engine quotients its explorations by the
+// topology's automorphism group (WithSymmetry).
+func (e *Engine) Symmetry() bool { return e.cfg.symmetry }
 
 // FairnessWindow returns the engine's bounded-fair adversary window
 // (0 = default).

@@ -11,8 +11,10 @@ import (
 
 // fingerprintVersion tags the canonical encoding; bump it whenever a field
 // is added, removed or re-ordered so that stale cache entries keyed by an
-// older encoding can never alias a new configuration.
-const fingerprintVersion = "dining-fingerprint-v1"
+// older encoding can never alias a new configuration. v2 added the symmetry
+// bit (WithSymmetry changes the explored space, so quotiented and unreduced
+// explorations must never share a cache entry).
+const fingerprintVersion = "dining-fingerprint-v2"
 
 // Fingerprint returns a stable hexadecimal key of the engine's canonical
 // configuration: the topology (name and full fork/philosopher structure,
@@ -93,6 +95,9 @@ func (e *Engine) Fingerprint() string {
 	}
 	// Storage layout.
 	u64(uint64(e.cfg.shards))
+	// Symmetry quotient: a quotiented space stores orbit representatives, so
+	// it must never alias the unreduced space of the same configuration.
+	b(e.cfg.symmetry)
 	// Fault model, by canonical spec ("" when none): Spec() re-canonicalizes
 	// rates and targets, so every spelling of the same model agrees.
 	str(e.Faults())

@@ -15,7 +15,7 @@ import (
 func TestFingerprintStableAcrossProcesses(t *testing.T) {
 	t.Parallel()
 	eng := mustEngine(t, dining.Ring(3), dining.LR1)
-	const want = "d5774c966a301c60c814177825746c67"
+	const want = "a84bfa3b98601de34710fa3e2a805656"
 	if got := eng.Fingerprint(); got != want {
 		t.Errorf("Fingerprint() = %q, want the cross-process pin %q", got, want)
 	}
@@ -66,6 +66,7 @@ func TestFingerprintDistinguishesConfigs(t *testing.T) {
 		"fault-freeze":    base(dining.WithFaults("freeze", 0.1)),
 		"fault-rate":      base(dining.WithFaults("crash-rejoin", 0.2)),
 		"fault-target":    base(dining.WithFaults("crash-rejoin", 0.1), dining.WithFaultTargets(1)),
+		"symmetry":        base(dining.WithSymmetry()),
 	}
 	seen := make(map[string]string, len(variants))
 	for name, eng := range variants {

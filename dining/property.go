@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"iter"
 
+	"repro/internal/graph"
 	"repro/internal/modelcheck"
 	"repro/internal/par"
 	"repro/internal/prng"
@@ -333,6 +334,12 @@ func resolveProperties(names []string) ([]Property, error) {
 // explore builds the engine's state space with the engine's worker count,
 // wiring ctx cancellation into the exploration loop.
 func (e *Engine) explore(ctx context.Context) (*StateSpace, error) {
+	return e.exploreQuotient(ctx, e.cfg.symmetry)
+}
+
+// exploreQuotient is explore with the symmetry quotient explicitly on or
+// off; the lockout checks use it to re-explore unreduced.
+func (e *Engine) exploreQuotient(ctx context.Context, symmetry bool) (*StateSpace, error) {
 	prog, err := e.program()
 	if err != nil {
 		return nil, err
@@ -343,10 +350,38 @@ func (e *Engine) explore(ctx context.Context) (*StateSpace, error) {
 		Workers:   e.cfg.workers,
 		Shards:    e.cfg.shards,
 	}
+	if symmetry {
+		canon, err := e.canonicalizer(prog)
+		if err != nil {
+			return nil, err
+		}
+		opts.Symmetry = canon
+	}
 	if ctx.Done() != nil {
 		opts.Interrupt = ctx.Err
 	}
 	return modelcheck.Explore(e.topo, prog, opts)
+}
+
+// canonicalizer builds the orbit canonicalizer of a symmetry-enabled
+// exploration, applying the soundness gates: no quotient at all for programs
+// that break the paper's symmetry condition (including fault-targeted ones),
+// orientation-preserving automorphisms only unless the program is invariant
+// under the left/right swap, and the setwise stabilizer of a configured
+// protected set. The result may be trivial (identity-only), which the model
+// checker treats as symmetry off.
+func (e *Engine) canonicalizer(prog sim.Program) (*graph.OrbitCanonicalizer, error) {
+	if !prog.Symmetric() {
+		return nil, nil
+	}
+	copts := graph.CanonOptions{
+		OrientationPreserving: true,
+		Stabilize:             e.cfg.protected,
+	}
+	if sp, ok := prog.(sim.SideSymmetricProgram); ok && sp.SideSymmetric() {
+		copts.OrientationPreserving = false
+	}
+	return graph.NewOrbitCanonicalizer(e.topo, copts)
 }
 
 // newResult seeds a PropertyResult with the identity of the check.
@@ -469,6 +504,17 @@ func checkLockoutFreedom(ctx context.Context, in PropertyInput) (PropertyResult,
 // LockoutFreedomUnderFaults share it.
 func checkLockoutFreedomAs(ctx context.Context, name string, in PropertyInput) (PropertyResult, error) {
 	res := in.newResult(name, ExhaustiveProperty)
+	space := in.Space
+	if space.Symmetric() {
+		// The per-philosopher trap labellings ("philosopher p eats") are not
+		// invariant under automorphisms that move p, so they cannot be decided
+		// on the quotient space. Re-explore unreduced once; the per-philosopher
+		// fan-out below shares the space.
+		var err error
+		if space, err = in.Engine.exploreQuotient(ctx, false); err != nil {
+			return res, err
+		}
+	}
 	phils := in.Engine.cfg.protected
 	if len(phils) == 0 {
 		phils = make([]PhilID, in.Engine.topo.NumPhilosophers())
@@ -489,7 +535,7 @@ func checkLockoutFreedomAs(ctx context.Context, name string, in PropertyInput) (
 	traps := make([]modelcheck.Trap, len(phils))
 	errs := make([]error, len(phils))
 	for s := range par.Stream(ctx, workers, len(phils), func(i int) (modelcheck.Trap, error) {
-		return in.Space.FindStarvationTrapAgainst([]PhilID{phils[i]})
+		return space.FindStarvationTrapAgainst([]PhilID{phils[i]})
 	}) {
 		traps[s.Index], errs[s.Index] = s.Value, s.Err
 		if workers == 1 && (s.Err != nil || (s.Value.Exists && s.Value.Reachable)) {
@@ -507,7 +553,7 @@ func checkLockoutFreedomAs(ctx context.Context, name string, in PropertyInput) (
 		}
 		res.TrapStates = trap.States
 		res.Detail = fmt.Sprintf("a fair adversary can starve philosopher %d forever: trap of %d states", phils[i], trap.States)
-		cx, err := in.Space.CounterexampleTo(name, trap.WitnessState)
+		cx, err := space.CounterexampleTo(name, trap.WitnessState)
 		if err != nil {
 			return res, err
 		}

@@ -43,6 +43,11 @@ func (*LR1) Name() string { return "LR1" }
 // Symmetric implements sim.Program: LR1 is symmetric and fully distributed.
 func (*LR1) Symmetric() bool { return true }
 
+// SideSymmetric implements sim.SideSymmetricProgram: with the default fair
+// coin LR1 treats left and right forks identically; a biased coin breaks the
+// left/right symmetry.
+func (a *LR1) SideSymmetric() bool { return a.opts.leftBias() == 0.5 }
+
 // Init implements sim.Program. LR1 needs no state beyond NewWorld's defaults.
 func (*LR1) Init(*sim.World) {}
 

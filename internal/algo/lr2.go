@@ -54,6 +54,11 @@ func (*LR2) Name() string { return "LR2" }
 // (the request lists and guest books live on the forks).
 func (*LR2) Symmetric() bool { return true }
 
+// SideSymmetric implements sim.SideSymmetricProgram: with the default fair
+// coin LR2 treats left and right forks identically; a biased coin breaks the
+// left/right symmetry.
+func (a *LR2) SideSymmetric() bool { return a.opts.leftBias() == 0.5 }
+
 // Init implements sim.Program.
 func (*LR2) Init(*sim.World) {}
 

@@ -39,11 +39,15 @@ func IsDeterministicPkg(path string) bool {
 // fingerprint logic must stay a pure function of the request sequence —
 // cache dispositions and keys have to replay identically from a request
 // trace. Subtrees inherit the entry, so testdata under a gated tree is
-// checked under the same filename filter.
+// checked under the same filename filter. internal/graph is construction-time
+// code and free to format, but its automorphism seam is replayed on the model
+// checker's hot path — orbit canonicalization must be a pure function of the
+// topology — so that one file joins the deterministic core.
 var deterministicFileTrees = []struct {
 	prefix string
 	files  map[string]bool
 }{
+	{"repro/internal/graph", map[string]bool{"automorphism.go": true}},
 	{"repro/internal/serve", map[string]bool{"cache.go": true, "fingerprint.go": true}},
 }
 

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 )
 
 // NewHotAlloc returns the hotalloc analyzer, which guards the 0-alloc
@@ -20,7 +21,8 @@ import (
 //
 //   - fmt.* calls (except fmt.Errorf) allocate on every call and are
 //     forbidden on the non-error paths of the hot packages (the
-//     deterministic core). Error paths remain free to format: calls inside
+//     deterministic core, package-wide or per-file through the same gate
+//     as detsource). Error paths remain free to format: calls inside
 //     panic arguments, inside String/Name/Error/Format/GoString/Report
 //     methods (reporting surfaces, cold by construction) and inside
 //     package-level variable initializers (one-shot init-time work) are
@@ -43,9 +45,12 @@ var coldFuncNames = map[string]bool{
 
 func runHotAlloc(pass *Pass) error {
 	sigs := applySignatures(pass)
+	gated := gatedFiles(pass.Pkg.Path)
 	for _, file := range pass.Pkg.Files {
 		checkApplyLiterals(pass, file, sigs)
-		if IsDeterministicPkg(pass.Pkg.Path) {
+		hot := IsDeterministicPkg(pass.Pkg.Path) ||
+			(gated != nil && gated[filepath.Base(pass.Pkg.Fset.Position(file.Pos()).Filename)])
+		if hot {
 			checkHotFmt(pass, file)
 		}
 	}

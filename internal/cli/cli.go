@@ -49,8 +49,11 @@ const (
 	FlagProfile
 	// FlagFaults registers -faults (fault-model injection).
 	FlagFaults
-	// FlagServe registers -addr, -cache-states and -drain (dpserve).
+	// FlagServe registers -addr, -cache-states, -max-request-states and
+	// -drain (dpserve).
 	FlagServe
+	// FlagSymmetry registers -symmetry (orbit-quotient explorations).
+	FlagSymmetry
 )
 
 // Config holds the shared tool configuration. Populate the fields with a
@@ -84,6 +87,9 @@ type Config struct {
 	// ("crash-rejoin:0.1", see the grammar in internal/fault; empty = no
 	// faults).
 	Faults string
+	// Symmetry quotients explorations by the topology's automorphism group
+	// (dining.WithSymmetry; verdicts are identical, state counts per-orbit).
+	Symmetry bool
 	// CPUProfile and MemProfile are output paths for runtime/pprof profiles
 	// (empty = no profile).
 	CPUProfile string
@@ -93,6 +99,10 @@ type Config struct {
 	// CacheStates bounds dpserve's state-space cache by total retained
 	// states (0 = the server default).
 	CacheStates int
+	// MaxRequestStates is dpserve's admission cap: /v1/check requests whose
+	// engine state bound exceeds it (or is unbounded) are rejected with a
+	// 422 before any exploration starts (0 = no cap).
+	MaxRequestStates int
 	// Drain is the graceful-shutdown drain timeout of the serving tools.
 	Drain time.Duration
 
@@ -152,7 +162,13 @@ func (c *Config) Register(fs *flag.FlagSet, which Flags) {
 		fs.StringVar(&c.Addr, "addr", c.Addr, "listen address (host:port; :0 picks a free port)")
 		fs.IntVar(&c.CacheStates, "cache-states", c.CacheStates,
 			"state-space cache budget: total retained states across entries (0 = server default)")
+		fs.IntVar(&c.MaxRequestStates, "max-request-states", c.MaxRequestStates,
+			"admission cap: reject /v1/check requests whose max_states exceeds this, or is unbounded (0 = no cap)")
 		fs.DurationVar(&c.Drain, "drain", c.Drain, "graceful-shutdown drain timeout on SIGINT/SIGTERM")
+	}
+	if which&FlagSymmetry != 0 {
+		fs.BoolVar(&c.Symmetry, "symmetry", c.Symmetry,
+			"quotient explorations by the topology's automorphism group (verdicts identical; state counts per-orbit)")
 	}
 	if which&FlagProfile != 0 {
 		fs.StringVar(&c.CPUProfile, "cpuprofile", c.CPUProfile, "write a CPU profile to this file")
@@ -207,6 +223,9 @@ func (c *Config) Validate() error {
 		}
 		if c.CacheStates < 0 {
 			return fmt.Errorf("-cache-states must be >= 0, got %d", c.CacheStates)
+		}
+		if c.MaxRequestStates < 0 {
+			return fmt.Errorf("-max-request-states must be >= 0, got %d", c.MaxRequestStates)
 		}
 		if c.Drain < 0 {
 			return fmt.Errorf("-drain must be >= 0, got %v", c.Drain)
@@ -268,6 +287,9 @@ func (c *Config) Engine(extra ...dining.Option) (*dining.Engine, error) {
 	}
 	if c.Faults != "" {
 		opts = append(opts, dining.WithFaults(c.Faults))
+	}
+	if c.Symmetry {
+		opts = append(opts, dining.WithSymmetry())
 	}
 	opts = append(opts, extra...)
 	return dining.New(topo, c.Algorithm, opts...)

@@ -33,6 +33,10 @@ type ExperimentConfig struct {
 	// how far the paper's guarantees survive crashes and lost grants. E-RT is
 	// skipped: the concurrent goroutine runtime rejects fault injection.
 	Faults string
+	// Symmetry quotients the model-checking experiments by each topology's
+	// automorphism group (System.Symmetry). Verdict tables are identical;
+	// the reported state counts become per-orbit counts.
+	Symmetry bool
 }
 
 func (c ExperimentConfig) trials(full, quick int) int {
@@ -335,7 +339,7 @@ func runTheorem4(cfg ExperimentConfig) (*Table, error) {
 		{"GDP2 as printed (courtesy on first fork)", algo.Options{}},
 		{"GDP2 with courtesy on both forks", algo.Options{CourtesyOnBothForks: true}},
 	} {
-		sys := System{Topology: theta, Algorithm: "GDP2", AlgoOptions: variant.opts, Protected: []graph.PhilID{0}, Faults: flt}
+		sys := System{Topology: theta, Algorithm: "GDP2", AlgoOptions: variant.opts, Protected: []graph.PhilID{0}, Faults: flt, Symmetry: cfg.Symmetry}
 		rep, err := sys.ModelCheck(0)
 		if err != nil {
 			return nil, err
@@ -355,7 +359,7 @@ func runTheorem4(cfg ExperimentConfig) (*Table, error) {
 			if variant.label == "GDP1 (no courtesy)" {
 				name = "GDP1"
 			}
-			sys := System{Topology: graph.Ring(3), Algorithm: name, AlgoOptions: variant.opts, Protected: []graph.PhilID{0}, Faults: flt}
+			sys := System{Topology: graph.Ring(3), Algorithm: name, AlgoOptions: variant.opts, Protected: []graph.PhilID{0}, Faults: flt, Symmetry: cfg.Symmetry}
 			rep, err := sys.ModelCheck(0)
 			if err != nil {
 				return nil, err

@@ -47,6 +47,14 @@ type System struct {
 	// wrapped program, so they see the same perturbed MDP. The concurrent
 	// runtime has no fault support; RunConcurrent rejects a faulty system.
 	Faults fault.Model
+	// Symmetry quotients ModelCheck explorations by the topology's declared
+	// automorphism group (orbit-canonical state keys). Verdicts are
+	// identical to the unreduced exploration; state counts are per-orbit.
+	// The soundness gates of the dining engine apply: asymmetric programs
+	// and topologies, and fault targeting, silently fall back to the
+	// unreduced exploration. Simulate and RunConcurrent ignore the field —
+	// a quotient is a property of exhaustive exploration only.
+	Symmetry bool
 	// Seed makes runs reproducible.
 	Seed uint64
 }
@@ -138,10 +146,38 @@ func (s *System) ModelCheck(maxStates int) (*modelcheck.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return modelcheck.Check(s.Topology, prog, modelcheck.Options{
+	opts := modelcheck.Options{
 		MaxStates: maxStates,
 		Protected: s.Protected,
-	})
+	}
+	if s.Symmetry {
+		canon, err := symmetryCanonicalizer(s.Topology, prog, s.Protected)
+		if err != nil {
+			return nil, err
+		}
+		opts.Symmetry = canon
+	}
+	return modelcheck.Check(s.Topology, prog, opts)
+}
+
+// symmetryCanonicalizer builds the orbit canonicalizer for a symmetry-enabled
+// exploration, applying the same soundness gates as the dining engine: no
+// quotient for programs that break the symmetry condition, only
+// orientation-preserving automorphisms unless the program is invariant under
+// the left/right swap, and the setwise stabilizer of the protected set. The
+// result may be trivial, which the model checker treats as symmetry off.
+func symmetryCanonicalizer(topo *graph.Topology, prog sim.Program, protected []graph.PhilID) (*graph.OrbitCanonicalizer, error) {
+	if !prog.Symmetric() {
+		return nil, nil
+	}
+	copts := graph.CanonOptions{
+		OrientationPreserving: true,
+		Stabilize:             protected,
+	}
+	if sp, ok := prog.(sim.SideSymmetricProgram); ok && sp.SideSymmetric() {
+		copts.OrientationPreserving = false
+	}
+	return graph.NewOrbitCanonicalizer(topo, copts)
 }
 
 // RunConcurrent executes the system on the goroutine runtime for the given

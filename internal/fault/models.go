@@ -125,6 +125,14 @@ func (fp *program) Init(w *sim.World) { fp.base.Init(w) }
 // model preserves it.
 func (fp *program) Symmetric() bool { return fp.base.Symmetric() && fp.target == nil }
 
+// SideSymmetric implements sim.SideSymmetricProgram by forwarding to the
+// base algorithm: the crash, rejoin and message-loss branches never mention
+// a side, so the wrapper is exactly as left/right symmetric as its base.
+func (fp *program) SideSymmetric() bool {
+	sp, ok := fp.base.(sim.SideSymmetricProgram)
+	return ok && sp.SideSymmetric()
+}
+
 // Outcomes implements sim.Program. Crashed philosophers get the rejoin /
 // still-crashed branch; live targeted ones get the base outcome set with
 // probabilities scaled by (1 - rate) in place plus the appended fault

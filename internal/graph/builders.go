@@ -18,7 +18,7 @@ func Ring(n int) *Topology {
 	for i := 0; i < n; i++ {
 		b.AddPhilosopher(ForkID(i), ForkID((i+1)%n))
 	}
-	return b.MustBuild()
+	return declareAutomorphisms(b.MustBuild(), ringAutomorphisms(n)...)
 }
 
 // Classic is an alias for Ring, named after the classic problem statement.
@@ -140,7 +140,7 @@ func Star(n int) *Topology {
 	for i := 0; i < n; i++ {
 		b.AddPhilosopher(hub, ForkID(i+1))
 	}
-	return b.MustBuild()
+	return declareAutomorphisms(b.MustBuild(), starAutomorphisms(n)...)
 }
 
 // Path returns an open chain of n philosophers over n+1 forks: philosopher i

@@ -76,6 +76,10 @@ type Topology struct {
 	// numForks+1 entries so slotBase[f+1]-slotBase[f] is Degree(f) and
 	// slotBase[numForks] is the total slot count.
 	slotBase []int
+	// aut holds the declared automorphism generators of the topology (see
+	// automorphism.go). Only the symmetric constructors (Ring, Star) declare
+	// any; an empty set means the only known automorphism is the identity.
+	aut []Automorphism
 }
 
 // Builder incrementally constructs a Topology. The zero value is not usable;

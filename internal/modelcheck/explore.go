@@ -115,6 +115,19 @@ type Options struct {
 	// every analysis, verdict and counterexample — is identical for every
 	// value. Negative values are an error.
 	Shards int
+	// Symmetry, when non-nil and non-trivial, interns orbit-canonical keys
+	// (sim.World.AppendCanonicalKey) instead of plain keys, quotienting the
+	// state space by the canonicalizer's automorphism group: each stored
+	// state is the first-discovered (representative) world of its orbit, and
+	// the dense discovery-order numbering stays deterministic for every
+	// (workers, shards) pair. Off (nil) by default; the nil path is
+	// byte-identical to the unreduced exploration. The caller is responsible
+	// for only quotienting by groups the program is equivariant under (see
+	// dining.WithSymmetry for the gating) and for the canonicalizer matching
+	// the explored topology. Crashed philosophers need no special casing:
+	// the crashed flag rides in the permuted key image, so a crash pattern
+	// only collides with its genuine automorphic images.
+	Symmetry *graph.OrbitCanonicalizer
 }
 
 // DefaultMaxStates bounds explorations when Options.MaxStates is zero.
@@ -204,6 +217,16 @@ type StateSpace struct {
 	expanded []bool
 	// hasKeys records whether the exploration retained canonical keys.
 	hasKeys bool
+	// Truncated reports whether MaxStates was hit; analyses on a truncated
+	// space are only valid for the explored fragment. It shares the padding
+	// slot of hasKeys, which keeps the struct inside the allocation size
+	// class it occupied before the symmetry surface was added.
+	Truncated bool
+	// sym carries the symmetry-quotient surface behind one pointer, so an
+	// unreduced space pays a single word and keeps its pre-symmetry
+	// allocation size class; nil when the space is unreduced (including
+	// trivial-group requests).
+	sym *symSpace
 	// initial is the dense index of the initial state (always 0).
 	initial int
 	// workers is the resolved exploration worker count; the lazily built
@@ -213,9 +236,6 @@ type StateSpace struct {
 	// analysis of this space (see PredecessorIndex).
 	predOnce sync.Once
 	pred     *graphalg.PredecessorIndex
-	// Truncated reports whether MaxStates was hit; analyses on a truncated
-	// space are only valid for the explored fragment.
-	Truncated bool
 }
 
 // PredecessorIndex returns the reverse-CSR predecessor index of the explored
@@ -277,14 +297,66 @@ func (ss *StateSpace) Bad(s int) bool { return ss.bad[s] }
 // graphalg.StateView.
 func (ss *StateSpace) Expanded(s int) bool { return ss.expanded[s] }
 
-// KeyOf returns the canonical key of state s, or "" when the exploration did
-// not retain keys (Options.KeepKeys).
+// KeyOf returns the intern key of state s — under a symmetry quotient the
+// orbit-canonical key, otherwise the plain world key — or "" when the
+// exploration did not retain keys (Options.KeepKeys).
 func (ss *StateSpace) KeyOf(s int) string {
 	if !ss.hasKeys {
 		return ""
 	}
 	st, l := ss.locate(s)
 	return st.keys[l]
+}
+
+// symSpace is the symmetry-quotient surface of a StateSpace, allocated only
+// for reduced explorations so the unreduced struct layout — and with it the
+// byte-identical symmetry-off exploration — is preserved.
+type symSpace struct {
+	// canon is the orbit canonicalizer the space was quotiented by.
+	canon *graph.OrbitCanonicalizer
+	// repKeys holds, per dense state, the plain (unreduced) key of the
+	// orbit's representative world — the first-discovered concrete state.
+	// Retained only when Options.KeepKeys is also set.
+	repKeys []string
+	// repBuf is the sequential exploration path's scratch buffer for
+	// encoding representative keys; it lives here rather than on the
+	// explorer so the unreduced explorer carries no symmetry fields.
+	repBuf []byte
+}
+
+// Symmetric reports whether the space was explored under a symmetry quotient
+// (Options.Symmetry with a non-trivial group).
+func (ss *StateSpace) Symmetric() bool { return ss.sym != nil }
+
+// Canonicalizer returns the orbit canonicalizer the space was quotiented by,
+// or nil for an unreduced space.
+func (ss *StateSpace) Canonicalizer() *graph.OrbitCanonicalizer {
+	if ss.sym == nil {
+		return nil
+	}
+	return ss.sym.canon
+}
+
+// RepresentativeKeyOf returns the plain (unreduced) key of the representative
+// world of dense state s — the first concrete state of its orbit in discovery
+// order. Retained only on symmetry-quotient explorations with
+// Options.KeepKeys; "" otherwise.
+func (ss *StateSpace) RepresentativeKeyOf(s int) string {
+	if ss.sym == nil || ss.sym.repKeys == nil {
+		return ""
+	}
+	return ss.sym.repKeys[s]
+}
+
+// denseOf returns the dense id of the state interned under key, or -1 when
+// the key was never interned.
+func (ss *StateSpace) denseOf(key []byte) int32 {
+	st := &ss.shards[ss.shardOf(key)]
+	packed, ok := st.index[string(key)]
+	if !ok {
+		return -1
+	}
+	return st.dense[packed&localMask]
 }
 
 // NumTransitions returns the total number of (state, philosopher) actions.
@@ -424,9 +496,12 @@ type shardScratch struct {
 
 // explorer carries the shared state of one Explore call.
 type explorer struct {
-	ss        *StateSpace
+	ss *StateSpace
+	// opts is the caller's Options with every knob normalized in place —
+	// MaxStates resolved against the default, Symmetry trivial-group
+	// requests cleared to nil — so the explorer carries no duplicate
+	// resolved fields and keeps its pre-symmetry allocation size class.
 	opts      Options
-	maxStates int
 	protected map[graph.PhilID]bool
 
 	// arena interns the sequential path's map keys in large chunks, so the
@@ -447,6 +522,22 @@ type explorer struct {
 // isProtected reports whether p's meals count as "bad".
 func (e *explorer) isProtected(p graph.PhilID) bool {
 	return len(e.protected) == 0 || e.protected[p]
+}
+
+// appendKey appends the intern key of w: the orbit-canonical encoding under a
+// symmetry quotient, the plain encoding otherwise. The nil-canon branch keeps
+// the unreduced path byte-identical to a plain AppendKey call.
+func (e *explorer) appendKey(w *sim.World, buf []byte) []byte {
+	if c := e.opts.Symmetry; c != nil {
+		return w.AppendCanonicalKey(c, buf)
+	}
+	return w.AppendKey(buf)
+}
+
+// keepRepKeys reports whether the exploration records the plain key of each
+// orbit's representative world alongside the canonical ones.
+func (e *explorer) keepRepKeys() bool {
+	return e.opts.Symmetry != nil && e.opts.KeepKeys
 }
 
 // clone copies src for one explored transition, reusing spare when possible.
@@ -496,6 +587,10 @@ func (e *explorer) addState(g uint32, key string, w *sim.World) (packed, dense i
 	if e.opts.KeepKeys {
 		st.keys = append(st.keys, key)
 	}
+	if e.keepRepKeys() {
+		ss.sym.repBuf = w.AppendKey(ss.sym.repBuf[:0])
+		ss.sym.repKeys = append(ss.sym.repKeys, string(ss.sym.repBuf))
+	}
 	ss.order = append(ss.order, packed)
 	ss.expanded = append(ss.expanded, false)
 	bad, eat, mask := e.stateFlags(w)
@@ -538,6 +633,20 @@ func Explore(topo *graph.Topology, prog sim.Program, opts Options) (*StateSpace,
 		workers = runtime.GOMAXPROCS(0)
 	}
 	shards := resolveShards(opts.Shards, workers)
+	canon := opts.Symmetry
+	if canon != nil {
+		if canon.Topology() != topo {
+			return nil, fmt.Errorf("modelcheck: Options.Symmetry canonicalizer is for topology %q, not %q",
+				canon.Topology().Name(), topo.Name())
+		}
+		if canon.Trivial() {
+			canon = nil // the identity quotient is the unreduced exploration
+		}
+	}
+	// The explorer carries the normalized options — resolved state cap,
+	// trivial-group symmetry cleared — instead of duplicate resolved fields.
+	opts.MaxStates = maxStates
+	opts.Symmetry = canon
 
 	ss := &StateSpace{
 		topo:      topo,
@@ -549,13 +658,15 @@ func Explore(topo *graph.Topology, prog sim.Program, opts Options) (*StateSpace,
 		hasKeys:   opts.KeepKeys,
 		workers:   workers,
 	}
+	if canon != nil {
+		ss.sym = &symSpace{canon: canon}
+	}
 	for i := range ss.shards {
 		ss.shards[i].index = make(map[string]int32)
 	}
 	e := &explorer{
 		ss:        ss,
 		opts:      opts,
-		maxStates: maxStates,
 		zeroTrans: make([]transition, ss.NumPhils),
 	}
 	if len(opts.Protected) > 0 {
@@ -572,7 +683,7 @@ func Explore(topo *graph.Topology, prog sim.Program, opts Options) (*StateSpace,
 	prog.Init(initial)
 
 	w0 := e.clone(initial, nil)
-	keyBytes := w0.AppendKey(nil)
+	keyBytes := e.appendKey(w0, nil)
 	packed0, _, err := e.addState(ss.shardOf(keyBytes), e.arena.intern(keyBytes), w0)
 	if err != nil {
 		return nil, err
@@ -647,7 +758,7 @@ func (e *explorer) exploreSequential() error {
 				}
 				succOut[i].Do(succ, pid)
 				succ.Step++
-				s.keyBuf = succ.AppendKey(s.keyBuf[:0])
+				s.keyBuf = e.appendKey(succ, s.keyBuf[:0])
 				var sid int32
 				// The string(keyBuf) map probe is the no-copy idiom: probing
 				// a seen state allocates nothing; genuinely new states intern
@@ -669,7 +780,7 @@ func (e *explorer) exploreSequential() error {
 		}
 		ss.expanded[id] = true
 		s.putFree(w)
-		if ss.NumStates() > e.maxStates {
+		if ss.NumStates() > e.opts.MaxStates {
 			ss.Truncated = true
 			return nil
 		}
@@ -748,7 +859,7 @@ func (e *explorer) exploreSharded(workers int) error {
 			totalPending += len(s.pkeys)
 		}
 		d0 := ss.NumStates()
-		if d0+totalPending > e.maxStates {
+		if d0+totalPending > e.opts.MaxStates {
 			if err := e.mergeLevelSequential(scratches[:active], chunkLo); err != nil {
 				return err
 			}
@@ -792,6 +903,9 @@ func (e *explorer) exploreSharded(workers int) error {
 		ss.expanded = grown(ss.expanded, totalCreated)
 		if ss.NumPhils <= maskablePhils {
 			ss.eating = grown(ss.eating, totalCreated)
+		}
+		if e.keepRepKeys() {
+			ss.sym.repKeys = grown(ss.sym.repKeys, totalCreated)
 		}
 		e.nextFront = grown(e.nextFront[:0], totalCreated)
 
@@ -861,7 +975,7 @@ func (e *explorer) expandChunk(s *scratch, entries []frontEntry) {
 				}
 				succOut[i].Do(succ, pid)
 				succ.Step++
-				s.keyBuf = succ.AppendKey(s.keyBuf[:0])
+				s.keyBuf = e.appendKey(succ, s.keyBuf[:0])
 				s.probs = append(s.probs, outcomes[i].Prob)
 				g := ss.shardOf(s.keyBuf)
 				st := &ss.shards[g]
@@ -949,6 +1063,13 @@ func (e *explorer) gatherChunk(s *scratch, d0, base int) {
 		st := &ss.shards[packed>>localBits]
 		st.dense[packed&localMask] = int32(d)
 		ss.order[d] = packed
+		if e.keepRepKeys() {
+			// Chunks own disjoint dense ranges, so writing repKeys here is as
+			// race-free as the other dense arrays. The creating world is the
+			// orbit representative: first encountered in discovery order.
+			s.keyBuf = w.AppendKey(s.keyBuf[:0])
+			ss.sym.repKeys[d] = string(s.keyBuf)
+		}
 		bad, eat, mask := e.stateFlags(w)
 		ss.bad[d] = bad
 		ss.anyEating[d] = eat
@@ -1060,7 +1181,7 @@ func (e *explorer) mergeLevelSequential(scratches []*scratch, chunkLo []int) err
 				st.trans[base+a] = transition{off: off, n: cnt}
 			}
 			ss.expanded[e.levelStart+chunkLo[ci]+k] = true
-			if ss.NumStates() > e.maxStates {
+			if ss.NumStates() > e.opts.MaxStates {
 				ss.Truncated = true
 				return nil
 			}

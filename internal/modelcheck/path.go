@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/graphalg"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -42,14 +43,81 @@ func (ss *StateSpace) PathTo(target int) ([]Choice, bool) {
 // state to target: a shortest scheduler-choice path completed (labels,
 // probabilities, rendered final state, canonical final key) by re-executing
 // it on a fresh world. property names the property the trace refutes.
+//
+// On a symmetry-quotient space the stored path moves between orbits, not
+// concrete states, so it is first lifted to a concrete scheduler path (see
+// liftChoices); the returned trace replays on the unreduced semantics and
+// verifies on an unreduced engine.
 func (ss *StateSpace) CounterexampleTo(property string, target int) (*trace.Trace, error) {
 	choices, ok := ss.PathTo(target)
 	if !ok {
 		return nil, fmt.Errorf("modelcheck: state %d is not reachable from the initial state", target)
 	}
-	steps := make([]trace.Step, len(choices))
-	for i, c := range choices {
-		steps[i] = trace.Step{Phil: int(c.Phil), Outcome: c.Outcome}
+	var steps []trace.Step
+	if ss.sym != nil {
+		var err error
+		steps, err = ss.liftChoices(choices)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		steps = make([]trace.Step, len(choices))
+		for i, c := range choices {
+			steps[i] = trace.Step{Phil: int(c.Phil), Outcome: c.Outcome}
+		}
 	}
 	return trace.Build(ss.topo, ss.prog, ss.hunger, property, steps)
+}
+
+// liftChoices translates a quotient scheduler path into a concrete one. The
+// quotient path is replayed through the dense transition rows; in parallel a
+// concrete world is advanced step by step, at each step scheduling the first
+// (philosopher, outcome) pair — philosophers ascending, outcomes ascending —
+// whose concrete successor canonicalizes into the path's next quotient state.
+// Equivariance of the program under the quotient group guarantees such a pair
+// exists (the quotient step executed from the orbit's representative, and the
+// current concrete world is a group image of that representative), and the
+// first-match rule makes the lift deterministic.
+func (ss *StateSpace) liftChoices(choices []Choice) ([]trace.Step, error) {
+	steps := make([]trace.Step, len(choices))
+	w := sim.NewWorld(ss.topo)
+	if ss.hunger != nil {
+		w.Hunger = ss.hunger
+	}
+	ss.prog.Init(w)
+	q := ss.initial
+	var buf []byte
+	for i, c := range choices {
+		succs := ss.Succs(q, int(c.Phil))
+		if c.Outcome < 0 || c.Outcome >= len(succs) {
+			return nil, fmt.Errorf("modelcheck: quotient path step %d schedules outcome %d of P%d in state %d, which has %d outcomes",
+				i, c.Outcome, c.Phil, q, len(succs))
+		}
+		next := int(succs[c.Outcome])
+		found := false
+	search:
+		for a := 0; a < ss.NumPhils; a++ {
+			pid := graph.PhilID(a)
+			outcomes := ss.prog.Outcomes(w, pid, nil)
+			for o := range outcomes {
+				succ := w.Clone()
+				succOut := ss.prog.Outcomes(succ, pid, nil)
+				succOut[o].Do(succ, pid)
+				succ.Step++
+				buf = succ.AppendCanonicalKey(ss.sym.canon, buf[:0])
+				if int(ss.denseOf(buf)) == next {
+					steps[i] = trace.Step{Phil: a, Outcome: o}
+					w = succ
+					found = true
+					break search
+				}
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("modelcheck: cannot lift quotient counterexample step %d (state %d -> %d): no concrete transition canonicalizes into the target orbit",
+				i, q, next)
+		}
+		q = next
+	}
+	return steps, nil
 }

@@ -33,6 +33,7 @@ type Config struct {
 	FairnessWindow int64                    `json:"fairness_window,omitempty"`
 	Protected      []dining.PhilID          `json:"protected,omitempty"`
 	Faults         string                   `json:"faults,omitempty"`
+	Symmetry       bool                     `json:"symmetry,omitempty"`
 	Shards         int                      `json:"shards,omitempty"`
 	Workers        int                      `json:"workers,omitempty"`
 	AlgoOptions    *dining.AlgorithmOptions `json:"algo_options,omitempty"`
@@ -54,6 +55,7 @@ func EngineConfig(eng *dining.Engine) Config {
 		FairnessWindow: eng.FairnessWindow(),
 		Protected:      eng.Protected(),
 		Faults:         eng.Faults(),
+		Symmetry:       eng.Symmetry(),
 		Shards:         eng.Shards(),
 		Workers:        eng.Workers(),
 	}

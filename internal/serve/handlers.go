@@ -40,10 +40,36 @@ func (s *Server) begin(w http.ResponseWriter, id string) *stream {
 // reject writes a 400 with a single NDJSON error line — validation failures
 // happen before any streaming, so the status code is still settable.
 func (s *Server) reject(w http.ResponseWriter, id string, err error) {
+	s.rejectStatus(w, id, http.StatusBadRequest, err)
+}
+
+// rejectStatus is reject with an explicit status code; admission failures use
+// 422 to distinguish a well-formed but inadmissible request from a malformed
+// one.
+func (s *Server) rejectStatus(w http.ResponseWriter, id string, code int, err error) {
 	w.Header().Set("Content-Type", contentType)
-	w.WriteHeader(http.StatusBadRequest)
+	w.WriteHeader(code)
 	st := &stream{sw: newStreamWriter(w), id: id, start: s.now(), now: s.now}
 	st.event(Event{Event: "error", Error: err.Error()})
+}
+
+// admit enforces the server's per-request exploration cap on an assembled
+// engine: with -max-request-states set, a /v1/check engine must carry a
+// max_states bound at or under the cap. Unbounded requests are rejected too —
+// an admission cap that admitted the unbounded default would cap everything
+// except the most expensive request.
+func (s *Server) admit(eng *dining.Engine) error {
+	limit := s.maxRequestStates
+	if limit <= 0 {
+		return nil
+	}
+	switch ms := eng.MaxStates(); {
+	case ms == 0:
+		return fmt.Errorf("admission: request has no max_states bound; this server caps explorations at %d states (-max-request-states)", limit)
+	case ms > limit:
+		return fmt.Errorf("admission: request max_states %d exceeds this server's cap of %d states (-max-request-states)", ms, limit)
+	}
+	return nil
 }
 
 // handleCheck streams property verdicts. The state space backing the
@@ -66,6 +92,10 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	props, err := req.properties()
 	if err != nil {
 		s.reject(w, id, err)
+		return
+	}
+	if err := s.admit(eng); err != nil {
+		s.rejectStatus(w, id, http.StatusUnprocessableEntity, err)
 		return
 	}
 	exhaustive := false

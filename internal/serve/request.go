@@ -40,6 +40,11 @@ type Request struct {
 	Protected      []dining.PhilID `json:"protected,omitempty"`
 	M              int             `json:"m,omitempty"`
 	Faults         string          `json:"faults,omitempty"`
+	// Symmetry quotients the exploration by the topology's automorphism
+	// group (dining.WithSymmetry): verdicts are identical to the unreduced
+	// engine, state counts are per-orbit, and the fingerprint (hence the
+	// cache key) differs from the unreduced configuration.
+	Symmetry bool `json:"symmetry,omitempty"`
 	// Workers and Shards override the server defaults (0 = server default,
 	// which itself defaults to the engine's one-per-CPU). Neither changes
 	// any result — both are pinned bit-identical knobs.
@@ -86,6 +91,9 @@ func (s *Server) engine(req *Request) (*dining.Engine, error) {
 	}
 	if req.Faults != "" {
 		opts = append(opts, dining.WithFaults(req.Faults))
+	}
+	if req.Symmetry {
+		opts = append(opts, dining.WithSymmetry())
 	}
 	return dining.New(topo, req.Algorithm, opts...)
 }

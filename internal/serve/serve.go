@@ -36,6 +36,15 @@
 //	{"event":"error",   "error":"..."}                 terminal failure
 //	{"event":"done",    ...}   totals: states, transitions, elapsed_ms
 //
+// # Admission control
+//
+// With Options.MaxRequestStates set (dpserve -max-request-states), /v1/check
+// requests are admitted only when their engine carries a max_states bound at
+// or under the cap; unbounded requests and requests over the cap are
+// rejected with HTTP 422 and a single structured error line before any
+// exploration starts. Malformed requests stay 400 — the codes separate
+// "fix your request" from "ask for less".
+//
 // The payload wire formats (PropertyResult, TrialResult, ScenarioResult,
 // counterexample traces) are exactly the dining package's stable JSON
 // formats — the same bytes dpcheck -json and dpsim -json emit — and the
@@ -88,6 +97,14 @@ type Options struct {
 	// per CPU, shards matching workers).
 	Workers int
 	Shards  int
+	// MaxRequestStates is the admission cap of /v1/check: a request whose
+	// engine state bound (max_states) exceeds the cap — or is absent, i.e.
+	// unbounded — is rejected with 422 and a single structured error line
+	// before any exploration starts. Zero disables admission control. The
+	// cap guards the shared exploration workers of a multi-tenant server;
+	// it is deliberately per-request and independent of CacheStates, which
+	// only bounds what is retained afterwards.
+	MaxRequestStates int
 	// BaseContext bounds cache-filling explorations. An exploration runs
 	// under this context, not the requesting client's: the explored space
 	// outlives any one request, so a client disconnect must not cancel the
@@ -103,23 +120,25 @@ type Options struct {
 // Server is the checking service: an http.Handler with a shared state-space
 // cache. Construct with New; a Server is safe for concurrent use.
 type Server struct {
-	cache   *Cache
-	workers int
-	shards  int
-	base    context.Context
-	now     func() time.Time
-	mux     *http.ServeMux
-	reqSeq  atomic.Int64
+	cache            *Cache
+	workers          int
+	shards           int
+	maxRequestStates int
+	base             context.Context
+	now              func() time.Time
+	mux              *http.ServeMux
+	reqSeq           atomic.Int64
 }
 
 // New builds a Server with the given options.
 func New(opts Options) *Server {
 	s := &Server{
-		cache:   NewCache(opts.CacheStates),
-		workers: opts.Workers,
-		shards:  opts.Shards,
-		base:    opts.BaseContext,
-		now:     opts.Clock,
+		cache:            NewCache(opts.CacheStates),
+		workers:          opts.Workers,
+		shards:           opts.Shards,
+		maxRequestStates: opts.MaxRequestStates,
+		base:             opts.BaseContext,
+		now:              opts.Clock,
 	}
 	if s.base == nil {
 		s.base = context.Background()

@@ -354,6 +354,101 @@ func TestServerAssignsRequestIDs(t *testing.T) {
 	}
 }
 
+// TestAdmissionCapRejectsOversizedChecks checks -max-request-states: with a
+// cap configured, /v1/check admits only requests bounded at or under it;
+// over-cap and unbounded requests get a 422 with one structured error line
+// and never touch the cache. /v1/trials (no exploration) stays unaffected.
+func TestAdmissionCapRejectsOversizedChecks(t *testing.T) {
+	t.Parallel()
+	s, ts := newTestServer(t, Options{MaxRequestStates: 5000})
+
+	admitted := Request{ID: "ok", Topology: "ring", N: 3, Algorithm: dining.LR1, MaxStates: 5000}
+	if code, events := post(t, ts, "/v1/check", admitted); code != http.StatusOK {
+		t.Fatalf("at-cap request: status %d, events %+v", code, events)
+	}
+
+	rejected := []struct {
+		name string
+		req  Request
+		want string
+	}{
+		{"over cap", Request{ID: "big", Topology: "ring", N: 3, Algorithm: dining.LR1, MaxStates: 5001},
+			"exceeds this server's cap of 5000"},
+		{"unbounded", Request{ID: "inf", Topology: "ring", N: 3, Algorithm: dining.LR1},
+			"no max_states bound"},
+	}
+	for _, tc := range rejected {
+		code, events := post(t, ts, "/v1/check", tc.req)
+		if code != http.StatusUnprocessableEntity {
+			t.Errorf("%s: status %d, want 422", tc.name, code)
+		}
+		if len(events) != 1 || events[0].Event != "error" || events[0].ID != tc.req.ID {
+			t.Fatalf("%s: response = %+v, want one accountable error event", tc.name, events)
+		}
+		if !strings.Contains(events[0].Error, tc.want) {
+			t.Errorf("%s: error %q, want it to mention %q", tc.name, events[0].Error, tc.want)
+		}
+	}
+	if st := s.CacheStats(); st.Explorations != 1 {
+		t.Errorf("rejected requests changed the exploration count: stats %+v, want exactly the admitted one", st)
+	}
+
+	trials := Request{ID: "t", Topology: "ring", N: 3, Algorithm: dining.GDP1, Trials: 2, MaxSteps: 2000}
+	if code, _ := post(t, ts, "/v1/trials", trials); code != http.StatusOK {
+		t.Errorf("/v1/trials: status %d, want 200 (admission caps explorations, not sampling)", code)
+	}
+}
+
+// TestCheckSymmetryRequest checks the symmetry knob end-to-end: the quotient
+// request is echoed (config + distinct fingerprint), verdicts match the
+// unreduced request, and the done line reports the smaller orbit space.
+func TestCheckSymmetryRequest(t *testing.T) {
+	t.Parallel()
+	s, ts := newTestServer(t, Options{})
+	code, plain := post(t, ts, "/v1/check", checkBody)
+	if code != http.StatusOK {
+		t.Fatalf("unreduced request: status %d", code)
+	}
+	req := Request{ID: "sym", Topology: "ring", N: 3, Algorithm: dining.LR1, Symmetry: true}
+	code, sym := post(t, ts, "/v1/check", req)
+	if code != http.StatusOK {
+		t.Fatalf("symmetry request: status %d", code)
+	}
+	checkAccountable(t, sym, "sym")
+	if !sym[0].Config.Symmetry || plain[0].Config.Symmetry {
+		t.Error("config echo does not reflect the symmetry knob")
+	}
+	if sym[0].Config.Fingerprint == plain[0].Config.Fingerprint {
+		t.Error("symmetry did not split the fingerprint — quotient and unreduced spaces would share a cache entry")
+	}
+	verdicts := func(events []Event) map[string]bool {
+		out := make(map[string]bool)
+		for _, ev := range events {
+			if ev.Event == "result" {
+				out[ev.Result.Property] = ev.Result.Passed
+			}
+		}
+		return out
+	}
+	pv, sv := verdicts(plain), verdicts(sym)
+	if len(sv) != len(pv) {
+		t.Fatalf("symmetry returned %d verdicts, unreduced %d", len(sv), len(pv))
+	}
+	for prop, passed := range pv {
+		if sv[prop] != passed {
+			t.Errorf("%s: symmetry verdict %v, unreduced %v", prop, sv[prop], passed)
+		}
+	}
+	plainDone, symDone := plain[len(plain)-1], sym[len(sym)-1]
+	if symDone.States >= plainDone.States {
+		t.Errorf("quotient explored %d states, unreduced %d — expected a strict reduction on ring-3",
+			symDone.States, plainDone.States)
+	}
+	if st := s.CacheStats(); st.Entries != 2 {
+		t.Errorf("stats = %+v, want 2 cache entries (quotient and unreduced)", st)
+	}
+}
+
 // TestBaseContextCancellationAbortsExploration checks the shutdown path:
 // cancelling the server's base context fails in-flight explorations.
 func TestBaseContextCancellationAbortsExploration(t *testing.T) {

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"bytes"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// canonScratchPool recycles the candidate-image buffer of AppendCanonicalKey
+// so canonicalization allocates nothing in steady state even when many
+// goroutines encode keys concurrently.
+var canonScratchPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// AppendCanonicalKey appends the orbit-canonical encoding of the world under
+// the canonicalizer's automorphism group: the lexicographically smallest
+// AppendKey image over all group elements. Two worlds produce the same
+// canonical key exactly when some enumerated automorphism maps one onto the
+// other, so interning canonical keys quotients the state space by the group.
+//
+// With a nil or trivial canonicalizer — or when the world carries Globals,
+// which have no per-philosopher structure to permute — the result is exactly
+// AppendKey, so the unreduced path is byte-identical. The hot path encodes
+// each non-identity image into a pooled scratch buffer and keeps the
+// smallest; no per-state allocation.
+func (w *World) AppendCanonicalKey(c *graph.OrbitCanonicalizer, buf []byte) []byte {
+	if c == nil || c.Trivial() || len(w.Globals) > 0 {
+		return w.AppendKey(buf)
+	}
+	start := len(buf)
+	buf = w.AppendKey(buf) // the identity image
+	sp := canonScratchPool.Get().(*[]byte)
+	scratch := *sp
+	perms := c.Perms()
+	for i := 1; i < len(perms); i++ {
+		scratch = w.appendPermutedKey(&perms[i], scratch[:0])
+		if bytes.Compare(scratch, buf[start:]) < 0 {
+			buf = append(buf[:start], scratch...)
+		}
+	}
+	*sp = scratch
+	canonScratchPool.Put(sp)
+	return buf
+}
+
+// appendPermutedKey appends the AppendKey encoding of the world's image
+// under one automorphism, without materializing the permuted world: the
+// destination-indexed loop reads each field through the element's source
+// tables and maps state-internal references (selected fork, fork holder,
+// adjacency slots) through the image tables. The byte layout is identical
+// to AppendKey's, so the identity element reproduces AppendKey exactly.
+func (w *World) appendPermutedKey(el *graph.AutPerm, buf []byte) []byte {
+	for q := range w.Phils {
+		p := &w.Phils[el.PhilSrc[q]]
+		flags := byte(p.Phase) & 0x3
+		if p.HasFirst {
+			flags |= 1 << 2
+		}
+		if p.HasSecond {
+			flags |= 1 << 3
+		}
+		if p.Crashed {
+			flags |= 1 << 4
+		}
+		buf = append(buf, p.PC, flags)
+		first := p.First
+		if first != graph.NoFork {
+			first = graph.ForkID(el.ForkImg[first])
+		}
+		buf = appendUvarint(buf, uint64(first+1))
+		buf = appendVarint(buf, p.Aux[0])
+		buf = appendVarint(buf, p.Aux[1])
+	}
+	for g := range w.Forks {
+		f := &w.Forks[el.ForkSrc[g]]
+		holder := f.Holder
+		if holder != graph.NoPhil {
+			holder = graph.PhilID(el.PhilImg[holder])
+		}
+		buf = appendUvarint(buf, uint64(holder+1))
+		buf = appendUvarint(buf, uint64(f.NR))
+		base := w.Topo.SlotBase(graph.ForkID(g))
+		deg := w.Topo.Degree(graph.ForkID(g))
+		var bits, nbits byte
+		for s := 0; s < deg; s++ {
+			if w.req[el.SlotSrc[base+s]] {
+				bits |= 1 << nbits
+			}
+			if nbits++; nbits == 8 {
+				buf = append(buf, bits)
+				bits, nbits = 0, 0
+			}
+		}
+		if nbits > 0 {
+			buf = append(buf, bits)
+		}
+		buf = appendPermutedGuestBookRanks(buf, w.used, el.SlotSrc[base:base+deg])
+	}
+	buf = appendUvarint(buf, uint64(len(w.Globals)))
+	for _, gv := range w.Globals {
+		buf = appendVarint(buf, gv)
+	}
+	return buf
+}
+
+// appendPermutedGuestBookRanks is appendGuestBookRanks reading the fork's
+// guest-book window through a slot-source table instead of a contiguous
+// slice. Ranks count distinct smaller non-negative entries, so they are the
+// plain ranks carried to their permuted slots.
+func appendPermutedGuestBookRanks(buf []byte, used []int64, src []int32) []byte {
+	for _, si := range src {
+		ui := used[si]
+		if ui < 0 {
+			buf = append(buf, 0)
+			continue
+		}
+		rank := 0
+		for j, sj := range src {
+			uj := used[sj]
+			if uj < 0 || uj >= ui {
+				continue
+			}
+			// Count each distinct smaller value once (first occurrence only).
+			first := true
+			for k := 0; k < j; k++ {
+				if used[src[k]] == uj {
+					first = false
+					break
+				}
+			}
+			if first {
+				rank++
+			}
+		}
+		buf = append(buf, byte(rank+1))
+	}
+	return buf
+}

@@ -67,6 +67,21 @@ type Program interface {
 	Symmetric() bool
 }
 
+// SideSymmetricProgram is an optional extension of Program for algorithms
+// whose code is additionally invariant under swapping every philosopher's
+// left and right fork — the gate for quotienting by orientation-reversing
+// topology automorphisms (ring reflections). An unbiased coin flip between
+// left and right is side-symmetric; a biased one, or a deterministic
+// tie-break toward one side (GDP1's "prefer left on equal NR", Naive's
+// left-first order), is not. Programs that do not implement the interface
+// are conservatively treated as side-asymmetric.
+type SideSymmetricProgram interface {
+	Program
+	// SideSymmetric reports whether the program's behaviour is invariant
+	// under the left/right swap in its current configuration.
+	SideSymmetric() bool
+}
+
 // HungerModel decides when thinking philosophers become hungry. The paper
 // assumes "think may not terminate": the end of thinking is not under the
 // algorithm's control, so it is a property of the workload, not of the
