@@ -336,7 +336,10 @@ func BenchmarkAdversaryOverhead(b *testing.B) {
 // overhead of one passthrough delegation per outcome call; the active
 // models actually perturb the run and pay for their extra branches. The
 // explore cases measure the model checker on the perturbed state space,
-// which genuinely grows (crash/rejoin interleavings).
+// which genuinely grows (crash/rejoin interleavings; in-flight grant
+// counters for delayed-grants). "delayed-zero" is the rate-0 delayed-grants
+// wrapper — like zero-rate it must sit within noise of none, since no grant
+// ever enters flight and the pending key suffix stays absent.
 func BenchmarkFaultInjection(b *testing.B) {
 	faultModel := func(spec string) fault.Model {
 		if spec == "" {
@@ -353,6 +356,8 @@ func BenchmarkFaultInjection(b *testing.B) {
 		{"zero-rate", "crash-rejoin:0"},
 		{"crash-rejoin", "crash-rejoin:0.05,0.5"},
 		{"lossy-grants", "lossy-grants:0.2"},
+		{"delayed-zero", "delayed-grants:0"},
+		{"delayed-grants", "delayed-grants:0.2,2"},
 	}
 	b.Run("simulate", func(b *testing.B) {
 		topo := graph.Ring(9)
@@ -395,6 +400,33 @@ func BenchmarkFaultInjection(b *testing.B) {
 					states = ss.NumStates()
 				}
 				b.ReportMetric(float64(states), "states")
+			})
+		}
+	})
+	// The runtime cases measure goroutine-level injection: RunConcurrent
+	// wraps each philosopher with the crash-family fault driver (per-seed
+	// decision streams at cycle boundaries). Message-level models are
+	// rejected there, so this axis only crosses the crash family.
+	b.Run("runtime", func(b *testing.B) {
+		topo := graph.Ring(5)
+		for _, c := range []struct{ name, spec string }{
+			{"none", ""},
+			{"crash-rejoin", "crash-rejoin:0.05,0.5"},
+			{"freeze", "freeze:0.05"},
+		} {
+			m := faultModel(c.spec)
+			b.Run(c.name, func(b *testing.B) {
+				b.ReportAllocs()
+				var meals int64
+				for i := 0; i < b.N; i++ {
+					sys := core.System{Topology: topo, Algorithm: "GDP2", Seed: uint64(i) + 1, Faults: m}
+					metrics, err := sys.RunConcurrent(context.Background(), 20*time.Millisecond, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					meals += metrics.TotalMeals
+				}
+				b.ReportMetric(float64(meals)/float64(b.N), "meals/run")
 			})
 		}
 	})

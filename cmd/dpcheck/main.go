@@ -13,6 +13,8 @@
 //	dpcheck -workers 8 -shards 8                           # sharded parallel exploration
 //	dpcheck -topology ring -n 5 -symmetry                  # orbit-quotient exploration
 //	                                                       # (same verdicts, per-orbit state counts)
+//	dpcheck -topology ring -n 3 -faults delayed-grants:0.5,2 \
+//	        -props progress-under-faults                   # perturbed MDP with in-flight grants
 //	dpcheck -full -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Exit status: in table mode dpcheck exits non-zero when any verdict

@@ -15,6 +15,7 @@
 //	dpserve -drain 30s               # graceful-shutdown drain timeout
 //
 //	curl -d '{"topology":"ring","n":3,"algorithm":"LR1"}' localhost:8099/v1/check
+//	curl -d '{"topology":"ring","n":3,"algorithm":"LR1","faults":"delayed-grants:0.5,2","props":["progress-under-faults"]}' localhost:8099/v1/check
 //	curl -d '{"topology":"ring","n":3,"algorithm":"GDP1","trials":10}' localhost:8099/v1/trials
 //	curl localhost:8099/v1/stats
 //

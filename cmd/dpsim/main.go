@@ -10,6 +10,8 @@
 //	dpsim -topology figure1a -algorithm LR1 -scheduler adversary -trials 50
 //	dpsim -topology theta -algorithm LR2 -scheduler adversary -trace
 //	dpsim -topology ring -algorithm GDP1 -trials 20 -json
+//	dpsim -topology ring -algorithm LR1 -faults delayed-grants:0.3,4   # fork grants
+//	                                         # linger in flight for up to 4 steps
 //
 // -symmetry marks the engine for orbit-quotient exploration; it only affects
 // exhaustive surfaces (and the configuration fingerprint), never simulation

@@ -120,8 +120,10 @@ func WithSymmetry() Option { return func(c *config) { c.symmetry = true } }
 // many rates and a target philosopher the topology does not have are all
 // construction-time errors. The Monte-Carlo simulator and the exhaustive
 // model checker both run the wrapped program, so Run, Trials, Repeat, Check
-// and ModelCheck all see the same perturbed MDP; RunConcurrent rejects a
-// faulty engine (the goroutine runtime has no fault support).
+// and ModelCheck all see the same perturbed MDP. RunConcurrent injects the
+// crash-family models (crash-rejoin, freeze) as goroutine park/resume
+// decisions driven by per-seed streams, and rejects the message-level models
+// (lossy-grants, delayed-grants), which have no goroutine equivalent.
 func WithFaults(name string, rates ...float64) Option {
 	return func(c *config) {
 		c.faultName = name

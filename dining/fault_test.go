@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"repro/dining"
+	"repro/internal/algo"
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -114,6 +116,76 @@ func TestNilFaultEquivalenceGrid(t *testing.T) {
 				if wantTrials[i].TotalEats != gotTrials[i].TotalEats || wantTrials[i].Steps != gotTrials[i].Steps ||
 					!reflect.DeepEqual(wantTrials[i].EatsBy, gotTrials[i].EatsBy) {
 					t.Errorf("%s/%s: zero-rate trial %d differs from the fault-free engine", topo.Name(), alg, i)
+				}
+			}
+		}
+	}
+}
+
+// TestDelayedGrantsNilFaultEquivalenceGrid is the delayed-grants instance of
+// the zero-cost promise: a zero-rate delayed-grants engine never materializes
+// the pending-grant array, so its explored key space, Check verdicts and
+// trial results are byte-identical to the fault-free engine's.
+func TestDelayedGrantsNilFaultEquivalenceGrid(t *testing.T) {
+	t.Parallel()
+	topologies := []*dining.Topology{dining.Ring(3), dining.Theorem2Minimal()}
+	algorithms := []string{dining.LR1, dining.LR2, dining.GDP1, dining.GDP2}
+	for _, topo := range topologies {
+		for _, alg := range algorithms {
+			plain, err := dining.New(topo, alg, dining.WithSeed(7), dining.WithMaxSteps(4_000))
+			if err != nil {
+				t.Fatal(err)
+			}
+			zero, err := dining.New(topo, alg, dining.WithSeed(7), dining.WithMaxSteps(4_000),
+				dining.WithFaults("delayed-grants", 0, 3))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ctx := context.Background()
+			want, err := plain.CheckAll(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := zero.CheckAll(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i].Faults != "delayed-grants:0,3" {
+					t.Errorf("%s/%s: zero-rate result reports faults %q", topo.Name(), alg, got[i].Faults)
+				}
+				got[i].Faults = ""
+				got[i].Detail = strings.TrimSuffix(got[i].Detail, " under delayed-grants:0,3")
+				if got[i].Counterexample != nil {
+					got[i].Counterexample.Faults = ""
+				}
+			}
+			wantJSON, err := json.Marshal(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotJSON, err := json.Marshal(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(wantJSON) != string(gotJSON) {
+				t.Errorf("%s/%s: zero-rate delayed-grants verdicts differ from the fault-free engine:\nwant %s\ngot  %s",
+					topo.Name(), alg, wantJSON, gotJSON)
+			}
+
+			wantTrials, err := plain.Repeat(ctx, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotTrials, err := zero.Repeat(ctx, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range wantTrials {
+				if wantTrials[i].TotalEats != gotTrials[i].TotalEats || wantTrials[i].Steps != gotTrials[i].Steps ||
+					!reflect.DeepEqual(wantTrials[i].EatsBy, gotTrials[i].EatsBy) {
+					t.Errorf("%s/%s: zero-rate delayed-grants trial %d differs from the fault-free engine", topo.Name(), alg, i)
 				}
 			}
 		}
@@ -280,6 +352,117 @@ func TestProgressUnderFaultsCounterexampleReplay(t *testing.T) {
 		t.Fatal("a fault-free engine replayed a fault counterexample")
 	}
 	if !strings.Contains(err.Error(), "recorded under faults") {
+		t.Errorf("replay error = %q, want it to mention the fault mismatch", err)
+	}
+}
+
+// TestDelayedGrantsCounterexampleReplay drives the in-flight fault model end
+// to end on the exhaustive side: the perturbed state space genuinely grows
+// (in-flight grants are new states, not relabelled old ones), the recoverable
+// lockout check fails with a counterexample recorded under the spec, and a
+// trace whose path goes through injection, delay and delivery branches —
+// built on the identical wrapped program — carries the "fault: grant
+// delayed"/"fault: grant delivered" labels and replays step by step on the
+// engine, while a fault-free engine refuses it.
+func TestDelayedGrantsCounterexampleReplay(t *testing.T) {
+	t.Parallel()
+	const spec = "delayed-grants:0.5,1"
+	eng, err := dining.New(dining.Ring(3), dining.LR1, dining.WithFaults(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.CheckAll(context.Background(), dining.LockoutFreedomUnderFaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res[0]
+	if r.Passed {
+		t.Fatal("lockout-freedom-under-faults passed although the adversary can stall grants forever")
+	}
+	if r.Faults != spec {
+		t.Errorf("result reports faults %q, want %q", r.Faults, spec)
+	}
+	if r.Counterexample == nil {
+		t.Fatal("failing lockout-freedom-under-faults produced no counterexample")
+	}
+	if r.Counterexample.Faults != spec {
+		t.Errorf("counterexample records faults %q, want %q", r.Counterexample.Faults, spec)
+	}
+	if err := eng.ReplayTrace(r.Counterexample); err != nil {
+		t.Errorf("ReplayTrace rejected the engine's own counterexample: %v", err)
+	}
+
+	// Honest state growth: the in-flight grants must enlarge the explored
+	// space over the fault-free exploration of the same system.
+	plain, err := dining.New(dining.Ring(3), dining.LR1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := plain.CheckAll(context.Background(), dining.Progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.States <= base[0].States {
+		t.Errorf("delayed-grants explored %d states, fault-free %d — in-flight grants added no states", r.States, base[0].States)
+	}
+
+	// A path through the flight branches: advance P0 (first outcomes) until
+	// its take step offers the injection branch, inject, take the delay
+	// branch, then the forced delivery. Build fills labels from the executed
+	// outcomes, so the trace must carry the delayed/delivered pair — and it
+	// must replay on the engine, whose program injects the same spec.
+	topo := dining.Ring(3)
+	prog, err := algo.New(dining.LR1, algo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := fault.NewFromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := model.Wrap(topo, prog)
+	w := sim.NewWorld(topo)
+	wrapped.Init(w)
+	var steps []trace.Step
+	var buf []sim.Outcome
+	for i := 0; i < 8; i++ {
+		buf = wrapped.Outcomes(w, 0, buf[:0])
+		if buf[len(buf)-1].Label == "fault: grant delayed" {
+			break
+		}
+		steps = append(steps, trace.Step{Phil: 0, Outcome: 0})
+		buf[0].Do(w, 0)
+		w.Step++
+	}
+	flight := len(buf) - 1
+	buf[flight].Do(w, 0)
+	w.Step++
+	steps = append(steps,
+		trace.Step{Phil: 0, Outcome: flight}, // grant enters flight (counter 1)
+		trace.Step{Phil: 0, Outcome: 1},      // delay branch: counter 1 -> 0
+		trace.Step{Phil: 0, Outcome: 0})      // forced delivery
+	tr, err := trace.Build(topo, wrapped, nil, dining.LockoutFreedomUnderFaults, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delayed, delivered int
+	for _, s := range tr.Steps {
+		switch s.Label {
+		case "fault: grant delayed":
+			delayed++
+		case "fault: grant delivered":
+			delivered++
+		}
+	}
+	if delayed < 2 || delivered != 1 {
+		t.Fatalf("flight trace has %d delayed / %d delivered steps, want >=2 / 1:\n%s", delayed, delivered, tr)
+	}
+	if err := eng.ReplayTrace(tr); err != nil {
+		t.Errorf("ReplayTrace rejected the flight trace: %v", err)
+	}
+	if err := plain.ReplayTrace(tr); err == nil {
+		t.Error("a fault-free engine replayed a delayed-grants trace")
+	} else if !strings.Contains(err.Error(), "recorded under faults") {
 		t.Errorf("replay error = %q, want it to mention the fault mismatch", err)
 	}
 }

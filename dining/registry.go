@@ -36,7 +36,8 @@ type FaultConfig = fault.Config
 
 // FaultModel is one configured fault model: a named, parameterized
 // transformer of the transition system. See internal/fault for the built-ins
-// (crash-rejoin, freeze, lossy-grants) and the Program-wrapping semantics.
+// (crash-rejoin, delayed-grants, freeze, lossy-grants) and the
+// Program-wrapping semantics.
 type FaultModel = fault.Model
 
 // FaultCtor constructs a fault-model instance from a FaultConfig, validating

@@ -30,20 +30,39 @@
 //
 // The fault layer (internal/fault) perturbs the transition system itself:
 // a registered fault model — crash-rejoin (a philosopher crashes, drops its
-// forks and later re-enters thinking), freeze (a permanent crash) or
+// forks and later re-enters thinking), freeze (a permanent crash),
 // lossy-grants (a hungry philosopher's acquire step probabilistically
-// no-ops) — wraps the algorithm's Program, scaling the base outcomes and
-// appending "fault: "-labelled branches into the same reused outcome
-// buffer. Because the wrapping happens at the Program seam, the Monte-Carlo
-// simulator and the exhaustive model checker see the same perturbed MDP:
+// no-ops) or delayed-grants (with rate p an acquire step instead puts the
+// grant in flight with a remaining-delay counter of at most k; each later
+// scheduled step of the would-be holder branches between delivering the
+// fork and decrementing the counter, with delivery forced at zero) — wraps
+// the algorithm's Program, scaling the base outcomes and appending
+// "fault: "-labelled branches into the same reused outcome buffer. Because
+// the wrapping happens at the Program seam, the Monte-Carlo simulator and
+// the exhaustive model checker see the same perturbed MDP:
 // dining.WithFaults("crash-rejoin:0.05,0.5") makes every Run, Trials and
 // Check observe identical fault semantics, the recoverable properties
 // (progress-under-faults, lockout-freedom-under-faults) check exhaustively
 // how far the paper's guarantees survive the perturbation, and failing
 // checks produce fault-labelled counterexample traces that Engine.ReplayTrace
-// verifies against the same fault spec. A crashed philosopher occupies one
-// previously-always-zero bit of the canonical state key, so a fault-free
-// engine's exploration is byte-identical to one without the fault layer.
+// verifies against the same fault spec. Fault state rides in
+// previously-always-absent parts of the canonical state key — a crashed
+// philosopher occupies one always-zero flag bit, in-flight grants a
+// pending-slot suffix appended only when a grant has ever entered flight —
+// so a fault-free engine's exploration is byte-identical to one without the
+// fault layer, while delayed-grants honestly grows the state space with the
+// in-flight message state.
+//
+// The concurrent goroutine runtime (internal/runtime) injects the
+// crash-family models too: under dining.WithFaults("crash-rejoin:...") or
+// ("freeze:..."), RunConcurrent wraps each philosopher goroutine with a
+// fault driver that decides crash and rejoin at think→try cycle boundaries,
+// drawing every decision from dedicated per-seed internal/prng streams —
+// the i-th fault decision of philosopher p is a pure function of (seed, p,
+// i), and the algorithm's own random streams are untouched, so fault-free
+// runs are bit-identical with and without the fault layer compiled in. The
+// message-level models (lossy-grants, delayed-grants) have no goroutine
+// equivalent and are rejected with a descriptive error.
 //
 // # Architecture
 //
@@ -140,7 +159,9 @@
 //     internal/prng sources threaded from the per-trial seed. The gate also
 //     applies file-by-file where a deterministic core shares a package with
 //     clock-reading code: internal/serve's cache and fingerprint files are
-//     held to the rules while its handlers may stamp response timing.
+//     held to the rules while its handlers may stamp response timing, and
+//     internal/runtime's fault driver is gated while the runtime itself
+//     keeps its think/eat timers.
 //   - hotalloc: no function literals bound to sim.Outcome.Apply (outcome
 //     sets are rebuilt every step; closures would allocate per step —
 //     programs use static funcs with the Arg field) and no fmt.* formatting

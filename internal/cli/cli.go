@@ -155,7 +155,7 @@ func (c *Config) Register(fs *flag.FlagSet, which Flags) {
 	}
 	if which&FlagFaults != 0 {
 		fs.StringVar(&c.Faults, "faults", c.Faults,
-			fmt.Sprintf("fault-model spec name[:rates][@philosophers] (registered: %s; empty = no faults)",
+			fmt.Sprintf("fault-model spec name[:rates][@philosophers], e.g. crash-rejoin:0.1,0.5@0,2 or delayed-grants:0.3,4 (rate p, max in-flight delay k; registered: %s; empty = no faults)",
 				strings.Join(dining.Faults(), ", ")))
 	}
 	if which&FlagServe != 0 {

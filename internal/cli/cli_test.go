@@ -106,7 +106,7 @@ func TestFaultsFlag(t *testing.T) {
 		{"crash-rejoin:0.1,0.5", ""},
 		{"freeze:0.2@0,2", ""},
 		{"lossy-grants:0.3", ""},
-		{"meteor-strike", `unknown fault model "meteor-strike" (registered: crash-rejoin, freeze, lossy-grants)`},
+		{"meteor-strike", `unknown fault model "meteor-strike" (registered: crash-rejoin, delayed-grants, freeze, lossy-grants)`},
 		{"meteor-strike:0.5", `unknown fault model "meteor-strike"`},
 		{"meteor-strike@0,1", `unknown fault model "meteor-strike"`},
 		{" crash-rejoin :0.1", ""}, // the name is trimmed before the lookup

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -100,6 +101,36 @@ func TestSystemRunConcurrent(t *testing.T) {
 	}
 	if _, err := (&System{Topology: graph.Ring(3), Algorithm: "colored"}).RunConcurrent(context.Background(), time.Second, 1); err == nil {
 		t.Error("RunConcurrent accepted an algorithm without a concurrent implementation")
+	}
+}
+
+func TestSystemRunConcurrentFaults(t *testing.T) {
+	t.Parallel()
+	crash, err := fault.NewFromSpec("crash-rejoin:0.2,0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := System{Topology: graph.Ring(5), Algorithm: "LR1", Seed: 7, Faults: crash}
+	metrics, err := sys.RunConcurrent(context.Background(), 5*time.Second, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Crashes == nil || metrics.Rejoins == nil {
+		t.Fatal("faulted run reported no crash counters")
+	}
+	if len(metrics.Starved) != 0 {
+		t.Errorf("starved philosophers under crash-rejoin: %v", metrics.Starved)
+	}
+
+	lossy, err := fault.NewFromSpec("delayed-grants:0.1,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Faults = lossy
+	if _, err := sys.RunConcurrent(context.Background(), time.Second, 1); err == nil {
+		t.Error("RunConcurrent accepted a message-level fault model")
+	} else if !strings.Contains(err.Error(), "crash-family") {
+		t.Errorf("rejection error = %q, want the crash-family wording", err)
 	}
 }
 

@@ -45,7 +45,10 @@ type System struct {
 	// Faults injects the given fault model into the transition system
 	// (nil = no faults). The simulator and the model checker both run the
 	// wrapped program, so they see the same perturbed MDP. The concurrent
-	// runtime has no fault support; RunConcurrent rejects a faulty system.
+	// runtime injects the crash-family models (crash-rejoin, freeze) as
+	// goroutine park/resume decisions; RunConcurrent rejects message-level
+	// models (lossy-grants, delayed-grants), which have no goroutine
+	// equivalent.
 	Faults fault.Model
 	// Symmetry quotients ModelCheck explorations by the topology's declared
 	// automorphism group (orbit-canonical state keys). Verdicts are
@@ -186,8 +189,12 @@ func (s *System) RunConcurrent(ctx context.Context, duration time.Duration, targ
 	if s.Topology == nil {
 		return nil, fmt.Errorf("core: System.Topology is required")
 	}
+	var faults string
 	if s.Faults != nil {
-		return nil, fmt.Errorf("core: the concurrent runtime does not support fault injection (System.Faults = %s)", s.Faults.Spec())
+		if !runtime.SupportsFault(s.Faults.Name()) {
+			return nil, fmt.Errorf("core: the concurrent runtime injects only crash-family fault models (crash-rejoin, freeze), not %s", s.Faults.Spec())
+		}
+		faults = s.Faults.Spec()
 	}
 	var alg runtime.Algorithm
 	switch s.Algorithm {
@@ -211,6 +218,7 @@ func (s *System) RunConcurrent(ctx context.Context, duration time.Duration, targ
 		TargetMealsPerPhilosopher: targetMeals,
 		MaxDuration:               duration,
 		Seed:                      s.Seed,
+		Faults:                    faults,
 	})
 }
 

@@ -13,13 +13,15 @@
 // part in Arg, and fault outcomes are appended into the caller's reused
 // buffer, so the 0-alloc steady state of the step engine is preserved.
 //
-// Crash state is protocol state: a crashed philosopher carries the
+// Fault state is protocol state: a crashed philosopher carries the
 // PhilState.Crashed flag, which sim.World.AppendKey encodes (bit 4 of the
-// per-philosopher flags byte), so faulty states stay canonically keyed and
-// deduplicate correctly in the sharded store. The flag is never set without
-// a fault model, which keeps the nil-fault key encoding byte-identical.
+// per-philosopher flags byte), and an in-flight fork grant lives in the
+// world's per-slot pending-grant array, encoded as a key suffix — so faulty
+// states stay canonically keyed and deduplicate correctly in the sharded
+// store. Neither is ever populated without a fault model, which keeps the
+// nil-fault key encoding byte-identical.
 //
-// Three models are built in:
+// Four models are built in:
 //
 //   - crash-rejoin (rates: crash, rejoin): a scheduled philosopher crashes
 //     with the crash probability — dropping held forks, withdrawing requests,
@@ -30,6 +32,15 @@
 //   - lossy-grants (rate: loss): a scheduled hungry philosopher's step
 //     no-ops with the loss probability — the fork grant was lost in flight —
 //     leaving the protocol state untouched.
+//   - delayed-grants (parameters: rate, delay bound k): with the injection
+//     rate a fork-acquiring outcome is replaced by "the grant enters flight
+//     with remaining-delay counter k". The fork is reserved for its
+//     holder-to-be (everyone else finds it busy) and the philosopher stalls:
+//     each of its scheduled steps offers a delivery branch and, while the
+//     counter is positive, a decrement branch. Delivery releases the
+//     reservation and the philosopher's next step re-executes the take. The
+//     in-flight state enlarges the reachable state space — the first model
+//     whose effects per-philosopher flags cannot express.
 //
 // Models register by name in an open registry with the same contract as the
 // algorithm, scheduler, topology and property registries (panic on empty or

@@ -12,7 +12,7 @@ import (
 )
 
 func TestNames(t *testing.T) {
-	want := []string{"crash-rejoin", "freeze", "lossy-grants"}
+	want := []string{"crash-rejoin", "delayed-grants", "freeze", "lossy-grants"}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
 	}
@@ -23,7 +23,7 @@ func TestLookupUnknown(t *testing.T) {
 	if err == nil {
 		t.Fatal("Lookup(meteor) succeeded")
 	}
-	want := `fault: unknown fault model "meteor" (registered: crash-rejoin, freeze, lossy-grants)`
+	want := `fault: unknown fault model "meteor" (registered: crash-rejoin, delayed-grants, freeze, lossy-grants)`
 	if err.Error() != want {
 		t.Fatalf("error = %q, want %q", err, want)
 	}
@@ -41,6 +41,9 @@ func TestParseSpecRoundTrip(t *testing.T) {
 		{"freeze:0.2@2,0", "freeze:0.2@0,2"},
 		{"lossy-grants:0.25@1", "lossy-grants:0.25@1"},
 		{" lossy-grants ", "lossy-grants:0.1"},
+		{"delayed-grants", "delayed-grants:0.1,2"},
+		{"delayed-grants:0.25", "delayed-grants:0.25,2"},
+		{"delayed-grants:0.25,3@2,0", "delayed-grants:0.25,3@0,2"},
 	}
 	for _, tc := range cases {
 		m, err := NewFromSpec(tc.spec)
@@ -84,6 +87,10 @@ func TestConstructorValidation(t *testing.T) {
 		{"freeze", Config{Rates: []float64{0.1, 0.2}}, "at most 1 rate(s)"},
 		{"freeze", Config{Phils: []graph.PhilID{-1}}, "negative philosopher"},
 		{"lossy-grants", Config{Phils: []graph.PhilID{2, 1, 2}}, "philosopher 2 twice"},
+		{"delayed-grants", Config{Rates: []float64{1.5}}, "want a probability"},
+		{"delayed-grants", Config{Rates: []float64{0.1, 2.5}}, "want an integer"},
+		{"delayed-grants", Config{Rates: []float64{0.1, 64}}, "want an integer"},
+		{"delayed-grants", Config{Rates: []float64{0.1, 2, 3}}, "at most 2 parameters"},
 	}
 	for _, tc := range cases {
 		_, err := New(tc.name, tc.cfg)
@@ -245,7 +252,7 @@ func TestFaultSpecExposed(t *testing.T) {
 // outcome validation on: crashes mid-acquisition must leave the world
 // consistent (forks released, requests withdrawn).
 func TestRunUnderFaultsKeepsInvariants(t *testing.T) {
-	for _, spec := range []string{"crash-rejoin:0.2,0.3", "freeze:0.05", "lossy-grants:0.3"} {
+	for _, spec := range []string{"crash-rejoin:0.2,0.3", "freeze:0.05", "lossy-grants:0.3", "delayed-grants:0.3,2"} {
 		topo, prog := wrap(t, spec, 5)
 		sched := sim.SchedulerFunc{
 			SchedulerName: "round-robin",

@@ -219,6 +219,7 @@ func MaximalTrap(v graphalg.StateView, bad func(s int) bool) graphalg.Trap {
 	}
 	sort.Ints(compIDs)
 	bestCovered := 0
+	witness := -1
 	for _, id := range compIDs {
 		states := groups[id]
 		covered := make([]bool, nActions)
@@ -238,16 +239,23 @@ func MaximalTrap(v graphalg.StateView, bad func(s int) bool) graphalg.Trap {
 			}
 		}
 		fully := count == nActions
+		// Minimum state index over every fully covered trap (states is in
+		// increasing order), matching the live package's witness tie-break.
+		if fully && (witness < 0 || states[0] < witness) {
+			witness = states[0]
+		}
 		if count > bestCovered || (fully && trap.States < len(states)) {
 			bestCovered = count
 			trap.CoveredActions = coveredIDs
 			if fully {
 				trap.Exists = true
 				trap.States = len(states)
-				trap.WitnessState = states[0]
 				trap.Reachable = true
 			}
 		}
+	}
+	if trap.Exists {
+		trap.WitnessState = witness
 	}
 	return trap
 }

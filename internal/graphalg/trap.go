@@ -19,8 +19,12 @@ type Trap struct {
 	// adversary has at least one move that surely avoids a bad state forever
 	// (the greatest safe region of the safety game).
 	SafeRegionStates int
-	// WitnessState is the index of one state inside the trap, or -1 when no
-	// trap exists. It is the anchor for counterexample extraction (PathTo).
+	// WitnessState is the minimum state index over every fully covered trap
+	// (not necessarily the largest one reported by States), or -1 when no
+	// trap exists. State indices are discovery order, so this is the
+	// shallowest trap state the exploration found, and the anchor for
+	// counterexample extraction (PathTo) lifts it to the shortest concrete
+	// witness path.
 	WitnessState int
 	// CoveredActions lists, for the largest candidate end component found,
 	// which actions are allowed somewhere inside it, in increasing order.

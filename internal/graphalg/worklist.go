@@ -360,6 +360,7 @@ func (ix *PredecessorIndex) MaximalTrap(bad func(s int) bool) Trap {
 	}
 
 	bestCovered := 0
+	witness := int32(-1)
 	for c := 0; c < compCount; c++ {
 		count := 0
 		for a := 0; a < nActions; a++ {
@@ -368,6 +369,13 @@ func (ix *PredecessorIndex) MaximalTrap(bad func(s int) bool) Trap {
 			}
 		}
 		fully := count == nActions
+		// The witness is the minimum state index over every fully covered
+		// trap, not the reported (largest) one: state indices are discovery
+		// order, so the smallest index is the shallowest trap state and lifts
+		// to the shortest concrete counterexample path.
+		if fully && (witness < 0 || compMin[c] < witness) {
+			witness = compMin[c]
+		}
 		if count > bestCovered || (fully && trap.States < int(compSize[c])) {
 			bestCovered = count
 			coveredIDs := make([]int, 0, count)
@@ -380,12 +388,14 @@ func (ix *PredecessorIndex) MaximalTrap(bad func(s int) bool) Trap {
 			if fully {
 				trap.Exists = true
 				trap.States = int(compSize[c])
-				trap.WitnessState = int(compMin[c])
 				// Reachability of the trap (the safe region is already
 				// restricted to reachable states, so any member works).
 				trap.Reachable = true
 			}
 		}
+	}
+	if trap.Exists {
+		trap.WitnessState = int(witness)
 	}
 	return trap
 }

@@ -35,9 +35,11 @@ type Trap struct {
 	// adversary has at least one move that surely avoids an immediate meal
 	// forever (the greatest safe region of the safety game).
 	SafeRegionStates int
-	// WitnessState is the index of one state inside the trap, or -1 when no
-	// trap exists. It is the anchor for counterexample extraction
-	// (StateSpace.CounterexampleTo).
+	// WitnessState is the minimum state index over every fully covered trap
+	// (indices are discovery order, so this is the shallowest trap state
+	// found), or -1 when no trap exists. It is the anchor for counterexample
+	// extraction (StateSpace.CounterexampleTo), which therefore lifts the
+	// shortest concrete witness path.
 	WitnessState int
 	// WitnessKey is the canonical key of one state inside the trap (empty
 	// when none exists or when the exploration did not retain keys — see

@@ -1,0 +1,104 @@
+package runtime
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/fault"
+	"repro/internal/graph"
+)
+
+// Fault injection for the goroutine runtime. Only the crash family
+// translates: a crash is a goroutine parking at a think→try cycle boundary
+// (where a philosopher holds nothing, mirroring sim.World.Crash dropping
+// every fork) and a rejoin is the goroutine resuming. The message-level
+// models (lossy-grants, delayed-grants) perturb fork-grant outcomes inside
+// the step semantics and have no goroutine equivalent — the runtime's forks
+// are mutexes, not message channels — so they are rejected up front.
+//
+// Decisions are driven by dedicated per-philosopher prng streams split from
+// the master seed after the algorithm streams: the i-th fault decision of
+// philosopher p is a pure function of (Config.Seed, p, i), and the algorithm
+// streams are bit-identical to those of the fault-free run. How many
+// decisions a run consumes still depends on wall-clock scheduling — that is
+// the Go scheduler's adversary role, not the driver's.
+
+// SupportsFault reports whether the concurrent runtime can inject the named
+// fault model (see the fault-injection comment above).
+func SupportsFault(name string) bool {
+	return name == "crash-rejoin" || name == "freeze"
+}
+
+// faultDriver holds the resolved parameters of one crash-family fault model
+// plus the shared crash/rejoin counters. The parameters are immutable after
+// construction; the counters are updated atomically by the philosopher
+// goroutines.
+type faultDriver struct {
+	spec    string
+	rate    float64 // crash probability per cycle boundary
+	rejoin  float64 // rejoin probability per crashed pause (0 = absorbing)
+	target  []bool  // nil = every philosopher targeted
+	crashes []int64
+	rejoins []int64
+}
+
+// newFaultDriver parses and validates a fault spec for the runtime.
+func newFaultDriver(spec string, topo *graph.Topology) (*faultDriver, error) {
+	m, err := fault.NewFromSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Validate(topo); err != nil {
+		return nil, err
+	}
+	if !SupportsFault(m.Name()) {
+		return nil, fmt.Errorf("runtime: the concurrent runtime injects only the crash-family fault models (crash-rejoin, freeze), not %s", m.Spec())
+	}
+	// The canonical spec has defaults resolved and targets sorted, so
+	// re-parsing it yields the model's effective parameters without a wider
+	// Model interface.
+	name, cfg, err := fault.ParseSpec(m.Spec())
+	if err != nil {
+		return nil, err
+	}
+	n := topo.NumPhilosophers()
+	fd := &faultDriver{
+		spec:    m.Spec(),
+		rate:    cfg.Rates[0],
+		crashes: make([]int64, n),
+		rejoins: make([]int64, n),
+	}
+	if name == "crash-rejoin" {
+		fd.rejoin = cfg.Rates[1]
+	}
+	if len(cfg.Phils) > 0 {
+		fd.target = make([]bool, n)
+		for _, p := range cfg.Phils {
+			fd.target[p] = true
+		}
+	}
+	return fd, nil
+}
+
+// cycle runs philosopher ph's fault decision at one think→try cycle
+// boundary: with the crash rate the philosopher crashes — the goroutine
+// parks, holding nothing — and then idles until a rejoin decision (or the
+// end of the run) revives it. It reports whether the cycle was consumed by a
+// crash; a false return means the philosopher proceeds normally.
+func (fd *faultDriver) cycle(ph *philosopher) bool {
+	if fd.target != nil && !fd.target[ph.id] {
+		return false
+	}
+	if !ph.frng.Bool(fd.rate) {
+		return false
+	}
+	atomic.AddInt64(&fd.crashes[ph.id], 1)
+	for !ph.done() {
+		if fd.rejoin > 0 && ph.frng.Bool(fd.rejoin) {
+			atomic.AddInt64(&fd.rejoins[ph.id], 1)
+			return true
+		}
+		ph.pause(ph.cfg.ThinkTime)
+	}
+	return true
+}

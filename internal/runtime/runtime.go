@@ -100,6 +100,14 @@ type Config struct {
 	EatTime   time.Duration
 	// Seed drives the per-philosopher random sources.
 	Seed uint64
+	// Faults optionally names a crash-family fault model to inject, using the
+	// fault-spec grammar ("crash-rejoin:0.05,0.5@1,3", "freeze:0.1"). Crash
+	// decisions are taken at think→try cycle boundaries from dedicated
+	// per-philosopher prng streams, so the i-th decision of philosopher p is
+	// determined by (Seed, p, i) and the algorithm streams stay bit-identical
+	// to a fault-free run. Message-level models (lossy-grants, delayed-grants)
+	// have no goroutine equivalent and are rejected; see SupportsFault.
+	Faults string
 }
 
 // Metrics summarises a concurrent run.
@@ -116,6 +124,10 @@ type Metrics struct {
 	MealsPerSecond float64
 	// Starved lists philosophers with zero meals.
 	Starved []graph.PhilID
+	// Crashes[p] and Rejoins[p] count the fault decisions taken against
+	// philosopher p; both are nil when Config.Faults is empty.
+	Crashes []int64
+	Rejoins []int64
 }
 
 // Run executes the configured system until the target is reached, the
@@ -136,6 +148,13 @@ func Run(ctx context.Context, cfg Config) (*Metrics, error) {
 	m := cfg.M
 	if m < cfg.Topology.NumForks() {
 		m = cfg.Topology.NumForks()
+	}
+	var fd *faultDriver
+	if cfg.Faults != "" {
+		var err error
+		if fd, err = newFaultDriver(cfg.Faults, cfg.Topology); err != nil {
+			return nil, err
+		}
 	}
 
 	topo := cfg.Topology
@@ -177,24 +196,39 @@ func Run(ctx context.Context, cfg Config) (*Metrics, error) {
 
 	var wg sync.WaitGroup
 	start := time.Now()
+	// The algorithm streams are split first, in philosopher order, so a
+	// faulted run hands each goroutine the same algorithm stream as the
+	// fault-free run of the same seed; the fault streams come after.
 	master := prng.New(cfg.Seed)
+	algRngs := make([]*prng.Source, n)
+	for p := range algRngs {
+		algRngs[p] = master.Split()
+	}
+	faultRngs := make([]*prng.Source, n)
+	if fd != nil {
+		for p := range faultRngs {
+			faultRngs[p] = master.Split()
+		}
+	}
 	for p := 0; p < n; p++ {
 		wg.Add(1)
-		go func(p int, rng *prng.Source) {
+		go func(p int) {
 			defer wg.Done()
 			ph := &philosopher{
 				id:     p,
 				topo:   topo,
 				forks:  forks,
-				rng:    rng,
+				rng:    algRngs[p],
 				m:      m,
 				cfg:    cfg,
 				clock:  &clock,
 				done:   done,
 				record: func() { atomic.AddInt64(&meals[p], 1); totalMeals.Add(1) },
+				fd:     fd,
+				frng:   faultRngs[p],
 			}
 			ph.run(cfg.Algorithm)
-		}(p, master.Split())
+		}(p)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -213,6 +247,10 @@ func Run(ctx context.Context, cfg Config) (*Metrics, error) {
 			out.Starved = append(out.Starved, graph.PhilID(p))
 		}
 	}
+	if fd != nil {
+		out.Crashes = fd.crashes
+		out.Rejoins = fd.rejoins
+	}
 	return out, nil
 }
 
@@ -227,6 +265,8 @@ type philosopher struct {
 	clock  *atomic.Int64
 	done   func() bool
 	record func()
+	fd     *faultDriver // nil without fault injection
+	frng   *prng.Source // dedicated fault-decision stream
 }
 
 func (ph *philosopher) left() *fork  { return ph.forks[ph.topo.Left(graph.PhilID(ph.id))] }
@@ -301,9 +341,15 @@ func (ph *philosopher) renumberIfTied(held, other *fork) {
 	held.mu.Unlock()
 }
 
-// run executes the selected algorithm until done() reports true.
+// run executes the selected algorithm until done() reports true. The fault
+// decision happens at the cycle boundary, where the philosopher holds no
+// forks and has no pending requests — the goroutine analogue of
+// sim.World.Crash leaving the protocol state consistent.
 func (ph *philosopher) run(alg Algorithm) {
 	for !ph.done() {
+		if ph.fd != nil && ph.fd.cycle(ph) {
+			continue
+		}
 		ph.think()
 		switch alg {
 		case LR1:

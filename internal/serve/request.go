@@ -32,7 +32,12 @@ type Request struct {
 	// Trials is the trial count for /v1/trials (0 = 1). Ignored by /v1/check.
 	Trials int `json:"trials,omitempty"`
 	// Seed, MaxSteps, MaxStates, FairnessWindow, Protected, M and Faults
-	// configure the engine as the same-named dpcheck flags do.
+	// configure the engine as the same-named dpcheck flags do. Faults is a
+	// fault-model spec name[:rates][@philosophers] — e.g. "crash-rejoin:0.1,0.5",
+	// "freeze:0.2@1", "lossy-grants:0.3" or "delayed-grants:p,k@phils" with
+	// injection rate p and maximum in-flight delay k — and joins the
+	// fingerprint in canonical form, so faulty and fault-free explorations
+	// of one instance never share a cache entry.
 	Seed           uint64          `json:"seed,omitempty"`
 	MaxSteps       int64           `json:"max_steps,omitempty"`
 	MaxStates      int             `json:"max_states,omitempty"`

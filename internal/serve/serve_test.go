@@ -190,8 +190,23 @@ func TestCheckDistinctConfigsDistinctEntries(t *testing.T) {
 	if events[0].Cache != StatusMiss {
 		t.Errorf("fault-injected config served cache %q, want miss — fault specs must split the key", events[0].Cache)
 	}
-	if st := s.CacheStats(); st.Explorations != 2 || st.Entries != 2 {
-		t.Errorf("stats = %+v, want 2 explorations and 2 entries", st)
+	delayed := Request{Topology: "ring", N: 3, Algorithm: dining.LR1, Faults: "delayed-grants:0.5,2",
+		Props: []string{dining.ProgressUnderFaults}}
+	code, dEvents := post(t, ts, "/v1/check", delayed)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if dEvents[0].Cache != StatusMiss {
+		t.Errorf("delayed-grants config served cache %q, want miss", dEvents[0].Cache)
+	}
+	if a, b := events[0].Config.Fingerprint, dEvents[0].Config.Fingerprint; a == b {
+		t.Errorf("crash-rejoin and delayed-grants requests share fingerprint %s — fault specs must split the key", a)
+	}
+	if got := dEvents[0].Config.Faults; got != "delayed-grants:0.5,2" {
+		t.Errorf("echoed fault spec %q, want the canonical delayed-grants spec", got)
+	}
+	if st := s.CacheStats(); st.Explorations != 3 || st.Entries != 3 {
+		t.Errorf("stats = %+v, want 3 explorations and 3 entries", st)
 	}
 }
 

@@ -100,6 +100,14 @@ func (w *World) appendPermutedKey(el *graph.AutPerm, buf []byte) []byte {
 	for _, gv := range w.Globals {
 		buf = appendVarint(buf, gv)
 	}
+	if w.pending != nil {
+		for s := range w.pending.slots {
+			if v := w.pending.slots[el.SlotSrc[s]]; v != 0 {
+				buf = appendUvarint(buf, uint64(s+1))
+				buf = append(buf, v)
+			}
+		}
+	}
 	return buf
 }
 

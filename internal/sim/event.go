@@ -57,6 +57,17 @@ const (
 	// EventGrantLost records a hungry philosopher's scheduled step no-opping
 	// because a fault model lost its fork grant.
 	EventGrantLost
+	// EventGrantInFlight records a fault model replacing a philosopher's take
+	// of a free fork with an in-flight grant (the fork is reserved, the
+	// philosopher stalls). Detail is the remaining-delay counter.
+	EventGrantInFlight
+	// EventGrantDelayed records a stalled philosopher's scheduled step
+	// decrementing its in-flight grant's remaining-delay counter. Detail is
+	// the counter after the decrement.
+	EventGrantDelayed
+	// EventGrantDelivered records an in-flight grant arriving: the fork's
+	// reservation is released and the philosopher resumes its protocol.
+	EventGrantDelivered
 )
 
 // String implements fmt.Stringer.
@@ -100,6 +111,12 @@ func (k EventKind) String() string {
 		return "still-crashed"
 	case EventGrantLost:
 		return "grant-lost"
+	case EventGrantInFlight:
+		return "grant-in-flight"
+	case EventGrantDelayed:
+		return "grant-delayed"
+	case EventGrantDelivered:
+		return "grant-delivered"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}

@@ -34,11 +34,12 @@ import (
 var fuzzAlgorithms = []string{"LR1", "LR2", "GDP1", "GDP2", "ticket-box"}
 
 // fuzzFaults optionally wraps the algorithm in a fault model (high nibble of
-// the pick byte), so the crashed bit of the flags byte gets exercised too:
-// injectivity must keep holding when crash/rejoin/lossy outcomes appear in
-// the transition system. The empty entry keeps the original fault-free
-// corpus behaviour for picks with a zero high nibble.
-var fuzzFaults = []string{"", "crash-rejoin:0.25,0.5", "freeze:0.25", "lossy-grants:0.5"}
+// the pick byte), so the crashed bit of the flags byte and the pending-grant
+// key suffix get exercised too: injectivity must keep holding when crash,
+// rejoin, grant-lost and in-flight-grant outcomes appear in the transition
+// system. The empty entry keeps the original fault-free corpus behaviour for
+// picks with a zero high nibble.
+var fuzzFaults = []string{"", "crash-rejoin:0.25,0.5", "freeze:0.25", "lossy-grants:0.5", "delayed-grants:0.5,2"}
 
 // runScript executes one scripted run: byte i schedules philosopher
 // b%numPhils and resolves its action to outcome (b>>4)%len(outcomes).
@@ -87,8 +88,10 @@ func guestRanks(used []int64) []int {
 
 // observablyEqual compares every protocol field a philosopher program can
 // read: philosopher states, fork holders and nr values, request lists,
-// rank-normalized guest books and the shared globals. Run metrics and the
-// step counter are excluded, exactly as they are from the key.
+// rank-normalized guest books, in-flight fork grants (a nil pending array is
+// observably all-zero, matching the key's suffix convention) and the shared
+// globals. Run metrics and the step counter are excluded, exactly as they
+// are from the key.
 func observablyEqual(a, b *sim.World) bool {
 	if !slices.Equal(a.Phils, b.Phils) || !slices.Equal(a.Forks, b.Forks) {
 		return false
@@ -99,6 +102,14 @@ func observablyEqual(a, b *sim.World) bool {
 			return false
 		}
 		if !slices.Equal(guestRanks(a.ForkUsed(fid)), guestRanks(b.ForkUsed(fid))) {
+			return false
+		}
+	}
+	for p := 0; p < a.Topo.NumPhilosophers(); p++ {
+		pid := graph.PhilID(p)
+		fa, da, oka := a.PendingGrant(pid)
+		fb, db, okb := b.PendingGrant(pid)
+		if oka != okb || fa != fb || da != db {
 			return false
 		}
 	}
@@ -116,6 +127,10 @@ func FuzzWorldAppendKey(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 17, 33, 49}, []byte{0, 1, 2}, byte(0x10))
 	f.Add([]byte{5, 21, 37, 53, 69, 85}, []byte{3, 19, 35, 51}, byte(0x21))
 	f.Add(bytes.Repeat([]byte{0, 16, 32, 48}, 15), bytes.Repeat([]byte{1, 17, 33}, 20), byte(0x33))
+	// Delayed-grants seeds: flight branches put grants in flight, so the
+	// pending-grant key suffix (and its nil ≡ all-zero convention) is hit.
+	f.Add([]byte{0, 16, 16, 16, 1, 17, 17}, []byte{0, 16, 32, 48, 16}, byte(0x40))
+	f.Add(bytes.Repeat([]byte{0, 16, 1, 17, 2, 18}, 12), bytes.Repeat([]byte{16, 17, 18}, 16), byte(0x42))
 	f.Fuzz(func(t *testing.T, scriptA, scriptB []byte, algPick byte) {
 		topo := graph.Theorem2Minimal()
 		prog, err := algo.New(fuzzAlgorithms[int(algPick&0x0f)%len(fuzzAlgorithms)], algo.Options{})

@@ -49,6 +49,12 @@ func (w *World) TryTake(p graph.PhilID, f graph.ForkID) bool {
 		w.emit(EventForkBusy, p, f, int64(w.Forks[f].Holder))
 		return false
 	}
+	if w.pending != nil && w.forkReserved(f) {
+		// An in-flight grant (delayed-grants fault model) commits the fork to
+		// its holder-to-be; everyone finds it busy until the grant arrives.
+		w.emit(EventForkBusy, p, f, int64(graph.NoPhil))
+		return false
+	}
 	w.Forks[f].Holder = p
 	w.emit(EventTookFork, p, f, 0)
 	return true
@@ -206,6 +212,88 @@ func (w *World) LoseGrant(p graph.PhilID) {
 
 // IsCrashed reports whether philosopher p is currently crashed.
 func (w *World) IsCrashed(p graph.PhilID) bool { return w.Phils[p].Crashed }
+
+// --- Delayed grants (package fault) ---
+//
+// The delayed-grants fault model replaces a successful take of a free fork
+// with a reservation: the fork stays unheld but committed to its
+// holder-to-be (TryTake and IsFree report it busy to everyone), and the
+// philosopher stalls — its scheduled steps offer only deliver/decrement
+// branches — until the grant arrives. Delivery releases the reservation and
+// unstalls the philosopher, whose next scheduled step re-executes its take
+// step against a fork that the reservation kept free, so every algorithm
+// completes the acquisition through its own unmodified code path.
+
+// GrantInFlight replaces philosopher p's take of fork f with an in-flight
+// grant carrying remaining-delay counter delay (at most MaxGrantDelay). The
+// fork must be free; p's own state is left untouched.
+func (w *World) GrantInFlight(p graph.PhilID, f graph.ForkID, delay uint8) {
+	if delay > MaxGrantDelay {
+		panic(fmt.Sprintf("sim: grant delay %d exceeds MaxGrantDelay %d", delay, MaxGrantDelay))
+	}
+	if w.Forks[f].Holder != graph.NoPhil {
+		panic(fmt.Sprintf("sim: grant of held fork %d put in flight to philosopher %d", f, p))
+	}
+	w.EnsurePending()
+	w.pending.slots[w.slotIndex(f, p)] = pendingInFlight | delay
+	w.emit(EventGrantInFlight, p, f, int64(delay))
+}
+
+// DelayGrant decrements the remaining-delay counter of the grant in flight
+// to philosopher p on fork f (saturating at zero). It panics without an
+// in-flight grant, because only the fault model's delay branch calls it.
+func (w *World) DelayGrant(p graph.PhilID, f graph.ForkID) {
+	idx := w.slotIndex(f, p)
+	v := w.pending.slots[idx]
+	if v&pendingInFlight == 0 {
+		panic(fmt.Sprintf("sim: delaying fork %d with no grant in flight to philosopher %d", f, p))
+	}
+	if v&pendingDelayMask > 0 {
+		v--
+	}
+	w.pending.slots[idx] = v
+	w.emit(EventGrantDelayed, p, f, int64(v&pendingDelayMask))
+}
+
+// DeliverGrant delivers the grant in flight to philosopher p on fork f: the
+// reservation is released and p resumes its protocol at its next scheduled
+// step (re-executing the take that was put in flight). It panics without an
+// in-flight grant.
+func (w *World) DeliverGrant(p graph.PhilID, f graph.ForkID) {
+	idx := w.slotIndex(f, p)
+	if w.pending.slots[idx]&pendingInFlight == 0 {
+		panic(fmt.Sprintf("sim: delivering fork %d with no grant in flight to philosopher %d", f, p))
+	}
+	w.pending.slots[idx] = 0
+	w.emit(EventGrantDelivered, p, f, 0)
+}
+
+// PendingGrant returns the fork with a grant currently in flight to
+// philosopher p and its remaining-delay counter, or (graph.NoFork, 0, false).
+// A stalled philosopher has exactly one grant in flight.
+func (w *World) PendingGrant(p graph.PhilID) (graph.ForkID, uint8, bool) {
+	if w.pending == nil {
+		return graph.NoFork, 0, false
+	}
+	for _, f := range w.Topo.Forks(p) {
+		if v := w.pending.slots[w.slotIndex(f, p)]; v&pendingInFlight != 0 {
+			return f, v & pendingDelayMask, true
+		}
+	}
+	return graph.NoFork, 0, false
+}
+
+// forkReserved reports whether fork f has a grant in flight to any adjacent
+// philosopher. Callers check w.pending != nil first.
+func (w *World) forkReserved(f graph.ForkID) bool {
+	base := w.Topo.SlotBase(f)
+	for s := 0; s < w.Topo.Degree(f); s++ {
+		if w.pending.slots[base+s]&pendingInFlight != 0 {
+			return true
+		}
+	}
+	return false
+}
 
 // --- Request lists and guest books (LR2 / GDP2) ---
 

@@ -43,12 +43,20 @@
 //     fork in increasing order — only the relative order of guest-book
 //     entries is observable, so rank normalization keeps the state space
 //     finite;
-//   - uvarint(len(Globals)) followed by zigzag varints of the globals.
+//   - uvarint(len(Globals)) followed by zigzag varints of the globals;
+//   - for each adjacency slot carrying an in-flight fork grant (the
+//     delayed-grants fault model, ascending slot index): uvarint(slot+1)
+//     followed by the raw pending byte (in-flight bit plus remaining-delay
+//     counter). Worlds without pending grants — every fault-free world, and
+//     every fault-injected world whose grants have all been delivered — emit
+//     no suffix at all, so the encoding is byte-identical to the pre-delay
+//     format on the entire nil-fault state space.
 //
-// Given a fixed topology every field has a fixed position, so the encoding is
-// injective on observable protocol states. Key returns the same encoding as a
-// string for convenience; hot paths should use AppendKey with a reused
-// buffer.
+// Given a fixed topology every field has a fixed position (the pending
+// suffix is self-delimiting: it is a sequence of non-zero uvarint/byte pairs
+// running to the end of the key), so the encoding is injective on observable
+// protocol states. Key returns the same encoding as a string for
+// convenience; hot paths should use AppendKey with a reused buffer.
 package sim
 
 import (
@@ -128,6 +136,24 @@ type ForkState struct {
 	NR int
 }
 
+// Pending-grant slot encoding (delayed-grants fault model). Each adjacency
+// slot holds one byte: the in-flight bit plus a remaining-delay counter. A
+// zero byte means no grant is in flight on the slot.
+const (
+	// pendingInFlight marks a slot carrying an in-flight grant. It is set for
+	// the whole flight, so a slot byte is non-zero exactly while a grant is in
+	// flight (the key encoding relies on this).
+	pendingInFlight = 0x80
+	// pendingDelayMask extracts the remaining-delay counter.
+	pendingDelayMask = 0x3f
+	// MaxGrantDelay is the largest representable remaining-delay counter of
+	// an in-flight grant (the k of delayed-grants:p,k).
+	MaxGrantDelay = pendingDelayMask
+)
+
+// pendingGrants holds the in-flight grant bytes, one per adjacency slot.
+type pendingGrants struct{ slots []uint8 }
+
 // World is the complete state of a generalized dining-philosopher system
 // together with run-time bookkeeping (metrics and the event recorder), which
 // is excluded from Clone-equality and Key.
@@ -143,6 +169,13 @@ type World struct {
 	// baseline algorithms (central monitor, ticket box). Empty for the
 	// symmetric fully distributed algorithms.
 	Globals []int64
+	// pending is the flat per-(fork, adjacent philosopher) in-flight grant
+	// array of the delayed-grants fault model, indexed like req/used, or nil
+	// when no fault model ever put a grant in flight. It sits behind a
+	// pointer so a fault-free World carries only a nil word (keeping World in
+	// its heap size class, which the allocation pins depend on), and its
+	// all-zero state is observably identical to nil (see AppendKey).
+	pending *pendingGrants
 	// Step counts atomic actions executed so far.
 	Step int64
 	// Hunger decides when thinking philosophers become hungry (the workload).
@@ -249,6 +282,16 @@ func (w *World) ResetMetrics() {
 	}
 }
 
+// EnsurePending allocates the pending-grant array if the world does not have
+// one yet. The delayed-grants fault model calls it from Init when its rate is
+// positive; fault-free worlds never allocate the array, keeping their clones
+// and keys untouched.
+func (w *World) EnsurePending() {
+	if w.pending == nil {
+		w.pending = &pendingGrants{slots: make([]uint8, w.Topo.TotalSlots())}
+	}
+}
+
 // ForkReq returns the request-list entries of fork f, indexed by adjacency
 // slot (graph.Topology.Slot). The returned slice aliases the world's state.
 func (w *World) ForkReq(f graph.ForkID) []bool {
@@ -286,6 +329,9 @@ func (w *World) Clone() *World {
 		FirstEatStep: w.FirstEatStep,
 		TotalWait:    w.TotalWait,
 	}
+	if w.pending != nil {
+		c.pending = &pendingGrants{slots: append([]uint8(nil), w.pending.slots...)}
+	}
 	if w.EatsBy != nil {
 		c.EatsBy = append([]int64(nil), w.EatsBy...)
 		c.FirstEatBy = append([]int64(nil), w.FirstEatBy...)
@@ -309,7 +355,7 @@ func (w *World) CloneProtocol() *World {
 // whenever dst was usable.
 func (w *World) CloneProtocolInto(dst *World) *World {
 	if dst == nil || dst.Topo != w.Topo {
-		return &World{
+		c := &World{
 			Topo:    w.Topo,
 			Phils:   append([]PhilState(nil), w.Phils...),
 			Forks:   append([]ForkState(nil), w.Forks...),
@@ -319,12 +365,24 @@ func (w *World) CloneProtocolInto(dst *World) *World {
 			Step:    w.Step,
 			Hunger:  w.Hunger,
 		}
+		if w.pending != nil {
+			c.pending = &pendingGrants{slots: append([]uint8(nil), w.pending.slots...)}
+		}
+		return c
 	}
 	copy(dst.Phils, w.Phils)
 	copy(dst.Forks, w.Forks)
 	copy(dst.req, w.req)
 	copy(dst.used, w.used)
 	dst.Globals = append(dst.Globals[:0], w.Globals...)
+	switch {
+	case w.pending == nil:
+		dst.pending = nil
+	case dst.pending != nil:
+		copy(dst.pending.slots, w.pending.slots)
+	default:
+		dst.pending = &pendingGrants{slots: append([]uint8(nil), w.pending.slots...)}
+	}
 	dst.Step = w.Step
 	dst.Hunger = w.Hunger
 	return dst
@@ -386,6 +444,14 @@ func (w *World) AppendKey(buf []byte) []byte {
 	for _, g := range w.Globals {
 		buf = appendVarint(buf, g)
 	}
+	if w.pending != nil {
+		for s, v := range w.pending.slots {
+			if v != 0 {
+				buf = appendUvarint(buf, uint64(s+1))
+				buf = append(buf, v)
+			}
+		}
+	}
 	return buf
 }
 
@@ -437,8 +503,14 @@ func appendGuestBookRanks(buf []byte, used []int64) []byte {
 
 // --- Generic state queries used by schedulers, adversaries and detectors ---
 
-// IsFree reports whether fork f is not held by any philosopher.
-func (w *World) IsFree(f graph.ForkID) bool { return w.Forks[f].Holder == graph.NoPhil }
+// IsFree reports whether fork f is not held by any philosopher and not
+// reserved by an in-flight grant (delayed-grants fault model): a reserved
+// fork is committed to its holder-to-be, so every observer — including the
+// algorithms' own courtesy guards — sees it as busy until the grant is
+// delivered and the reservee takes it.
+func (w *World) IsFree(f graph.ForkID) bool {
+	return w.Forks[f].Holder == graph.NoPhil && (w.pending == nil || !w.forkReserved(f))
+}
 
 // HolderOf returns the philosopher holding fork f, or graph.NoPhil.
 func (w *World) HolderOf(f graph.ForkID) graph.PhilID { return w.Forks[f].Holder }
@@ -585,6 +657,33 @@ func (w *World) CheckInvariants() error {
 			return fmt.Errorf("sim: crashed philosopher %d still participates in the protocol (%+v)", p, st)
 		}
 	}
+	if w.pending != nil {
+		if len(w.pending.slots) != w.Topo.TotalSlots() {
+			return fmt.Errorf("sim: pending-grant array has %d slots, topology has %d", len(w.pending.slots), w.Topo.TotalSlots())
+		}
+		for p := range w.Phils {
+			inFlight := 0
+			for _, f := range w.Topo.Forks(graph.PhilID(p)) {
+				v := w.pending.slots[w.slotIndex(f, graph.PhilID(p))]
+				if v == 0 {
+					continue
+				}
+				if v&pendingInFlight == 0 {
+					return fmt.Errorf("sim: pending slot of fork %d / philosopher %d is %#x without the in-flight bit", f, p, v)
+				}
+				inFlight++
+				if h := w.Forks[f].Holder; h != graph.NoPhil {
+					return fmt.Errorf("sim: fork %d has a grant in flight to philosopher %d but is held by %d", f, p, h)
+				}
+				if w.Phils[p].Phase != Hungry {
+					return fmt.Errorf("sim: grant in flight to philosopher %d, which is %s rather than hungry", p, w.Phils[p].Phase)
+				}
+			}
+			if inFlight > 1 {
+				return fmt.Errorf("sim: philosopher %d has %d grants in flight; the delay model stalls a philosopher with one", p, inFlight)
+			}
+		}
+	}
 	// Every held fork's holder must acknowledge holding it.
 	//dplint:ok maporder error path: any one violation's error suffices, and a valid world returns nil either way
 	for f, h := range holderSeen {
@@ -618,6 +717,9 @@ func (w *World) String() string {
 			if st.HasSecond {
 				b.WriteString("*")
 			}
+		}
+		if f, delay, ok := w.PendingGrant(graph.PhilID(p)); ok {
+			fmt.Fprintf(&b, " g%d~%d", f, delay)
 		}
 		b.WriteString("]")
 	}
